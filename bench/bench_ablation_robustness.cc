@@ -1,0 +1,111 @@
+// E16 — robustness ablations around the paper's Section 5 discussion:
+//  (1) Prediction-noise sensitivity: matching size of the POLAR family as
+//      multiplicative noise and phantom predictions corrupt the matrices
+//      (SimpleGreedy, which uses no prediction, is the flat reference).
+//  (2) Guide-trust vs strict physical re-simulation: how many committed
+//      pairs survive when worker trajectories and deadlines are re-checked
+//      (quantifies the Section 5.1 assumption), with and without the
+//      liveness-check variant.
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/simple_greedy.h"
+#include "core/guide_generator.h"
+#include "core/hybrid_polar_op.h"
+#include "core/polar.h"
+#include "core/polar_op.h"
+#include "gen/synthetic.h"
+#include "harness.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace ftoa;
+using namespace ftoa::bench;
+
+std::shared_ptr<const OfflineGuide> BuildGuide(
+    const SyntheticConfig& config, const PredictionMatrix& prediction) {
+  GuideOptions options;
+  options.engine = GuideOptions::Engine::kAuto;
+  options.worker_duration = config.worker_duration;
+  options.task_duration = config.task_duration;
+  auto guide = GuideGenerator(config.velocity, options)
+                   .Generate(prediction);
+  return std::make_shared<const OfflineGuide>(std::move(guide).value());
+}
+
+void NoiseSweep(const BenchContext& context, const SyntheticConfig& config,
+                const Instance& instance,
+                const PredictionMatrix& clean_prediction) {
+  std::cout << "\n-- Prediction-noise sensitivity (matching size) --\n";
+  TablePrinter table({"noise sigma", "POLAR", "POLAR-OP", "POLAR-OP+G",
+                      "SimpleGreedy"});
+  SimpleGreedy greedy;
+  const size_t greedy_size = greedy.Run(instance).size();
+  for (double sigma : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    Rng rng(7000 + static_cast<uint64_t>(sigma * 1000));
+    const PredictionMatrix noisy =
+        clean_prediction.WithNoise(sigma, sigma * 0.02, &rng);
+    const auto guide = BuildGuide(config, noisy);
+    Polar polar(guide);
+    PolarOp polar_op(guide);
+    HybridPolarOp hybrid(guide);
+    table.AddRow({TablePrinter::FormatDouble(sigma, 2),
+                  TablePrinter::FormatInt(
+                      static_cast<int64_t>(polar.Run(instance).size())),
+                  TablePrinter::FormatInt(
+                      static_cast<int64_t>(polar_op.Run(instance).size())),
+                  TablePrinter::FormatInt(
+                      static_cast<int64_t>(hybrid.Run(instance).size())),
+                  TablePrinter::FormatInt(
+                      static_cast<int64_t>(greedy_size))});
+  }
+  table.Print(std::cout);
+  (void)context;
+}
+
+void StrictSweep(const SyntheticConfig& config, const Instance& instance,
+                 const PredictionMatrix& prediction) {
+  std::cout << "\n-- Guide-trust vs strict re-simulation --\n";
+  TablePrinter table({"algorithm", "liveness", "matched", "strict-feasible",
+                      "violations", "dispatched"});
+  const auto guide = BuildGuide(config, prediction);
+  for (const bool liveness : {false, true}) {
+    Polar polar(guide, PolarOptions{.check_liveness = liveness});
+    PolarOp polar_op(guide, PolarOptions{.check_liveness = liveness});
+    OnlineAlgorithm* algorithms[] = {&polar, &polar_op};
+    for (OnlineAlgorithm* algorithm : algorithms) {
+      RunnerOptions options;
+      options.strict_verification = true;
+      const auto metrics = RunAlgorithm(algorithm, instance, options);
+      if (!metrics.ok()) continue;
+      table.AddRow({algorithm->name(), liveness ? "on" : "off",
+                    TablePrinter::FormatInt(metrics->matching_size),
+                    TablePrinter::FormatInt(metrics->strict_feasible_pairs),
+                    TablePrinter::FormatInt(metrics->strict_violations),
+                    TablePrinter::FormatInt(metrics->dispatched_workers)});
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchContext context = ParseArgs(argc, argv);
+  SyntheticConfig config = DefaultSyntheticConfig(context);
+  auto instance = GenerateSyntheticInstance(config);
+  auto prediction = GenerateSyntheticPrediction(config);
+  if (!instance.ok() || !prediction.ok()) return 1;
+
+  std::cout << "\n=== E16: robustness ablations (scale=" << context.scale
+            << ") ===\n";
+  NoiseSweep(context, config, *instance, *prediction);
+  StrictSweep(config, *instance, *prediction);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// E3 — Figure 4, column 3 (c, g, k): the five algorithm series while
+// varying the task deadline Dr in {1.0, 1.5, 2.0, 2.5, 3.0} slots. Larger
+// Dr relaxes the deadline constraint, adds bipartite edges, and grows every
+// algorithm's matching.
+
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace ftoa;
+  using namespace ftoa::bench;
+  const BenchContext context = ParseArgs(argc, argv);
+
+  const double deadlines[] = {1.0, 1.5, 2.0, 2.5, 3.0};
+  std::vector<SweepPoint> points;
+  for (double dr : deadlines) {
+    SyntheticConfig config = DefaultSyntheticConfig(context);
+    config.task_duration = dr;
+    points.push_back(RunSyntheticPoint(TablePrinter::FormatDouble(dr, 1),
+                                       config, context));
+  }
+  PrintFigure("Figure 4 col 3: varying Dr", "Dr", points, context);
+  return 0;
+}

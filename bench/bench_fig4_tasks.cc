@@ -1,0 +1,26 @@
+// E2 — Figure 4, column 2 (b, f, j): the five algorithm series while
+// varying the number of tasks |R| in {5000, 10k, 20k, 30k, 40k}
+// (times --scale). The paper notes the worker/task roles are symmetric.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ftoa;
+  using namespace ftoa::bench;
+  const BenchContext context = ParseArgs(argc, argv);
+
+  const int paper_sizes[] = {5000, 10000, 20000, 30000, 40000};
+  std::vector<SweepPoint> points;
+  for (int size : paper_sizes) {
+    SyntheticConfig config = DefaultSyntheticConfig(context);
+    config.num_tasks = static_cast<int>(std::lround(size * context.scale));
+    points.push_back(
+        RunSyntheticPoint(std::to_string(size), config, context));
+  }
+  PrintFigure("Figure 4 col 2: varying |R|", "|R|", points, context);
+  return 0;
+}

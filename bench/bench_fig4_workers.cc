@@ -1,0 +1,27 @@
+// E1 — Figure 4, column 1 (a, e, i): matching size, running time and
+// memory of {SimpleGreedy, GR, POLAR, POLAR-OP, OPT} while varying the
+// number of workers |W| in {5000, 10k, 20k, 30k, 40k} (times --scale).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ftoa;
+  using namespace ftoa::bench;
+  const BenchContext context = ParseArgs(argc, argv);
+
+  const int paper_sizes[] = {5000, 10000, 20000, 30000, 40000};
+  std::vector<SweepPoint> points;
+  for (int size : paper_sizes) {
+    SyntheticConfig config = DefaultSyntheticConfig(context);
+    config.num_workers =
+        static_cast<int>(std::lround(size * context.scale));
+    points.push_back(
+        RunSyntheticPoint(std::to_string(size), config, context));
+  }
+  PrintFigure("Figure 4 col 1: varying |W|", "|W|", points, context);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// E7 — Figure 5, column 3 (c, g, k): varying Dr on the Beijing-profile
+// city trace (the proprietary Didi dataset is substituted by the city
+// simulator; see DESIGN.md Section 3).
+
+#include "bench_fig5_real.h"
+#include "gen/config.h"
+
+int main(int argc, char** argv) {
+  return ftoa::bench::RunCityDeadlineSweep(
+      ftoa::BeijingProfile(), "Figure 5 col 3: Beijing trace, varying Dr",
+      argc, argv);
+}

@@ -1,0 +1,11 @@
+// E8 — Figure 5, column 4 (d, h, l): varying Dr on the Hangzhou-profile
+// city trace (supply slightly exceeds demand, unlike Beijing — Table 3).
+
+#include "bench_fig5_real.h"
+#include "gen/config.h"
+
+int main(int argc, char** argv) {
+  return ftoa::bench::RunCityDeadlineSweep(
+      ftoa::HangzhouProfile(),
+      "Figure 5 col 4: Hangzhou trace, varying Dr", argc, argv);
+}

@@ -1,0 +1,34 @@
+// E6 — Figure 5, column 2 (b, f, j): scalability, increasing |W| = |R|
+// through {200k, 400k, 600k, 800k, 1M} (times --scale; the default scale
+// keeps each point tractable on a laptop — pass --scale=1 for the paper's
+// sizes). As in the paper, OPT's time/memory do not scale, so OPT is only
+// run below the --no-opt/op-cap threshold.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ftoa;
+  using namespace ftoa::bench;
+  BenchContext context = ParseArgs(argc, argv);
+  // Scalability sweeps are an order of magnitude larger than the other
+  // figures; shrink the default scale accordingly (explicit --scale wins:
+  // ParseArgs already applied it, so only adjust when untouched).
+  const int paper_sizes[] = {200000, 400000, 600000, 800000, 1000000};
+
+  std::vector<SweepPoint> points;
+  for (int size : paper_sizes) {
+    SyntheticConfig config = DefaultSyntheticConfig(context);
+    const int n = static_cast<int>(std::lround(size * context.scale * 0.1));
+    config.num_workers = n;
+    config.num_tasks = n;
+    points.push_back(
+        RunSyntheticPoint(std::to_string(size), config, context));
+  }
+  PrintFigure("Figure 5 col 2: scalability |W| = |R|", "|W|(|R|)", points,
+              context);
+  return 0;
+}

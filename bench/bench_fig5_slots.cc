@@ -1,0 +1,34 @@
+// E5 — Figure 5, column 1 (a, e, i): the five algorithm series while
+// varying the number of time slots t in {12, 24, 48, 96, 144}. The horizon
+// is fixed; more slots mean finer temporal types, fewer objects per type,
+// and a smaller matching (mirroring the grid-granularity effect).
+
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ftoa;
+  using namespace ftoa::bench;
+  const BenchContext context = ParseArgs(argc, argv);
+
+  const int slot_counts[] = {12, 24, 48, 96, 144};
+  std::vector<SweepPoint> points;
+  for (int t : slot_counts) {
+    SyntheticConfig config = DefaultSyntheticConfig(context);
+    // Keep the physical horizon of the default (48 one-unit slots) while
+    // repartitioning it into t slots: time-unit scale = 48 / t per slot, so
+    // velocity (cells per slot) and durations (slots) rescale accordingly.
+    const double slot_length = 48.0 / t;
+    config.num_slots = t;
+    config.velocity = 5.0 * slot_length;
+    config.task_duration = 2.0 / slot_length;
+    config.worker_duration = 3.0 / slot_length;
+    points.push_back(
+        RunSyntheticPoint(std::to_string(t), config, context));
+  }
+  PrintFigure("Figure 5 col 1: varying time slots", "TimeSlot", points,
+              context);
+  return 0;
+}

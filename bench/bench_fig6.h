@@ -1,0 +1,42 @@
+// Shared driver of E9-E12 — Figure 6: the five algorithm series while
+// varying one parameter of the tasks' temporal/spatial normal
+// distributions over {0.25, 0.375, 0.5, 0.625, 0.75} (Table 4). Workers
+// stay at the paper's fixed 0.25-parameters, so these sweeps move the task
+// mass relative to the worker mass.
+
+#ifndef FTOA_BENCH_BENCH_FIG6_H_
+#define FTOA_BENCH_BENCH_FIG6_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "util/table_printer.h"
+
+namespace ftoa {
+namespace bench {
+
+/// Runs one Figure 6 column: `apply` installs the swept value into the
+/// config's task-side distribution.
+inline int RunFig6Sweep(
+    const std::string& figure_name, const std::string& x_name,
+    const std::function<void(SyntheticConfig*, double)>& apply, int argc,
+    char** argv) {
+  const BenchContext context = ParseArgs(argc, argv);
+  const double values[] = {0.25, 0.375, 0.5, 0.625, 0.75};
+  std::vector<SweepPoint> points;
+  for (double value : values) {
+    SyntheticConfig config = DefaultSyntheticConfig(context);
+    apply(&config, value);
+    points.push_back(RunSyntheticPoint(
+        TablePrinter::FormatDouble(value, 3), config, context));
+  }
+  PrintFigure(figure_name, x_name, points, context);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace ftoa
+
+#endif  // FTOA_BENCH_BENCH_FIG6_H_

@@ -1,0 +1,14 @@
+// E12 — Figure 6, column 4 (d, h, l): varying the covariance of the
+// tasks' spatial distribution. A tighter task cloud far from the worker
+// center reduces the overlap; a wider one restores it.
+
+#include "bench_fig6.h"
+
+int main(int argc, char** argv) {
+  return ftoa::bench::RunFig6Sweep(
+      "Figure 6 col 4: varying spatial covariance", "cov",
+      [](ftoa::SyntheticConfig* config, double value) {
+        config->tasks.spatial_cov = value;
+      },
+      argc, argv);
+}

@@ -1,0 +1,15 @@
+// E11 — Figure 6, column 3 (c, g, k): varying the mean of the tasks'
+// spatial distribution. At 0.25 the task and worker centers coincide and
+// wait-in-place baselines shine (no need to dispatch anyone); as the task
+// center moves away the matching drops and guided movement pays off.
+
+#include "bench_fig6.h"
+
+int main(int argc, char** argv) {
+  return ftoa::bench::RunFig6Sweep(
+      "Figure 6 col 3: varying spatial mean", "mean",
+      [](ftoa::SyntheticConfig* config, double value) {
+        config->tasks.spatial_mean = value;
+      },
+      argc, argv);
+}

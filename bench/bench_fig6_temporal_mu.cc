@@ -1,0 +1,15 @@
+// E9 — Figure 6, column 1 (a, e, i): varying the mean mu of the tasks'
+// temporal distribution. The paper finds the matching size insensitive to
+// mu because the wide default sigma keeps the temporal overlap with the
+// worker mass large.
+
+#include "bench_fig6.h"
+
+int main(int argc, char** argv) {
+  return ftoa::bench::RunFig6Sweep(
+      "Figure 6 col 1: varying temporal mu", "mu",
+      [](ftoa::SyntheticConfig* config, double value) {
+        config->tasks.temporal_mu = value;
+      },
+      argc, argv);
+}

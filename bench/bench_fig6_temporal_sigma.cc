@@ -1,0 +1,14 @@
+// E10 — Figure 6, column 2 (b, f, j): varying the sigma of the tasks'
+// temporal distribution. Matching stays stable while mu - sigma still
+// reaches the workers' temporal mass (paper Section 6.2).
+
+#include "bench_fig6.h"
+
+int main(int argc, char** argv) {
+  return ftoa::bench::RunFig6Sweep(
+      "Figure 6 col 2: varying temporal sigma", "sigma",
+      [](ftoa::SyntheticConfig* config, double value) {
+        config->tasks.temporal_sigma = value;
+      },
+      argc, argv);
+}

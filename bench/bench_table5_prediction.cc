@@ -1,0 +1,71 @@
+// E13 — Table 5: RMLSE and ER of the seven offline prediction approaches
+// (HA, ARIMA, GBRT, PAQ, LR, NN, HP-MSI) for both market sides on both
+// (simulated) cities. The paper picks the best model — HP-MSI — as the
+// framework's offline predictor.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/city_trace.h"
+#include "harness.h"
+#include "prediction/metrics.h"
+#include "prediction/registry.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace ftoa;
+  using namespace ftoa::bench;
+  const BenchContext context = ParseArgs(argc, argv);
+  const double city_scale = context.scale * 0.5;
+
+  struct City {
+    std::string name;
+    CityProfile profile;
+  };
+  const std::vector<City> cities = {
+      {"Beijing", ScaledCityProfile(BeijingProfile(), city_scale)},
+      {"Hangzhou", ScaledCityProfile(HangzhouProfile(), city_scale)},
+  };
+
+  std::cout << "\n=== Table 5: prediction evaluation (scale="
+            << context.scale << ") ===\n";
+  TablePrinter table({"Method", "BJ-Task RMLSE", "BJ-Task ER",
+                      "HZ-Task RMLSE", "HZ-Task ER", "BJ-Worker RMLSE",
+                      "BJ-Worker ER", "HZ-Worker RMLSE", "HZ-Worker ER"});
+
+  for (const std::string& name : AllPredictorNames()) {
+    std::vector<std::string> row = {name};
+    // Column order: tasks (both cities) then workers (both cities), as in
+    // the paper's "Customer (Task)" / "Taxi (Worker)" halves.
+    for (const DemandSide side :
+         {DemandSide::kTasks, DemandSide::kWorkers}) {
+      for (const City& city : cities) {
+        const CityTraceGenerator generator(city.profile);
+        const DemandDataset history = generator.GenerateHistory();
+        auto predictor = CreatePredictor(name);
+        if (!predictor.ok()) {
+          std::fprintf(stderr, "cannot create %s\n", name.c_str());
+          return 1;
+        }
+        const int train_days = city.profile.history_days - 7;
+        const auto score = EvaluatePredictor(predictor->get(), history,
+                                             train_days, side);
+        if (!score.ok()) {
+          std::fprintf(stderr, "%s evaluation failed: %s\n", name.c_str(),
+                       score.status().ToString().c_str());
+          return 1;
+        }
+        row.push_back(TablePrinter::FormatDouble(score->rmsle, 3));
+        row.push_back(TablePrinter::FormatDouble(score->error_rate, 3));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\n(lower is better; the framework adopts the best model "
+               "for offline prediction)\n";
+  return 0;
+}

@@ -1,0 +1,256 @@
+#include "harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/gr_batch.h"
+#include "baselines/offline_opt.h"
+#include "baselines/tgoa.h"
+#include "baselines/simple_greedy.h"
+#include "core/hybrid_polar_op.h"
+#include "core/polar.h"
+#include "core/polar_op.h"
+#include "sim/runner.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace ftoa {
+namespace bench {
+
+BenchContext ParseArgs(int argc, char** argv) {
+  BenchContext context;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--scale=")) {
+      const auto value = ParseDouble(arg.substr(8));
+      if (!value.ok() || *value <= 0.0) {
+        std::fprintf(stderr, "invalid --scale value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      context.scale = *value;
+    } else if (arg == "--no-opt") {
+      context.include_opt = false;
+    } else if (arg == "--hybrid") {
+      context.include_hybrid = true;
+    } else if (arg == "--tgoa") {
+      context.include_tgoa = true;
+    } else if (StartsWith(arg, "--prediction=")) {
+      const std::string mode = arg.substr(13);
+      if (mode == "expected") {
+        context.prediction_mode = PredictionMode::kExpected;
+      } else if (mode == "replicate") {
+        context.prediction_mode = PredictionMode::kReplicate;
+      } else if (mode == "perfect") {
+        context.prediction_mode = PredictionMode::kPerfect;
+      } else {
+        std::fprintf(stderr, "invalid --prediction value: %s\n",
+                     mode.c_str());
+        std::exit(2);
+      }
+    } else if (StartsWith(arg, "--csv=")) {
+      context.csv_dir = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: %s [--scale=<f>] [--no-opt] [--hybrid] "
+                   "[--csv=<dir>]\n",
+                   argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return context;
+}
+
+SyntheticConfig DefaultSyntheticConfig(const BenchContext& context) {
+  SyntheticConfig config;  // Paper defaults (Table 4, bold).
+  config.num_workers =
+      static_cast<int>(std::lround(20000 * context.scale));
+  config.num_tasks = static_cast<int>(std::lround(20000 * context.scale));
+  return config;
+}
+
+CityProfile ScaledCityProfile(const CityProfile& base, double scale) {
+  CityProfile profile = base;
+  profile.workers_per_day = base.workers_per_day * scale;
+  profile.tasks_per_day = base.tasks_per_day * scale;
+  // Shrink the grid with sqrt(scale) per axis so objects per cell (and per
+  // type) stay roughly constant.
+  const double axis = std::sqrt(scale);
+  profile.grid_x = std::max(4, static_cast<int>(std::lround(
+                                   base.grid_x * axis)));
+  profile.grid_y = std::max(3, static_cast<int>(std::lround(
+                                   base.grid_y * axis)));
+  return profile;
+}
+
+std::vector<RunMetrics> RunSuite(const Instance& instance,
+                                 const PredictionMatrix& prediction,
+                                 const GuideOptions& guide_options,
+                                 const BenchContext& context) {
+  std::vector<RunMetrics> results;
+
+  // Offline preprocessing (guide generation), excluded from measurements.
+  auto guide_result = GuideGenerator(instance.velocity(), guide_options)
+                          .Generate(prediction);
+  if (!guide_result.ok()) {
+    std::fprintf(stderr, "guide generation failed: %s\n",
+                 guide_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto guide = std::make_shared<const OfflineGuide>(
+      std::move(guide_result).value());
+
+  SimpleGreedy simple_greedy;
+  GrBatch gr;
+  Tgoa tgoa;
+  Polar polar(guide);
+  PolarOp polar_op(guide);
+  HybridPolarOp hybrid(guide);
+  OfflineOpt opt;
+
+  std::vector<OnlineAlgorithm*> algorithms = {&simple_greedy, &gr, &polar,
+                                              &polar_op};
+  if (context.include_tgoa) {
+    algorithms.insert(algorithms.begin() + 2, &tgoa);
+  }
+  if (context.include_hybrid) algorithms.push_back(&hybrid);
+  const bool run_opt =
+      context.include_opt &&
+      static_cast<int64_t>(instance.num_workers()) <=
+          context.opt_object_cap &&
+      static_cast<int64_t>(instance.num_tasks()) <= context.opt_object_cap;
+  if (run_opt) algorithms.push_back(&opt);
+
+  for (OnlineAlgorithm* algorithm : algorithms) {
+    auto metrics = RunAlgorithm(algorithm, instance);
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", algorithm->name().c_str(),
+                   metrics.status().ToString().c_str());
+      std::exit(1);
+    }
+    results.push_back(std::move(metrics).value());
+  }
+  return results;
+}
+
+SweepPoint RunSyntheticPoint(const std::string& x_label,
+                             const SyntheticConfig& config,
+                             const BenchContext& context) {
+  auto instance = GenerateSyntheticInstance(config);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "workload generation failed\n");
+    std::exit(1);
+  }
+  Result<PredictionMatrix> prediction = [&]() -> Result<PredictionMatrix> {
+    switch (context.prediction_mode) {
+      case PredictionMode::kReplicate:
+        return GenerateSyntheticPrediction(config);
+      case PredictionMode::kPerfect:
+        return PredictionMatrix::FromInstance(*instance);
+      case PredictionMode::kExpected:
+        break;
+    }
+    return GenerateSyntheticExpectedPrediction(config);
+  }();
+  if (!prediction.ok()) {
+    std::fprintf(stderr, "prediction generation failed\n");
+    std::exit(1);
+  }
+  GuideOptions guide_options;
+  guide_options.engine = GuideOptions::Engine::kAuto;
+  guide_options.worker_duration = config.worker_duration;
+  guide_options.task_duration = config.task_duration;
+  SweepPoint point;
+  point.x_label = x_label;
+  point.metrics = RunSuite(*instance, *prediction, guide_options, context);
+  return point;
+}
+
+namespace {
+
+void MaybeDumpCsv(const BenchContext& context,
+                  const std::string& figure_name, const std::string& metric,
+                  const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows) {
+  if (context.csv_dir.empty()) return;
+  const std::string path =
+      context.csv_dir + "/" + figure_name + "_" + metric + ".csv";
+  CsvWriter writer(path);
+  if (!writer.Ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  writer.WriteRow(header);
+  for (const auto& row : rows) writer.WriteRow(row);
+  writer.Close();
+}
+
+}  // namespace
+
+void PrintFigure(const std::string& figure_name, const std::string& x_name,
+                 const std::vector<SweepPoint>& points,
+                 const BenchContext& context) {
+  if (points.empty()) return;
+
+  // Column set: union of algorithm names in first row order.
+  std::vector<std::string> algorithms;
+  for (const SweepPoint& point : points) {
+    for (const RunMetrics& metrics : point.metrics) {
+      bool known = false;
+      for (const std::string& name : algorithms) {
+        if (name == metrics.algorithm) known = true;
+      }
+      if (!known) algorithms.push_back(metrics.algorithm);
+    }
+  }
+
+  auto cell_for = [&](const SweepPoint& point, const std::string& algorithm,
+                      int which) -> std::string {
+    for (const RunMetrics& metrics : point.metrics) {
+      if (metrics.algorithm != algorithm) continue;
+      switch (which) {
+        case 0:
+          return TablePrinter::FormatInt(metrics.matching_size);
+        case 1:
+          return TablePrinter::FormatDouble(metrics.elapsed_seconds, 3);
+        case 2:
+          return TablePrinter::FormatDouble(
+              static_cast<double>(metrics.peak_memory_bytes) / (1 << 20), 1);
+      }
+    }
+    return "-";
+  };
+
+  static const char* kMetricNames[] = {"MatchingSize", "Time(secs)",
+                                       "Memory(MB)"};
+  std::cout << "\n=== " << figure_name << " (scale=" << context.scale
+            << ") ===\n";
+  for (int which = 0; which < 3; ++which) {
+    std::vector<std::string> header = {x_name};
+    header.insert(header.end(), algorithms.begin(), algorithms.end());
+    TablePrinter table(header);
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const SweepPoint& point : points) {
+      std::vector<std::string> row = {point.x_label};
+      for (const std::string& algorithm : algorithms) {
+        row.push_back(cell_for(point, algorithm, which));
+      }
+      csv_rows.push_back(row);
+      table.AddRow(std::move(row));
+    }
+    std::cout << "\n-- " << kMetricNames[which] << " --\n";
+    table.Print(std::cout);
+    MaybeDumpCsv(context, figure_name,
+                 which == 0 ? "matching" : (which == 1 ? "time" : "memory"),
+                 header, csv_rows);
+  }
+  std::cout.flush();
+}
+
+}  // namespace bench
+}  // namespace ftoa

@@ -1,0 +1,127 @@
+// Meal delivery: an on-wheel meal-ordering scenario (GrubHub-style, one of
+// the paper's motivating O2O platforms). Orders burst around lunch and
+// dinner from restaurant districts; couriers shift in before the peaks.
+// Deadlines are tight (food gets cold), so anticipatory courier placement
+// matters even more than in taxi dispatch.
+//
+// This example builds the workload directly from the synthetic generator's
+// primitives (no city simulator), showing how to assemble a custom
+// Instance, and compares POLAR-OP against wait-in-place dispatch under
+// three courier-patience settings.
+//
+//   $ ./meal_delivery
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/offline_opt.h"
+#include "baselines/simple_greedy.h"
+#include "core/guide_generator.h"
+#include "core/polar_op.h"
+#include "model/instance.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+using namespace ftoa;
+
+namespace {
+
+/// One restaurant district emitting orders around a peak time.
+struct District {
+  Point center;
+  double sigma;
+  double peak_time;   ///< Slot of peak demand.
+  double time_sigma;
+  int orders;
+};
+
+Instance MakeMealWorkload(double courier_patience, uint64_t seed) {
+  // A 20x20 town; one slot ~ 5 minutes, horizon = 36 slots (3 hours around
+  // the lunch peak); couriers ride at 2 cells/slot.
+  const GridSpec grid(20.0, 20.0, 20, 20);
+  const SlotSpec slots(36.0, 36);
+  const double dr = 3.0;  // 15-minute delivery promise.
+
+  const std::vector<District> districts = {
+      {{5.0, 5.0}, 1.5, 10.0, 3.0, 260},    // Old town, early lunch.
+      {{14.0, 13.0}, 2.0, 16.0, 4.0, 340},  // Business park, late lunch.
+      {{9.0, 17.0}, 1.2, 22.0, 5.0, 150},   // Riverside, long tail.
+  };
+
+  Rng rng(seed);
+  std::vector<Task> tasks;
+  for (const District& district : districts) {
+    const TruncatedNormal2d location(district.center.x, district.center.y,
+                                     district.sigma, district.sigma, 20.0,
+                                     20.0);
+    const TruncatedNormal time(district.peak_time, district.time_sigma, 0.0,
+                               36.0);
+    for (int i = 0; i < district.orders; ++i) {
+      Task task;
+      location.Sample(rng, &task.location.x, &task.location.y);
+      task.start = time.Sample(rng);
+      task.duration = dr;
+      tasks.push_back(task);
+    }
+  }
+
+  // Couriers clock in across town, mostly before the peaks, and give up
+  // after `courier_patience` slots without an assignment.
+  const TruncatedNormal2d courier_location(10.0, 10.0, 6.0, 6.0, 20.0,
+                                           20.0);
+  const TruncatedNormal courier_time(8.0, 6.0, 0.0, 36.0);
+  std::vector<Worker> workers;
+  for (int i = 0; i < 700; ++i) {
+    Worker worker;
+    courier_location.Sample(rng, &worker.location.x, &worker.location.y);
+    worker.start = courier_time.Sample(rng);
+    worker.duration = courier_patience;
+    workers.push_back(worker);
+  }
+  return Instance(SpacetimeSpec(slots, grid), /*velocity=*/2.0,
+                  std::move(workers), std::move(tasks));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("meal delivery: 700 couriers, 750 orders, 15-minute "
+              "promise\n\n");
+  std::printf("%-10s %-14s %-14s %-6s\n", "patience", "SimpleGreedy",
+              "POLAR-OP", "OPT");
+  for (const double patience : {4.0, 8.0, 16.0}) {
+    const Instance instance = MakeMealWorkload(patience, 99);
+    // Forecast = an independent draw of the same lunch pattern (yesterday's
+    // service, say).
+    const Instance forecast_day = MakeMealWorkload(patience, 100);
+    const PredictionMatrix prediction =
+        PredictionMatrix::FromInstance(forecast_day);
+
+    GuideOptions guide_options;
+    guide_options.engine = GuideOptions::Engine::kAuto;
+    guide_options.worker_duration = patience;
+    guide_options.task_duration = 3.0;
+    auto guide_result =
+        GuideGenerator(instance.velocity(), guide_options)
+            .Generate(prediction);
+    if (!guide_result.ok()) {
+      std::fprintf(stderr, "guide generation failed\n");
+      return 1;
+    }
+    auto guide = std::make_shared<const OfflineGuide>(
+        std::move(guide_result).value());
+
+    SimpleGreedy greedy;
+    PolarOp polar_op(guide);
+    OfflineOpt opt;
+    std::printf("%-10.0f %-14zu %-14zu %-6zu\n", patience,
+                greedy.Run(instance).size(), polar_op.Run(instance).size(),
+                opt.Run(instance).size());
+  }
+  std::printf(
+      "\nTakeaway: the shorter the courier patience, the more the\n"
+      "prediction-guided placement (POLAR-OP) gains over waiting in "
+      "place.\n");
+  return 0;
+}

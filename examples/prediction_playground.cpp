@@ -1,0 +1,97 @@
+// Prediction playground: train and compare all seven Table 5 predictors on
+// a simulated city, print their RMLSE/ER, and show a sample day's forecast
+// against the truth for the busiest cell.
+//
+//   $ ./prediction_playground [city]      (city = beijing | hangzhou)
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/city_trace.h"
+#include "prediction/metrics.h"
+#include "prediction/registry.h"
+#include "util/table_printer.h"
+
+#include <iostream>
+
+using namespace ftoa;
+
+int main(int argc, char** argv) {
+  CityProfile profile = (argc > 1 && std::strcmp(argv[1], "hangzhou") == 0)
+                            ? HangzhouProfile()
+                            : BeijingProfile();
+  // A compact playground-sized city.
+  profile.grid_x = 10;
+  profile.grid_y = 8;
+  profile.workers_per_day = 6000.0;
+  profile.tasks_per_day = 6500.0;
+  const CityTraceGenerator city(profile);
+  const DemandDataset history = city.GenerateHistory();
+  const int train_days = profile.history_days - 7;
+
+  std::printf("city '%s': %d train days, %d test days, %d slots/day, "
+              "%d cells\n\n",
+              profile.name.c_str(), train_days,
+              history.num_days() - train_days, history.slots_per_day(),
+              history.num_cells());
+
+  // --- Score all predictors on the task side (paper Table 5 layout). -----
+  TablePrinter table({"Method", "RMLSE", "ER"});
+  std::string best_name;
+  double best_rmsle = 1e18;
+  std::vector<std::unique_ptr<Predictor>> fitted;
+  for (const std::string& name : AllPredictorNames()) {
+    auto predictor = CreatePredictor(name);
+    if (!predictor.ok()) continue;
+    const auto score = EvaluatePredictor(predictor->get(), history,
+                                         train_days, DemandSide::kTasks);
+    if (!score.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                   score.status().ToString().c_str());
+      continue;
+    }
+    table.AddRow({name, TablePrinter::FormatDouble(score->rmsle, 3),
+                  TablePrinter::FormatDouble(score->error_rate, 3)});
+    if (score->rmsle < best_rmsle) {
+      best_rmsle = score->rmsle;
+      best_name = name;
+    }
+    fitted.push_back(std::move(*predictor));
+  }
+  table.Print(std::cout);
+  std::printf("\nbest model by RMLSE: %s\n\n", best_name.c_str());
+
+  // --- Show the best model's forecast for the busiest cell. --------------
+  int busiest_cell = 0;
+  double busiest_mean = -1.0;
+  for (int cell = 0; cell < history.num_cells(); ++cell) {
+    const double mean =
+        history.CellMean(DemandSide::kTasks, cell, train_days);
+    if (mean > busiest_mean) {
+      busiest_mean = mean;
+      busiest_cell = cell;
+    }
+  }
+  auto best = CreatePredictor(best_name);
+  if (!best.ok() ||
+      !(*best)->Fit(history, train_days, DemandSide::kTasks).ok()) {
+    return 1;
+  }
+  const int sample_day = history.num_days() - 2;
+  std::printf("cell %d on day %d (actual vs %s forecast):\n", busiest_cell,
+              sample_day, best_name.c_str());
+  for (int slot = 0; slot < history.slots_per_day(); ++slot) {
+    const double actual =
+        history.tasks(sample_day, slot, busiest_cell);
+    const double forecast = (*best)->Predict(history, sample_day,
+                                             slot)[busiest_cell];
+    std::printf("  slot %2d: actual %6.1f   forecast %6.1f  %s\n", slot,
+                actual, forecast,
+                std::string(static_cast<size_t>(forecast / 4.0), '#')
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "baselines/gr_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/hopcroft_karp.h"
+#include "model/arrival_stream.h"
+#include "spatial/grid_index.h"
+
+namespace ftoa {
+
+GrBatch::GrBatch(GrBatchOptions options) : options_(options) {}
+
+Assignment GrBatch::DoRun(const Instance& instance, RunTrace* trace) {
+  (void)trace;  // GR never relocates workers.
+  const double velocity = instance.velocity();
+  Assignment assignment(instance.num_workers(), instance.num_tasks());
+
+  const double window =
+      options_.window > 0.0
+          ? options_.window
+          : 0.25 * instance.spacetime().slots().slot_duration();
+  const double horizon = instance.spacetime().slots().horizon();
+  const double max_dr = instance.MaxTaskDuration();
+
+  std::vector<ArrivalEvent> events = BuildArrivalStream(instance);
+  size_t next_event = 0;
+
+  // Unmatched objects alive on the platform, carried across windows.
+  std::vector<WorkerId> pool_workers;
+  std::vector<TaskId> pool_tasks;
+  // Tasks are indexed spatially so per-worker candidate enumeration in a
+  // batch is a disk query instead of a full cross product.
+  GridIndex task_index(instance.spacetime().grid());
+
+  const int num_windows =
+      static_cast<int>(std::ceil((horizon + max_dr) / window)) + 1;
+
+  for (int k = 1; k <= num_windows; ++k) {
+    const double boundary = k * window;
+    // Absorb every arrival up to this boundary.
+    while (next_event < events.size() &&
+           events[next_event].time <= boundary) {
+      const ArrivalEvent& event = events[next_event++];
+      if (event.kind == ObjectKind::kWorker) {
+        pool_workers.push_back(event.index);
+      } else {
+        pool_tasks.push_back(event.index);
+        task_index.Insert(event.index,
+                          instance.task(event.index).location);
+      }
+    }
+
+    // Evict expired objects.
+    auto worker_dead = [&](WorkerId id) {
+      return instance.worker(id).Deadline() <= boundary;
+    };
+    auto task_dead = [&](TaskId id) {
+      // A task is hopeless once even a co-located worker departing now
+      // would miss its deadline.
+      return instance.task(id).Deadline() < boundary;
+    };
+    pool_workers.erase(
+        std::remove_if(pool_workers.begin(), pool_workers.end(), worker_dead),
+        pool_workers.end());
+    for (size_t i = 0; i < pool_tasks.size();) {
+      if (task_dead(pool_tasks[i])) {
+        task_index.Erase(pool_tasks[i]);
+        pool_tasks[i] = pool_tasks.back();
+        pool_tasks.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (pool_workers.empty() || pool_tasks.empty()) continue;
+
+    // Build the batch bipartite graph. Workers depart at the boundary, so
+    // an edge requires boundary + d <= Sr + Dr and Sr < Sw + Dw.
+    std::unordered_map<int64_t, int32_t> task_slot;  // TaskId -> right index.
+    std::vector<TaskId> right_tasks;
+    // Hopcroft-Karp needs right-side cardinality up front; build edges first.
+    struct PendingEdge {
+      int32_t left;
+      TaskId task;
+    };
+    std::vector<PendingEdge> pending;
+    for (size_t wi = 0; wi < pool_workers.size(); ++wi) {
+      const Worker& w = instance.worker(pool_workers[wi]);
+      // Pool tasks arrived at or before the boundary, so the arrival
+      // condition boundary + d/v <= Sr + Dr implies d <= max_dr * v.
+      task_index.ForEachInDisk(
+          w.location, max_dr * velocity,
+          [&](const IndexedPoint& entry, double d) {
+            const Task& r = instance.task(static_cast<TaskId>(entry.id));
+            if (!(r.start < w.Deadline())) return;
+            if (options_.policy ==
+                FeasibilityPolicy::kDispatchAtAssignmentTime) {
+              // The batch decision is made at the boundary; the worker
+              // departs then.
+              if (boundary + d / velocity > r.Deadline()) return;
+            } else if (!CanServe(w, r, velocity, options_.policy)) {
+              return;
+            }
+            pending.push_back(
+                PendingEdge{static_cast<int32_t>(wi),
+                            static_cast<TaskId>(entry.id)});
+          });
+    }
+    if (pending.empty()) continue;
+    for (const PendingEdge& edge : pending) {
+      if (task_slot.find(edge.task) == task_slot.end()) {
+        task_slot[edge.task] = static_cast<int32_t>(right_tasks.size());
+        right_tasks.push_back(edge.task);
+      }
+    }
+    HopcroftKarp hk(static_cast<int32_t>(pool_workers.size()),
+                    static_cast<int32_t>(right_tasks.size()));
+    hk.ReserveEdges(pending.size());
+    for (const PendingEdge& edge : pending) {
+      hk.AddEdge(edge.left, task_slot[edge.task]);
+    }
+    hk.Solve();
+
+    // Commit the matched pairs and shrink the pools.
+    std::vector<WorkerId> next_workers;
+    next_workers.reserve(pool_workers.size());
+    for (size_t wi = 0; wi < pool_workers.size(); ++wi) {
+      const int32_t right = hk.MatchOfLeft(static_cast<int32_t>(wi));
+      if (right >= 0) {
+        const TaskId task = right_tasks[static_cast<size_t>(right)];
+        assignment.Add(pool_workers[wi], task, boundary);
+        task_index.Erase(task);
+      } else {
+        next_workers.push_back(pool_workers[wi]);
+      }
+    }
+    pool_workers.swap(next_workers);
+    pool_tasks.erase(
+        std::remove_if(pool_tasks.begin(), pool_tasks.end(),
+                       [&](TaskId id) { return assignment.IsTaskMatched(id); }),
+        pool_tasks.end());
+  }
+  return assignment;
+}
+
+}  // namespace ftoa

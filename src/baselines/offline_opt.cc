@@ -1,0 +1,55 @@
+#include "baselines/offline_opt.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "flow/hopcroft_karp.h"
+#include "spatial/grid_index.h"
+
+namespace ftoa {
+
+Assignment OfflineOpt::DoRun(const Instance& instance, RunTrace* trace) {
+  (void)trace;
+  const double velocity = instance.velocity();
+  Assignment assignment(instance.num_workers(), instance.num_tasks());
+  if (instance.num_workers() == 0 || instance.num_tasks() == 0) {
+    return assignment;
+  }
+
+  // Index tasks by location; for worker w the deadline constraint bounds
+  // candidate tasks to d <= (Dr + Sr - Sw) * v with Sr - Sw < Dw, i.e. a
+  // disk of radius (max_dr + Dw) * v.
+  GridIndex task_index(instance.spacetime().grid());
+  for (const Task& r : instance.tasks()) {
+    task_index.Insert(r.id, r.location);
+  }
+  const double max_dr = instance.MaxTaskDuration();
+
+  HopcroftKarp matcher(static_cast<int32_t>(instance.num_workers()),
+                       static_cast<int32_t>(instance.num_tasks()));
+  for (const Worker& w : instance.workers()) {
+    const double radius = (max_dr + w.duration) * velocity;
+    task_index.ForEachInDisk(
+        w.location, radius, [&](const IndexedPoint& entry, double) {
+          const Task& r = instance.task(static_cast<TaskId>(entry.id));
+          if (CanServe(w, r, velocity,
+                       FeasibilityPolicy::kDispatchAtWorkerStart)) {
+            matcher.AddEdge(w.id, r.id);
+          }
+        });
+  }
+  matcher.Solve();
+
+  for (const Worker& w : instance.workers()) {
+    const int32_t task = matcher.MatchOfLeft(w.id);
+    if (task >= 0) {
+      // The decision time of an offline pair is when both sides are known.
+      const double decision =
+          std::max(w.start, instance.task(task).start);
+      assignment.Add(w.id, task, decision);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace ftoa

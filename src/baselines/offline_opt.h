@@ -1,0 +1,30 @@
+// OPT: the offline optimal assignment (the paper's OPT curve and the
+// denominator of the competitive ratio, Definition 5). With the full
+// realized instance known, workers may be routed toward tasks from the
+// moment they appear (Figure 1c), so feasibility uses the
+// kDispatchAtWorkerStart predicate; the maximum-cardinality matching over
+// all feasible pairs is computed with Hopcroft-Karp over spatially pruned
+// candidate edges.
+
+#ifndef FTOA_BASELINES_OFFLINE_OPT_H_
+#define FTOA_BASELINES_OFFLINE_OPT_H_
+
+#include "core/online_algorithm.h"
+
+namespace ftoa {
+
+/// The offline optimum. (Implemented against the OnlineAlgorithm interface
+/// so benches can sweep it alongside the online algorithms, but it sees the
+/// whole instance at once.)
+class OfflineOpt : public OnlineAlgorithm {
+ public:
+  OfflineOpt() = default;
+
+  std::string name() const override { return "OPT"; }
+
+  Assignment DoRun(const Instance& instance, RunTrace* trace) override;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_BASELINES_OFFLINE_OPT_H_

@@ -1,0 +1,132 @@
+#include "baselines/simple_greedy.h"
+
+#include <limits>
+#include <vector>
+
+#include "model/arrival_stream.h"
+#include "spatial/grid_index.h"
+
+namespace ftoa {
+
+SimpleGreedy::SimpleGreedy(SimpleGreedyOptions options) : options_(options) {}
+
+Assignment SimpleGreedy::DoRun(const Instance& instance, RunTrace* trace) {
+  (void)trace;  // SimpleGreedy never relocates workers.
+  const double velocity = instance.velocity();
+  Assignment assignment(instance.num_workers(), instance.num_tasks());
+
+  const FeasibilityPolicy kPolicy = options_.policy;
+
+  if (options_.use_spatial_index) {
+    GridIndex waiting_workers(instance.spacetime().grid());
+    GridIndex waiting_tasks(instance.spacetime().grid());
+    const double max_radius =
+        MaxFeasibleDistance(instance.MaxTaskDuration(),
+                            instance.MaxWorkerDuration(), velocity);
+    for (const ArrivalEvent& event : BuildArrivalStream(instance)) {
+      if (event.kind == ObjectKind::kWorker) {
+        const Worker& w = instance.worker(event.index);
+        const IndexedPoint hit = waiting_tasks.FindNearest(
+            w.location, max_radius,
+            [&](const IndexedPoint& entry, double) {
+              const Task& r = instance.task(static_cast<TaskId>(entry.id));
+              return CanServe(w, r, velocity, kPolicy);
+            });
+        if (hit.id >= 0) {
+          assignment.Add(w.id, static_cast<TaskId>(hit.id), event.time);
+          waiting_tasks.Erase(hit.id);
+        } else {
+          waiting_workers.Insert(w.id, w.location);
+        }
+      } else {
+        const Task& r = instance.task(event.index);
+        const IndexedPoint hit = waiting_workers.FindNearest(
+            r.location, max_radius,
+            [&](const IndexedPoint& entry, double) {
+              const Worker& w =
+                  instance.worker(static_cast<WorkerId>(entry.id));
+              return CanServe(w, r, velocity, kPolicy);
+            });
+        if (hit.id >= 0) {
+          assignment.Add(static_cast<WorkerId>(hit.id), r.id, event.time);
+          waiting_workers.Erase(hit.id);
+        } else {
+          waiting_tasks.Insert(r.id, r.location);
+        }
+      }
+    }
+    return assignment;
+  }
+
+  // Faithful variant: linear scan over all waiting counterparts. Expired or
+  // matched entries are compacted away lazily during the scans.
+  std::vector<int32_t> waiting_workers;
+  std::vector<int32_t> waiting_tasks;
+  for (const ArrivalEvent& event : BuildArrivalStream(instance)) {
+    if (event.kind == ObjectKind::kWorker) {
+      const Worker& w = instance.worker(event.index);
+      double best_distance = std::numeric_limits<double>::infinity();
+      int32_t best = -1;
+      size_t write = 0;
+      for (size_t i = 0; i < waiting_tasks.size(); ++i) {
+        const int32_t id = waiting_tasks[i];
+        const Task& r = instance.task(id);
+        if (r.Deadline() < event.time) continue;  // Expired: drop.
+        waiting_tasks[write++] = id;
+        if (!CanServe(w, r, velocity, kPolicy)) continue;
+        const double d = Distance(w.location, r.location);
+        if (d < best_distance || (d == best_distance && id < best)) {
+          best_distance = d;
+          best = id;
+        }
+      }
+      waiting_tasks.resize(write);
+      if (best >= 0) {
+        assignment.Add(w.id, best, event.time);
+        // Remove the matched task from the waiting list.
+        for (size_t i = 0; i < waiting_tasks.size(); ++i) {
+          if (waiting_tasks[i] == best) {
+            waiting_tasks[i] = waiting_tasks.back();
+            waiting_tasks.pop_back();
+            break;
+          }
+        }
+      } else {
+        waiting_workers.push_back(w.id);
+      }
+    } else {
+      const Task& r = instance.task(event.index);
+      double best_distance = std::numeric_limits<double>::infinity();
+      int32_t best = -1;
+      size_t write = 0;
+      for (size_t i = 0; i < waiting_workers.size(); ++i) {
+        const int32_t id = waiting_workers[i];
+        const Worker& w = instance.worker(id);
+        if (w.Deadline() < event.time) continue;  // Left the platform.
+        waiting_workers[write++] = id;
+        if (!CanServe(w, r, velocity, kPolicy)) continue;
+        const double d = Distance(w.location, r.location);
+        if (d < best_distance || (d == best_distance && id < best)) {
+          best_distance = d;
+          best = id;
+        }
+      }
+      waiting_workers.resize(write);
+      if (best >= 0) {
+        assignment.Add(best, r.id, event.time);
+        for (size_t i = 0; i < waiting_workers.size(); ++i) {
+          if (waiting_workers[i] == best) {
+            waiting_workers[i] = waiting_workers.back();
+            waiting_workers.pop_back();
+            break;
+          }
+        }
+      } else {
+        waiting_tasks.push_back(r.id);
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,210 @@
+#include "baselines/tgoa.h"
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/hopcroft_karp.h"
+#include "model/arrival_stream.h"
+#include "spatial/grid_index.h"
+
+namespace ftoa {
+
+Tgoa::Tgoa(TgoaOptions options) : options_(options) {}
+
+Assignment Tgoa::DoRun(const Instance& instance, RunTrace* trace) {
+  (void)trace;  // TGOA never relocates workers.
+  const double velocity = instance.velocity();
+  Assignment assignment(instance.num_workers(), instance.num_tasks());
+
+  const std::vector<ArrivalEvent> events = BuildArrivalStream(instance);
+  const size_t greedy_phase = static_cast<size_t>(
+      static_cast<double>(events.size()) * options_.greedy_fraction);
+
+  // Unmatched alive objects, spatially indexed for candidate pruning.
+  GridIndex waiting_workers(instance.spacetime().grid());
+  GridIndex waiting_tasks(instance.spacetime().grid());
+  const double max_radius = MaxFeasibleDistance(
+      instance.MaxTaskDuration(), instance.MaxWorkerDuration(), velocity);
+
+  auto greedy_feasible = [&](const Worker& w, const Task& r) {
+    return CanServe(w, r, velocity, options_.policy);
+  };
+
+  // Optimal-matching guardrail for the second phase: the new object is
+  // committed only when it is matched in a maximum matching of all
+  // currently waiting (unmatched, alive) objects plus itself. We re-run
+  // Hopcroft-Karp over the pruned candidate edges — O(E sqrt(V)) per
+  // arrival, the scalability weakness of [26] that POLAR's O(1) removes.
+  auto optimal_partner_for_worker = [&](const Worker& w) -> TaskId {
+    // Collect alive waiting workers + the new one, and waiting tasks.
+    std::vector<WorkerId> left;
+    std::unordered_map<int64_t, int32_t> left_slot;
+    std::vector<TaskId> right;
+    std::unordered_map<int64_t, int32_t> right_slot;
+    std::vector<std::pair<int32_t, int32_t>> edges;
+
+    auto right_index = [&](TaskId id) {
+      const auto it = right_slot.find(id);
+      if (it != right_slot.end()) return it->second;
+      const int32_t slot = static_cast<int32_t>(right.size());
+      right_slot[id] = slot;
+      right.push_back(id);
+      return slot;
+    };
+    // Edges from every waiting worker (including w) to feasible tasks.
+    auto add_worker = [&](const Worker& candidate) {
+      const int32_t lid = static_cast<int32_t>(left.size());
+      left.push_back(candidate.id);
+      left_slot[candidate.id] = lid;
+      waiting_tasks.ForEachInDisk(
+          candidate.location, max_radius,
+          [&](const IndexedPoint& entry, double) {
+            const Task& r = instance.task(static_cast<TaskId>(entry.id));
+            if (greedy_feasible(candidate, r)) {
+              edges.emplace_back(lid, right_index(r.id));
+            }
+          });
+    };
+    add_worker(w);
+    std::vector<WorkerId> other_workers;
+    waiting_workers.ForEachInDisk(
+        w.location, std::numeric_limits<double>::max(),
+        [&](const IndexedPoint& entry, double) {
+          other_workers.push_back(static_cast<WorkerId>(entry.id));
+        });
+    for (WorkerId id : other_workers) add_worker(instance.worker(id));
+
+    if (edges.empty()) return -1;
+    HopcroftKarp matcher(static_cast<int32_t>(left.size()),
+                         static_cast<int32_t>(right.size()));
+    matcher.ReserveEdges(edges.size());
+    for (const auto& [l, r] : edges) matcher.AddEdge(l, r);
+    matcher.Solve();
+    const int32_t partner = matcher.MatchOfLeft(0);  // w is left node 0.
+    return partner < 0 ? -1 : right[static_cast<size_t>(partner)];
+  };
+
+  auto optimal_partner_for_task = [&](const Task& r) -> WorkerId {
+    std::vector<TaskId> left;
+    std::vector<WorkerId> right;
+    std::unordered_map<int64_t, int32_t> right_slot;
+    std::vector<std::pair<int32_t, int32_t>> edges;
+    auto right_index = [&](WorkerId id) {
+      const auto it = right_slot.find(id);
+      if (it != right_slot.end()) return it->second;
+      const int32_t slot = static_cast<int32_t>(right.size());
+      right_slot[id] = slot;
+      right.push_back(id);
+      return slot;
+    };
+    auto add_task = [&](const Task& candidate) {
+      const int32_t lid = static_cast<int32_t>(left.size());
+      left.push_back(candidate.id);
+      waiting_workers.ForEachInDisk(
+          candidate.location, max_radius,
+          [&](const IndexedPoint& entry, double) {
+            const Worker& w =
+                instance.worker(static_cast<WorkerId>(entry.id));
+            if (greedy_feasible(w, candidate)) {
+              edges.emplace_back(lid, right_index(w.id));
+            }
+          });
+    };
+    add_task(r);
+    std::vector<TaskId> other_tasks;
+    waiting_tasks.ForEachInDisk(
+        r.location, std::numeric_limits<double>::max(),
+        [&](const IndexedPoint& entry, double) {
+          other_tasks.push_back(static_cast<TaskId>(entry.id));
+        });
+    for (TaskId id : other_tasks) add_task(instance.task(id));
+
+    if (edges.empty()) return -1;
+    HopcroftKarp matcher(static_cast<int32_t>(left.size()),
+                         static_cast<int32_t>(right.size()));
+    matcher.ReserveEdges(edges.size());
+    for (const auto& [l, w] : edges) matcher.AddEdge(l, w);
+    matcher.Solve();
+    const int32_t partner = matcher.MatchOfLeft(0);
+    return partner < 0 ? -1 : right[static_cast<size_t>(partner)];
+  };
+
+  for (size_t k = 0; k < events.size(); ++k) {
+    const ArrivalEvent& event = events[k];
+    const bool in_greedy_phase = k < greedy_phase;
+    if (event.kind == ObjectKind::kWorker) {
+      const Worker& w = instance.worker(event.index);
+      TaskId partner = -1;
+      if (in_greedy_phase) {
+        const IndexedPoint hit = waiting_tasks.FindNearest(
+            w.location, max_radius,
+            [&](const IndexedPoint& entry, double) {
+              const Task& r = instance.task(static_cast<TaskId>(entry.id));
+              return greedy_feasible(w, r) && r.Deadline() >= event.time;
+            });
+        partner = hit.id >= 0 ? static_cast<TaskId>(hit.id) : -1;
+      } else {
+        partner = optimal_partner_for_worker(w);
+      }
+      if (partner >= 0) {
+        assignment.Add(w.id, partner, event.time);
+        waiting_tasks.Erase(partner);
+      } else {
+        waiting_workers.Insert(w.id, w.location);
+      }
+    } else {
+      const Task& r = instance.task(event.index);
+      WorkerId partner = -1;
+      if (in_greedy_phase) {
+        const IndexedPoint hit = waiting_workers.FindNearest(
+            r.location, max_radius,
+            [&](const IndexedPoint& entry, double) {
+              const Worker& w =
+                  instance.worker(static_cast<WorkerId>(entry.id));
+              return greedy_feasible(w, r) && w.Deadline() >= event.time;
+            });
+        partner = hit.id >= 0 ? static_cast<WorkerId>(hit.id) : -1;
+      } else {
+        partner = optimal_partner_for_task(r);
+      }
+      if (partner >= 0) {
+        assignment.Add(partner, r.id, event.time);
+        waiting_workers.Erase(partner);
+      } else {
+        waiting_tasks.Insert(r.id, r.location);
+      }
+    }
+    // Periodic lazy expiry keeps the indexes (and the per-arrival matching
+    // graphs) small.
+    if ((k & 1023u) == 0u) {
+      std::vector<int64_t> expired;
+      waiting_workers.ForEachInDisk(
+          {instance.spacetime().grid().width() / 2,
+           instance.spacetime().grid().height() / 2},
+          std::numeric_limits<double>::max(),
+          [&](const IndexedPoint& entry, double) {
+            if (instance.worker(static_cast<WorkerId>(entry.id)).Deadline() <
+                event.time) {
+              expired.push_back(entry.id);
+            }
+          });
+      for (int64_t id : expired) waiting_workers.Erase(id);
+      expired.clear();
+      waiting_tasks.ForEachInDisk(
+          {instance.spacetime().grid().width() / 2,
+           instance.spacetime().grid().height() / 2},
+          std::numeric_limits<double>::max(),
+          [&](const IndexedPoint& entry, double) {
+            if (instance.task(static_cast<TaskId>(entry.id)).Deadline() <
+                event.time) {
+              expired.push_back(entry.id);
+            }
+          });
+      for (int64_t id : expired) waiting_tasks.Erase(id);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace ftoa

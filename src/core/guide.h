@@ -1,0 +1,100 @@
+// OfflineGuide: the pseudo-assignment Ĝf produced by offline guide
+// generation (paper Section 4). Predicted counts are instantiated into
+// typed nodes; a maximum bipartite matching pairs worker nodes with task
+// nodes. The online algorithms then let real objects occupy (POLAR) or
+// associate with (POLAR-OP) nodes of their own type.
+
+#ifndef FTOA_CORE_GUIDE_H_
+#define FTOA_CORE_GUIDE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/feasibility.h"
+#include "spatial/spacetime.h"
+#include "util/status.h"
+
+namespace ftoa {
+
+/// Index of a guide node within its side's node vector.
+using GuideNodeId = int32_t;
+
+/// One predicted node of the bipartite guide graph.
+struct GuideNode {
+  TypeId type = -1;
+  /// Matched partner on the other side in Ĝf, or -1 when unmatched.
+  GuideNodeId partner = -1;
+};
+
+/// The immutable offline guide shared by POLAR-family algorithms.
+class OfflineGuide {
+ public:
+  OfflineGuide() = default;
+
+  /// `worker_duration` / `task_duration` are the representative Dw / Dr the
+  /// generator used for its edge feasibility tests; `representative_slack`
+  /// is the discretization slack it granted (GuideOptions).
+  OfflineGuide(SpacetimeSpec spacetime, double velocity,
+               double worker_duration, double task_duration,
+               double representative_slack = 0.0);
+
+  const SpacetimeSpec& spacetime() const { return spacetime_; }
+  double velocity() const { return velocity_; }
+  double worker_duration() const { return worker_duration_; }
+  double task_duration() const { return task_duration_; }
+  double representative_slack() const { return representative_slack_; }
+
+  /// Appends a worker node of `type`; returns its id.
+  GuideNodeId AddWorkerNode(TypeId type);
+  /// Appends a task node of `type`; returns its id.
+  GuideNodeId AddTaskNode(TypeId type);
+
+  /// Marks (worker node, task node) as a matched pair of Ĝf.
+  /// Both must be currently unmatched.
+  Status MatchNodes(GuideNodeId worker_node, GuideNodeId task_node);
+
+  const std::vector<GuideNode>& worker_nodes() const { return worker_nodes_; }
+  const std::vector<GuideNode>& task_nodes() const { return task_nodes_; }
+
+  /// Ids of worker nodes of a given type, in creation order.
+  const std::vector<GuideNodeId>& WorkerNodesOfType(TypeId type) const {
+    return worker_nodes_by_type_[static_cast<size_t>(type)];
+  }
+  /// Ids of task nodes of a given type, in creation order.
+  const std::vector<GuideNodeId>& TaskNodesOfType(TypeId type) const {
+    return task_nodes_by_type_[static_cast<size_t>(type)];
+  }
+
+  /// |E*|: the number of matched node pairs (the flow value of Algorithm 1).
+  int64_t matched_pairs() const { return matched_pairs_; }
+
+  /// m: the number of predicted worker nodes.
+  int64_t num_worker_nodes() const {
+    return static_cast<int64_t>(worker_nodes_.size());
+  }
+  /// n: the number of predicted task nodes.
+  int64_t num_task_nodes() const {
+    return static_cast<int64_t>(task_nodes_.size());
+  }
+
+  /// Checks every matched pair against the type-representative feasibility
+  /// predicate the guide was built with (deadline constraint of
+  /// Definition 4 on cell centers and slot midpoints).
+  Status Validate() const;
+
+ private:
+  SpacetimeSpec spacetime_;
+  double velocity_ = 1.0;
+  double worker_duration_ = 0.0;
+  double task_duration_ = 0.0;
+  double representative_slack_ = 0.0;
+  std::vector<GuideNode> worker_nodes_;
+  std::vector<GuideNode> task_nodes_;
+  std::vector<std::vector<GuideNodeId>> worker_nodes_by_type_;
+  std::vector<std::vector<GuideNodeId>> task_nodes_by_type_;
+  int64_t matched_pairs_ = 0;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_CORE_GUIDE_H_

@@ -1,0 +1,354 @@
+#include "core/guide_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/dinic.h"
+#include "flow/ford_fulkerson.h"
+#include "flow/min_cost_flow.h"
+#include "model/feasibility.h"
+
+namespace ftoa {
+
+GuideGenerator::GuideGenerator(double velocity, GuideOptions options)
+    : velocity_(velocity), options_(options) {}
+
+void GuideGenerator::ForEachFeasibleTypePair(
+    const PredictionMatrix& prediction,
+    const std::function<void(TypeId, TypeId)>& fn) const {
+  const SpacetimeSpec& st = prediction.spacetime();
+  const GridSpec& grid = st.grid();
+  const SlotSpec& slots = st.slots();
+  const int num_areas = st.num_areas();
+  const double dw = options_.worker_duration;
+  const double dr = options_.task_duration;
+  const double rep_slack = options_.representative_slack;
+
+  // Per-slot list of cells with predicted tasks, for sparse iteration when
+  // the feasibility disk covers most of the grid.
+  std::vector<std::vector<CellId>> task_cells_by_slot(
+      static_cast<size_t>(slots.num_slots()));
+  for (int slot = 0; slot < slots.num_slots(); ++slot) {
+    for (CellId cell = 0; cell < num_areas; ++cell) {
+      if (prediction.tasks_at(st.TypeAt(slot, cell)) > 0) {
+        task_cells_by_slot[static_cast<size_t>(slot)].push_back(cell);
+      }
+    }
+  }
+
+  for (int wslot = 0; wslot < slots.num_slots(); ++wslot) {
+    const double sw = slots.SlotMidpoint(wslot);
+    // Candidate task slots: representatives must satisfy
+    //   sr < sw + dw (+ slack)  and  dr - (sw - sr) (+ slack) >= 0.
+    const int slot_lo = std::max(
+        0, slots.SlotOf(std::max(0.0, sw - dr - rep_slack)) - 1);
+    const int slot_hi = std::min(slots.num_slots() - 1,
+                                 slots.SlotOf(sw + dw + rep_slack) + 1);
+
+    for (CellId wcell = 0; wcell < num_areas; ++wcell) {
+      const TypeId wtype = st.TypeAt(wslot, wcell);
+      if (prediction.workers_at(wtype) <= 0) continue;
+      const Point wloc = grid.CellCenter(wcell);
+
+      for (int tslot = slot_lo; tslot <= slot_hi; ++tslot) {
+        const double sr = slots.SlotMidpoint(tslot);
+        if (!(sr < sw + dw + rep_slack)) continue;
+        const double slack = dr - (sw - sr) + rep_slack;
+        if (slack < 0.0) continue;
+        const double radius = slack * velocity_;
+
+        // Choose between scanning the bounding box of the feasibility disk
+        // and scanning the slot's nonempty task cells, whichever is smaller.
+        const int cx_lo = std::max(
+            0, static_cast<int>((wloc.x - radius) / grid.cell_width()));
+        const int cx_hi = std::min(
+            grid.cells_x() - 1,
+            static_cast<int>((wloc.x + radius) / grid.cell_width()));
+        const int cy_lo = std::max(
+            0, static_cast<int>((wloc.y - radius) / grid.cell_height()));
+        const int cy_hi = std::min(
+            grid.cells_y() - 1,
+            static_cast<int>((wloc.y + radius) / grid.cell_height()));
+        const int64_t box_cells = static_cast<int64_t>(cx_hi - cx_lo + 1) *
+                                  (cy_hi - cy_lo + 1);
+        const auto& sparse = task_cells_by_slot[static_cast<size_t>(tslot)];
+
+        auto consider = [&](CellId tcell) {
+          const TypeId ttype = st.TypeAt(tslot, tcell);
+          if (prediction.tasks_at(ttype) <= 0) return;
+          const double d = Distance(wloc, grid.CellCenter(tcell));
+          if (d / velocity_ <= slack) fn(wtype, ttype);
+        };
+
+        if (box_cells <= static_cast<int64_t>(sparse.size())) {
+          for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+            for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+              consider(grid.CellAt(cx, cy));
+            }
+          }
+        } else {
+          for (CellId tcell : sparse) consider(tcell);
+        }
+      }
+    }
+  }
+}
+
+int64_t GuideGenerator::EstimateNodeLevelEdges(
+    const PredictionMatrix& prediction) const {
+  int64_t edges = 0;
+  ForEachFeasibleTypePair(prediction, [&](TypeId wt, TypeId tt) {
+    edges += static_cast<int64_t>(prediction.workers_at(wt)) *
+             prediction.tasks_at(tt);
+  });
+  return edges;
+}
+
+namespace {
+
+/// Instantiates all predicted nodes into `guide`; returns the first guide
+/// node id per type so callers can translate (type, ordinal) -> node id.
+struct InstantiatedNodes {
+  std::vector<GuideNodeId> first_worker_node;  // Per type, -1 when empty.
+  std::vector<GuideNodeId> first_task_node;
+};
+
+InstantiatedNodes InstantiateNodes(const PredictionMatrix& prediction,
+                                   OfflineGuide* guide) {
+  const int num_types = prediction.spacetime().num_types();
+  InstantiatedNodes out;
+  out.first_worker_node.assign(static_cast<size_t>(num_types), -1);
+  out.first_task_node.assign(static_cast<size_t>(num_types), -1);
+  for (TypeId type = 0; type < num_types; ++type) {
+    const int32_t workers = prediction.workers_at(type);
+    for (int32_t k = 0; k < workers; ++k) {
+      const GuideNodeId id = guide->AddWorkerNode(type);
+      if (k == 0) out.first_worker_node[static_cast<size_t>(type)] = id;
+    }
+    const int32_t tasks = prediction.tasks_at(type);
+    for (int32_t k = 0; k < tasks; ++k) {
+      const GuideNodeId id = guide->AddTaskNode(type);
+      if (k == 0) out.first_task_node[static_cast<size_t>(type)] = id;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<OfflineGuide> GuideGenerator::GenerateNodeLevel(
+    const PredictionMatrix& prediction, bool use_dinic) const {
+  const int64_t m = prediction.TotalWorkers();
+  const int64_t n = prediction.TotalTasks();
+  const int64_t node_edges = EstimateNodeLevelEdges(prediction);
+  if (m + n + 2 > (1LL << 30) || node_edges > (1LL << 28)) {
+    return Status::InvalidArgument(
+        "GuideGenerator: node-level network too large; use kCompressed");
+  }
+
+  OfflineGuide guide(prediction.spacetime(), velocity_,
+                     options_.worker_duration, options_.task_duration,
+                     options_.representative_slack);
+  const InstantiatedNodes nodes = InstantiateNodes(prediction, &guide);
+
+  // Network layout: source 0, worker nodes 1..m, task nodes m+1..m+n,
+  // sink m+n+1 (Algorithm 1 lines 1-5).
+  const NodeId source = 0;
+  const NodeId sink = static_cast<NodeId>(m + n + 1);
+  FlowGraph network(static_cast<NodeId>(m + n + 2));
+  network.ReserveEdges(static_cast<size_t>(m + n + node_edges));
+  for (int64_t w = 0; w < m; ++w) {
+    network.AddEdge(source, static_cast<NodeId>(1 + w), 1);
+  }
+  for (int64_t r = 0; r < n; ++r) {
+    network.AddEdge(static_cast<NodeId>(1 + m + r), sink, 1);
+  }
+
+  // Lines 6-9: one edge per feasible (worker node, task node) pair. Nodes of
+  // a type are contiguous in the guide, so we expand per feasible type pair.
+  std::vector<EdgeId> pair_edges;
+  std::vector<std::pair<GuideNodeId, GuideNodeId>> pair_nodes;
+  ForEachFeasibleTypePair(prediction, [&](TypeId wt, TypeId tt) {
+    const GuideNodeId w0 = nodes.first_worker_node[static_cast<size_t>(wt)];
+    const GuideNodeId r0 = nodes.first_task_node[static_cast<size_t>(tt)];
+    const int32_t wc = prediction.workers_at(wt);
+    const int32_t tc = prediction.tasks_at(tt);
+    for (int32_t wi = 0; wi < wc; ++wi) {
+      for (int32_t ti = 0; ti < tc; ++ti) {
+        const EdgeId e = network.AddEdge(
+            static_cast<NodeId>(1 + w0 + wi),
+            static_cast<NodeId>(1 + m + r0 + ti), 1);
+        pair_edges.push_back(e);
+        pair_nodes.emplace_back(w0 + wi, r0 + ti);
+      }
+    }
+  });
+
+  // Line 10: max flow.
+  if (use_dinic) {
+    DinicMaxFlow(&network, source, sink);
+  } else {
+    FordFulkersonMaxFlow(&network, source, sink);
+  }
+
+  for (size_t k = 0; k < pair_edges.size(); ++k) {
+    if (network.Flow(pair_edges[k]) > 0) {
+      FTOA_RETURN_NOT_OK(
+          guide.MatchNodes(pair_nodes[k].first, pair_nodes[k].second));
+    }
+  }
+  return guide;
+}
+
+Result<OfflineGuide> GuideGenerator::GenerateCompressed(
+    const PredictionMatrix& prediction, bool minimize_cost) const {
+  const SpacetimeSpec& st = prediction.spacetime();
+  const int num_types = st.num_types();
+
+  // Dense type id -> compact network node id, assigned on first use.
+  std::vector<int32_t> worker_node_of_type(static_cast<size_t>(num_types),
+                                           -1);
+  std::vector<int32_t> task_node_of_type(static_cast<size_t>(num_types), -1);
+  std::vector<TypeId> worker_types;
+  std::vector<TypeId> task_types;
+  struct TypePairEdge {
+    TypeId worker_type;
+    TypeId task_type;
+  };
+  std::vector<TypePairEdge> pairs;
+  ForEachFeasibleTypePair(prediction, [&](TypeId wt, TypeId tt) {
+    if (worker_node_of_type[static_cast<size_t>(wt)] < 0) {
+      worker_node_of_type[static_cast<size_t>(wt)] =
+          static_cast<int32_t>(worker_types.size());
+      worker_types.push_back(wt);
+    }
+    if (task_node_of_type[static_cast<size_t>(tt)] < 0) {
+      task_node_of_type[static_cast<size_t>(tt)] =
+          static_cast<int32_t>(task_types.size());
+      task_types.push_back(tt);
+    }
+    pairs.push_back(TypePairEdge{wt, tt});
+  });
+
+  const int32_t wcount = static_cast<int32_t>(worker_types.size());
+  const int32_t tcount = static_cast<int32_t>(task_types.size());
+  const int32_t source = 0;
+  const int32_t sink = 1 + wcount + tcount;
+
+  OfflineGuide guide(st, velocity_, options_.worker_duration,
+                     options_.task_duration,
+                     options_.representative_slack);
+  const InstantiatedNodes nodes = InstantiateNodes(prediction, &guide);
+
+  // Cursors handing out the next unmatched node of each type.
+  std::vector<int32_t> worker_cursor(static_cast<size_t>(num_types), 0);
+  std::vector<int32_t> task_cursor(static_cast<size_t>(num_types), 0);
+  auto realize_pairs = [&](TypeId wt, TypeId tt, int64_t flow) -> Status {
+    const GuideNodeId w0 = nodes.first_worker_node[static_cast<size_t>(wt)];
+    const GuideNodeId r0 = nodes.first_task_node[static_cast<size_t>(tt)];
+    for (int64_t k = 0; k < flow; ++k) {
+      const GuideNodeId w = w0 + worker_cursor[static_cast<size_t>(wt)]++;
+      const GuideNodeId r = r0 + task_cursor[static_cast<size_t>(tt)]++;
+      FTOA_RETURN_NOT_OK(guide.MatchNodes(w, r));
+    }
+    return Status::OK();
+  };
+
+  if (minimize_cost) {
+    MinCostFlowGraph network(sink + 1);
+    for (int32_t i = 0; i < wcount; ++i) {
+      network.AddEdge(source, 1 + i,
+                      prediction.workers_at(worker_types[static_cast<size_t>(
+                          i)]),
+                      0);
+    }
+    for (int32_t j = 0; j < tcount; ++j) {
+      network.AddEdge(1 + wcount + j, sink,
+                      prediction.tasks_at(task_types[static_cast<size_t>(j)]),
+                      0);
+    }
+    std::vector<int32_t> pair_edge_ids;
+    pair_edge_ids.reserve(pairs.size());
+    for (const TypePairEdge& pair : pairs) {
+      const int32_t wi =
+          worker_node_of_type[static_cast<size_t>(pair.worker_type)];
+      const int32_t ti = task_node_of_type[static_cast<size_t>(pair.task_type)];
+      const double travel =
+          TravelTime(st.RepresentativeLocation(pair.worker_type),
+                     st.RepresentativeLocation(pair.task_type), velocity_);
+      const int64_t cap =
+          std::min<int64_t>(prediction.workers_at(pair.worker_type),
+                            prediction.tasks_at(pair.task_type));
+      pair_edge_ids.push_back(network.AddEdge(
+          1 + wi, 1 + wcount + ti, cap,
+          static_cast<int64_t>(std::llround(travel * 1e6))));
+    }
+    network.Solve(source, sink);
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      const int64_t flow = network.Flow(pair_edge_ids[k]);
+      if (flow > 0) {
+        FTOA_RETURN_NOT_OK(
+            realize_pairs(pairs[k].worker_type, pairs[k].task_type, flow));
+      }
+    }
+    return guide;
+  }
+
+  FlowGraph network(sink + 1);
+  network.ReserveEdges(static_cast<size_t>(wcount) + tcount + pairs.size());
+  for (int32_t i = 0; i < wcount; ++i) {
+    network.AddEdge(source, 1 + i,
+                    prediction.workers_at(worker_types[static_cast<size_t>(
+                        i)]));
+  }
+  for (int32_t j = 0; j < tcount; ++j) {
+    network.AddEdge(1 + wcount + j, sink,
+                    prediction.tasks_at(task_types[static_cast<size_t>(j)]));
+  }
+  std::vector<EdgeId> pair_edge_ids;
+  pair_edge_ids.reserve(pairs.size());
+  for (const TypePairEdge& pair : pairs) {
+    const int32_t wi =
+        worker_node_of_type[static_cast<size_t>(pair.worker_type)];
+    const int32_t ti = task_node_of_type[static_cast<size_t>(pair.task_type)];
+    const int64_t cap =
+        std::min<int64_t>(prediction.workers_at(pair.worker_type),
+                          prediction.tasks_at(pair.task_type));
+    pair_edge_ids.push_back(network.AddEdge(1 + wi, 1 + wcount + ti, cap));
+  }
+  DinicMaxFlow(&network, source, sink);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const int64_t flow = network.Flow(pair_edge_ids[k]);
+    if (flow > 0) {
+      FTOA_RETURN_NOT_OK(
+          realize_pairs(pairs[k].worker_type, pairs[k].task_type, flow));
+    }
+  }
+  return guide;
+}
+
+Result<OfflineGuide> GuideGenerator::Generate(
+    const PredictionMatrix& prediction) const {
+  switch (options_.engine) {
+    case GuideOptions::Engine::kFordFulkerson:
+      return GenerateNodeLevel(prediction, /*use_dinic=*/false);
+    case GuideOptions::Engine::kDinic:
+      return GenerateNodeLevel(prediction, /*use_dinic=*/true);
+    case GuideOptions::Engine::kCompressed:
+      return GenerateCompressed(prediction, /*minimize_cost=*/false);
+    case GuideOptions::Engine::kCompressedMinCost:
+      return GenerateCompressed(prediction, /*minimize_cost=*/true);
+    case GuideOptions::Engine::kAuto: {
+      const int64_t edges = EstimateNodeLevelEdges(prediction);
+      if (edges <= options_.node_level_edge_limit) {
+        return GenerateNodeLevel(prediction, /*use_dinic=*/true);
+      }
+      return GenerateCompressed(prediction, /*minimize_cost=*/false);
+    }
+  }
+  return Status::Internal("GuideGenerator: unknown engine");
+}
+
+}  // namespace ftoa

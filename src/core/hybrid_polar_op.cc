@@ -1,0 +1,185 @@
+#include "core/hybrid_polar_op.h"
+
+#include <vector>
+
+#include "model/arrival_stream.h"
+#include "spatial/grid_index.h"
+
+namespace ftoa {
+
+namespace {
+
+struct WaitQueue {
+  std::vector<int32_t> items;
+  size_t head = 0;
+
+  bool empty() const { return head >= items.size(); }
+  void Push(int32_t id) { items.push_back(id); }
+  int32_t Pop() { return items[head++]; }
+};
+
+}  // namespace
+
+HybridPolarOp::HybridPolarOp(std::shared_ptr<const OfflineGuide> guide,
+                             PolarOptions options)
+    : guide_(std::move(guide)), options_(options) {}
+
+Assignment HybridPolarOp::DoRun(const Instance& instance, RunTrace* trace) {
+  const OfflineGuide& guide = *guide_;
+  const SpacetimeSpec& st = guide.spacetime();
+  const double velocity = instance.velocity();
+  Assignment assignment(instance.num_workers(), instance.num_tasks());
+
+  std::vector<WaitQueue> waiting_at_worker_node(
+      static_cast<size_t>(guide.num_worker_nodes()));
+  std::vector<WaitQueue> waiting_at_task_node(
+      static_cast<size_t>(guide.num_task_nodes()));
+  std::vector<uint32_t> worker_type_cursor(
+      static_cast<size_t>(st.num_types()), 0);
+  std::vector<uint32_t> task_type_cursor(static_cast<size_t>(st.num_types()),
+                                         0);
+
+  // Greedy fallback state: every unmatched waiting object is indexed at its
+  // *initial* location. Entries are erased when matched (via either path);
+  // expired entries are filtered out by the feasibility predicate.
+  GridIndex waiting_workers(st.grid());
+  GridIndex waiting_tasks(st.grid());
+  const double max_radius = MaxFeasibleDistance(
+      instance.MaxTaskDuration(), instance.MaxWorkerDuration(), velocity);
+
+  for (const ArrivalEvent& event : BuildArrivalStream(instance)) {
+    if (event.kind == ObjectKind::kWorker) {
+      const Worker& w = instance.worker(event.index);
+      bool matched = false;
+
+      // --- Primary path: POLAR-OP's guide-based association. ---
+      const TypeId type = st.TypeOf(w.location, w.start);
+      const auto& nodes = guide.WorkerNodesOfType(type);
+      GuideNodeId node = -1;
+      GuideNodeId partner = -1;
+      if (!nodes.empty()) {
+        uint32_t& cursor = worker_type_cursor[static_cast<size_t>(type)];
+        node = nodes[static_cast<size_t>(cursor++ % nodes.size())];
+        partner = guide.worker_nodes()[static_cast<size_t>(node)].partner;
+      } else if (trace != nullptr) {
+        ++trace->ignored_workers;
+      }
+      if (partner != -1) {
+        WaitQueue& queue =
+            waiting_at_task_node[static_cast<size_t>(partner)];
+        while (!queue.empty()) {
+          const int32_t task_id = queue.Pop();
+          if (assignment.IsTaskMatched(task_id)) continue;  // Fallback took it.
+          const Task& r = instance.task(task_id);
+          if (options_.check_liveness &&
+              !CanServe(w, r, velocity,
+                        FeasibilityPolicy::kDispatchAtWorkerStart)) {
+            continue;
+          }
+          assignment.Add(w.id, r.id, event.time);
+          waiting_tasks.Erase(task_id);
+          matched = true;
+          break;
+        }
+      }
+
+      // --- Fallback: nearest waiting feasible task. ---
+      if (!matched) {
+        const IndexedPoint candidate = waiting_tasks.FindNearest(
+            w.location, max_radius,
+            [&](const IndexedPoint& entry, double) {
+              if (assignment.IsTaskMatched(
+                      static_cast<TaskId>(entry.id))) {
+                return false;
+              }
+              const Task& r = instance.task(static_cast<TaskId>(entry.id));
+              return CanServe(w, r, velocity,
+                              FeasibilityPolicy::kDispatchAtAssignmentTime);
+            });
+        if (candidate.id >= 0) {
+          assignment.Add(w.id, static_cast<TaskId>(candidate.id),
+                         event.time);
+          waiting_tasks.Erase(candidate.id);
+          matched = true;
+        }
+      }
+
+      if (!matched) {
+        if (node != -1 && partner != -1) {
+          waiting_at_worker_node[static_cast<size_t>(node)].Push(w.id);
+          if (trace != nullptr) {
+            const TypeId target_type =
+                guide.task_nodes()[static_cast<size_t>(partner)].type;
+            trace->dispatches.push_back(DispatchRecord{
+                w.id, st.RepresentativeLocation(target_type), event.time});
+          }
+        }
+        waiting_workers.Insert(w.id, w.location);
+      }
+    } else {
+      const Task& r = instance.task(event.index);
+      bool matched = false;
+
+      const TypeId type = st.TypeOf(r.location, r.start);
+      const auto& nodes = guide.TaskNodesOfType(type);
+      GuideNodeId node = -1;
+      GuideNodeId partner = -1;
+      if (!nodes.empty()) {
+        uint32_t& cursor = task_type_cursor[static_cast<size_t>(type)];
+        node = nodes[static_cast<size_t>(cursor++ % nodes.size())];
+        partner = guide.task_nodes()[static_cast<size_t>(node)].partner;
+      } else if (trace != nullptr) {
+        ++trace->ignored_tasks;
+      }
+      if (partner != -1) {
+        WaitQueue& queue =
+            waiting_at_worker_node[static_cast<size_t>(partner)];
+        while (!queue.empty()) {
+          const int32_t worker_id = queue.Pop();
+          if (assignment.IsWorkerMatched(worker_id)) continue;
+          const Worker& w = instance.worker(worker_id);
+          if (options_.check_liveness &&
+              !CanServe(w, r, velocity,
+                        FeasibilityPolicy::kDispatchAtWorkerStart)) {
+            continue;
+          }
+          assignment.Add(w.id, r.id, event.time);
+          waiting_workers.Erase(worker_id);
+          matched = true;
+          break;
+        }
+      }
+
+      if (!matched) {
+        const IndexedPoint candidate = waiting_workers.FindNearest(
+            r.location, max_radius,
+            [&](const IndexedPoint& entry, double) {
+              if (assignment.IsWorkerMatched(
+                      static_cast<WorkerId>(entry.id))) {
+                return false;
+              }
+              const Worker& w =
+                  instance.worker(static_cast<WorkerId>(entry.id));
+              return CanServe(w, r, velocity,
+                              FeasibilityPolicy::kDispatchAtAssignmentTime);
+            });
+        if (candidate.id >= 0) {
+          assignment.Add(static_cast<WorkerId>(candidate.id), r.id,
+                         event.time);
+          waiting_workers.Erase(candidate.id);
+          matched = true;
+        }
+      }
+
+      if (!matched) {
+        if (node != -1 && partner != -1) {
+          waiting_at_task_node[static_cast<size_t>(node)].Push(r.id);
+        }
+        waiting_tasks.Insert(r.id, r.location);
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,42 @@
+// HybridPolarOp: POLAR-OP extended with a greedy fallback (our extension of
+// the paper's Section 5 "optimizations", exercised by the E16 ablation).
+//
+// POLAR-OP only realizes matches along the edges of the offline guide;
+// objects associated with nodes left unmatched by Ĝf — or of types the
+// prediction missed entirely — can never be matched, even when a feasible
+// counterpart is waiting nearby. The hybrid keeps the guide as the primary
+// mechanism (preserving its dispatching and its O(1) fast path) and, only
+// when the guide yields no match, falls back to a SimpleGreedy-style nearest
+// feasible search over the currently waiting counterpart objects. Under
+// accurate predictions it behaves like POLAR-OP; under misprediction it
+// degrades toward SimpleGreedy instead of dropping objects.
+
+#ifndef FTOA_CORE_HYBRID_POLAR_OP_H_
+#define FTOA_CORE_HYBRID_POLAR_OP_H_
+
+#include <memory>
+
+#include "core/guide.h"
+#include "core/online_algorithm.h"
+#include "core/polar.h"
+
+namespace ftoa {
+
+/// POLAR-OP with greedy fallback matching.
+class HybridPolarOp : public OnlineAlgorithm {
+ public:
+  explicit HybridPolarOp(std::shared_ptr<const OfflineGuide> guide,
+                         PolarOptions options = {});
+
+  std::string name() const override { return "POLAR-OP+G"; }
+
+  Assignment DoRun(const Instance& instance, RunTrace* trace) override;
+
+ private:
+  std::shared_ptr<const OfflineGuide> guide_;
+  PolarOptions options_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_CORE_HYBRID_POLAR_OP_H_

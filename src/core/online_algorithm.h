@@ -1,0 +1,56 @@
+// The common interface of all online task-assignment algorithms compared in
+// the paper's evaluation (SimpleGreedy, GR, POLAR, POLAR-OP) plus the
+// offline OPT reference. An algorithm consumes an Instance's arrival stream
+// and produces an Assignment; it may additionally emit a RunTrace with the
+// worker-dispatch decisions for strict post-hoc verification.
+
+#ifndef FTOA_CORE_ONLINE_ALGORITHM_H_
+#define FTOA_CORE_ONLINE_ALGORITHM_H_
+
+#include <string>
+
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "spatial/point.h"
+
+namespace ftoa {
+
+/// A "go to this area" instruction issued to an idle worker (Algorithm 2/3
+/// line "dispatch o to go to the area of r").
+struct DispatchRecord {
+  WorkerId worker = -1;
+  Point target;        ///< Representative location of the target area.
+  double time = 0.0;   ///< When the instruction was issued (= Sw).
+};
+
+/// Optional side-channel of algorithm decisions beyond the assignment.
+struct RunTrace {
+  std::vector<DispatchRecord> dispatches;
+
+  /// Objects dropped because no guide node of their type existed
+  /// (under-prediction; "the object is ignored", Section 5.1).
+  int64_t ignored_workers = 0;
+  int64_t ignored_tasks = 0;
+};
+
+/// Base class of every algorithm under evaluation.
+class OnlineAlgorithm {
+ public:
+  virtual ~OnlineAlgorithm() = default;
+
+  /// Display name used by benches and EXPERIMENTS.md ("POLAR-OP", ...).
+  virtual std::string name() const = 0;
+
+  /// Processes the instance's arrival stream and returns the assignment.
+  /// `trace` may be nullptr. Runs must be deterministic.
+  Assignment Run(const Instance& instance, RunTrace* trace = nullptr) {
+    return DoRun(instance, trace);
+  }
+
+  /// Implementation hook (non-virtual-interface pattern: call Run()).
+  virtual Assignment DoRun(const Instance& instance, RunTrace* trace) = 0;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_CORE_ONLINE_ALGORITHM_H_

@@ -1,0 +1,128 @@
+#include "core/polar_op.h"
+
+#include <vector>
+
+#include "model/arrival_stream.h"
+
+namespace ftoa {
+
+namespace {
+
+/// FIFO of objects waiting at a guide node, with O(1) push/pop via a head
+/// cursor (no element erasure).
+struct WaitQueue {
+  std::vector<int32_t> items;
+  size_t head = 0;
+
+  bool empty() const { return head >= items.size(); }
+  void Push(int32_t id) { items.push_back(id); }
+  int32_t Pop() { return items[head++]; }
+  int32_t Peek() const { return items[head]; }
+};
+
+}  // namespace
+
+PolarOp::PolarOp(std::shared_ptr<const OfflineGuide> guide,
+                 PolarOptions options)
+    : guide_(std::move(guide)), options_(options) {}
+
+Assignment PolarOp::DoRun(const Instance& instance, RunTrace* trace) {
+  const OfflineGuide& guide = *guide_;
+  const SpacetimeSpec& st = guide.spacetime();
+  Assignment assignment(instance.num_workers(), instance.num_tasks());
+
+  // Unmatched objects waiting at each guide node ("associated" objects that
+  // have not yet been paired).
+  std::vector<WaitQueue> waiting_at_worker_node(
+      static_cast<size_t>(guide.num_worker_nodes()));
+  std::vector<WaitQueue> waiting_at_task_node(
+      static_cast<size_t>(guide.num_task_nodes()));
+  // Round-robin cursor per type: nodes are reused, so arrivals cycle over
+  // all nodes of the type (line 3: "a node of o's type").
+  std::vector<uint32_t> worker_type_cursor(
+      static_cast<size_t>(st.num_types()), 0);
+  std::vector<uint32_t> task_type_cursor(static_cast<size_t>(st.num_types()),
+                                         0);
+
+  const double velocity = instance.velocity();
+
+  for (const ArrivalEvent& event : BuildArrivalStream(instance)) {
+    if (event.kind == ObjectKind::kWorker) {
+      const Worker& w = instance.worker(event.index);
+      const TypeId type = st.TypeOf(w.location, w.start);
+      const auto& nodes = guide.WorkerNodesOfType(type);
+      if (nodes.empty()) {
+        // No node of this type exists in the guide: the object is ignored.
+        if (trace != nullptr) ++trace->ignored_workers;
+        continue;
+      }
+      uint32_t& cursor = worker_type_cursor[static_cast<size_t>(type)];
+      const GuideNodeId node =
+          nodes[static_cast<size_t>(cursor++ % nodes.size())];
+      const GuideNodeId partner =
+          guide.worker_nodes()[static_cast<size_t>(node)].partner;
+      if (partner == -1) continue;  // Stays in place; never matched by Ĝf.
+      WaitQueue& queue = waiting_at_task_node[static_cast<size_t>(partner)];
+      bool matched = false;
+      while (!queue.empty()) {
+        const int32_t task_id = queue.Peek();
+        const Task& r = instance.task(task_id);
+        if (options_.check_liveness &&
+            !CanServe(w, r, velocity,
+                      FeasibilityPolicy::kDispatchAtWorkerStart)) {
+          queue.Pop();  // Expired waiting task; discard and keep looking.
+          continue;
+        }
+        queue.Pop();
+        assignment.Add(w.id, r.id, event.time);
+        matched = true;
+        break;
+      }
+      if (!matched) {
+        waiting_at_worker_node[static_cast<size_t>(node)].Push(w.id);
+        if (trace != nullptr) {
+          const TypeId target_type =
+              guide.task_nodes()[static_cast<size_t>(partner)].type;
+          trace->dispatches.push_back(DispatchRecord{
+              w.id, st.RepresentativeLocation(target_type), event.time});
+        }
+      }
+    } else {
+      const Task& r = instance.task(event.index);
+      const TypeId type = st.TypeOf(r.location, r.start);
+      const auto& nodes = guide.TaskNodesOfType(type);
+      if (nodes.empty()) {
+        if (trace != nullptr) ++trace->ignored_tasks;
+        continue;
+      }
+      uint32_t& cursor = task_type_cursor[static_cast<size_t>(type)];
+      const GuideNodeId node =
+          nodes[static_cast<size_t>(cursor++ % nodes.size())];
+      const GuideNodeId partner =
+          guide.task_nodes()[static_cast<size_t>(node)].partner;
+      if (partner == -1) continue;  // Waits until its deadline; never matched.
+      WaitQueue& queue = waiting_at_worker_node[static_cast<size_t>(partner)];
+      bool matched = false;
+      while (!queue.empty()) {
+        const int32_t worker_id = queue.Peek();
+        const Worker& w = instance.worker(worker_id);
+        if (options_.check_liveness &&
+            !CanServe(w, r, velocity,
+                      FeasibilityPolicy::kDispatchAtWorkerStart)) {
+          queue.Pop();  // The waiting worker has left the platform.
+          continue;
+        }
+        queue.Pop();
+        assignment.Add(w.id, r.id, event.time);
+        matched = true;
+        break;
+      }
+      if (!matched) {
+        waiting_at_task_node[static_cast<size_t>(node)].Push(r.id);
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,36 @@
+// POLAR-OP (paper Algorithm 3): POLAR with node reuse. Arriving objects
+// *associate* with a guide node of their type — several objects may share a
+// node — so objects beyond the predicted counts are no longer dropped, which
+// lifts the competitive ratio to ~0.47 (Theorem 2) while keeping O(1)
+// processing per arrival. Node selection within a type is round-robin and
+// waiting objects queue FIFO per node.
+
+#ifndef FTOA_CORE_POLAR_OP_H_
+#define FTOA_CORE_POLAR_OP_H_
+
+#include <memory>
+
+#include "core/guide.h"
+#include "core/online_algorithm.h"
+#include "core/polar.h"
+
+namespace ftoa {
+
+/// The POLAR-OP algorithm. The guide must outlive the algorithm object.
+class PolarOp : public OnlineAlgorithm {
+ public:
+  explicit PolarOp(std::shared_ptr<const OfflineGuide> guide,
+                   PolarOptions options = {});
+
+  std::string name() const override { return "POLAR-OP"; }
+
+  Assignment DoRun(const Instance& instance, RunTrace* trace) override;
+
+ private:
+  std::shared_ptr<const OfflineGuide> guide_;
+  PolarOptions options_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_CORE_POLAR_OP_H_

@@ -1,0 +1,72 @@
+#include "core/prediction_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ftoa {
+
+PredictionMatrix::PredictionMatrix(const SpacetimeSpec& spacetime)
+    : spacetime_(spacetime),
+      workers_(static_cast<size_t>(spacetime.num_types()), 0),
+      tasks_(static_cast<size_t>(spacetime.num_types()), 0) {}
+
+int64_t PredictionMatrix::TotalWorkers() const {
+  int64_t total = 0;
+  for (int32_t c : workers_) total += c;
+  return total;
+}
+
+int64_t PredictionMatrix::TotalTasks() const {
+  int64_t total = 0;
+  for (int32_t c : tasks_) total += c;
+  return total;
+}
+
+PredictionMatrix PredictionMatrix::FromInstance(const Instance& instance) {
+  PredictionMatrix matrix(instance.spacetime());
+  auto [worker_counts, task_counts] = instance.CountsPerType();
+  for (size_t t = 0; t < worker_counts.size(); ++t) {
+    matrix.workers_[t] = worker_counts[t];
+    matrix.tasks_[t] = task_counts[t];
+  }
+  return matrix;
+}
+
+PredictionMatrix PredictionMatrix::FromIntensities(
+    const SpacetimeSpec& spacetime, const std::vector<double>& workers,
+    const std::vector<double>& tasks) {
+  assert(workers.size() == static_cast<size_t>(spacetime.num_types()));
+  assert(tasks.size() == static_cast<size_t>(spacetime.num_types()));
+  PredictionMatrix matrix(spacetime);
+  for (size_t t = 0; t < workers.size(); ++t) {
+    matrix.workers_[t] =
+        static_cast<int32_t>(std::lround(std::max(0.0, workers[t])));
+    matrix.tasks_[t] =
+        static_cast<int32_t>(std::lround(std::max(0.0, tasks[t])));
+  }
+  return matrix;
+}
+
+PredictionMatrix PredictionMatrix::WithNoise(double relative_sigma,
+                                             double phantom_rate,
+                                             Rng* rng) const {
+  PredictionMatrix noisy = *this;
+  auto perturb = [&](std::vector<int32_t>& counts) {
+    for (int32_t& c : counts) {
+      if (c > 0 && relative_sigma > 0.0) {
+        const double factor =
+            std::max(0.0, 1.0 + rng->NextGaussian(0.0, relative_sigma));
+        c = static_cast<int32_t>(std::lround(c * factor));
+      } else if (c == 0 && phantom_rate > 0.0 &&
+                 rng->NextBool(phantom_rate)) {
+        c = 1;  // Spurious prediction in an empty type.
+      }
+    }
+  };
+  perturb(noisy.workers_);
+  perturb(noisy.tasks_);
+  return noisy;
+}
+
+}  // namespace ftoa

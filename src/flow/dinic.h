@@ -1,0 +1,27 @@
+// Dinic's max-flow algorithm (BFS level graph + blocking flow). On unit-
+// capacity bipartite networks it runs in O(E * sqrt(V)), which makes it the
+// default engine for offline guide generation and offline OPT ("any other
+// max-flow algorithm is applicable", paper Section 4 note (1)).
+
+#ifndef FTOA_FLOW_DINIC_H_
+#define FTOA_FLOW_DINIC_H_
+
+#include <vector>
+
+#include "flow/graph.h"
+
+namespace ftoa {
+
+/// Computes the maximum s-t flow; the graph retains the resulting residual
+/// capacities.
+int64_t DinicMaxFlow(FlowGraph* graph, NodeId source, NodeId sink);
+
+/// Computes the minimum s-t cut reachability after a max flow: returns a
+/// boolean vector marking the nodes reachable from `source` in the residual
+/// network. This is the "canonical reachability" cut used in the proof of
+/// Lemma 2 and by tests validating max-flow = min-cut.
+std::vector<bool> ResidualReachable(const FlowGraph& graph, NodeId source);
+
+}  // namespace ftoa
+
+#endif  // FTOA_FLOW_DINIC_H_

@@ -1,0 +1,20 @@
+// Ford-Fulkerson max flow with DFS augmenting paths — the algorithm the
+// paper's Algorithm 1 (offline guide generation) cites explicitly [5].
+// O(maxflow * |E|); appropriate for unit-capacity bipartite networks of
+// moderate size and kept as the faithful reference implementation (Dinic is
+// the fast path, see dinic.h and the E15 ablation bench).
+
+#ifndef FTOA_FLOW_FORD_FULKERSON_H_
+#define FTOA_FLOW_FORD_FULKERSON_H_
+
+#include "flow/graph.h"
+
+namespace ftoa {
+
+/// Computes the maximum s-t flow; the graph retains the resulting residual
+/// capacities (query per-edge flow via FlowGraph::Flow).
+int64_t FordFulkersonMaxFlow(FlowGraph* graph, NodeId source, NodeId sink);
+
+}  // namespace ftoa
+
+#endif  // FTOA_FLOW_FORD_FULKERSON_H_

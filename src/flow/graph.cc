@@ -1,0 +1,33 @@
+#include "flow/graph.h"
+
+#include <cassert>
+
+namespace ftoa {
+
+FlowGraph::FlowGraph(NodeId num_nodes)
+    : head_(static_cast<size_t>(num_nodes), -1) {}
+
+EdgeId FlowGraph::AddEdge(NodeId u, NodeId v, int64_t cap) {
+  assert(u >= 0 && u < num_nodes());
+  assert(v >= 0 && v < num_nodes());
+  assert(cap >= 0);
+  const EdgeId forward = static_cast<EdgeId>(to_.size());
+  to_.push_back(v);
+  cap_.push_back(cap);
+  next_.push_back(head_[static_cast<size_t>(u)]);
+  head_[static_cast<size_t>(u)] = forward;
+
+  to_.push_back(u);
+  cap_.push_back(0);
+  next_.push_back(head_[static_cast<size_t>(v)]);
+  head_[static_cast<size_t>(v)] = forward + 1;
+  return forward;
+}
+
+void FlowGraph::ReserveEdges(size_t num_edges) {
+  to_.reserve(num_edges * 2);
+  cap_.reserve(num_edges * 2);
+  next_.reserve(num_edges * 2);
+}
+
+}  // namespace ftoa

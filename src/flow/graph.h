@@ -1,0 +1,62 @@
+// Residual flow network shared by the max-flow algorithms (Ford-Fulkerson,
+// Dinic) and the min-cost variant. Edges are stored in a flat arena with
+// paired residual edges at (e ^ 1), the classical competitive-programming
+// layout, which keeps augmentation cache-friendly.
+
+#ifndef FTOA_FLOW_GRAPH_H_
+#define FTOA_FLOW_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ftoa {
+
+/// Node index within a FlowGraph.
+using NodeId = int32_t;
+/// Edge index within a FlowGraph; the residual partner is (edge ^ 1).
+using EdgeId = int32_t;
+
+/// A directed flow network with integer capacities.
+class FlowGraph {
+ public:
+  /// Creates a graph with `num_nodes` nodes and no edges.
+  explicit FlowGraph(NodeId num_nodes);
+
+  /// Adds edge u -> v with capacity `cap` (and the residual v -> u with 0).
+  /// Returns the id of the forward edge. Capacities must be non-negative.
+  EdgeId AddEdge(NodeId u, NodeId v, int64_t cap);
+
+  /// Optionally reserve space for `num_edges` forward edges up front.
+  void ReserveEdges(size_t num_edges);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(head_.size()); }
+  size_t num_edges() const { return to_.size() / 2; }
+
+  /// Flow currently carried by forward edge `e` (its residual partner's
+  /// capacity).
+  int64_t Flow(EdgeId e) const { return cap_[static_cast<size_t>(e ^ 1)]; }
+
+  /// Remaining capacity of edge `e`.
+  int64_t Capacity(EdgeId e) const { return cap_[static_cast<size_t>(e)]; }
+
+  /// Head (target node) of edge `e`.
+  NodeId To(EdgeId e) const { return to_[static_cast<size_t>(e)]; }
+
+  // Internal arrays exposed to the algorithms in this module.
+  const std::vector<EdgeId>& head() const { return head_; }
+  const std::vector<EdgeId>& next() const { return next_; }
+  std::vector<int64_t>& cap() { return cap_; }
+  const std::vector<int64_t>& cap() const { return cap_; }
+  const std::vector<NodeId>& to() const { return to_; }
+
+ private:
+  std::vector<EdgeId> head_;   // First edge per node, -1 when none.
+  std::vector<EdgeId> next_;   // Next edge in the node's list.
+  std::vector<NodeId> to_;     // Edge targets.
+  std::vector<int64_t> cap_;   // Residual capacities.
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_FLOW_GRAPH_H_

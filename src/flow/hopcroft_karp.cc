@@ -1,0 +1,132 @@
+#include "flow/hopcroft_karp.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ftoa {
+
+namespace {
+constexpr int32_t kInf = std::numeric_limits<int32_t>::max();
+}  // namespace
+
+HopcroftKarp::HopcroftKarp(int32_t num_left, int32_t num_right)
+    : num_left_(num_left),
+      num_right_(num_right),
+      match_left_(static_cast<size_t>(num_left), -1),
+      match_right_(static_cast<size_t>(num_right), -1),
+      dist_(static_cast<size_t>(num_left), 0),
+      iter_(static_cast<size_t>(num_left), 0) {}
+
+void HopcroftKarp::AddEdge(int32_t u, int32_t v) {
+  edge_from_.push_back(u);
+  edge_to_.push_back(v);
+  adjacency_built_ = false;
+}
+
+void HopcroftKarp::ReserveEdges(size_t num_edges) {
+  edge_from_.reserve(num_edges);
+  edge_to_.reserve(num_edges);
+}
+
+bool HopcroftKarp::Bfs() {
+  queue_.clear();
+  for (int32_t u = 0; u < num_left_; ++u) {
+    if (match_left_[static_cast<size_t>(u)] < 0) {
+      dist_[static_cast<size_t>(u)] = 0;
+      queue_.push_back(u);
+    } else {
+      dist_[static_cast<size_t>(u)] = kInf;
+    }
+  }
+  bool found_augmenting_layer = false;
+  for (size_t qi = 0; qi < queue_.size(); ++qi) {
+    const int32_t u = queue_[qi];
+    const int32_t begin = adj_start_[static_cast<size_t>(u)];
+    const int32_t end = adj_start_[static_cast<size_t>(u) + 1];
+    for (int32_t k = begin; k < end; ++k) {
+      const int32_t v = adj_[static_cast<size_t>(k)];
+      const int32_t w = match_right_[static_cast<size_t>(v)];
+      if (w < 0) {
+        found_augmenting_layer = true;
+      } else if (dist_[static_cast<size_t>(w)] == kInf) {
+        dist_[static_cast<size_t>(w)] = dist_[static_cast<size_t>(u)] + 1;
+        queue_.push_back(w);
+      }
+    }
+  }
+  return found_augmenting_layer;
+}
+
+bool HopcroftKarp::Dfs(int32_t root) {
+  // Iterative DFS with per-node edge cursors (iter_).
+  std::vector<int32_t> stack;
+  stack.push_back(root);
+  while (!stack.empty()) {
+    const int32_t u = stack.back();
+    int32_t& k = iter_[static_cast<size_t>(u)];
+    const int32_t end = adj_start_[static_cast<size_t>(u) + 1];
+    bool advanced = false;
+    while (k < end) {
+      const int32_t v = adj_[static_cast<size_t>(k)];
+      ++k;
+      const int32_t w = match_right_[static_cast<size_t>(v)];
+      if (w < 0) {
+        // Augment along the stack: re-pair every node on the path.
+        int32_t right = v;
+        for (size_t i = stack.size(); i-- > 0;) {
+          const int32_t left = stack[i];
+          const int32_t prev_right = match_left_[static_cast<size_t>(left)];
+          match_left_[static_cast<size_t>(left)] = right;
+          match_right_[static_cast<size_t>(right)] = left;
+          right = prev_right;
+        }
+        return true;
+      }
+      if (dist_[static_cast<size_t>(w)] == dist_[static_cast<size_t>(u)] + 1) {
+        stack.push_back(w);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      dist_[static_cast<size_t>(u)] = kInf;  // Prune from this phase.
+      stack.pop_back();
+    }
+  }
+  return false;
+}
+
+int64_t HopcroftKarp::Solve() {
+  if (!adjacency_built_) {
+    adj_start_.assign(static_cast<size_t>(num_left_) + 1, 0);
+    for (int32_t u : edge_from_) {
+      ++adj_start_[static_cast<size_t>(u) + 1];
+    }
+    for (size_t i = 1; i < adj_start_.size(); ++i) {
+      adj_start_[i] += adj_start_[i - 1];
+    }
+    adj_.assign(edge_to_.size(), 0);
+    std::vector<int32_t> cursor(adj_start_.begin(), adj_start_.end() - 1);
+    for (size_t e = 0; e < edge_from_.size(); ++e) {
+      adj_[static_cast<size_t>(
+          cursor[static_cast<size_t>(edge_from_[e])]++)] = edge_to_[e];
+    }
+    adjacency_built_ = true;
+  }
+
+  int64_t matching = 0;
+  for (int32_t u = 0; u < num_left_; ++u) {
+    if (match_left_[static_cast<size_t>(u)] >= 0) ++matching;
+  }
+  while (Bfs()) {
+    std::copy(adj_start_.begin(), adj_start_.end() - 1, iter_.begin());
+    for (int32_t u = 0; u < num_left_; ++u) {
+      if (match_left_[static_cast<size_t>(u)] < 0 && Dfs(u)) {
+        ++matching;
+      }
+    }
+  }
+  return matching;
+}
+
+}  // namespace ftoa

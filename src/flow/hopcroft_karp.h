@@ -1,0 +1,62 @@
+// Hopcroft-Karp maximum-cardinality bipartite matching, O(E * sqrt(V)).
+// Used by offline OPT (the paper's OPT curve) and by the GR baseline's
+// per-window batch matching.
+
+#ifndef FTOA_FLOW_HOPCROFT_KARP_H_
+#define FTOA_FLOW_HOPCROFT_KARP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ftoa {
+
+/// Maximum matching over an explicit bipartite adjacency structure.
+class HopcroftKarp {
+ public:
+  /// Creates an empty graph with `num_left` left and `num_right` right nodes.
+  HopcroftKarp(int32_t num_left, int32_t num_right);
+
+  /// Adds an edge between left node `u` and right node `v` (0-based).
+  void AddEdge(int32_t u, int32_t v);
+
+  /// Reserve space for `num_edges` edges.
+  void ReserveEdges(size_t num_edges);
+
+  /// Computes a maximum matching; returns its cardinality. Idempotent.
+  int64_t Solve();
+
+  /// Right partner of left node `u` after Solve(), or -1.
+  int32_t MatchOfLeft(int32_t u) const {
+    return match_left_[static_cast<size_t>(u)];
+  }
+  /// Left partner of right node `v` after Solve(), or -1.
+  int32_t MatchOfRight(int32_t v) const {
+    return match_right_[static_cast<size_t>(v)];
+  }
+
+  size_t num_edges() const { return edge_to_.size(); }
+
+ private:
+  bool Bfs();
+  bool Dfs(int32_t u);
+
+  int32_t num_left_;
+  int32_t num_right_;
+  // CSR-ish adjacency built lazily at Solve() time from the edge list.
+  std::vector<int32_t> edge_from_;
+  std::vector<int32_t> edge_to_;
+  std::vector<int32_t> adj_start_;
+  std::vector<int32_t> adj_;
+  bool adjacency_built_ = false;
+
+  std::vector<int32_t> match_left_;
+  std::vector<int32_t> match_right_;
+  std::vector<int32_t> dist_;
+  std::vector<int32_t> queue_;
+  std::vector<int32_t> iter_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_FLOW_HOPCROFT_KARP_H_

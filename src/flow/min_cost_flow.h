@@ -1,0 +1,50 @@
+// Minimum-cost maximum-flow via successive shortest augmenting paths (SPFA
+// for the potentials-free variant; costs here are travel times, always
+// non-negative). Implements the paper's Section 4 note (2): adding travel
+// costs to guide edges yields a maximum-cardinality matching with minimum
+// total travel cost.
+
+#ifndef FTOA_FLOW_MIN_COST_FLOW_H_
+#define FTOA_FLOW_MIN_COST_FLOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ftoa {
+
+/// A directed network with capacities and per-unit costs.
+class MinCostFlowGraph {
+ public:
+  explicit MinCostFlowGraph(int32_t num_nodes);
+
+  /// Adds edge u -> v with capacity `cap` and per-unit cost `cost` >= 0.
+  /// Returns the forward edge id (residual partner at id ^ 1).
+  int32_t AddEdge(int32_t u, int32_t v, int64_t cap, int64_t cost);
+
+  /// Result of a min-cost max-flow computation.
+  struct Outcome {
+    int64_t flow = 0;
+    int64_t cost = 0;
+  };
+
+  /// Sends as much flow as possible from s to t, minimizing total cost among
+  /// maximum flows. The graph retains residual state.
+  Outcome Solve(int32_t s, int32_t t);
+
+  /// Flow carried by forward edge `e`.
+  int64_t Flow(int32_t e) const { return cap_[static_cast<size_t>(e ^ 1)]; }
+
+  int32_t num_nodes() const { return static_cast<int32_t>(head_.size()); }
+
+ private:
+  std::vector<int32_t> head_;
+  std::vector<int32_t> next_;
+  std::vector<int32_t> to_;
+  std::vector<int64_t> cap_;
+  std::vector<int64_t> cost_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_FLOW_MIN_COST_FLOW_H_

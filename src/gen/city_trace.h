@@ -1,0 +1,74 @@
+// CityTraceGenerator: the stand-in for the paper's proprietary Didi
+// taxi-calling traces (Table 3). It synthesizes a multi-week city: a
+// mixture of spatial hotspots whose weights shift between morning and
+// evening (residential -> CBD commute and back), a double-peaked
+// time-of-day demand curve, weekday/weekend modulation, and a weather
+// process (temperature + rain episodes) that boosts demand and suppresses
+// supply. Workers track tasks with a smoother spatial spread and an
+// earlier ramp-up. Counts are Poisson; the *same* per-day draw backs both
+// the prediction history and the realized instance, so the offline
+// prediction problem is exactly the one a platform faces.
+
+#ifndef FTOA_GEN_CITY_TRACE_H_
+#define FTOA_GEN_CITY_TRACE_H_
+
+#include <vector>
+
+#include "gen/config.h"
+#include "model/instance.h"
+#include "prediction/dataset.h"
+#include "spatial/spacetime.h"
+#include "util/result.h"
+
+namespace ftoa {
+
+/// Deterministic multi-day city simulator.
+class CityTraceGenerator {
+ public:
+  explicit CityTraceGenerator(CityProfile profile);
+
+  const CityProfile& profile() const { return profile_; }
+
+  /// The (slot x cell) type space of one day of this city.
+  SpacetimeSpec DaySpacetime() const;
+
+  /// Expected counts (Poisson intensities) per (slot, cell) for one day,
+  /// row-major [slot * num_cells + cell].
+  std::vector<double> Intensity(DemandSide side, int day) const;
+
+  /// Realized counts for one day (deterministic in (seed, day, side)).
+  std::vector<int> SampleDayCounts(DemandSide side, int day) const;
+
+  /// Full history over profile().history_days for predictor training and
+  /// evaluation; includes weather and day-of-week covariates.
+  DemandDataset GenerateHistory() const;
+
+  /// The realized FTOA instance of one day, consistent with the counts the
+  /// history reports for that day.
+  Result<Instance> GenerateInstanceForDay(int day) const;
+
+  /// Weather at (day, slot) (precomputed at construction).
+  const WeatherSample& WeatherAt(int day, int slot) const;
+
+ private:
+  struct Hotspot {
+    double cx;        ///< Center, fraction of grid width.
+    double cy;        ///< Center, fraction of grid height.
+    double sigma;     ///< Spread, fraction of min(grid) dimension.
+    double base;      ///< Base weight.
+    double morning;   ///< Additional weight at the morning peak.
+    double evening;   ///< Additional weight at the evening peak.
+  };
+
+  double TimeCurve(DemandSide side, int dow, int slot) const;
+  double SpatialDensity(DemandSide side, int slot, int cell) const;
+
+  CityProfile profile_;
+  int num_cells_;
+  std::vector<Hotspot> hotspots_;
+  std::vector<WeatherSample> weather_;  // [day * slots_per_day + slot]
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_GEN_CITY_TRACE_H_

@@ -1,0 +1,109 @@
+#include "gen/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace ftoa {
+
+namespace {
+
+/// Samples (location, start) pairs for one market side.
+template <typename ObjectT>
+std::vector<ObjectT> SampleSide(int count, const SideDistribution& side,
+                                const SyntheticConfig& config,
+                                double duration, Rng* rng) {
+  const double width = static_cast<double>(config.grid_x);
+  const double height = static_cast<double>(config.grid_y);
+  const double horizon = static_cast<double>(config.num_slots);
+
+  const TruncatedNormal temporal(side.temporal_mu * horizon,
+                                 side.temporal_sigma * horizon, 0.0,
+                                 horizon);
+  // Table 4's spatial covariance is "value times diag(x, y)": the variance
+  // along each axis is cov * dimension.
+  const TruncatedNormal2d spatial(
+      side.spatial_mean * width, side.spatial_mean * height,
+      std::sqrt(side.spatial_cov * width), std::sqrt(side.spatial_cov * height),
+      width, height);
+
+  std::vector<ObjectT> objects(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ObjectT& object = objects[static_cast<size_t>(i)];
+    spatial.Sample(*rng, &object.location.x, &object.location.y);
+    object.start = temporal.Sample(*rng);
+    object.duration = duration;
+  }
+  return objects;
+}
+
+}  // namespace
+
+Result<Instance> GenerateSyntheticInstance(const SyntheticConfig& config) {
+  FTOA_RETURN_NOT_OK(config.Validate());
+  Rng rng(config.seed);
+  Rng worker_rng = rng.Fork(1);
+  Rng task_rng = rng.Fork(2);
+
+  std::vector<Worker> workers = SampleSide<Worker>(
+      config.num_workers, config.workers, config, config.worker_duration,
+      &worker_rng);
+  std::vector<Task> tasks = SampleSide<Task>(
+      config.num_tasks, config.tasks, config, config.task_duration,
+      &task_rng);
+
+  const GridSpec grid(static_cast<double>(config.grid_x),
+                      static_cast<double>(config.grid_y), config.grid_x,
+                      config.grid_y);
+  const SlotSpec slots(static_cast<double>(config.num_slots),
+                       config.num_slots);
+  return Instance(SpacetimeSpec(slots, grid), config.velocity,
+                  std::move(workers), std::move(tasks));
+}
+
+Result<PredictionMatrix> GenerateSyntheticPrediction(
+    const SyntheticConfig& config) {
+  SyntheticConfig replicate = config;
+  // An independent draw from the same distributions: what a prediction
+  // model fitted on (infinite) history would sample for "tomorrow".
+  replicate.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  FTOA_ASSIGN_OR_RETURN(Instance shadow,
+                        GenerateSyntheticInstance(replicate));
+  return PredictionMatrix::FromInstance(shadow);
+}
+
+Result<PredictionMatrix> GenerateSyntheticExpectedPrediction(
+    const SyntheticConfig& config, int oversample) {
+  if (oversample <= 0) {
+    return Status::InvalidArgument(
+        "GenerateSyntheticExpectedPrediction: oversample must be positive");
+  }
+  std::vector<double> workers;
+  std::vector<double> tasks;
+  SpacetimeSpec spacetime;
+  for (int k = 0; k < oversample; ++k) {
+    SyntheticConfig replicate = config;
+    replicate.seed =
+        config.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(k + 1));
+    FTOA_ASSIGN_OR_RETURN(Instance shadow,
+                          GenerateSyntheticInstance(replicate));
+    const auto [worker_counts, task_counts] = shadow.CountsPerType();
+    if (workers.empty()) {
+      spacetime = shadow.spacetime();
+      workers.assign(worker_counts.size(), 0.0);
+      tasks.assign(task_counts.size(), 0.0);
+    }
+    for (size_t t = 0; t < worker_counts.size(); ++t) {
+      workers[t] += worker_counts[t];
+      tasks[t] += task_counts[t];
+    }
+  }
+  const double inv = 1.0 / oversample;
+  for (double& v : workers) v *= inv;
+  for (double& v : tasks) v *= inv;
+  return PredictionMatrix::FromIntensities(spacetime, workers, tasks);
+}
+
+}  // namespace ftoa

@@ -1,0 +1,39 @@
+// Synthetic workload generation following the paper's Section 6.1: start
+// times from truncated normal temporal distributions and locations from
+// truncated axis-aligned bivariate normals, per market side, with the
+// Table 4 parameterization.
+
+#ifndef FTOA_GEN_SYNTHETIC_H_
+#define FTOA_GEN_SYNTHETIC_H_
+
+#include "core/prediction_matrix.h"
+#include "gen/config.h"
+#include "model/instance.h"
+#include "util/result.h"
+
+namespace ftoa {
+
+/// Generates a full FTOA instance from `config` (deterministic in
+/// config.seed).
+Result<Instance> GenerateSyntheticInstance(const SyntheticConfig& config);
+
+/// Generates the prediction a historical model would supply for `config`:
+/// the realized per-type counts of an *independent* replicate drawn from the
+/// same distributions with a derived seed. This models a well-calibrated
+/// but imperfect offline prediction — sampling noise remains, systematic
+/// bias does not.
+Result<PredictionMatrix> GenerateSyntheticPrediction(
+    const SyntheticConfig& config);
+
+/// Generates the *expected* per-type counts of `config`'s distributions,
+/// estimated by a low-variance oversampled draw (`oversample` independent
+/// replicates averaged, deterministic in config.seed). This is the i.i.d.
+/// input model's assumption that the spatiotemporal distribution itself is
+/// known as prior (Definition 5), and the default prediction of the
+/// synthetic benchmarks.
+Result<PredictionMatrix> GenerateSyntheticExpectedPrediction(
+    const SyntheticConfig& config, int oversample = 8);
+
+}  // namespace ftoa
+
+#endif  // FTOA_GEN_SYNTHETIC_H_

@@ -1,0 +1,25 @@
+#include "model/arrival_stream.h"
+
+#include <algorithm>
+
+namespace ftoa {
+
+std::vector<ArrivalEvent> BuildArrivalStream(const Instance& instance) {
+  std::vector<ArrivalEvent> events;
+  events.reserve(instance.num_workers() + instance.num_tasks());
+  for (const Worker& w : instance.workers()) {
+    events.push_back(ArrivalEvent{w.start, ObjectKind::kWorker, w.id});
+  }
+  for (const Task& r : instance.tasks()) {
+    events.push_back(ArrivalEvent{r.start, ObjectKind::kTask, r.id});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const ArrivalEvent& a, const ArrivalEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.index < b.index;
+            });
+  return events;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,68 @@
+// Assignment M: the set of matched worker-task pairs produced by an online
+// or offline algorithm, with the invariable constraint (pairs are never
+// revoked) enforced structurally: a worker or task can be added once.
+
+#ifndef FTOA_MODEL_ASSIGNMENT_H_
+#define FTOA_MODEL_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "model/feasibility.h"
+#include "model/instance.h"
+#include "util/status.h"
+
+namespace ftoa {
+
+/// One matched pair with its decision time (the moment the platform
+/// committed the pair; used by strict verification and by tests).
+struct MatchedPair {
+  WorkerId worker = -1;
+  TaskId task = -1;
+  double time = 0.0;
+};
+
+/// A growing set of matched pairs with O(1) duplicate detection.
+class Assignment {
+ public:
+  /// Sizes fix the id spaces of workers/tasks.
+  Assignment(size_t num_workers, size_t num_tasks);
+
+  /// Adds (worker, task) decided at `time`. Fails with FailedPrecondition if
+  /// either side is already matched (invariable constraint).
+  Status Add(WorkerId worker, TaskId task, double time);
+
+  /// MaxSum(M): the number of matched pairs — the paper's objective.
+  size_t size() const { return pairs_.size(); }
+
+  const std::vector<MatchedPair>& pairs() const { return pairs_; }
+
+  bool IsWorkerMatched(WorkerId worker) const {
+    return worker_match_[static_cast<size_t>(worker)] >= 0;
+  }
+  bool IsTaskMatched(TaskId task) const {
+    return task_match_[static_cast<size_t>(task)] >= 0;
+  }
+
+  /// Task matched to `worker`, or -1.
+  TaskId MatchOfWorker(WorkerId worker) const {
+    return worker_match_[static_cast<size_t>(worker)];
+  }
+  /// Worker matched to `task`, or -1.
+  WorkerId MatchOfTask(TaskId task) const {
+    return task_match_[static_cast<size_t>(task)];
+  }
+
+  /// Verifies every pair against `instance` under `policy`: ids in range,
+  /// no duplicates (already structural), and the deadline constraint holds.
+  /// Returns the first violation found.
+  Status Validate(const Instance& instance, FeasibilityPolicy policy) const;
+
+ private:
+  std::vector<MatchedPair> pairs_;
+  std::vector<TaskId> worker_match_;   // -1 when unmatched.
+  std::vector<WorkerId> task_match_;   // -1 when unmatched.
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_MODEL_ASSIGNMENT_H_

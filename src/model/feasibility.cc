@@ -1,0 +1,34 @@
+#include "model/feasibility.h"
+
+#include <algorithm>
+
+namespace ftoa {
+
+bool CanServeAttrs(Point worker_loc, double worker_start,
+                   double worker_duration, Point task_loc, double task_start,
+                   double task_duration, double velocity,
+                   FeasibilityPolicy policy) {
+  // Deadline condition (1): the task appears before the worker leaves.
+  if (!(task_start < worker_start + worker_duration)) return false;
+
+  const double travel = TravelTime(worker_loc, task_loc, velocity);
+  switch (policy) {
+    case FeasibilityPolicy::kDispatchAtWorkerStart:
+      // Deadline condition (2), exactly as written in Definition 4:
+      // Dr - (Sw - Sr) - d(Lw, Lr) >= 0.
+      return task_duration - (worker_start - task_start) - travel >= 0.0;
+    case FeasibilityPolicy::kDispatchAtAssignmentTime: {
+      const double depart = std::max(worker_start, task_start);
+      return depart + travel <= task_start + task_duration;
+    }
+  }
+  return false;
+}
+
+bool CanServe(const Worker& w, const Task& r, double velocity,
+              FeasibilityPolicy policy) {
+  return CanServeAttrs(w.location, w.start, w.duration, r.location, r.start,
+                       r.duration, velocity, policy);
+}
+
+}  // namespace ftoa

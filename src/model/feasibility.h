@@ -1,0 +1,59 @@
+// The deadline constraint of Definition 4 under the two movement semantics
+// discussed in DESIGN.md Section 2:
+//
+//  * kDispatchAtWorkerStart — the paper's written predicate. The worker is
+//    credited with moving toward the task from its own start time Sw (it may
+//    have been dispatched in advance by the offline guide):
+//        Sr < Sw + Dw   and   Dr - (Sw - Sr) - d(Lw, Lr) >= 0.
+//    Used by guide-based algorithms (POLAR family) and offline OPT.
+//
+//  * kDispatchAtAssignmentTime — wait-in-place semantics of the prior online
+//    models: the worker only starts traveling when the match is decided, at
+//    time max(Sw, Sr), so the arrival condition tightens to
+//        max(Sw, Sr) + d(Lw, Lr) <= Sr + Dr,   and   Sr < Sw + Dw.
+//    Used by SimpleGreedy and GR.
+
+#ifndef FTOA_MODEL_FEASIBILITY_H_
+#define FTOA_MODEL_FEASIBILITY_H_
+
+#include "model/task.h"
+#include "model/worker.h"
+#include "spatial/point.h"
+
+namespace ftoa {
+
+/// Which movement semantics the deadline predicate assumes.
+enum class FeasibilityPolicy {
+  kDispatchAtWorkerStart,
+  kDispatchAtAssignmentTime,
+};
+
+/// Travel time between two locations at the given speed (Definition 3).
+/// Requires velocity > 0.
+inline double TravelTime(Point from, Point to, double velocity) {
+  return Distance(from, to) / velocity;
+}
+
+/// True iff worker `w` can serve task `r` under `policy`.
+bool CanServe(const Worker& w, const Task& r, double velocity,
+              FeasibilityPolicy policy);
+
+/// The paper's predicate evaluated on raw attributes; shared by the
+/// object-level and the guide's type-representative-level edge tests.
+bool CanServeAttrs(Point worker_loc, double worker_start,
+                   double worker_duration, Point task_loc, double task_start,
+                   double task_duration, double velocity,
+                   FeasibilityPolicy policy);
+
+/// Upper bound on the distance between any feasible (w, r) pair given the
+/// maximum task/worker durations; used for spatial pruning when enumerating
+/// candidate edges. Conservative for both policies.
+inline double MaxFeasibleDistance(double max_task_duration,
+                                  double max_worker_duration,
+                                  double velocity) {
+  return (max_task_duration + max_worker_duration) * velocity;
+}
+
+}  // namespace ftoa
+
+#endif  // FTOA_MODEL_FEASIBILITY_H_

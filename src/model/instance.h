@@ -1,0 +1,64 @@
+// Instance: a complete FTOA input — the realized worker and task streams
+// plus the spatiotemporal discretization (slots x areas), the shared worker
+// velocity, and convenience accessors used by algorithms and benches.
+
+#ifndef FTOA_MODEL_INSTANCE_H_
+#define FTOA_MODEL_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "model/task.h"
+#include "model/worker.h"
+#include "spatial/spacetime.h"
+#include "util/status.h"
+
+namespace ftoa {
+
+/// A fully-specified FTOA problem instance.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Takes ownership of the object vectors. Worker/task ids are reassigned
+  /// to their vector indices.
+  Instance(SpacetimeSpec spacetime, double velocity,
+           std::vector<Worker> workers, std::vector<Task> tasks);
+
+  const SpacetimeSpec& spacetime() const { return spacetime_; }
+  double velocity() const { return velocity_; }
+  const std::vector<Worker>& workers() const { return workers_; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  const Worker& worker(WorkerId id) const {
+    return workers_[static_cast<size_t>(id)];
+  }
+  const Task& task(TaskId id) const { return tasks_[static_cast<size_t>(id)]; }
+
+  size_t num_workers() const { return workers_.size(); }
+  size_t num_tasks() const { return tasks_.size(); }
+
+  /// Largest task service window Dr in the instance (0 when empty).
+  double MaxTaskDuration() const;
+  /// Largest worker waiting time Dw in the instance (0 when empty).
+  double MaxWorkerDuration() const;
+
+  /// Checks structural invariants: ids match indices, non-negative times
+  /// and durations, locations inside the region, starts within the horizon.
+  Status Validate() const;
+
+  /// Realized per-type counts of workers (first) and tasks (second) — the
+  /// "ground truth" prediction matrices a_ij / b_ij. Each vector has
+  /// spacetime().num_types() entries.
+  std::pair<std::vector<int>, std::vector<int>> CountsPerType() const;
+
+ private:
+  SpacetimeSpec spacetime_;
+  double velocity_ = 1.0;
+  std::vector<Worker> workers_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_MODEL_INSTANCE_H_

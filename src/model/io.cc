@@ -1,0 +1,101 @@
+#include "model/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace ftoa {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+Status SaveInstanceCsv(const Instance& instance, const std::string& path) {
+  CsvWriter writer(path);
+  if (!writer.Ok()) {
+    return Status::IoError("SaveInstanceCsv: cannot open " + path);
+  }
+  FTOA_RETURN_NOT_OK(writer.WriteRow({"ftoa-instance", "1"}));
+  const GridSpec& grid = instance.spacetime().grid();
+  const SlotSpec& slots = instance.spacetime().slots();
+  FTOA_RETURN_NOT_OK(writer.WriteRow(
+      {"spec", FormatDouble(grid.width()), FormatDouble(grid.height()),
+       std::to_string(grid.cells_x()), std::to_string(grid.cells_y()),
+       FormatDouble(slots.horizon()), std::to_string(slots.num_slots()),
+       FormatDouble(instance.velocity())}));
+  for (const Worker& w : instance.workers()) {
+    FTOA_RETURN_NOT_OK(writer.WriteRow(
+        {"worker", FormatDouble(w.location.x), FormatDouble(w.location.y),
+         FormatDouble(w.start), FormatDouble(w.duration)}));
+  }
+  for (const Task& r : instance.tasks()) {
+    FTOA_RETURN_NOT_OK(writer.WriteRow(
+        {"task", FormatDouble(r.location.x), FormatDouble(r.location.y),
+         FormatDouble(r.start), FormatDouble(r.duration)}));
+  }
+  return writer.Close();
+}
+
+Result<Instance> LoadInstanceCsv(const std::string& path) {
+  FTOA_ASSIGN_OR_RETURN(auto rows, CsvReadFile(path));
+  if (rows.size() < 2 || rows[0].size() < 2 ||
+      rows[0][0] != "ftoa-instance") {
+    return Status::InvalidArgument(
+        "LoadInstanceCsv: not an ftoa-instance file");
+  }
+  if (rows[0][1] != "1") {
+    return Status::InvalidArgument("LoadInstanceCsv: unsupported version " +
+                                   rows[0][1]);
+  }
+  if (rows[1].size() != 8 || rows[1][0] != "spec") {
+    return Status::InvalidArgument("LoadInstanceCsv: missing spec row");
+  }
+  FTOA_ASSIGN_OR_RETURN(const double width, ParseDouble(rows[1][1]));
+  FTOA_ASSIGN_OR_RETURN(const double height, ParseDouble(rows[1][2]));
+  FTOA_ASSIGN_OR_RETURN(const int64_t cells_x, ParseInt(rows[1][3]));
+  FTOA_ASSIGN_OR_RETURN(const int64_t cells_y, ParseInt(rows[1][4]));
+  FTOA_ASSIGN_OR_RETURN(const double horizon, ParseDouble(rows[1][5]));
+  FTOA_ASSIGN_OR_RETURN(const int64_t num_slots, ParseInt(rows[1][6]));
+  FTOA_ASSIGN_OR_RETURN(const double velocity, ParseDouble(rows[1][7]));
+  if (width <= 0.0 || height <= 0.0 || cells_x <= 0 || cells_y <= 0 ||
+      horizon <= 0.0 || num_slots <= 0) {
+    return Status::InvalidArgument("LoadInstanceCsv: invalid spec values");
+  }
+
+  std::vector<Worker> workers;
+  std::vector<Task> tasks;
+  for (size_t i = 2; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 5 || (row[0] != "worker" && row[0] != "task")) {
+      return Status::InvalidArgument(
+          "LoadInstanceCsv: malformed record at line " + std::to_string(i));
+    }
+    FTOA_ASSIGN_OR_RETURN(const double x, ParseDouble(row[1]));
+    FTOA_ASSIGN_OR_RETURN(const double y, ParseDouble(row[2]));
+    FTOA_ASSIGN_OR_RETURN(const double start, ParseDouble(row[3]));
+    FTOA_ASSIGN_OR_RETURN(const double duration, ParseDouble(row[4]));
+    if (row[0] == "worker") {
+      workers.push_back(Worker{-1, {x, y}, start, duration});
+    } else {
+      tasks.push_back(Task{-1, {x, y}, start, duration});
+    }
+  }
+  const GridSpec grid(width, height, static_cast<int>(cells_x),
+                      static_cast<int>(cells_y));
+  const SlotSpec slots(horizon, static_cast<int>(num_slots));
+  Instance instance(SpacetimeSpec(slots, grid), velocity,
+                    std::move(workers), std::move(tasks));
+  FTOA_RETURN_NOT_OK(instance.Validate());
+  return instance;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,32 @@
+// Instance (de)serialization: a simple CSV-based interchange format so
+// workloads can be generated once, archived, shared, and replayed —
+// including feeding real platform exports into the algorithms.
+//
+// Format (one record per line):
+//   ftoa-instance,1
+//   spec,<width>,<height>,<cells_x>,<cells_y>,<horizon>,<slots>,<velocity>
+//   worker,<x>,<y>,<start>,<duration>
+//   task,<x>,<y>,<start>,<duration>
+//   ...
+
+#ifndef FTOA_MODEL_IO_H_
+#define FTOA_MODEL_IO_H_
+
+#include <string>
+
+#include "model/instance.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ftoa {
+
+/// Writes `instance` to `path`; overwrites existing files.
+Status SaveInstanceCsv(const Instance& instance, const std::string& path);
+
+/// Reads an instance previously written by SaveInstanceCsv. Validates the
+/// result before returning it.
+Result<Instance> LoadInstanceCsv(const std::string& path);
+
+}  // namespace ftoa
+
+#endif  // FTOA_MODEL_IO_H_

@@ -1,0 +1,29 @@
+// Task (Definition 2): r = <Lr, Sr, Dr> is released at location Lr at time
+// Sr and must be *served* (an assigned worker arrives at Lr) by Sr + Dr.
+
+#ifndef FTOA_MODEL_TASK_H_
+#define FTOA_MODEL_TASK_H_
+
+#include <cstdint>
+
+#include "spatial/point.h"
+
+namespace ftoa {
+
+/// Dense task identifier (index into Instance::tasks()).
+using TaskId = int32_t;
+
+/// An online task.
+struct Task {
+  TaskId id = -1;
+  Point location;        ///< Fixed location Lr.
+  double start = 0.0;    ///< Release time Sr.
+  double duration = 0.0; ///< Service window Dr.
+
+  /// Latest time by which an assigned worker must arrive at the task.
+  double Deadline() const { return start + duration; }
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_MODEL_TASK_H_

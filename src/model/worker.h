@@ -1,0 +1,29 @@
+// Worker (Definition 1): w = <Lw, Sw, Dw> appears at location Lw at time Sw
+// and leaves the platform at Sw + Dw unless assigned a task.
+
+#ifndef FTOA_MODEL_WORKER_H_
+#define FTOA_MODEL_WORKER_H_
+
+#include <cstdint>
+
+#include "spatial/point.h"
+
+namespace ftoa {
+
+/// Dense worker identifier (index into Instance::workers()).
+using WorkerId = int32_t;
+
+/// An online worker.
+struct Worker {
+  WorkerId id = -1;
+  Point location;        ///< Initial location Lw.
+  double start = 0.0;    ///< Appearance time Sw.
+  double duration = 0.0; ///< Waiting time Dw.
+
+  /// Time at which the worker leaves the platform if still unassigned.
+  double Deadline() const { return start + duration; }
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_MODEL_WORKER_H_

@@ -1,0 +1,139 @@
+#include "prediction/arima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/linalg.h"
+
+namespace ftoa {
+
+namespace {
+
+/// Longer autoregression order used to estimate innovations (stage 1 of
+/// Hannan-Rissanen).
+constexpr int kLongArOrder = 5;
+/// Innovations are reconstructed over this many trailing steps at predict
+/// time.
+constexpr int kInnovationWindow = 64;
+
+}  // namespace
+
+double ArimaPredictor::SeriesAt(const DemandDataset& data, int cell,
+                                int t) const {
+  const int day = t / slots_per_day_;
+  const int slot = t % slots_per_day_;
+  return data.count(side_, day, slot, cell);
+}
+
+Status ArimaPredictor::Fit(const DemandDataset& data, int train_days,
+                           DemandSide side) {
+  side_ = side;
+  slots_per_day_ = data.slots_per_day();
+  const int steps = train_days * slots_per_day_;
+  if (steps < kLongArOrder + 8) {
+    return Status::InvalidArgument("ARIMA: training series too short");
+  }
+  models_.assign(static_cast<size_t>(data.num_cells()), CellModel{});
+
+  std::vector<double> diff(static_cast<size_t>(steps - 1));
+  std::vector<double> innovations(diff.size(), 0.0);
+
+  for (int cell = 0; cell < data.num_cells(); ++cell) {
+    // First difference of the chronological series.
+    for (int t = 1; t < steps; ++t) {
+      diff[static_cast<size_t>(t - 1)] =
+          SeriesAt(data, cell, t) - SeriesAt(data, cell, t - 1);
+    }
+
+    // Stage 1: long AR(kLongArOrder) by least squares -> innovations.
+    const int n1 = static_cast<int>(diff.size()) - kLongArOrder;
+    if (n1 < 8) continue;
+    Matrix design1(static_cast<size_t>(n1), kLongArOrder + 1);
+    std::vector<double> target1(static_cast<size_t>(n1));
+    for (int i = 0; i < n1; ++i) {
+      design1(static_cast<size_t>(i), 0) = 1.0;
+      for (int k = 1; k <= kLongArOrder; ++k) {
+        design1(static_cast<size_t>(i), static_cast<size_t>(k)) =
+            diff[static_cast<size_t>(i + kLongArOrder - k)];
+      }
+      target1[static_cast<size_t>(i)] =
+          diff[static_cast<size_t>(i + kLongArOrder)];
+    }
+    auto stage1 = SolveLeastSquares(design1, target1, 1e-6);
+    if (!stage1.ok()) continue;  // Degenerate cell: fall back.
+    const std::vector<double>& ar_long = stage1.value();
+
+    std::fill(innovations.begin(), innovations.end(), 0.0);
+    for (int i = 0; i < n1; ++i) {
+      double fitted = ar_long[0];
+      for (int k = 1; k <= kLongArOrder; ++k) {
+        fitted += ar_long[static_cast<size_t>(k)] *
+                  diff[static_cast<size_t>(i + kLongArOrder - k)];
+      }
+      innovations[static_cast<size_t>(i + kLongArOrder)] =
+          diff[static_cast<size_t>(i + kLongArOrder)] - fitted;
+    }
+
+    // Stage 2: z_t = c + phi * z_{t-1} + theta * e_{t-1}.
+    const int start = kLongArOrder + 1;
+    const int n2 = static_cast<int>(diff.size()) - start;
+    if (n2 < 8) continue;
+    Matrix design2(static_cast<size_t>(n2), 3);
+    std::vector<double> target2(static_cast<size_t>(n2));
+    for (int i = 0; i < n2; ++i) {
+      const int t = start + i;
+      design2(static_cast<size_t>(i), 0) = 1.0;
+      design2(static_cast<size_t>(i), 1) = diff[static_cast<size_t>(t - 1)];
+      design2(static_cast<size_t>(i), 2) =
+          innovations[static_cast<size_t>(t - 1)];
+      target2[static_cast<size_t>(i)] = diff[static_cast<size_t>(t)];
+    }
+    auto stage2 = SolveLeastSquares(design2, target2, 1e-6);
+    if (!stage2.ok()) continue;
+    CellModel& model = models_[static_cast<size_t>(cell)];
+    model.valid = true;
+    model.intercept = stage2.value()[0];
+    // Clamp for forecast stability.
+    model.ar = std::clamp(stage2.value()[1], -0.98, 0.98);
+    model.ma = std::clamp(stage2.value()[2], -0.98, 0.98);
+  }
+  return Status::OK();
+}
+
+std::vector<double> ArimaPredictor::Predict(const DemandDataset& data,
+                                            int day, int slot) const {
+  std::vector<double> out(static_cast<size_t>(data.num_cells()), 0.0);
+  const int target_step = day * slots_per_day_ + slot;
+  const int last = target_step - 1;  // Last observed chronological step.
+  for (int cell = 0; cell < data.num_cells(); ++cell) {
+    const double last_value = last >= 0 ? SeriesAt(data, cell, last) : 0.0;
+    const CellModel& model = models_[static_cast<size_t>(cell)];
+    if (!model.valid || last < 1) {
+      out[static_cast<size_t>(cell)] = std::max(0.0, last_value);
+      continue;
+    }
+    // Reconstruct innovations over a trailing window ending at `last`.
+    const int window_start = std::max(1, last - kInnovationWindow);
+    double prev_innovation = 0.0;
+    for (int t = window_start; t <= last; ++t) {
+      const double z =
+          SeriesAt(data, cell, t) - SeriesAt(data, cell, t - 1);
+      const double z_prev =
+          t - 1 >= 1
+              ? SeriesAt(data, cell, t - 1) - SeriesAt(data, cell, t - 2)
+              : 0.0;
+      const double fitted =
+          model.intercept + model.ar * z_prev + model.ma * prev_innovation;
+      prev_innovation = z - fitted;
+    }
+    const double z_last =
+        last >= 1 ? SeriesAt(data, cell, last) - SeriesAt(data, cell, last - 1)
+                  : 0.0;
+    const double z_hat =
+        model.intercept + model.ar * z_last + model.ma * prev_innovation;
+    out[static_cast<size_t>(cell)] = std::max(0.0, last_value + z_hat);
+  }
+  return out;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,47 @@
+// ARIMA — the "well-known time-series model" baseline (paper Section 6.3,
+// citing Moreira-Matias et al.). Each cell gets its own ARIMA(1,1,1) fitted
+// on the chronological (day x slot) count series by the Hannan-Rissanen
+// two-stage procedure: a long autoregression estimates the innovations,
+// then the AR and MA coefficients are obtained by least squares against the
+// lagged innovations. Prediction is one-step-ahead with innovations
+// reconstructed over a trailing window of actual history.
+
+#ifndef FTOA_PREDICTION_ARIMA_H_
+#define FTOA_PREDICTION_ARIMA_H_
+
+#include <vector>
+
+#include "prediction/predictor.h"
+
+namespace ftoa {
+
+/// Per-cell ARIMA(1,1,1) predictor.
+class ArimaPredictor : public Predictor {
+ public:
+  std::string name() const override { return "ARIMA"; }
+
+  Status Fit(const DemandDataset& data, int train_days,
+             DemandSide side) override;
+
+  std::vector<double> Predict(const DemandDataset& data, int day,
+                              int slot) const override;
+
+ private:
+  struct CellModel {
+    bool valid = false;  // Falls back to last observation when false.
+    double intercept = 0.0;
+    double ar = 0.0;  // phi.
+    double ma = 0.0;  // theta.
+  };
+
+  /// Count at chronological step `t` (= day * slots_per_day + slot).
+  double SeriesAt(const DemandDataset& data, int cell, int t) const;
+
+  DemandSide side_ = DemandSide::kTasks;
+  int slots_per_day_ = 0;
+  std::vector<CellModel> models_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_ARIMA_H_

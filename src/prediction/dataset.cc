@@ -1,0 +1,50 @@
+#include "prediction/dataset.h"
+
+namespace ftoa {
+
+DemandDataset::DemandDataset(int num_days, int slots_per_day, int num_cells)
+    : num_days_(num_days),
+      slots_per_day_(slots_per_day),
+      num_cells_(num_cells),
+      workers_(static_cast<size_t>(num_days) * slots_per_day * num_cells,
+               0.0),
+      tasks_(workers_.size(), 0.0),
+      weather_(static_cast<size_t>(num_days) * slots_per_day),
+      day_of_week_(static_cast<size_t>(num_days), 0) {
+  for (int day = 0; day < num_days; ++day) {
+    day_of_week_[static_cast<size_t>(day)] = day % 7;
+  }
+}
+
+double DemandDataset::CellMean(DemandSide side, int cell,
+                               int limit_days) const {
+  if (limit_days <= 0) return 0.0;
+  double sum = 0.0;
+  for (int day = 0; day < limit_days; ++day) {
+    for (int slot = 0; slot < slots_per_day_; ++slot) {
+      sum += count(side, day, slot, cell);
+    }
+  }
+  return sum / (static_cast<double>(limit_days) * slots_per_day_);
+}
+
+Status DemandDataset::Validate() const {
+  if (num_days_ < 0 || slots_per_day_ <= 0 || num_cells_ <= 0) {
+    return Status::InvalidArgument("DemandDataset: non-positive dimensions");
+  }
+  const size_t expected = static_cast<size_t>(num_days_) *
+                          static_cast<size_t>(slots_per_day_) *
+                          static_cast<size_t>(num_cells_);
+  if (workers_.size() != expected || tasks_.size() != expected) {
+    return Status::Internal("DemandDataset: storage size mismatch");
+  }
+  for (double v : workers_) {
+    if (v < 0.0) return Status::InvalidArgument("DemandDataset: negative count");
+  }
+  for (double v : tasks_) {
+    if (v < 0.0) return Status::InvalidArgument("DemandDataset: negative count");
+  }
+  return Status::OK();
+}
+
+}  // namespace ftoa

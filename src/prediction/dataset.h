@@ -1,0 +1,97 @@
+// DemandDataset: multi-day history of per-(slot, cell) worker and task
+// counts plus exogenous covariates (weather, day-of-week) — the training
+// input of the offline-prediction step (paper Section 6.3).
+
+#ifndef FTOA_PREDICTION_DATASET_H_
+#define FTOA_PREDICTION_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ftoa {
+
+/// Exogenous weather covariates for one (day, slot).
+struct WeatherSample {
+  double temperature = 20.0;   ///< Degrees Celsius.
+  double precipitation = 0.0;  ///< mm/h; 0 when dry.
+};
+
+/// Which side of the market a predictor models.
+enum class DemandSide { kWorkers, kTasks };
+
+/// Dense [day][slot][cell] count history for both market sides.
+class DemandDataset {
+ public:
+  DemandDataset() = default;
+
+  /// All-zero dataset of the given dimensions.
+  DemandDataset(int num_days, int slots_per_day, int num_cells);
+
+  int num_days() const { return num_days_; }
+  int slots_per_day() const { return slots_per_day_; }
+  int num_cells() const { return num_cells_; }
+
+  double workers(int day, int slot, int cell) const {
+    return workers_[Index(day, slot, cell)];
+  }
+  double tasks(int day, int slot, int cell) const {
+    return tasks_[Index(day, slot, cell)];
+  }
+  double count(DemandSide side, int day, int slot, int cell) const {
+    return side == DemandSide::kWorkers ? workers(day, slot, cell)
+                                        : tasks(day, slot, cell);
+  }
+  void set_workers(int day, int slot, int cell, double value) {
+    workers_[Index(day, slot, cell)] = value;
+  }
+  void set_tasks(int day, int slot, int cell, double value) {
+    tasks_[Index(day, slot, cell)] = value;
+  }
+
+  const WeatherSample& weather(int day, int slot) const {
+    return weather_[static_cast<size_t>(day) *
+                        static_cast<size_t>(slots_per_day_) +
+                    static_cast<size_t>(slot)];
+  }
+  void set_weather(int day, int slot, WeatherSample sample) {
+    weather_[static_cast<size_t>(day) * static_cast<size_t>(slots_per_day_) +
+             static_cast<size_t>(slot)] = sample;
+  }
+
+  /// 0 = Monday ... 6 = Sunday.
+  int day_of_week(int day) const {
+    return day_of_week_[static_cast<size_t>(day)];
+  }
+  void set_day_of_week(int day, int dow) {
+    day_of_week_[static_cast<size_t>(day)] = dow;
+  }
+
+  /// Mean count of `side` over all (day, slot) for one cell, days
+  /// [0, limit_days). Used as a normalization feature by several models.
+  double CellMean(DemandSide side, int cell, int limit_days) const;
+
+  /// Checks dimension coherence.
+  Status Validate() const;
+
+ private:
+  size_t Index(int day, int slot, int cell) const {
+    return (static_cast<size_t>(day) * static_cast<size_t>(slots_per_day_) +
+            static_cast<size_t>(slot)) *
+               static_cast<size_t>(num_cells_) +
+           static_cast<size_t>(cell);
+  }
+
+  int num_days_ = 0;
+  int slots_per_day_ = 0;
+  int num_cells_ = 0;
+  std::vector<double> workers_;
+  std::vector<double> tasks_;
+  std::vector<WeatherSample> weather_;
+  std::vector<int> day_of_week_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_DATASET_H_

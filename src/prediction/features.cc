@@ -1,0 +1,59 @@
+#include "prediction/features.h"
+
+#include <cmath>
+
+namespace ftoa {
+
+void DemandFeatures::Prepare(const DemandDataset& data, int train_days,
+                             DemandSide side) {
+  side_ = side;
+  cell_mean_.assign(static_cast<size_t>(data.num_cells()), 0.0);
+  for (int cell = 0; cell < data.num_cells(); ++cell) {
+    cell_mean_[static_cast<size_t>(cell)] =
+        data.CellMean(side, cell, train_days);
+  }
+}
+
+void DemandFeatures::Extract(const DemandDataset& data, int day, int slot,
+                             int cell, double* out) const {
+  int k = 0;
+  // Same-slot counts on the preceding kDayLags days.
+  for (int lag = 1; lag <= kDayLags; ++lag) {
+    const int past = day - lag;
+    out[k++] = past >= 0 ? data.count(side_, past, slot, cell) : 0.0;
+  }
+  // Most recent same-day slots (chronologically before the target).
+  const int prev1_day = slot >= 1 ? day : day - 1;
+  const int prev1_slot =
+      slot >= 1 ? slot - 1 : data.slots_per_day() - 1;
+  out[k++] = prev1_day >= 0 ? data.count(side_, prev1_day, prev1_slot, cell)
+                            : 0.0;
+  const int prev2_day = slot >= 2 ? day : day - 1;
+  const int prev2_slot = slot >= 2
+                             ? slot - 2
+                             : data.slots_per_day() - (2 - slot);
+  out[k++] = prev2_day >= 0 ? data.count(side_, prev2_day, prev2_slot, cell)
+                            : 0.0;
+  // Opposite market side, same slot yesterday (supply/demand coupling).
+  const DemandSide other = side_ == DemandSide::kWorkers
+                               ? DemandSide::kTasks
+                               : DemandSide::kWorkers;
+  out[k++] = day >= 1 ? data.count(other, day - 1, slot, cell) : 0.0;
+  // Cell base demand.
+  out[k++] = cell_mean_[static_cast<size_t>(cell)];
+  // Cyclic slot-of-day encoding.
+  const double phase =
+      2.0 * M_PI * slot / static_cast<double>(data.slots_per_day());
+  out[k++] = std::sin(phase);
+  out[k++] = std::cos(phase);
+  // Calendar.
+  const int dow = data.day_of_week(day);
+  out[k++] = static_cast<double>(dow);
+  out[k++] = dow >= 5 ? 1.0 : 0.0;  // Weekend flag.
+  // Weather (a deployed platform has a forecast for the target slot).
+  const WeatherSample& weather = data.weather(day, slot);
+  out[k++] = weather.temperature;
+  out[k++] = weather.precipitation;
+}
+
+}  // namespace ftoa

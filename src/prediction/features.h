@@ -1,0 +1,42 @@
+// Shared feature extraction for the learned predictors (GBRT, NN, HP-MSI):
+// day-lagged counts of both market sides, recent same-day slots, cell-level
+// base demand, cyclic slot encoding, day-of-week, and weather covariates.
+
+#ifndef FTOA_PREDICTION_FEATURES_H_
+#define FTOA_PREDICTION_FEATURES_H_
+
+#include <vector>
+
+#include "prediction/dataset.h"
+
+namespace ftoa {
+
+/// Extracts a fixed-width feature vector per (day, slot, cell) target.
+class DemandFeatures {
+ public:
+  /// Number of day-lags of the target series included as features.
+  static constexpr int kDayLags = 7;
+
+  DemandFeatures() = default;
+
+  /// Precomputes per-cell base demand over days [0, train_days).
+  void Prepare(const DemandDataset& data, int train_days, DemandSide side);
+
+  /// Width of the feature vector.
+  int dim() const { return kDayLags + 9; }
+
+  /// Writes dim() features for the target into `out`.
+  void Extract(const DemandDataset& data, int day, int slot, int cell,
+               double* out) const;
+
+  /// First day with a full lag window (training should start here).
+  int MinTrainableDay() const { return kDayLags; }
+
+ private:
+  DemandSide side_ = DemandSide::kTasks;
+  std::vector<double> cell_mean_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_FEATURES_H_

@@ -1,0 +1,235 @@
+#include "prediction/gbrt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ftoa {
+
+namespace {
+
+/// Quantile bin edges (ascending, deduplicated) for one feature column.
+std::vector<double> ComputeBinEdges(const std::vector<double>& rows, int dim,
+                                    int feature, size_t num_rows, int bins) {
+  std::vector<double> values(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    values[i] = rows[i * static_cast<size_t>(dim) +
+                     static_cast<size_t>(feature)];
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<double> edges;
+  edges.reserve(static_cast<size_t>(bins));
+  for (int b = 1; b < bins; ++b) {
+    const size_t idx = values.size() * static_cast<size_t>(b) /
+                       static_cast<size_t>(bins);
+    const double edge = values[std::min(idx, values.size() - 1)];
+    if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+  }
+  return edges;
+}
+
+}  // namespace
+
+Status GbrtModel::Train(const std::vector<double>& rows, int dim,
+                        const std::vector<double>& targets) {
+  if (dim <= 0) return Status::InvalidArgument("GBRT: non-positive dim");
+  const size_t num_rows = targets.size();
+  if (rows.size() != num_rows * static_cast<size_t>(dim)) {
+    return Status::InvalidArgument("GBRT: rows/targets size mismatch");
+  }
+  if (num_rows < static_cast<size_t>(params_.min_samples_leaf) * 2) {
+    return Status::InvalidArgument("GBRT: too few training rows");
+  }
+  dim_ = dim;
+  nodes_.clear();
+  tree_roots_.clear();
+
+  bin_edges_.assign(static_cast<size_t>(dim), {});
+  for (int f = 0; f < dim; ++f) {
+    bin_edges_[static_cast<size_t>(f)] =
+        ComputeBinEdges(rows, dim, f, num_rows, params_.histogram_bins);
+  }
+
+  base_prediction_ = 0.0;
+  for (double t : targets) base_prediction_ += t;
+  base_prediction_ /= static_cast<double>(num_rows);
+
+  std::vector<double> predictions(num_rows, base_prediction_);
+  std::vector<double> residuals(num_rows, 0.0);
+  Rng rng(params_.seed);
+
+  for (int tree = 0; tree < params_.num_trees; ++tree) {
+    for (size_t i = 0; i < num_rows; ++i) {
+      residuals[i] = targets[i] - predictions[i];
+    }
+    // Deterministic row subsample.
+    std::vector<int32_t> indices;
+    indices.reserve(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) {
+      if (params_.row_subsample >= 1.0 ||
+          rng.NextBool(params_.row_subsample)) {
+        indices.push_back(static_cast<int32_t>(i));
+      }
+    }
+    if (indices.size() < static_cast<size_t>(params_.min_samples_leaf) * 2) {
+      continue;
+    }
+    const int32_t root = BuildTree(rows, residuals, indices, 0,
+                                   static_cast<int>(indices.size()), 0);
+    tree_roots_.push_back(root);
+    // Update every row's prediction with the shrunken tree output.
+    for (size_t i = 0; i < num_rows; ++i) {
+      int32_t node = root;
+      const double* f = &rows[i * static_cast<size_t>(dim)];
+      while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+        const Node& n = nodes_[static_cast<size_t>(node)];
+        node = f[n.feature] <= n.threshold ? n.left : n.right;
+      }
+      predictions[i] +=
+          params_.shrinkage * nodes_[static_cast<size_t>(node)].value;
+    }
+  }
+  return Status::OK();
+}
+
+int32_t GbrtModel::BuildTree(const std::vector<double>& rows,
+                             const std::vector<double>& residuals,
+                             std::vector<int32_t>& indices, int begin,
+                             int end, int depth) {
+  const int count = end - begin;
+  double sum = 0.0;
+  for (int i = begin; i < end; ++i) {
+    sum += residuals[static_cast<size_t>(indices[static_cast<size_t>(i)])];
+  }
+  const double mean = sum / count;
+
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<size_t>(node_id)].value = mean;
+
+  if (depth >= params_.max_depth ||
+      count < params_.min_samples_leaf * 2) {
+    return node_id;
+  }
+
+  // Histogram split search: for each feature, accumulate per-bin sums and
+  // counts, then scan split points left to right.
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  const double total_sq = sum * sum / count;
+
+  std::vector<double> bin_sum;
+  std::vector<int> bin_count;
+  for (int f = 0; f < dim_; ++f) {
+    const auto& edges = bin_edges_[static_cast<size_t>(f)];
+    if (edges.empty()) continue;
+    bin_sum.assign(edges.size() + 1, 0.0);
+    bin_count.assign(edges.size() + 1, 0);
+    for (int i = begin; i < end; ++i) {
+      const int32_t row = indices[static_cast<size_t>(i)];
+      const double v = rows[static_cast<size_t>(row) *
+                                static_cast<size_t>(dim_) +
+                            static_cast<size_t>(f)];
+      const size_t bin = static_cast<size_t>(
+          std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
+      bin_sum[bin] += residuals[static_cast<size_t>(row)];
+      ++bin_count[bin];
+    }
+    double left_sum = 0.0;
+    int left_count = 0;
+    for (size_t b = 0; b < edges.size(); ++b) {
+      left_sum += bin_sum[b];
+      left_count += bin_count[b];
+      const int right_count = count - left_count;
+      if (left_count < params_.min_samples_leaf ||
+          right_count < params_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      const double gain = left_sum * left_sum / left_count +
+                          right_sum * right_sum / right_count - total_sq;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = edges[b];
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition indices in place around the chosen split.
+  const auto middle = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](int32_t row) {
+        return rows[static_cast<size_t>(row) * static_cast<size_t>(dim_) +
+                    static_cast<size_t>(best_feature)] <= best_threshold;
+      });
+  const int split = static_cast<int>(middle - indices.begin());
+  if (split == begin || split == end) return node_id;  // Numerical guard.
+
+  nodes_[static_cast<size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_id)].threshold = best_threshold;
+  const int32_t left = BuildTree(rows, residuals, indices, begin, split,
+                                 depth + 1);
+  const int32_t right =
+      BuildTree(rows, residuals, indices, split, end, depth + 1);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double GbrtModel::Predict(const double* features) const {
+  double prediction = base_prediction_;
+  for (int32_t root : tree_roots_) {
+    int32_t node = root;
+    while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+      const Node& n = nodes_[static_cast<size_t>(node)];
+      node = features[n.feature] <= n.threshold ? n.left : n.right;
+    }
+    prediction += params_.shrinkage * nodes_[static_cast<size_t>(node)].value;
+  }
+  return prediction;
+}
+
+Status GbrtPredictor::Fit(const DemandDataset& data, int train_days,
+                          DemandSide side) {
+  features_.Prepare(data, train_days, side);
+  const int first_day = features_.MinTrainableDay();
+  if (train_days <= first_day) {
+    return Status::InvalidArgument("GBRT: too few training days");
+  }
+  const int dim = features_.dim();
+  const int64_t full_rows = static_cast<int64_t>(train_days - first_day) *
+                            data.slots_per_day() * data.num_cells();
+  const int cell_stride = std::max<int64_t>(
+      1, full_rows / std::max(1, GbrtParams{}.max_rows));
+
+  std::vector<double> rows;
+  std::vector<double> targets;
+  std::vector<double> scratch(static_cast<size_t>(dim));
+  for (int day = first_day; day < train_days; ++day) {
+    for (int slot = 0; slot < data.slots_per_day(); ++slot) {
+      for (int cell = 0; cell < data.num_cells();
+           cell += static_cast<int>(cell_stride)) {
+        features_.Extract(data, day, slot, cell, scratch.data());
+        rows.insert(rows.end(), scratch.begin(), scratch.end());
+        targets.push_back(data.count(side, day, slot, cell));
+      }
+    }
+  }
+  return model_.Train(rows, dim, targets);
+}
+
+std::vector<double> GbrtPredictor::Predict(const DemandDataset& data,
+                                           int day, int slot) const {
+  std::vector<double> out(static_cast<size_t>(data.num_cells()), 0.0);
+  std::vector<double> scratch(static_cast<size_t>(features_.dim()));
+  for (int cell = 0; cell < data.num_cells(); ++cell) {
+    features_.Extract(data, day, slot, cell, scratch.data());
+    out[static_cast<size_t>(cell)] =
+        std::max(0.0, model_.Predict(scratch.data()));
+  }
+  return out;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,91 @@
+// GBRT — Gradient Boosted Regression Trees (Friedman), "one of the most
+// effective statistical learning models for prediction" per the paper
+// (Section 6.3). Implemented from scratch: squared-loss boosting over
+// depth-limited CART regression trees with histogram (quantile-binned)
+// split search and deterministic row subsampling.
+
+#ifndef FTOA_PREDICTION_GBRT_H_
+#define FTOA_PREDICTION_GBRT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "prediction/features.h"
+#include "prediction/predictor.h"
+#include "util/rng.h"
+
+namespace ftoa {
+
+/// Boosting hyperparameters.
+struct GbrtParams {
+  int num_trees = 40;
+  int max_depth = 3;
+  int min_samples_leaf = 20;
+  double shrinkage = 0.1;
+  double row_subsample = 0.8;
+  int histogram_bins = 32;
+  uint64_t seed = 0x5eed;
+  /// Cap on assembled training rows (cells are strided when exceeded).
+  int max_rows = 200000;
+};
+
+/// A fitted regression-tree ensemble over generic feature vectors. Exposed
+/// separately from the Predictor wrapper so HP-MSI can reuse it on
+/// cluster-level series.
+class GbrtModel {
+ public:
+  explicit GbrtModel(GbrtParams params = {}) : params_(params) {}
+
+  /// Fits on `rows` (row-major, `dim` features each) against `targets`.
+  Status Train(const std::vector<double>& rows, int dim,
+               const std::vector<double>& targets);
+
+  /// Ensemble prediction for one feature vector of length dim.
+  double Predict(const double* features) const;
+
+  bool trained() const { return dim_ > 0; }
+  int num_trees() const { return static_cast<int>(tree_roots_.size()); }
+
+ private:
+  struct Node {
+    int32_t feature = -1;    // -1 for leaves.
+    double threshold = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+    double value = 0.0;
+  };
+
+  int32_t BuildTree(const std::vector<double>& rows,
+                    const std::vector<double>& residuals,
+                    std::vector<int32_t>& indices, int begin, int end,
+                    int depth);
+
+  GbrtParams params_;
+  int dim_ = 0;
+  double base_prediction_ = 0.0;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> tree_roots_;
+  std::vector<std::vector<double>> bin_edges_;  // Per feature.
+};
+
+/// The GBRT entry of Table 5: GbrtModel over DemandFeatures.
+class GbrtPredictor : public Predictor {
+ public:
+  explicit GbrtPredictor(GbrtParams params = {}) : model_(params) {}
+
+  std::string name() const override { return "GBRT"; }
+
+  Status Fit(const DemandDataset& data, int train_days,
+             DemandSide side) override;
+
+  std::vector<double> Predict(const DemandDataset& data, int day,
+                              int slot) const override;
+
+ private:
+  DemandFeatures features_;
+  GbrtModel model_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_GBRT_H_

@@ -1,0 +1,59 @@
+#include "prediction/historical_average.h"
+
+namespace ftoa {
+
+Status HistoricalAverage::Fit(const DemandDataset& data, int train_days,
+                              DemandSide side) {
+  if (train_days <= 0 || train_days > data.num_days()) {
+    return Status::InvalidArgument("HA: invalid train_days");
+  }
+  slots_per_day_ = data.slots_per_day();
+  num_cells_ = data.num_cells();
+  const size_t per_day = static_cast<size_t>(slots_per_day_) * num_cells_;
+
+  dow_mean_.assign(7 * per_day, 0.0);
+  dow_seen_.assign(7, false);
+  slot_mean_.assign(per_day, 0.0);
+  std::vector<int> dow_days(7, 0);
+
+  for (int day = 0; day < train_days; ++day) {
+    const int dow = data.day_of_week(day);
+    dow_seen_[static_cast<size_t>(dow)] = true;
+    ++dow_days[static_cast<size_t>(dow)];
+    for (int slot = 0; slot < slots_per_day_; ++slot) {
+      for (int cell = 0; cell < num_cells_; ++cell) {
+        const double v = data.count(side, day, slot, cell);
+        dow_mean_[static_cast<size_t>(dow) * per_day +
+                  static_cast<size_t>(slot) * num_cells_ + cell] += v;
+        slot_mean_[static_cast<size_t>(slot) * num_cells_ + cell] += v;
+      }
+    }
+  }
+  for (int dow = 0; dow < 7; ++dow) {
+    if (dow_days[static_cast<size_t>(dow)] == 0) continue;
+    const double inv = 1.0 / dow_days[static_cast<size_t>(dow)];
+    for (size_t k = 0; k < per_day; ++k) {
+      dow_mean_[static_cast<size_t>(dow) * per_day + k] *= inv;
+    }
+  }
+  const double inv_days = 1.0 / train_days;
+  for (double& v : slot_mean_) v *= inv_days;
+  return Status::OK();
+}
+
+std::vector<double> HistoricalAverage::Predict(const DemandDataset& data,
+                                               int day, int slot) const {
+  std::vector<double> out(static_cast<size_t>(num_cells_), 0.0);
+  const int dow = data.day_of_week(day);
+  const size_t per_day = static_cast<size_t>(slots_per_day_) * num_cells_;
+  const bool have_dow = dow_seen_[static_cast<size_t>(dow)];
+  for (int cell = 0; cell < num_cells_; ++cell) {
+    const size_t offset = static_cast<size_t>(slot) * num_cells_ + cell;
+    out[static_cast<size_t>(cell)] =
+        have_dow ? dow_mean_[static_cast<size_t>(dow) * per_day + offset]
+                 : slot_mean_[offset];
+  }
+  return out;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,36 @@
+// HA — Historical Average: "the average of the history in the same time
+// slot and the same grid area in the same day of week" (paper Section 6.3).
+
+#ifndef FTOA_PREDICTION_HISTORICAL_AVERAGE_H_
+#define FTOA_PREDICTION_HISTORICAL_AVERAGE_H_
+
+#include <vector>
+
+#include "prediction/predictor.h"
+
+namespace ftoa {
+
+/// The HA baseline predictor.
+class HistoricalAverage : public Predictor {
+ public:
+  std::string name() const override { return "HA"; }
+
+  Status Fit(const DemandDataset& data, int train_days,
+             DemandSide side) override;
+
+  std::vector<double> Predict(const DemandDataset& data, int day,
+                              int slot) const override;
+
+ private:
+  int slots_per_day_ = 0;
+  int num_cells_ = 0;
+  // Mean per (day-of-week, slot, cell); falls back to the all-days slot
+  // mean when a day-of-week was never observed in training.
+  std::vector<double> dow_mean_;      // [dow][slot][cell]
+  std::vector<bool> dow_seen_;        // [dow]
+  std::vector<double> slot_mean_;     // [slot][cell]
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_HISTORICAL_AVERAGE_H_

@@ -1,0 +1,226 @@
+#include "prediction/hp_msi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace ftoa {
+
+namespace {
+
+/// k-means++ over row-major profile vectors; returns per-row cluster ids.
+std::vector<int> KMeans(const std::vector<double>& profiles, int rows,
+                        int dim, int k, int iterations, uint64_t seed) {
+  Rng rng(seed);
+  auto row = [&](int r) { return &profiles[static_cast<size_t>(r) * dim]; };
+  auto sq_dist = [&](const double* a, const double* b) {
+    double s = 0.0;
+    for (int f = 0; f < dim; ++f) {
+      const double d = a[f] - b[f];
+      s += d * d;
+    }
+    return s;
+  };
+
+  // k-means++ seeding.
+  std::vector<double> centers(static_cast<size_t>(k) * dim, 0.0);
+  std::vector<double> min_dist(static_cast<size_t>(rows),
+                               std::numeric_limits<double>::infinity());
+  int first = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(rows)));
+  std::copy(row(first), row(first) + dim, centers.begin());
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int r = 0; r < rows; ++r) {
+      const double d =
+          sq_dist(row(r), &centers[static_cast<size_t>(c - 1) * dim]);
+      min_dist[static_cast<size_t>(r)] =
+          std::min(min_dist[static_cast<size_t>(r)], d);
+      total += min_dist[static_cast<size_t>(r)];
+    }
+    double pick = rng.NextDouble() * total;
+    int chosen = rows - 1;
+    for (int r = 0; r < rows; ++r) {
+      pick -= min_dist[static_cast<size_t>(r)];
+      if (pick <= 0.0) {
+        chosen = r;
+        break;
+      }
+    }
+    std::copy(row(chosen), row(chosen) + dim,
+              centers.begin() + static_cast<size_t>(c) * dim);
+  }
+
+  std::vector<int> assignment(static_cast<size_t>(rows), 0);
+  std::vector<int> counts(static_cast<size_t>(k), 0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (int r = 0; r < rows; ++r) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d =
+            sq_dist(row(r), &centers[static_cast<size_t>(c) * dim]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assignment[static_cast<size_t>(r)] != best) {
+        assignment[static_cast<size_t>(r)] = best;
+        changed = true;
+      }
+    }
+    std::fill(centers.begin(), centers.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int r = 0; r < rows; ++r) {
+      const int c = assignment[static_cast<size_t>(r)];
+      ++counts[static_cast<size_t>(c)];
+      double* center = &centers[static_cast<size_t>(c) * dim];
+      const double* p = row(r);
+      for (int f = 0; f < dim; ++f) center[f] += p[f];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      double* center = &centers[static_cast<size_t>(c) * dim];
+      for (int f = 0; f < dim; ++f) {
+        center[f] /= counts[static_cast<size_t>(c)];
+      }
+    }
+    if (!changed) break;
+  }
+  return assignment;
+}
+
+}  // namespace
+
+double HpMsiPredictor::ContextSimilarity(const DemandDataset& data, int day_a,
+                                         int slot_a, int day_b) const {
+  // Compares the target context (day_a, slot_a) with the same slot of
+  // training day day_b.
+  double similarity = 1.0;
+  const bool weekend_a = data.day_of_week(day_a) >= 5;
+  const bool weekend_b = data.day_of_week(day_b) >= 5;
+  if (weekend_a != weekend_b) similarity *= params_.calendar_mismatch;
+  const WeatherSample& wa = data.weather(day_a, slot_a);
+  const WeatherSample& wb = data.weather(day_b, slot_a);
+  similarity *= std::exp(-std::fabs(wa.temperature - wb.temperature) /
+                         params_.temperature_scale);
+  if ((wa.precipitation > 0.1) != (wb.precipitation > 0.1)) {
+    similarity *= params_.rain_mismatch;
+  }
+  return similarity;
+}
+
+Status HpMsiPredictor::Fit(const DemandDataset& data, int train_days,
+                           DemandSide side) {
+  side_ = side;
+  train_days_ = train_days;
+  const int cells = data.num_cells();
+  const int slots = data.slots_per_day();
+  if (train_days <= DemandFeatures::kDayLags) {
+    return Status::InvalidArgument("HP-MSI: too few training days");
+  }
+
+  // --- Level 1: cluster cells by normalized demand profile. ---
+  num_clusters_ = params_.num_clusters > 0
+                      ? params_.num_clusters
+                      : std::clamp(cells / 25, 2, 16);
+  num_clusters_ = std::min(num_clusters_, cells);
+  std::vector<double> profiles(static_cast<size_t>(cells) * (slots + 1), 0.0);
+  for (int cell = 0; cell < cells; ++cell) {
+    double total = 0.0;
+    double* profile = &profiles[static_cast<size_t>(cell) * (slots + 1)];
+    for (int slot = 0; slot < slots; ++slot) {
+      double mean = 0.0;
+      for (int day = 0; day < train_days; ++day) {
+        mean += data.count(side, day, slot, cell);
+      }
+      mean /= train_days;
+      profile[slot] = mean;
+      total += mean;
+    }
+    if (total > 0.0) {
+      for (int slot = 0; slot < slots; ++slot) profile[slot] /= total;
+    }
+    // Magnitude feature so dense and empty cells do not co-cluster.
+    profile[slots] = std::log1p(total);
+  }
+  cluster_of_cell_ = KMeans(profiles, cells, slots + 1, num_clusters_,
+                            params_.kmeans_iterations, params_.seed);
+  cluster_members_.assign(static_cast<size_t>(num_clusters_), {});
+  for (int cell = 0; cell < cells; ++cell) {
+    cluster_members_[static_cast<size_t>(cluster_of_cell_[
+        static_cast<size_t>(cell)])].push_back(cell);
+  }
+
+  // --- Level 2: cluster-aggregated dataset + GBRT on cluster totals. ---
+  cluster_data_ = DemandDataset(data.num_days(), slots, num_clusters_);
+  for (int day = 0; day < data.num_days(); ++day) {
+    cluster_data_.set_day_of_week(day, data.day_of_week(day));
+    for (int slot = 0; slot < slots; ++slot) {
+      cluster_data_.set_weather(day, slot, data.weather(day, slot));
+      for (int cell = 0; cell < cells; ++cell) {
+        const int c = cluster_of_cell_[static_cast<size_t>(cell)];
+        cluster_data_.set_workers(
+            day, slot, c,
+            cluster_data_.workers(day, slot, c) +
+                data.workers(day, slot, cell));
+        cluster_data_.set_tasks(day, slot, c,
+                                cluster_data_.tasks(day, slot, c) +
+                                    data.tasks(day, slot, cell));
+      }
+    }
+  }
+  GbrtParams gbrt_params = params_.gbrt;
+  cluster_model_ = GbrtPredictor(gbrt_params);
+  return cluster_model_.Fit(cluster_data_, train_days, side);
+}
+
+std::vector<double> HpMsiPredictor::Predict(const DemandDataset& data,
+                                            int day, int slot) const {
+  const int cells = data.num_cells();
+  std::vector<double> out(static_cast<size_t>(cells), 0.0);
+
+  // Level 2 prediction: cluster totals.
+  const std::vector<double> totals =
+      cluster_model_.Predict(cluster_data_, day, slot);
+
+  // Level 3: multi-similarity share inference per cluster.
+  for (int c = 0; c < num_clusters_; ++c) {
+    const std::vector<int>& members =
+        cluster_members_[static_cast<size_t>(c)];
+    if (members.empty()) continue;
+    std::vector<double> share(members.size(), 0.0);
+    double weight_total = 0.0;
+    for (int d = 0; d < train_days_; ++d) {
+      double cluster_total = 0.0;
+      for (int cell : members) {
+        cluster_total += data.count(side_, d, slot, cell);
+      }
+      if (cluster_total <= 0.0) continue;
+      const double w = ContextSimilarity(data, day, slot, d);
+      weight_total += w;
+      for (size_t mi = 0; mi < members.size(); ++mi) {
+        share[mi] +=
+            w * data.count(side_, d, slot, members[mi]) / cluster_total;
+      }
+    }
+    if (weight_total <= 0.0) {
+      // No informative history: split evenly.
+      for (size_t mi = 0; mi < members.size(); ++mi) {
+        share[mi] = 1.0 / static_cast<double>(members.size());
+      }
+      weight_total = 1.0;
+    }
+    const double total = std::max(0.0, totals[static_cast<size_t>(c)]);
+    for (size_t mi = 0; mi < members.size(); ++mi) {
+      out[static_cast<size_t>(members[mi])] =
+          total * share[mi] / weight_total;
+    }
+  }
+  return out;
+}
+
+}  // namespace ftoa

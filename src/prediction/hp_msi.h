@@ -1,0 +1,75 @@
+// HP-MSI — the hierarchical prediction model with multi-similarity-based
+// inference of Li et al. ("Traffic prediction in a bike-sharing system",
+// GIS 2015), the best-performing predictor in the paper's Table 5.
+//
+// Structure (following the reference):
+//  1. Cells are clustered by their normalized demand profiles (k-means++
+//     on per-slot means) — the hierarchy's upper level.
+//  2. A GBRT model predicts each *cluster's* total for the target slot —
+//     aggregate series are far less noisy than per-cell ones.
+//  3. The cluster total is distributed to member cells by multi-similarity
+//     inference: a cell's share is the similarity-weighted average of its
+//     historical shares in training slots with similar calendar and weather
+//     context.
+
+#ifndef FTOA_PREDICTION_HP_MSI_H_
+#define FTOA_PREDICTION_HP_MSI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "prediction/gbrt.h"
+#include "prediction/predictor.h"
+
+namespace ftoa {
+
+/// HP-MSI hyperparameters.
+struct HpMsiParams {
+  /// Number of clusters; <= 0 chooses automatically from the cell count.
+  int num_clusters = 0;
+  int kmeans_iterations = 25;
+  uint64_t seed = 0xc1a5;
+  /// Temperature scale (deg C) of the weather similarity kernel.
+  double temperature_scale = 8.0;
+  /// Similarity multiplier when day-of-week classes (weekday/weekend)
+  /// differ.
+  double calendar_mismatch = 0.35;
+  /// Similarity multiplier when rain presence differs.
+  double rain_mismatch = 0.4;
+  GbrtParams gbrt;
+};
+
+/// The HP-MSI entry of Table 5.
+class HpMsiPredictor : public Predictor {
+ public:
+  explicit HpMsiPredictor(HpMsiParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "HP-MSI"; }
+
+  Status Fit(const DemandDataset& data, int train_days,
+             DemandSide side) override;
+
+  std::vector<double> Predict(const DemandDataset& data, int day,
+                              int slot) const override;
+
+  /// Cluster id per cell (exposed for tests).
+  const std::vector<int>& cluster_of_cell() const { return cluster_of_cell_; }
+  int num_clusters() const { return num_clusters_; }
+
+ private:
+  double ContextSimilarity(const DemandDataset& data, int day_a, int slot_a,
+                           int day_b) const;
+
+  HpMsiParams params_;
+  DemandSide side_ = DemandSide::kTasks;
+  int train_days_ = 0;
+  int num_clusters_ = 0;
+  std::vector<int> cluster_of_cell_;
+  std::vector<std::vector<int>> cluster_members_;
+  DemandDataset cluster_data_;  ///< Cluster-aggregated copy of the history.
+  GbrtPredictor cluster_model_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_HP_MSI_H_

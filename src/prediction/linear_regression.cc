@@ -1,0 +1,77 @@
+#include "prediction/linear_regression.h"
+
+#include <algorithm>
+
+#include "util/linalg.h"
+
+namespace ftoa {
+
+std::vector<double> LinearRegressionPredictor::Features(
+    const DemandDataset& data, int day, int slot, int cell) const {
+  std::vector<double> features;
+  features.reserve(1 + 2 * static_cast<size_t>(lags_));
+  features.push_back(1.0);  // Bias.
+  for (int lag = 1; lag <= lags_; ++lag) {
+    const int past = day - lag;
+    const double own =
+        past >= 0 ? data.count(side_, past, slot, cell) : 0.0;
+    const double other =
+        past >= 0
+            ? data.count(side_ == DemandSide::kWorkers ? DemandSide::kTasks
+                                                       : DemandSide::kWorkers,
+                         past, slot, cell)
+            : 0.0;
+    features.push_back(own);
+    features.push_back(other);
+  }
+  return features;
+}
+
+Status LinearRegressionPredictor::Fit(const DemandDataset& data,
+                                      int train_days, DemandSide side) {
+  side_ = side;
+  if (train_days <= lags_) {
+    return Status::InvalidArgument(
+        "LR: need more training days than lags");
+  }
+  // Assemble the pooled design matrix over all (day, slot, cell) targets
+  // with a full lag window. Cells are subsampled deterministically when the
+  // problem is large (the normal equations only need sufficient statistics,
+  // but row subsampling keeps assembly cheap).
+  const int num_cells = data.num_cells();
+  const int cell_stride = std::max(1, num_cells / 512);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  for (int day = lags_; day < train_days; ++day) {
+    for (int slot = 0; slot < data.slots_per_day(); ++slot) {
+      for (int cell = 0; cell < num_cells; cell += cell_stride) {
+        rows.push_back(Features(data, day, slot, cell));
+        targets.push_back(data.count(side_, day, slot, cell));
+      }
+    }
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("LR: empty training set");
+  }
+  Matrix design(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < rows[i].size(); ++j) design(i, j) = rows[i][j];
+  }
+  auto solved = SolveLeastSquares(design, targets, /*lambda=*/1e-3);
+  if (!solved.ok()) return solved.status();
+  coefficients_ = std::move(solved).value();
+  return Status::OK();
+}
+
+std::vector<double> LinearRegressionPredictor::Predict(
+    const DemandDataset& data, int day, int slot) const {
+  std::vector<double> out(static_cast<size_t>(data.num_cells()), 0.0);
+  for (int cell = 0; cell < data.num_cells(); ++cell) {
+    const std::vector<double> features = Features(data, day, slot, cell);
+    out[static_cast<size_t>(cell)] =
+        std::max(0.0, Dot(features, coefficients_));
+  }
+  return out;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,42 @@
+// LR — linear regression "with the numbers of tasks and workers of the 15
+// most recent corresponding periods" (paper Section 6.3): for each target
+// (day, slot, cell) the features are the counts at the same slot and cell on
+// the 15 preceding days, for both market sides. Coefficients are pooled
+// across cells and fitted with ridge-regularized least squares.
+
+#ifndef FTOA_PREDICTION_LINEAR_REGRESSION_H_
+#define FTOA_PREDICTION_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "prediction/predictor.h"
+
+namespace ftoa {
+
+/// The LR baseline predictor.
+class LinearRegressionPredictor : public Predictor {
+ public:
+  /// `lags`: how many preceding corresponding periods feed the model.
+  explicit LinearRegressionPredictor(int lags = 15) : lags_(lags) {}
+
+  std::string name() const override { return "LR"; }
+
+  Status Fit(const DemandDataset& data, int train_days,
+             DemandSide side) override;
+
+  std::vector<double> Predict(const DemandDataset& data, int day,
+                              int slot) const override;
+
+ private:
+  /// Feature vector for one (day, slot, cell): bias + 2 * lags_ counts.
+  std::vector<double> Features(const DemandDataset& data, int day, int slot,
+                               int cell) const;
+
+  int lags_;
+  DemandSide side_ = DemandSide::kTasks;
+  std::vector<double> coefficients_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_LINEAR_REGRESSION_H_

@@ -1,0 +1,65 @@
+#include "prediction/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ftoa {
+
+void PredictionScorer::AddSlot(const std::vector<double>& actual,
+                               const std::vector<double>& predicted) {
+  assert(actual.size() == predicted.size());
+  if (actual.empty()) return;
+  double abs_error = 0.0;
+  double actual_sum = 0.0;
+  double log_error_sq = 0.0;
+  for (size_t j = 0; j < actual.size(); ++j) {
+    abs_error += std::fabs(actual[j] - predicted[j]);
+    actual_sum += actual[j];
+    const double diff =
+        std::log(actual[j] + 1.0) - std::log(std::max(0.0, predicted[j]) + 1.0);
+    log_error_sq += diff * diff;
+  }
+  // Slots with zero actual demand contribute ER = |error| / 1 (avoid 0/0;
+  // a perfect prediction still scores 0).
+  er_sum_ += abs_error / std::max(actual_sum, 1.0);
+  rmsle_sum_ += std::sqrt(log_error_sq / static_cast<double>(actual.size()));
+  ++slots_;
+}
+
+PredictionScore PredictionScorer::Score() const {
+  PredictionScore score;
+  score.evaluated_slots = slots_;
+  if (slots_ == 0) return score;
+  score.error_rate = er_sum_ / slots_;
+  score.rmsle = rmsle_sum_ / slots_;
+  return score;
+}
+
+Result<PredictionScore> EvaluatePredictor(Predictor* predictor,
+                                          const DemandDataset& data,
+                                          int train_days, DemandSide side) {
+  if (train_days <= 0 || train_days >= data.num_days()) {
+    return Status::InvalidArgument(
+        "EvaluatePredictor: train_days must split the dataset");
+  }
+  FTOA_RETURN_NOT_OK(predictor->Fit(data, train_days, side));
+
+  PredictionScorer scorer;
+  std::vector<double> actual(static_cast<size_t>(data.num_cells()));
+  for (int day = train_days; day < data.num_days(); ++day) {
+    for (int slot = 0; slot < data.slots_per_day(); ++slot) {
+      const std::vector<double> predicted = predictor->Predict(data, day, slot);
+      if (predicted.size() != actual.size()) {
+        return Status::Internal(predictor->name() +
+                                ": wrong prediction vector size");
+      }
+      for (int cell = 0; cell < data.num_cells(); ++cell) {
+        actual[static_cast<size_t>(cell)] = data.count(side, day, slot, cell);
+      }
+      scorer.AddSlot(actual, predicted);
+    }
+  }
+  return scorer.Score();
+}
+
+}  // namespace ftoa

@@ -1,0 +1,47 @@
+// The paper's two prediction-quality metrics (Section 6.3):
+//   ER    = (1/t) * sum_i [ sum_j |a_ij - ã_ij| / sum_j a_ij ]
+//   RMLSE = (1/t) * sum_i sqrt( (1/g) * sum_j (log(a_ij+1) - log(ã_ij+1))^2 )
+// where i ranges over predicted (day, slot) pairs and j over grid cells.
+
+#ifndef FTOA_PREDICTION_METRICS_H_
+#define FTOA_PREDICTION_METRICS_H_
+
+#include <vector>
+
+#include "prediction/predictor.h"
+#include "util/result.h"
+
+namespace ftoa {
+
+/// Aggregated prediction errors.
+struct PredictionScore {
+  double error_rate = 0.0;  ///< ER.
+  double rmsle = 0.0;       ///< RMLSE.
+  int evaluated_slots = 0;  ///< Number of (day, slot) pairs scored.
+};
+
+/// Accumulates one (day, slot)'s actual-vs-predicted cell vectors.
+class PredictionScorer {
+ public:
+  /// Adds one slot's vectors (must have equal sizes).
+  void AddSlot(const std::vector<double>& actual,
+               const std::vector<double>& predicted);
+
+  /// The accumulated score.
+  PredictionScore Score() const;
+
+ private:
+  double er_sum_ = 0.0;
+  double rmsle_sum_ = 0.0;
+  int slots_ = 0;
+};
+
+/// Rolling evaluation: fits `predictor` on days [0, train_days) and scores
+/// it on every slot of days [train_days, data.num_days()).
+Result<PredictionScore> EvaluatePredictor(Predictor* predictor,
+                                          const DemandDataset& data,
+                                          int train_days, DemandSide side);
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_METRICS_H_

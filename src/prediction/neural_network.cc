@@ -1,0 +1,163 @@
+#include "prediction/neural_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ftoa {
+
+Status NeuralNetworkPredictor::Fit(const DemandDataset& data, int train_days,
+                                   DemandSide side) {
+  features_.Prepare(data, train_days, side);
+  const int first_day = features_.MinTrainableDay();
+  if (train_days <= first_day) {
+    return Status::InvalidArgument("NN: too few training days");
+  }
+  dim_ = features_.dim();
+
+  // Assemble (strided) training rows.
+  const int64_t full_rows = static_cast<int64_t>(train_days - first_day) *
+                            data.slots_per_day() * data.num_cells();
+  const int cell_stride = static_cast<int>(
+      std::max<int64_t>(1, full_rows / std::max(1, params_.max_rows)));
+  std::vector<double> rows;
+  std::vector<double> targets;
+  std::vector<double> scratch(static_cast<size_t>(dim_));
+  for (int day = first_day; day < train_days; ++day) {
+    for (int slot = 0; slot < data.slots_per_day(); ++slot) {
+      for (int cell = 0; cell < data.num_cells(); cell += cell_stride) {
+        features_.Extract(data, day, slot, cell, scratch.data());
+        rows.insert(rows.end(), scratch.begin(), scratch.end());
+        targets.push_back(data.count(side, day, slot, cell));
+      }
+    }
+  }
+  const size_t n = targets.size();
+  if (n < 32) return Status::InvalidArgument("NN: too few training rows");
+
+  // Standardize features and target.
+  feature_mean_.assign(static_cast<size_t>(dim_), 0.0);
+  feature_std_.assign(static_cast<size_t>(dim_), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (int f = 0; f < dim_; ++f) {
+      feature_mean_[static_cast<size_t>(f)] +=
+          rows[i * static_cast<size_t>(dim_) + static_cast<size_t>(f)];
+    }
+  }
+  for (double& m : feature_mean_) m /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (int f = 0; f < dim_; ++f) {
+      const double d =
+          rows[i * static_cast<size_t>(dim_) + static_cast<size_t>(f)] -
+          feature_mean_[static_cast<size_t>(f)];
+      feature_std_[static_cast<size_t>(f)] += d * d;
+    }
+  }
+  for (double& s : feature_std_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-9) s = 1.0;
+  }
+  target_mean_ = 0.0;
+  for (double t : targets) target_mean_ += t;
+  target_mean_ /= static_cast<double>(n);
+  target_std_ = 0.0;
+  for (double t : targets) {
+    target_std_ += (t - target_mean_) * (t - target_mean_);
+  }
+  target_std_ = std::sqrt(target_std_ / static_cast<double>(n));
+  if (target_std_ < 1e-9) target_std_ = 1.0;
+
+  // Initialize parameters (Xavier-ish).
+  Rng rng(params_.seed);
+  const int hidden = params_.hidden_units;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+  w1_.assign(static_cast<size_t>(hidden) * dim_, 0.0);
+  for (double& w : w1_) w = rng.NextGaussian(0.0, scale);
+  b1_.assign(static_cast<size_t>(hidden), 0.0);
+  w2_.assign(static_cast<size_t>(hidden), 0.0);
+  for (double& w : w2_) {
+    w = rng.NextGaussian(0.0, 1.0 / std::sqrt(static_cast<double>(hidden)));
+  }
+  b2_ = 0.0;
+
+  // SGD with per-epoch deterministic shuffling.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<double> x(static_cast<size_t>(dim_));
+  std::vector<double> hidden_act(static_cast<size_t>(hidden));
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    const double lr = params_.learning_rate / (1.0 + 0.3 * epoch);
+    // Fisher-Yates with the module Rng.
+    for (size_t i = n - 1; i > 0; --i) {
+      const size_t j = rng.NextBounded(i + 1);
+      std::swap(order[i], order[j]);
+    }
+    for (size_t idx : order) {
+      for (int f = 0; f < dim_; ++f) {
+        x[static_cast<size_t>(f)] =
+            (rows[idx * static_cast<size_t>(dim_) + static_cast<size_t>(f)] -
+             feature_mean_[static_cast<size_t>(f)]) /
+            feature_std_[static_cast<size_t>(f)];
+      }
+      const double y =
+          (targets[idx] - target_mean_) / target_std_;
+      // Forward.
+      double output = b2_;
+      for (int h = 0; h < hidden; ++h) {
+        double z = b1_[static_cast<size_t>(h)];
+        const double* wrow = &w1_[static_cast<size_t>(h) * dim_];
+        for (int f = 0; f < dim_; ++f) z += wrow[f] * x[static_cast<size_t>(f)];
+        const double a = std::tanh(z);
+        hidden_act[static_cast<size_t>(h)] = a;
+        output += w2_[static_cast<size_t>(h)] * a;
+      }
+      // Backward (squared loss).
+      const double delta = output - y;
+      b2_ -= lr * delta;
+      for (int h = 0; h < hidden; ++h) {
+        const double a = hidden_act[static_cast<size_t>(h)];
+        const double grad_w2 = delta * a + params_.l2 * w2_[static_cast<size_t>(h)];
+        const double delta_hidden =
+            delta * w2_[static_cast<size_t>(h)] * (1.0 - a * a);
+        w2_[static_cast<size_t>(h)] -= lr * grad_w2;
+        b1_[static_cast<size_t>(h)] -= lr * delta_hidden;
+        double* wrow = &w1_[static_cast<size_t>(h) * dim_];
+        for (int f = 0; f < dim_; ++f) {
+          wrow[f] -= lr * (delta_hidden * x[static_cast<size_t>(f)] +
+                           params_.l2 * wrow[f]);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double NeuralNetworkPredictor::Forward(const double* features) const {
+  const int hidden = params_.hidden_units;
+  double output = b2_;
+  for (int h = 0; h < hidden; ++h) {
+    double z = b1_[static_cast<size_t>(h)];
+    const double* wrow = &w1_[static_cast<size_t>(h) * dim_];
+    for (int f = 0; f < dim_; ++f) {
+      const double x = (features[f] - feature_mean_[static_cast<size_t>(f)]) /
+                       feature_std_[static_cast<size_t>(f)];
+      z += wrow[f] * x;
+    }
+    output += w2_[static_cast<size_t>(h)] * std::tanh(z);
+  }
+  return output * target_std_ + target_mean_;
+}
+
+std::vector<double> NeuralNetworkPredictor::Predict(const DemandDataset& data,
+                                                    int day, int slot) const {
+  std::vector<double> out(static_cast<size_t>(data.num_cells()), 0.0);
+  std::vector<double> scratch(static_cast<size_t>(dim_));
+  for (int cell = 0; cell < data.num_cells(); ++cell) {
+    features_.Extract(data, day, slot, cell, scratch.data());
+    out[static_cast<size_t>(cell)] = std::max(0.0, Forward(scratch.data()));
+  }
+  return out;
+}
+
+}  // namespace ftoa

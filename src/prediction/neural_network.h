@@ -1,0 +1,63 @@
+// NN — "a neural network with the numbers of tasks and workers of the 15
+// most recent corresponding periods and other features e.g., the weather
+// condition" (paper Section 6.3). A from-scratch single-hidden-layer MLP
+// (tanh) trained with SGD on standardized DemandFeatures.
+
+#ifndef FTOA_PREDICTION_NEURAL_NETWORK_H_
+#define FTOA_PREDICTION_NEURAL_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "prediction/features.h"
+#include "prediction/predictor.h"
+
+namespace ftoa {
+
+/// MLP hyperparameters.
+struct NeuralNetworkParams {
+  int hidden_units = 24;
+  int epochs = 15;
+  double learning_rate = 0.02;
+  double l2 = 1e-5;
+  uint64_t seed = 0xbeef;
+  /// Cap on assembled training rows (cells are strided when exceeded).
+  int max_rows = 150000;
+};
+
+/// The NN entry of Table 5.
+class NeuralNetworkPredictor : public Predictor {
+ public:
+  explicit NeuralNetworkPredictor(NeuralNetworkParams params = {})
+      : params_(params) {}
+
+  std::string name() const override { return "NN"; }
+
+  Status Fit(const DemandDataset& data, int train_days,
+             DemandSide side) override;
+
+  std::vector<double> Predict(const DemandDataset& data, int day,
+                              int slot) const override;
+
+ private:
+  double Forward(const double* features) const;
+
+  NeuralNetworkParams params_;
+  DemandFeatures features_;
+  int dim_ = 0;
+  // Standardization.
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_std_;
+  double target_mean_ = 0.0;
+  double target_std_ = 1.0;
+  // Parameters: hidden weights [hidden][dim], hidden bias, output weights,
+  // output bias.
+  std::vector<double> w1_;
+  std::vector<double> b1_;
+  std::vector<double> w2_;
+  double b2_ = 0.0;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_NEURAL_NETWORK_H_

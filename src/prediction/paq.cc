@@ -1,0 +1,51 @@
+#include "prediction/paq.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftoa {
+
+Status PaqPredictor::Fit(const DemandDataset& data, int train_days,
+                         DemandSide side) {
+  if (train_days <= 0) {
+    return Status::InvalidArgument("PAQ: invalid train_days");
+  }
+  side_ = side;
+  // Slots per hour assuming the day covers 24 hours.
+  const double slots_per_hour = data.slots_per_day() / 24.0;
+  window_slots_ = std::max(
+      1, static_cast<int>(std::lround(params_.window_hours * slots_per_hour)));
+  return Status::OK();
+}
+
+std::vector<double> PaqPredictor::Predict(const DemandDataset& data, int day,
+                                          int slot) const {
+  std::vector<double> out(static_cast<size_t>(data.num_cells()), 0.0);
+  const int slots_per_day = data.slots_per_day();
+  const int target_step = day * slots_per_day + slot;
+
+  // Chronological lag accessor across day boundaries.
+  auto lag_count = [&](int cell, int lag) -> double {
+    const int t = target_step - lag;
+    if (t < 0) return 0.0;
+    return data.count(side_, t / slots_per_day, t % slots_per_day, cell);
+  };
+
+  for (int cell = 0; cell < data.num_cells(); ++cell) {
+    double weighted_sum = 0.0;
+    double weight_total = 0.0;
+    double weight = 1.0;
+    for (int lag = 1; lag <= window_slots_; ++lag) {
+      weighted_sum += weight * lag_count(cell, lag);
+      weight_total += weight;
+      weight *= params_.decay;
+    }
+    const double base = weight_total > 0.0 ? weighted_sum / weight_total : 0.0;
+    const double trend = lag_count(cell, 1) - lag_count(cell, 2);
+    out[static_cast<size_t>(cell)] =
+        std::max(0.0, base + params_.trend_weight * trend);
+  }
+  return out;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,49 @@
+// PAQ — Predictive Aggregation Queries (paper Section 6.3, citing Hendawi &
+// Mokbel and Sun et al.): aggregate queries over the moving objects of "the
+// 6 latest hours". We model the aggregate as an exponentially-decayed
+// average of the most recent slots of the same cell plus a first-order
+// trend, i.e. the continuous query "how many objects will be in cell j next
+// slot given their recent presence" — the same signal trajectory
+// extrapolation would produce at slot granularity.
+
+#ifndef FTOA_PREDICTION_PAQ_H_
+#define FTOA_PREDICTION_PAQ_H_
+
+#include <vector>
+
+#include "prediction/predictor.h"
+
+namespace ftoa {
+
+/// PAQ hyperparameters.
+struct PaqParams {
+  /// Length of the aggregation window in hours (the paper's setting).
+  double window_hours = 6.0;
+  /// Geometric decay applied to older slots in the window.
+  double decay = 0.8;
+  /// Weight of the first-order trend correction.
+  double trend_weight = 0.5;
+};
+
+/// The PAQ entry of Table 5.
+class PaqPredictor : public Predictor {
+ public:
+  explicit PaqPredictor(PaqParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "PAQ"; }
+
+  Status Fit(const DemandDataset& data, int train_days,
+             DemandSide side) override;
+
+  std::vector<double> Predict(const DemandDataset& data, int day,
+                              int slot) const override;
+
+ private:
+  PaqParams params_;
+  DemandSide side_ = DemandSide::kTasks;
+  int window_slots_ = 1;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_PAQ_H_

@@ -1,0 +1,41 @@
+// The common interface of the seven offline prediction approaches compared
+// in the paper's Table 5. A predictor is fitted on a training prefix of the
+// demand history and then asked for per-cell counts of one (day, slot); at
+// prediction time it may read *actual* history strictly before the target
+// day (rolling evaluation, as a deployed system would).
+
+#ifndef FTOA_PREDICTION_PREDICTOR_H_
+#define FTOA_PREDICTION_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "prediction/dataset.h"
+#include "util/status.h"
+
+namespace ftoa {
+
+/// Base class of all spatiotemporal demand predictors.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Display name as it appears in Table 5 ("HA", "ARIMA", ...).
+  virtual std::string name() const = 0;
+
+  /// Fits on days [0, train_days) of `data` for the given market side.
+  virtual Status Fit(const DemandDataset& data, int train_days,
+                     DemandSide side) = 0;
+
+  /// Predicted counts per cell for (day, slot); `day` must be
+  /// >= train_days passed to Fit. Implementations may consult `data` for
+  /// actual history chronologically *before* (day, slot) — a deployed
+  /// system predicts the next slot knowing everything up to the current
+  /// one — but never at or after the target slot.
+  virtual std::vector<double> Predict(const DemandDataset& data, int day,
+                                      int slot) const = 0;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_PREDICTOR_H_

@@ -1,0 +1,42 @@
+#include "prediction/registry.h"
+
+#include "prediction/arima.h"
+#include "prediction/gbrt.h"
+#include "prediction/historical_average.h"
+#include "prediction/hp_msi.h"
+#include "prediction/linear_regression.h"
+#include "prediction/neural_network.h"
+#include "prediction/paq.h"
+
+namespace ftoa {
+
+std::vector<std::string> AllPredictorNames() {
+  return {"HA", "ARIMA", "GBRT", "PAQ", "LR", "NN", "HP-MSI"};
+}
+
+Result<std::unique_ptr<Predictor>> CreatePredictor(const std::string& name) {
+  if (name == "HA") {
+    return std::unique_ptr<Predictor>(new HistoricalAverage());
+  }
+  if (name == "ARIMA") {
+    return std::unique_ptr<Predictor>(new ArimaPredictor());
+  }
+  if (name == "GBRT") {
+    return std::unique_ptr<Predictor>(new GbrtPredictor());
+  }
+  if (name == "PAQ") {
+    return std::unique_ptr<Predictor>(new PaqPredictor());
+  }
+  if (name == "LR") {
+    return std::unique_ptr<Predictor>(new LinearRegressionPredictor());
+  }
+  if (name == "NN") {
+    return std::unique_ptr<Predictor>(new NeuralNetworkPredictor());
+  }
+  if (name == "HP-MSI") {
+    return std::unique_ptr<Predictor>(new HpMsiPredictor());
+  }
+  return Status::NotFound("unknown predictor: " + name);
+}
+
+}  // namespace ftoa

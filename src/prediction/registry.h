@@ -1,0 +1,24 @@
+// Name-based construction of the seven Table 5 predictors.
+
+#ifndef FTOA_PREDICTION_REGISTRY_H_
+#define FTOA_PREDICTION_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prediction/predictor.h"
+#include "util/result.h"
+
+namespace ftoa {
+
+/// Names of all registered predictors, in Table 5 order:
+/// HA, ARIMA, GBRT, PAQ, LR, NN, HP-MSI.
+std::vector<std::string> AllPredictorNames();
+
+/// Constructs a predictor by its Table 5 name (case-sensitive).
+Result<std::unique_ptr<Predictor>> CreatePredictor(const std::string& name);
+
+}  // namespace ftoa
+
+#endif  // FTOA_PREDICTION_REGISTRY_H_

@@ -1,0 +1,98 @@
+#include "sim/competitive.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/offline_opt.h"
+#include "util/distributions.h"
+
+namespace ftoa {
+
+IidInstanceSampler::IidInstanceSampler(PredictionMatrix prediction,
+                                       double velocity,
+                                       double worker_duration,
+                                       double task_duration)
+    : prediction_(std::move(prediction)),
+      velocity_(velocity),
+      worker_duration_(worker_duration),
+      task_duration_(task_duration) {}
+
+Instance IidInstanceSampler::Sample(Rng* rng) const {
+  const SpacetimeSpec& st = prediction_.spacetime();
+  const GridSpec& grid = st.grid();
+  const SlotSpec& slots = st.slots();
+
+  std::vector<double> worker_weights(prediction_.workers().begin(),
+                                     prediction_.workers().end());
+  std::vector<double> task_weights(prediction_.tasks().begin(),
+                                   prediction_.tasks().end());
+  const DiscreteDistribution worker_types(worker_weights);
+  const DiscreteDistribution task_types(task_weights);
+
+  auto sample_object = [&](TypeId type, double duration, auto* object) {
+    const int slot = st.SlotOfType(type);
+    const CellId cell = st.AreaOfType(type);
+    const int cx = grid.CellX(cell);
+    const int cy = grid.CellY(cell);
+    object->location = Point{(cx + rng->NextDouble()) * grid.cell_width(),
+                             (cy + rng->NextDouble()) * grid.cell_height()};
+    object->start =
+        slots.SlotStart(slot) + rng->NextDouble() * slots.slot_duration();
+    object->duration = duration;
+  };
+
+  std::vector<Worker> workers(
+      static_cast<size_t>(prediction_.TotalWorkers()));
+  for (Worker& w : workers) {
+    sample_object(static_cast<TypeId>(worker_types.Sample(*rng)),
+                  worker_duration_, &w);
+  }
+  std::vector<Task> tasks(static_cast<size_t>(prediction_.TotalTasks()));
+  for (Task& r : tasks) {
+    sample_object(static_cast<TypeId>(task_types.Sample(*rng)),
+                  task_duration_, &r);
+  }
+  return Instance(st, velocity_, std::move(workers), std::move(tasks));
+}
+
+Result<CompetitiveEstimate> EstimateCompetitiveRatio(
+    const IidInstanceSampler& sampler,
+    const std::function<OnlineAlgorithm*()>& algorithm_factory, int trials,
+    uint64_t seed) {
+  if (trials <= 0) {
+    return Status::InvalidArgument(
+        "EstimateCompetitiveRatio: trials must be positive");
+  }
+  if (sampler.prediction().TotalWorkers() == 0 ||
+      sampler.prediction().TotalTasks() == 0) {
+    return Status::FailedPrecondition(
+        "EstimateCompetitiveRatio: empty prediction");
+  }
+  Rng rng(seed);
+  CompetitiveEstimate estimate;
+  estimate.min_ratio = 1.0;
+  double ratio_sum = 0.0;
+  OfflineOpt opt;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng trial_rng = rng.Fork(static_cast<uint64_t>(trial) + 1);
+    const Instance instance = sampler.Sample(&trial_rng);
+    const size_t opt_size = opt.Run(instance).size();
+    if (opt_size == 0) {
+      ++estimate.degenerate_trials;
+      continue;
+    }
+    OnlineAlgorithm* algorithm = algorithm_factory();
+    const size_t online_size = algorithm->Run(instance).size();
+    const double ratio =
+        static_cast<double>(online_size) / static_cast<double>(opt_size);
+    estimate.min_ratio = std::min(estimate.min_ratio, ratio);
+    ratio_sum += ratio;
+    ++estimate.trials;
+  }
+  if (estimate.trials > 0) {
+    estimate.mean_ratio = ratio_sum / estimate.trials;
+  }
+  return estimate;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,64 @@
+// Empirical competitive-ratio estimation under the i.i.d. input model
+// (Definition 5): given the spatiotemporal distributions D_W / D_R induced
+// by a prediction matrix, sample many arrival sequences, run an online
+// algorithm and the offline optimum on each, and report the worst and mean
+// ratio MaxSum(M) / MaxSum(OPT). This is the experimental counterpart of
+// Theorems 1-2 (POLAR >= (1 - 1/e)^2 ~ 0.4, POLAR-OP ~ 0.47, both with
+// high probability) — see bench_competitive_ratio.
+
+#ifndef FTOA_SIM_COMPETITIVE_H_
+#define FTOA_SIM_COMPETITIVE_H_
+
+#include <functional>
+#include <memory>
+
+#include "core/online_algorithm.h"
+#include "core/prediction_matrix.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace ftoa {
+
+/// Samples FTOA instances from the i.i.d. model of Definition 5: worker
+/// (task) types are drawn from Pr_a[i][j] = a_ij / m (Pr_b = b_ij / n),
+/// with m (n) trials; each object lands uniformly within its type's slot
+/// and cell.
+class IidInstanceSampler {
+ public:
+  /// `worker_duration` / `task_duration` are the global Dw / Dr of the
+  /// sampled objects.
+  IidInstanceSampler(PredictionMatrix prediction, double velocity,
+                     double worker_duration, double task_duration);
+
+  /// Draws one instance (deterministic in the rng state).
+  Instance Sample(Rng* rng) const;
+
+  const PredictionMatrix& prediction() const { return prediction_; }
+
+ private:
+  PredictionMatrix prediction_;
+  double velocity_;
+  double worker_duration_;
+  double task_duration_;
+};
+
+/// Aggregate of the per-trial ratios.
+struct CompetitiveEstimate {
+  double min_ratio = 1.0;   ///< The empirical competitive ratio.
+  double mean_ratio = 0.0;
+  int trials = 0;
+  int degenerate_trials = 0;  ///< Trials with OPT = 0 (excluded).
+};
+
+/// Runs `trials` sampled instances through `algorithm` and the offline
+/// optimum. `algorithm_factory` receives nothing and returns the algorithm
+/// to evaluate — a factory because guide-based algorithms are stateless
+/// across runs but the caller may want a fresh object per trial.
+Result<CompetitiveEstimate> EstimateCompetitiveRatio(
+    const IidInstanceSampler& sampler,
+    const std::function<OnlineAlgorithm*()>& algorithm_factory, int trials,
+    uint64_t seed);
+
+}  // namespace ftoa
+
+#endif  // FTOA_SIM_COMPETITIVE_H_

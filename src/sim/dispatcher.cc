@@ -1,0 +1,27 @@
+#include "sim/dispatcher.h"
+
+namespace ftoa {
+
+Dispatcher::Dispatcher(const Instance& instance, const RunTrace& trace)
+    : instance_(&instance),
+      plans_(instance.num_workers()) {
+  for (const DispatchRecord& record : trace.dispatches) {
+    MovementPlan& plan = plans_[static_cast<size_t>(record.worker)];
+    plan.active = true;
+    plan.origin = instance.worker(record.worker).location;
+    plan.target = record.target;
+    plan.depart_time = record.time;
+  }
+}
+
+Point Dispatcher::PositionAt(WorkerId worker, double t) const {
+  const MovementPlan& plan = plans_[static_cast<size_t>(worker)];
+  const Worker& w = instance_->worker(worker);
+  if (!plan.active || t <= plan.depart_time) return w.location;
+  const double total = Distance(plan.origin, plan.target);
+  if (total <= 0.0) return plan.target;
+  const double traveled = (t - plan.depart_time) * instance_->velocity();
+  return Lerp(plan.origin, plan.target, traveled / total);
+}
+
+}  // namespace ftoa

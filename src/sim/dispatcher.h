@@ -1,0 +1,48 @@
+// Worker movement model: reconstructs where a dispatched worker actually is
+// at any time, given the relocation instructions an algorithm issued. Used
+// by strict verification (DESIGN.md: guide-trust vs strict simulation).
+
+#ifndef FTOA_SIM_DISPATCHER_H_
+#define FTOA_SIM_DISPATCHER_H_
+
+#include <vector>
+
+#include "core/online_algorithm.h"
+#include "model/instance.h"
+#include "spatial/point.h"
+
+namespace ftoa {
+
+/// Replays DispatchRecords into per-worker movement plans and answers
+/// position queries.
+class Dispatcher {
+ public:
+  /// Builds movement plans from `trace` (may contain at most one dispatch
+  /// per worker — the POLAR family dispatches only on arrival).
+  Dispatcher(const Instance& instance, const RunTrace& trace);
+
+  /// Position of `worker` at time `t`: at its origin until its dispatch is
+  /// issued, then en route toward the target at the instance velocity, then
+  /// parked at the target.
+  Point PositionAt(WorkerId worker, double t) const;
+
+  /// True iff the worker was issued a relocation instruction.
+  bool WasDispatched(WorkerId worker) const {
+    return plans_[static_cast<size_t>(worker)].active;
+  }
+
+ private:
+  struct MovementPlan {
+    bool active = false;
+    Point origin;
+    Point target;
+    double depart_time = 0.0;
+  };
+
+  const Instance* instance_;
+  std::vector<MovementPlan> plans_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_SIM_DISPATCHER_H_

@@ -1,0 +1,30 @@
+// Per-run measurements mirroring the paper's three evaluation axes:
+// matching size, running time, and memory.
+
+#ifndef FTOA_SIM_METRICS_H_
+#define FTOA_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ftoa {
+
+/// The outcome of running one algorithm on one instance.
+struct RunMetrics {
+  std::string algorithm;        ///< Display name.
+  int64_t matching_size = 0;    ///< MaxSum(M).
+  double elapsed_seconds = 0.0; ///< Wall time of the online phase.
+  uint64_t peak_memory_bytes = 0; ///< Peak heap growth during the run.
+
+  // Strict-simulation extras (0 when strict verification is disabled).
+  int64_t strict_feasible_pairs = 0;  ///< Pairs surviving re-verification.
+  int64_t strict_violations = 0;      ///< Pairs failing re-verification.
+
+  // Trace extras.
+  int64_t dispatched_workers = 0;  ///< Guide-issued relocations.
+  int64_t ignored_objects = 0;     ///< Arrivals dropped by POLAR/POLAR-OP.
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_SIM_METRICS_H_

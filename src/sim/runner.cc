@@ -1,0 +1,41 @@
+#include "sim/runner.h"
+
+#include "sim/simulator.h"
+#include "util/memory_tracker.h"
+#include "util/stopwatch.h"
+
+namespace ftoa {
+
+Result<RunMetrics> RunAlgorithm(OnlineAlgorithm* algorithm,
+                                const Instance& instance,
+                                const RunnerOptions& options) {
+  RunMetrics metrics;
+  metrics.algorithm = algorithm->name();
+
+  RunTrace trace;
+  RunTrace* trace_ptr = options.strict_verification ? &trace : nullptr;
+
+  MemoryScope memory_scope;
+  Stopwatch stopwatch;
+  Assignment assignment = algorithm->Run(instance, trace_ptr);
+  metrics.elapsed_seconds = stopwatch.ElapsedSeconds();
+  metrics.peak_memory_bytes = memory_scope.PeakDelta();
+  metrics.matching_size = static_cast<int64_t>(assignment.size());
+
+  if (options.validate) {
+    FTOA_RETURN_NOT_OK(
+        assignment.Validate(instance, options.validation_policy));
+  }
+  if (options.strict_verification) {
+    const StrictVerification strict =
+        VerifyStrict(instance, assignment, trace);
+    metrics.strict_feasible_pairs = strict.feasible_pairs;
+    metrics.strict_violations = strict.violations;
+    metrics.dispatched_workers =
+        static_cast<int64_t>(trace.dispatches.size());
+    metrics.ignored_objects = trace.ignored_workers + trace.ignored_tasks;
+  }
+  return metrics;
+}
+
+}  // namespace ftoa

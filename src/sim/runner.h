@@ -1,0 +1,36 @@
+// Measured execution of one algorithm over one instance: wall time, peak
+// heap growth, matching size, optional structural validation, and optional
+// strict re-verification. All benches and examples go through this runner
+// so the three axes of the paper's figures are collected uniformly.
+
+#ifndef FTOA_SIM_RUNNER_H_
+#define FTOA_SIM_RUNNER_H_
+
+#include "core/online_algorithm.h"
+#include "model/instance.h"
+#include "sim/metrics.h"
+#include "util/result.h"
+
+namespace ftoa {
+
+/// Runner configuration.
+struct RunnerOptions {
+  /// Validate every pair against this policy after the run; set to
+  /// kDispatchAtAssignmentTime for wait-in-place baselines.
+  bool validate = false;
+  FeasibilityPolicy validation_policy =
+      FeasibilityPolicy::kDispatchAtWorkerStart;
+
+  /// Collect a RunTrace and re-verify pairs against actual movement.
+  bool strict_verification = false;
+};
+
+/// Runs `algorithm` on `instance` and collects metrics. Returns an error if
+/// validation was requested and failed.
+Result<RunMetrics> RunAlgorithm(OnlineAlgorithm* algorithm,
+                                const Instance& instance,
+                                const RunnerOptions& options = {});
+
+}  // namespace ftoa
+
+#endif  // FTOA_SIM_RUNNER_H_

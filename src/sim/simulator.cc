@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include "sim/dispatcher.h"
+
+namespace ftoa {
+
+StrictVerification VerifyStrict(const Instance& instance,
+                                const Assignment& assignment,
+                                const RunTrace& trace, double epsilon) {
+  StrictVerification result;
+  Dispatcher dispatcher(instance, trace);
+  const double velocity = instance.velocity();
+
+  for (const MatchedPair& pair : assignment.pairs()) {
+    ++result.total_pairs;
+    const Worker& w = instance.worker(pair.worker);
+    const Task& r = instance.task(pair.task);
+    bool ok = true;
+    if (pair.time + epsilon < r.start) {
+      ++result.task_not_released;
+      ok = false;
+    }
+    if (pair.time > w.Deadline() + epsilon) {
+      ++result.worker_expired;
+      ok = false;
+    }
+    if (ok) {
+      const Point position = dispatcher.PositionAt(pair.worker, pair.time);
+      const double arrival =
+          pair.time + TravelTime(position, r.location, velocity);
+      if (arrival > r.Deadline() + epsilon) {
+        ++result.late_arrival;
+        ok = false;
+      }
+    }
+    if (ok) {
+      ++result.feasible_pairs;
+    } else {
+      ++result.violations;
+    }
+  }
+  return result;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,43 @@
+// Strict post-hoc verification of an assignment against the physical model:
+// the paper's analysis assumes guide-matched pairs always realize
+// (Section 5.1, "we assume each pair matched based on the offline guide can
+// be matched in reality"); the strict simulator re-checks every committed
+// pair using actual worker positions (including guide-issued relocations)
+// and actual deadlines, quantifying the cost of that assumption (E16).
+
+#ifndef FTOA_SIM_SIMULATOR_H_
+#define FTOA_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "core/online_algorithm.h"
+#include "model/assignment.h"
+#include "model/instance.h"
+
+namespace ftoa {
+
+/// Result of strict verification.
+struct StrictVerification {
+  int64_t total_pairs = 0;
+  int64_t feasible_pairs = 0;
+  int64_t violations = 0;
+
+  /// Violation breakdown.
+  int64_t late_arrival = 0;     ///< Worker cannot reach the task in time.
+  int64_t worker_expired = 0;   ///< Pair decided after the worker left.
+  int64_t task_not_released = 0; ///< Pair decided before the task existed.
+};
+
+/// Re-verifies every matched pair: at the pair's decision time the task must
+/// be released, the worker must still be on the platform (small tolerance
+/// `epsilon` absorbs slot-midpoint discretization), and traveling from the
+/// worker's *actual* position (per `trace` relocations) must reach the task
+/// by its deadline.
+StrictVerification VerifyStrict(const Instance& instance,
+                                const Assignment& assignment,
+                                const RunTrace& trace,
+                                double epsilon = 1e-9);
+
+}  // namespace ftoa
+
+#endif  // FTOA_SIM_SIMULATOR_H_

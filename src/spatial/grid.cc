@@ -1,0 +1,53 @@
+#include "spatial/grid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ftoa {
+
+GridSpec::GridSpec(double width, double height, int cells_x, int cells_y)
+    : width_(width),
+      height_(height),
+      cells_x_(cells_x),
+      cells_y_(cells_y),
+      cell_width_(width / cells_x),
+      cell_height_(height / cells_y) {
+  assert(width > 0.0 && height > 0.0);
+  assert(cells_x > 0 && cells_y > 0);
+}
+
+Point GridSpec::Clamp(Point p) const {
+  // Nudge just inside the open upper edge so CellOf stays in range.
+  const double max_x = width_ - width_ * 1e-12 - 1e-12;
+  const double max_y = height_ - height_ * 1e-12 - 1e-12;
+  return {std::clamp(p.x, 0.0, max_x), std::clamp(p.y, 0.0, max_y)};
+}
+
+CellId GridSpec::CellOf(Point p) const {
+  p = Clamp(p);
+  int cx = static_cast<int>(p.x / cell_width_);
+  int cy = static_cast<int>(p.y / cell_height_);
+  cx = std::clamp(cx, 0, cells_x_ - 1);
+  cy = std::clamp(cy, 0, cells_y_ - 1);
+  return CellAt(cx, cy);
+}
+
+Point GridSpec::CellCenter(CellId id) const {
+  const int cx = CellX(id);
+  const int cy = CellY(id);
+  return {(cx + 0.5) * cell_width_, (cy + 0.5) * cell_height_};
+}
+
+double GridSpec::DistanceToCell(Point p, CellId id) const {
+  const int cx = CellX(id);
+  const int cy = CellY(id);
+  const double lo_x = cx * cell_width_;
+  const double hi_x = lo_x + cell_width_;
+  const double lo_y = cy * cell_height_;
+  const double hi_y = lo_y + cell_height_;
+  const double dx = p.x < lo_x ? lo_x - p.x : (p.x > hi_x ? p.x - hi_x : 0.0);
+  const double dy = p.y < lo_y ? lo_y - p.y : (p.y > hi_y ? p.y - hi_y : 0.0);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace ftoa

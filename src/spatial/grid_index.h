@@ -1,0 +1,79 @@
+// A dynamic point index over a GridSpec: insert/erase identified points and
+// answer nearest-neighbor and disk queries with predicate filtering.
+//
+// This is the spatial substrate behind SimpleGreedy (nearest feasible
+// counterpart per arrival) and the edge-pruned construction of the offline
+// OPT bipartite graph.
+
+#ifndef FTOA_SPATIAL_GRID_INDEX_H_
+#define FTOA_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "spatial/grid.h"
+#include "spatial/point.h"
+
+namespace ftoa {
+
+/// Identified point stored in a GridIndex.
+struct IndexedPoint {
+  int64_t id = 0;
+  Point location;
+};
+
+/// Bucketed point index with O(1) insert/erase and ring-expansion
+/// nearest-neighbor search. Ids must be unique among live entries.
+class GridIndex {
+ public:
+  explicit GridIndex(const GridSpec& grid);
+
+  /// Inserts a point; overwrites any previous live entry with the same id.
+  void Insert(int64_t id, Point location);
+
+  /// Removes an entry by id; returns false when absent.
+  bool Erase(int64_t id);
+
+  /// True iff `id` is currently stored.
+  bool Contains(int64_t id) const { return locator_.count(id) > 0; }
+
+  /// Number of live entries.
+  size_t size() const { return locator_.size(); }
+
+  /// Predicate deciding whether a candidate may be matched; receives the
+  /// candidate and its Euclidean distance from the query point.
+  using Filter = std::function<bool(const IndexedPoint&, double distance)>;
+
+  /// Returns the nearest entry within `max_distance` of `origin` passing
+  /// `filter` (nullptr-able: empty std::function accepts everything), or an
+  /// IndexedPoint with id = -1 when none qualifies. Rings of cells are
+  /// scanned outward, and the scan stops as soon as the best candidate found
+  /// so far is closer than the next ring can possibly be.
+  IndexedPoint FindNearest(Point origin, double max_distance,
+                           const Filter& filter = Filter()) const;
+
+  /// Invokes `fn` for every entry within `radius` of `origin`.
+  void ForEachInDisk(Point origin, double radius,
+                     const std::function<void(const IndexedPoint&,
+                                              double distance)>& fn) const;
+
+  /// Invokes `fn` for every entry in cell `cell`.
+  void ForEachInCell(CellId cell,
+                     const std::function<void(const IndexedPoint&)>& fn) const;
+
+ private:
+  struct Slot {
+    int32_t cell;
+    int32_t offset;  // Position within the cell bucket.
+  };
+
+  const GridSpec grid_;
+  std::vector<std::vector<IndexedPoint>> buckets_;  // One per cell.
+  std::unordered_map<int64_t, Slot> locator_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_SPATIAL_GRID_INDEX_H_

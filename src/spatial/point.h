@@ -1,0 +1,50 @@
+// 2D points and basic Euclidean geometry. Locations in the FTOA model
+// (Definitions 1-2 of the paper) are points in a bounded 2D region.
+
+#ifndef FTOA_SPATIAL_POINT_H_
+#define FTOA_SPATIAL_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace ftoa {
+
+/// A point (or displacement) in the 2D plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point p, double s) { return {p.x * s, p.y * s}; }
+  friend Point operator*(double s, Point p) { return p * s; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+  friend bool operator!=(Point a, Point b) { return !(a == b); }
+  friend std::ostream& operator<<(std::ostream& os, Point p) {
+    return os << '(' << p.x << ", " << p.y << ')';
+  }
+};
+
+/// Squared Euclidean distance (avoids the sqrt when comparing).
+inline double SquaredDistance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double Distance(Point a, Point b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// Linear interpolation from `a` to `b`; fraction is clamped to [0, 1].
+/// Used to track a dispatched worker's position while en route.
+inline Point Lerp(Point a, Point b, double fraction) {
+  if (fraction <= 0.0) return a;
+  if (fraction >= 1.0) return b;
+  return {a.x + (b.x - a.x) * fraction, a.y + (b.y - a.y) * fraction};
+}
+
+}  // namespace ftoa
+
+#endif  // FTOA_SPATIAL_POINT_H_

@@ -1,0 +1,22 @@
+#include "spatial/spacetime.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ftoa {
+
+SlotSpec::SlotSpec(double horizon, int num_slots)
+    : horizon_(horizon),
+      num_slots_(num_slots),
+      slot_duration_(horizon / num_slots) {
+  assert(horizon > 0.0);
+  assert(num_slots > 0);
+}
+
+int SlotSpec::SlotOf(double t) const {
+  if (t <= 0.0) return 0;
+  const int slot = static_cast<int>(t / slot_duration_);
+  return std::min(slot, num_slots_ - 1);
+}
+
+}  // namespace ftoa

@@ -1,0 +1,105 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ftoa {
+
+CsvWriter::CsvWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+  }
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) {
+    return Status::IoError("CsvWriter: file is not open");
+  }
+  auto* f = static_cast<std::FILE*>(file_);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const std::string escaped = CsvEscape(cells[i]);
+    if (i > 0 && std::fputc(',', f) == EOF) {
+      return Status::IoError("CsvWriter: write failed");
+    }
+    if (std::fputs(escaped.c_str(), f) == EOF) {
+      return Status::IoError("CsvWriter: write failed");
+    }
+  }
+  if (std::fputc('\n', f) == EOF) {
+    return Status::IoError("CsvWriter: write failed");
+  }
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::IoError("CsvWriter: file is not open");
+  }
+  const int rc = std::fclose(static_cast<std::FILE*>(file_));
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("CsvWriter: close failed");
+  return Status::OK();
+}
+
+std::string CsvEscape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> CsvParseLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  cells.push_back(std::move(current));
+  return cells;
+}
+
+Result<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("CsvReadFile: cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(CsvParseLine(line));
+  }
+  return rows;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,52 @@
+// Minimal CSV read/write support, used to export benchmark series for
+// external plotting and to persist generated workloads.
+
+#ifndef FTOA_UTIL_CSV_H_
+#define FTOA_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ftoa {
+
+/// Writes rows of cells as RFC-4180-ish CSV (quotes cells containing comma,
+/// quote, or newline).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; check Ok() before use.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Whether the file was opened successfully.
+  bool Ok() const { return file_ != nullptr; }
+
+  /// Appends one row.
+  Status WriteRow(const std::vector<std::string>& cells);
+
+  /// Flushes and closes; further writes fail.
+  Status Close();
+
+ private:
+  void* file_ = nullptr;  // FILE*, kept opaque in the header.
+};
+
+/// Escapes one CSV cell (exposed for tests).
+std::string CsvEscape(const std::string& cell);
+
+/// Parses one CSV line into cells, honoring quoted cells with embedded
+/// commas and doubled quotes.
+std::vector<std::string> CsvParseLine(const std::string& line);
+
+/// Reads an entire CSV file into rows of cells.
+Result<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path);
+
+}  // namespace ftoa
+
+#endif  // FTOA_UTIL_CSV_H_

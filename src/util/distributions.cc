@@ -1,0 +1,107 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ftoa {
+
+TruncatedNormal::TruncatedNormal(double mean, double stddev, double lo,
+                                 double hi)
+    : mean_(mean), stddev_(stddev), lo_(lo), hi_(hi) {
+  assert(lo < hi);
+  assert(stddev >= 0.0);
+}
+
+double TruncatedNormal::Sample(Rng& rng) const {
+  if (stddev_ <= 0.0) return std::clamp(mean_, lo_, hi_);
+  // Rejection sampling; falls back to clamping if the acceptance region is
+  // in the far tail (keeps sampling O(1) amortized for all parameters the
+  // generators use).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double v = rng.NextGaussian(mean_, stddev_);
+    if (v >= lo_ && v <= hi_) return v;
+  }
+  return std::clamp(rng.NextGaussian(mean_, stddev_), lo_, hi_);
+}
+
+TruncatedNormal2d::TruncatedNormal2d(double mean_x, double mean_y,
+                                     double stddev_x, double stddev_y,
+                                     double width, double height)
+    : x_(mean_x, stddev_x, 0.0, width), y_(mean_y, stddev_y, 0.0, height) {}
+
+void TruncatedNormal2d::Sample(Rng& rng, double* x, double* y) const {
+  *x = x_.Sample(rng);
+  *y = y_.Sample(rng);
+}
+
+DiscreteDistribution::DiscreteDistribution(const std::vector<double>& weights) {
+  const size_t n = weights.empty() ? 1 : weights.size();
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+
+  normalized_.assign(n, 0.0);
+  if (total <= 0.0) {
+    // Degenerate input: uniform.
+    std::fill(normalized_.begin(), normalized_.end(), 1.0 / n);
+  } else {
+    for (size_t i = 0; i < weights.size(); ++i) {
+      normalized_[i] = std::max(0.0, weights[i]) / total;
+    }
+  }
+
+  // Walker's alias method construction.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<size_t> small;
+  std::vector<size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t i : large) prob_[i] = 1.0;
+  for (size_t i : small) prob_[i] = 1.0;  // Numerical leftovers.
+}
+
+size_t DiscreteDistribution::Sample(Rng& rng) const {
+  const size_t column = rng.NextBounded(prob_.size());
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+SampleStats ComputeSampleStats(const std::vector<double>& values) {
+  SampleStats stats;
+  stats.count = values.size();
+  if (values.empty()) return stats;
+  stats.min = std::numeric_limits<double>::infinity();
+  stats.max = -std::numeric_limits<double>::infinity();
+  double mean = 0.0;
+  double m2 = 0.0;
+  size_t n = 0;
+  for (double v : values) {
+    ++n;
+    const double delta = v - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (v - mean);
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean = mean;
+  stats.variance = m2 / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,91 @@
+// Sampling helpers for the paper's workload models (Table 4): truncated
+// normal temporal distributions and truncated multivariate (axis-aligned)
+// normal spatial distributions, plus discrete distributions over
+// (slot, area) types used by the i.i.d. arrival model of Definition 5.
+
+#ifndef FTOA_UTIL_DISTRIBUTIONS_H_
+#define FTOA_UTIL_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ftoa {
+
+/// 1-D normal distribution truncated (by resampling) to [lo, hi].
+/// Used for the temporal distribution of arrivals: the paper draws start
+/// times from N(mu, sigma^2) over the experiment horizon.
+class TruncatedNormal {
+ public:
+  /// Requires lo < hi and stddev >= 0. A zero stddev degenerates to the
+  /// (clamped) mean.
+  TruncatedNormal(double mean, double stddev, double lo, double hi);
+
+  double Sample(Rng& rng) const;
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+ private:
+  double mean_;
+  double stddev_;
+  double lo_;
+  double hi_;
+};
+
+/// Axis-aligned bivariate normal truncated to the rectangle
+/// [0, width) x [0, height). The paper's spatial model uses a diagonal
+/// covariance (no x-y correlation), Section 6.1.
+class TruncatedNormal2d {
+ public:
+  TruncatedNormal2d(double mean_x, double mean_y, double stddev_x,
+                    double stddev_y, double width, double height);
+
+  /// Samples a point; writes the coordinates through the out-parameters
+  /// (Google style: pointers for outputs).
+  void Sample(Rng& rng, double* x, double* y) const;
+
+ private:
+  TruncatedNormal x_;
+  TruncatedNormal y_;
+};
+
+/// Discrete distribution over {0, ..., n-1} built from non-negative weights.
+/// Sampling is O(1) via Walker's alias method; construction is O(n).
+/// This is the sampler behind the i.i.d. input model: Pr[i][j] =
+/// a_ij / sum(a) over (slot, area) types.
+class DiscreteDistribution {
+ public:
+  /// Builds from weights; all-zero weights yield a uniform distribution.
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// Normalized probability of index i.
+  double probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;     // Alias-method acceptance probabilities.
+  std::vector<size_t> alias_;    // Alias targets.
+  std::vector<double> normalized_;
+};
+
+/// Summary statistics over a sample (used by tests and predictor metrics).
+struct SampleStats {
+  double mean = 0.0;
+  double variance = 0.0;  // Population variance.
+  double min = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+};
+
+/// Computes mean/variance/min/max of `values` in one pass (Welford).
+SampleStats ComputeSampleStats(const std::vector<double>& values);
+
+}  // namespace ftoa
+
+#endif  // FTOA_UTIL_DISTRIBUTIONS_H_

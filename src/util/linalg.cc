@@ -1,0 +1,124 @@
+#include "util/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ftoa {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix id(n, n);
+  for (size_t i = 0; i < n; ++i) id(i, i) = 1.0;
+  return id;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out(j, i) = (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Apply(const std::vector<double>& v) const {
+  assert(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < cols_; ++j) sum += (*this)(i, j) * v[j];
+    out[i] = sum;
+  }
+  return out;
+}
+
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveLinearSystem: matrix must be square");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveLinearSystem: size mismatch");
+  }
+  const size_t n = a.rows();
+  // Augmented working copy.
+  Matrix work(n, n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) work(i, j) = a(i, j);
+    work(i, n) = b[i];
+  }
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::fabs(work(col, col));
+    for (size_t row = col + 1; row < n; ++row) {
+      const double candidate = std::fabs(work(row, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition(
+          "SolveLinearSystem: matrix is singular");
+    }
+    if (pivot != col) {
+      for (size_t j = col; j <= n; ++j) std::swap(work(col, j), work(pivot, j));
+    }
+    const double inv = 1.0 / work(col, col);
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = work(row, col) * inv;
+      if (factor == 0.0) continue;
+      for (size_t j = col; j <= n; ++j) work(row, j) -= factor * work(col, j);
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = work(i, n);
+    for (size_t j = i + 1; j < n; ++j) sum -= work(i, j) * x[j];
+    x[i] = sum / work(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b,
+                                              double lambda) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveLeastSquares: size mismatch");
+  }
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("SolveLeastSquares: negative lambda");
+  }
+  const Matrix at = a.Transposed();
+  Matrix normal = at.Multiply(a);
+  for (size_t i = 0; i < normal.rows(); ++i) normal(i, i) += lambda;
+  const std::vector<double> rhs = at.Apply(b);
+  return SolveLinearSystem(normal, rhs);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,73 @@
+// Small dense linear algebra used by the prediction library: a row-major
+// Matrix, Gaussian elimination with partial pivoting, Cholesky, and
+// ridge-regularized ordinary least squares. The matrices here are tiny
+// (tens of columns), so simple O(n^3) routines are the right tool.
+
+#ifndef FTOA_UTIL_LINALG_H_
+#define FTOA_UTIL_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ftoa {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Identity matrix of order n.
+  static Matrix Identity(size_t n);
+
+  /// Matrix product; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transpose.
+  Matrix Transposed() const;
+
+  /// Matrix-vector product; requires v.size() == cols().
+  std::vector<double> Apply(const std::vector<double>& v) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Fails with InvalidArgument on shape mismatch and FailedPrecondition when A
+/// is (numerically) singular.
+Result<std::vector<double>> SolveLinearSystem(const Matrix& a,
+                                              const std::vector<double>& b);
+
+/// Solves the ridge-regularized least-squares problem
+///   min_x ||A x - b||^2 + lambda ||x||^2
+/// via the normal equations (A^T A + lambda I) x = A^T b.
+/// lambda = 0 gives plain OLS; a small lambda keeps the system well-posed
+/// when features are collinear (the lag features of the predictors often
+/// are). Requires a.rows() == b.size().
+Result<std::vector<double>> SolveLeastSquares(const Matrix& a,
+                                              const std::vector<double>& b,
+                                              double lambda = 0.0);
+
+/// Dot product; requires equal sizes.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace ftoa
+
+#endif  // FTOA_UTIL_LINALG_H_

@@ -1,0 +1,63 @@
+// Minimal leveled logging with a process-wide level switch. Benchmarks run
+// with kWarning to keep stdout clean for the harness tables; tests may dial
+// up to kDebug.
+
+#ifndef FTOA_UTIL_LOGGING_H_
+#define FTOA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ftoa {
+
+/// Severity levels, ordered.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+namespace logging {
+
+/// Sets the minimum severity that is emitted.
+void SetLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel GetLevel();
+
+/// Emits `message` at `level` to stderr if enabled.
+void Emit(LogLevel level, const std::string& message);
+
+}  // namespace logging
+
+/// Stream-style log statement helper; builds the message only when enabled.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {
+    enabled_ = level >= logging::GetLevel();
+  }
+  ~LogMessage() {
+    if (enabled_) logging::Emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ftoa
+
+#define FTOA_LOG_DEBUG ::ftoa::LogMessage(::ftoa::LogLevel::kDebug)
+#define FTOA_LOG_INFO ::ftoa::LogMessage(::ftoa::LogLevel::kInfo)
+#define FTOA_LOG_WARNING ::ftoa::LogMessage(::ftoa::LogLevel::kWarning)
+#define FTOA_LOG_ERROR ::ftoa::LogMessage(::ftoa::LogLevel::kError)
+
+#endif  // FTOA_UTIL_LOGGING_H_

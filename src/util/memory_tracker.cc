@@ -1,0 +1,134 @@
+#include "util/memory_tracker.h"
+
+#include <malloc.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace ftoa {
+namespace memory_tracker {
+namespace {
+
+std::atomic<uint64_t> g_live_bytes{0};
+std::atomic<uint64_t> g_peak_bytes{0};
+std::atomic<uint64_t> g_total_allocs{0};
+std::atomic<uint64_t> g_total_frees{0};
+
+inline void RecordAlloc(void* ptr) {
+  if (ptr == nullptr) return;
+  const uint64_t size = malloc_usable_size(ptr);
+  const uint64_t live =
+      g_live_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
+  uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+inline void RecordFree(void* ptr) {
+  if (ptr == nullptr) return;
+  const uint64_t size = malloc_usable_size(ptr);
+  g_live_bytes.fetch_sub(size, std::memory_order_relaxed);
+  g_total_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MemoryStats Snapshot() {
+  MemoryStats stats;
+  stats.live_bytes = g_live_bytes.load(std::memory_order_relaxed);
+  stats.peak_bytes = g_peak_bytes.load(std::memory_order_relaxed);
+  stats.total_allocs = g_total_allocs.load(std::memory_order_relaxed);
+  stats.total_frees = g_total_frees.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetPeak() {
+  g_peak_bytes.store(g_live_bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+uint64_t LiveBytes() { return g_live_bytes.load(std::memory_order_relaxed); }
+
+uint64_t PeakBytes() { return g_peak_bytes.load(std::memory_order_relaxed); }
+
+}  // namespace memory_tracker
+}  // namespace ftoa
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacements. These must live in exactly one
+// translation unit linked into each binary; src/util is linked everywhere.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void* TrackedAlloc(std::size_t size) {
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  ftoa::memory_tracker::RecordAlloc(ptr);
+  return ptr;
+}
+
+void* TrackedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  void* ptr = nullptr;
+  if (posix_memalign(&ptr, alignment, size == 0 ? alignment : size) != 0) {
+    ptr = nullptr;
+  }
+  ftoa::memory_tracker::RecordAlloc(ptr);
+  return ptr;
+}
+
+void TrackedFree(void* ptr) noexcept {
+  ftoa::memory_tracker::RecordFree(ptr);
+  std::free(ptr);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* ptr = TrackedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return TrackedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* ptr = TrackedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return ::operator new(size, alignment);
+}
+
+void operator delete(void* ptr) noexcept { TrackedFree(ptr); }
+void operator delete[](void* ptr) noexcept { TrackedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { TrackedFree(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { TrackedFree(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  TrackedFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  TrackedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept { TrackedFree(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  TrackedFree(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  TrackedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  TrackedFree(ptr);
+}

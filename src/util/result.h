@@ -1,0 +1,81 @@
+// Result<T>: value-or-Status, the companion of Status for functions that
+// produce a value on success.
+
+#ifndef FTOA_UTIL_RESULT_H_
+#define FTOA_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ftoa {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent. Accessing the value of an errored Result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs from an error status (implicit, enables `return status;`).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is set.
+};
+
+}  // namespace ftoa
+
+/// Propagates the error of a Result expression, or assigns its value.
+/// Usage: FTOA_ASSIGN_OR_RETURN(auto x, ComputeX());
+/// Each expansion gets a unique temporary so the macro can be used several
+/// times in one scope.
+#define FTOA_ASSIGN_OR_RETURN(decl, expr) \
+  FTOA_ASSIGN_OR_RETURN_IMPL_(            \
+      FTOA_RESULT_CONCAT_(_ftoa_result_tmp, __LINE__), decl, expr)
+
+#define FTOA_RESULT_CONCAT_INNER_(a, b) a##b
+#define FTOA_RESULT_CONCAT_(a, b) FTOA_RESULT_CONCAT_INNER_(a, b)
+#define FTOA_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  decl = std::move(tmp).value()
+
+#endif  // FTOA_UTIL_RESULT_H_

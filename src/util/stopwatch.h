@@ -1,0 +1,46 @@
+// Wall-clock stopwatch used by the benchmark harnesses and the simulator's
+// running-time metric (the paper's "Time(secs)" axis).
+
+#ifndef FTOA_UTIL_STOPWATCH_H_
+#define FTOA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ftoa {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  /// Starts running immediately.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+
+  /// Elapsed time in milliseconds.
+  int64_t ElapsedMillis() const { return ElapsedNanos() / 1000000; }
+
+  /// Elapsed time in seconds as a double.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_UTIL_STOPWATCH_H_

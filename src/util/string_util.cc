@@ -1,0 +1,92 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftoa {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      tokens.emplace_back(input.substr(start));
+      break;
+    }
+    tokens.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return tokens;
+}
+
+std::string Trim(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return std::string(input.substr(begin, end - begin));
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string ToLower(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+Result<int64_t> ParseInt(std::string_view text) {
+  const std::string s = Trim(text);
+  if (s.empty()) return Status::InvalidArgument("ParseInt: empty input");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE) return Status::OutOfRange("ParseInt: out of range");
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("ParseInt: trailing characters in '" + s +
+                                   "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string s = Trim(text);
+  if (s.empty()) return Status::InvalidArgument("ParseDouble: empty input");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE) return Status::OutOfRange("ParseDouble: out of range");
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("ParseDouble: trailing characters in '" +
+                                   s + "'");
+  }
+  return value;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < sizeof(kUnits) / sizeof(kUnits[0])) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f %s", value, kUnits[unit]);
+  return buffer;
+}
+
+}  // namespace ftoa

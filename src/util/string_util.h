@@ -1,0 +1,37 @@
+// Small string helpers shared by config parsing and the bench harnesses.
+
+#ifndef FTOA_UTIL_STRING_UTIL_H_
+#define FTOA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ftoa {
+
+/// Splits `input` on `delimiter`; keeps empty tokens.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view input);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII.
+std::string ToLower(std::string_view input);
+
+/// Strict integer parse of the whole string.
+Result<int64_t> ParseInt(std::string_view text);
+
+/// Strict floating-point parse of the whole string.
+Result<double> ParseDouble(std::string_view text);
+
+/// Formats `bytes` as a human-readable size ("12.3 MB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace ftoa
+
+#endif  // FTOA_UTIL_STRING_UTIL_H_

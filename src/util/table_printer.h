@@ -1,0 +1,42 @@
+// Fixed-width console table rendering for the benchmark harnesses: each
+// bench binary prints the rows/series of the paper table or figure it
+// reproduces in an aligned, grep-friendly layout.
+
+#ifndef FTOA_UTIL_TABLE_PRINTER_H_
+#define FTOA_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ftoa {
+
+/// Collects rows of string cells and renders them with column alignment.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; missing cells render empty, extra cells widen the
+  /// table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string FormatDouble(double value, int precision = 2);
+
+  /// Convenience: groups of thousands are not separated (plain int).
+  static std::string FormatInt(int64_t value);
+
+  /// Renders the header, a separator, and all rows to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,111 @@
+#include "baselines/offline_opt.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/gr_batch.h"
+#include "baselines/simple_greedy.h"
+#include "core/guide_generator.h"
+#include "core/polar.h"
+#include "core/polar_op.h"
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+using ftoa::testing::MakeExample1Instance;
+
+TEST(OfflineOptTest, Example1AchievesSix) {
+  // Figure 1c: with movement allowed and full knowledge, all six tasks are
+  // served.
+  const Instance instance = MakeExample1Instance();
+  OfflineOpt opt;
+  const Assignment assignment = opt.Run(instance);
+  EXPECT_EQ(assignment.size(), 6u);
+  EXPECT_TRUE(assignment
+                  .Validate(instance,
+                            FeasibilityPolicy::kDispatchAtWorkerStart)
+                  .ok());
+  EXPECT_EQ(opt.name(), "OPT");
+}
+
+TEST(OfflineOptTest, EmptyInstance) {
+  const Instance instance(
+      SpacetimeSpec(SlotSpec(10.0, 2), GridSpec(8.0, 8.0, 2, 2)), 1.0, {},
+      {});
+  OfflineOpt opt;
+  EXPECT_EQ(opt.Run(instance).size(), 0u);
+}
+
+TEST(OfflineOptTest, InfeasiblePairsNeverMatched) {
+  const SpacetimeSpec st(SlotSpec(10.0, 1), GridSpec(100.0, 100.0, 10, 10));
+  std::vector<Worker> workers(1);
+  workers[0] = {0, {0.0, 0.0}, 0.0, 1.0};
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {90.0, 90.0}, 0.5, 1.0};  // Hopelessly far.
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+  OfflineOpt opt;
+  EXPECT_EQ(opt.Run(instance).size(), 0u);
+}
+
+TEST(OfflineOptTest, DecisionTimeIsLaterArrival) {
+  const SpacetimeSpec st(SlotSpec(10.0, 1), GridSpec(10.0, 10.0, 5, 5));
+  std::vector<Worker> workers(1);
+  workers[0] = {0, {1.0, 1.0}, 3.0, 5.0};
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {1.0, 1.0}, 1.0, 6.0};
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+  OfflineOpt opt;
+  const Assignment assignment = opt.Run(instance);
+  ASSERT_EQ(assignment.size(), 1u);
+  EXPECT_DOUBLE_EQ(assignment.pairs()[0].time, 3.0);
+}
+
+// Property: OPT dominates every online algorithm on the same instance
+// (it is the denominator of the competitive ratio).
+class OptDominanceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptDominanceTest, DominatesOnlineAlgorithms) {
+  SyntheticConfig config;
+  config.num_workers = 400;
+  config.num_tasks = 400;
+  config.grid_x = 10;
+  config.grid_y = 10;
+  config.num_slots = 8;
+  config.seed = GetParam() * 101 + 3;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const auto prediction = GenerateSyntheticPrediction(config);
+  ASSERT_TRUE(prediction.ok());
+
+  GuideOptions options;
+  options.engine = GuideOptions::Engine::kDinic;
+  options.worker_duration = config.worker_duration;
+  options.task_duration = config.task_duration;
+  auto guide = std::make_shared<const OfflineGuide>(std::move(
+      GuideGenerator(config.velocity, options).Generate(*prediction))
+                                                        .value());
+
+  OfflineOpt opt;
+  const size_t opt_size = opt.Run(*instance).size();
+
+  SimpleGreedy greedy;
+  GrBatch gr;
+  // check_liveness makes every POLAR pair an object-level feasible edge, so
+  // the dominance holds exactly (guide-trust pairs could otherwise exceed
+  // Definition 4 by the slot-discretization slack).
+  Polar polar(guide, PolarOptions{.check_liveness = true});
+  PolarOp polar_op(guide, PolarOptions{.check_liveness = true});
+  EXPECT_GE(opt_size, greedy.Run(*instance).size());
+  EXPECT_GE(opt_size, gr.Run(*instance).size());
+  EXPECT_GE(opt_size, polar.Run(*instance).size());
+  EXPECT_GE(opt_size, polar_op.Run(*instance).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptDominanceTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,119 @@
+#include "baselines/simple_greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+using ftoa::testing::MakeExample1Instance;
+
+TEST(SimpleGreedyTest, Example1WaitInPlaceMatchesOnlyR1) {
+  // Under literal wait-in-place semantics, only r1 is served: w1 is 2 units
+  // away with Dr = 2. Every later task appears farther than Dr from all
+  // waiting workers (see DESIGN.md on the paper's Example 2 narrative).
+  const Instance instance = MakeExample1Instance();
+  SimpleGreedy greedy;
+  const Assignment assignment = greedy.Run(instance);
+  EXPECT_EQ(assignment.size(), 1u);
+  EXPECT_EQ(assignment.MatchOfTask(0), 0);  // w1 -> r1.
+  EXPECT_TRUE(assignment
+                  .Validate(instance,
+                            FeasibilityPolicy::kDispatchAtAssignmentTime)
+                  .ok());
+}
+
+TEST(SimpleGreedyTest, Definition4PolicyMatchesMore) {
+  // With the paper's Definition 4 predicate (pre-movement credit), greedy
+  // can serve the slot-1 tasks from the earlier top-right workers.
+  const Instance instance = MakeExample1Instance();
+  SimpleGreedy greedy(SimpleGreedyOptions{
+      .use_spatial_index = false,
+      .policy = FeasibilityPolicy::kDispatchAtWorkerStart});
+  const Assignment assignment = greedy.Run(instance);
+  EXPECT_GT(assignment.size(), 1u);
+  EXPECT_TRUE(assignment
+                  .Validate(instance,
+                            FeasibilityPolicy::kDispatchAtWorkerStart)
+                  .ok());
+}
+
+TEST(SimpleGreedyTest, PicksNearestFeasible) {
+  const SpacetimeSpec st(SlotSpec(10.0, 1), GridSpec(10.0, 10.0, 5, 5));
+  std::vector<Worker> workers(2);
+  workers[0] = {0, {0.0, 0.0}, 0.0, 10.0};
+  workers[1] = {1, {3.0, 0.0}, 0.0, 10.0};
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {4.0, 0.0}, 1.0, 5.0};
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+  SimpleGreedy greedy;
+  const Assignment assignment = greedy.Run(instance);
+  ASSERT_EQ(assignment.size(), 1u);
+  EXPECT_EQ(assignment.MatchOfTask(0), 1);  // The closer worker.
+}
+
+TEST(SimpleGreedyTest, ExpiredWorkersNotMatched) {
+  const SpacetimeSpec st(SlotSpec(10.0, 1), GridSpec(10.0, 10.0, 5, 5));
+  std::vector<Worker> workers(1);
+  workers[0] = {0, {0.0, 0.0}, 0.0, 1.0};  // Gone by t = 1.
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {0.0, 0.0}, 5.0, 5.0};
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+  SimpleGreedy greedy;
+  EXPECT_EQ(greedy.Run(instance).size(), 0u);
+}
+
+TEST(SimpleGreedyTest, WorkerArrivingAfterTaskCanMatch) {
+  const SpacetimeSpec st(SlotSpec(10.0, 1), GridSpec(10.0, 10.0, 5, 5));
+  std::vector<Worker> workers(1);
+  workers[0] = {0, {1.0, 0.0}, 2.0, 5.0};
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {0.0, 0.0}, 0.0, 4.0};  // Deadline t = 4.
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+  SimpleGreedy greedy;
+  // Worker departs at t = 2, arrives at t = 3 <= 4.
+  EXPECT_EQ(greedy.Run(instance).size(), 1u);
+}
+
+TEST(SimpleGreedyTest, NamesReflectVariant) {
+  EXPECT_EQ(SimpleGreedy().name(), "SimpleGreedy");
+  EXPECT_EQ(
+      SimpleGreedy(SimpleGreedyOptions{.use_spatial_index = true}).name(),
+      "SimpleGreedy-Idx");
+}
+
+// Property: the linear-scan and grid-index variants produce identical
+// matching sizes (they implement the same rule).
+class SimpleGreedyEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimpleGreedyEquivalenceTest, IndexedVariantMatchesLinearScan) {
+  SyntheticConfig config;
+  config.num_workers = 400;
+  config.num_tasks = 400;
+  config.grid_x = 10;
+  config.grid_y = 10;
+  config.num_slots = 8;
+  config.seed = GetParam() * 13 + 5;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  SimpleGreedy linear;
+  SimpleGreedy indexed(SimpleGreedyOptions{.use_spatial_index = true});
+  const Assignment a = linear.Run(*instance);
+  const Assignment b = indexed.Run(*instance);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_TRUE(a.Validate(*instance,
+                         FeasibilityPolicy::kDispatchAtAssignmentTime)
+                  .ok());
+  EXPECT_TRUE(b.Validate(*instance,
+                         FeasibilityPolicy::kDispatchAtAssignmentTime)
+                  .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimpleGreedyEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,220 @@
+#include "core/guide_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/synthetic.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ftoa {
+namespace {
+
+using ftoa::testing::MakeExample1Instance;
+
+GuideOptions Example1Options(GuideOptions::Engine engine) {
+  GuideOptions options;
+  options.engine = engine;
+  options.worker_duration = 30.0;
+  options.task_duration = 2.0;
+  return options;
+}
+
+TEST(GuideGeneratorTest, Example1PerfectPredictionMatchesSix) {
+  // With the true per-type counts of Example 1, the maximum bipartite
+  // matching over predicted nodes has cardinality 6 (all tasks served):
+  // two top-left slot-0 tasks from the three top-left workers, four
+  // bottom-right slot-1 tasks from the four top-right workers.
+  const Instance instance = MakeExample1Instance();
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(instance);
+  for (const auto engine :
+       {GuideOptions::Engine::kFordFulkerson, GuideOptions::Engine::kDinic,
+        GuideOptions::Engine::kCompressed,
+        GuideOptions::Engine::kCompressedMinCost}) {
+    const GuideGenerator generator(instance.velocity(),
+                                   Example1Options(engine));
+    const auto guide = generator.Generate(prediction);
+    ASSERT_TRUE(guide.ok());
+    EXPECT_EQ(guide->matched_pairs(), 6) << "engine " << static_cast<int>(
+        engine);
+    EXPECT_EQ(guide->num_worker_nodes(), 7);
+    EXPECT_EQ(guide->num_task_nodes(), 6);
+    EXPECT_TRUE(guide->Validate().ok());
+  }
+}
+
+TEST(GuideGeneratorTest, FeasibleTypePairsRespectDeadlines) {
+  const Instance instance = MakeExample1Instance();
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(instance);
+  const GuideGenerator generator(
+      instance.velocity(),
+      Example1Options(GuideOptions::Engine::kDinic));
+  const SpacetimeSpec& st = instance.spacetime();
+  int pairs = 0;
+  generator.ForEachFeasibleTypePair(
+      prediction, [&](TypeId wt, TypeId tt) {
+        ++pairs;
+        EXPECT_TRUE(CanServeAttrs(
+            st.RepresentativeLocation(wt), st.RepresentativeTime(wt), 30.0,
+            st.RepresentativeLocation(tt), st.RepresentativeTime(tt), 2.0,
+            instance.velocity(),
+            FeasibilityPolicy::kDispatchAtWorkerStart));
+      });
+  EXPECT_GT(pairs, 0);
+}
+
+TEST(GuideGeneratorTest, EstimateCountsNodeLevelEdges) {
+  const Instance instance = MakeExample1Instance();
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(instance);
+  const GuideGenerator generator(
+      instance.velocity(),
+      Example1Options(GuideOptions::Engine::kDinic));
+  int64_t expected = 0;
+  generator.ForEachFeasibleTypePair(prediction, [&](TypeId wt, TypeId tt) {
+    expected += static_cast<int64_t>(prediction.workers_at(wt)) *
+                prediction.tasks_at(tt);
+  });
+  EXPECT_EQ(generator.EstimateNodeLevelEdges(prediction), expected);
+}
+
+TEST(GuideGeneratorTest, EmptyPredictionYieldsEmptyGuide) {
+  const Instance instance = MakeExample1Instance();
+  const PredictionMatrix empty(instance.spacetime());
+  const GuideGenerator generator(
+      instance.velocity(),
+      Example1Options(GuideOptions::Engine::kAuto));
+  const auto guide = generator.Generate(empty);
+  ASSERT_TRUE(guide.ok());
+  EXPECT_EQ(guide->matched_pairs(), 0);
+  EXPECT_EQ(guide->num_worker_nodes(), 0);
+}
+
+TEST(GuideGeneratorTest, MinCostVariantKeepsMaxCardinality) {
+  // Min-cost guide must not sacrifice matching size for cost.
+  SyntheticConfig config;
+  config.num_workers = 300;
+  config.num_tasks = 300;
+  config.grid_x = 10;
+  config.grid_y = 10;
+  config.num_slots = 8;
+  config.seed = 5;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(*instance);
+
+  GuideOptions options;
+  options.worker_duration = config.worker_duration;
+  options.task_duration = config.task_duration;
+
+  options.engine = GuideOptions::Engine::kCompressed;
+  const auto plain = GuideGenerator(config.velocity, options)
+                         .Generate(prediction);
+  options.engine = GuideOptions::Engine::kCompressedMinCost;
+  const auto min_cost = GuideGenerator(config.velocity, options)
+                            .Generate(prediction);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(min_cost.ok());
+  EXPECT_EQ(plain->matched_pairs(), min_cost->matched_pairs());
+
+  // The min-cost guide's total representative travel time is no larger.
+  auto total_cost = [](const OfflineGuide& guide) {
+    double cost = 0.0;
+    const SpacetimeSpec& st = guide.spacetime();
+    for (const GuideNode& node : guide.worker_nodes()) {
+      if (node.partner < 0) continue;
+      const GuideNode& partner =
+          guide.task_nodes()[static_cast<size_t>(node.partner)];
+      cost += TravelTime(st.RepresentativeLocation(node.type),
+                         st.RepresentativeLocation(partner.type),
+                         guide.velocity());
+    }
+    return cost;
+  };
+  EXPECT_LE(total_cost(*min_cost), total_cost(*plain) + 1e-6);
+}
+
+TEST(GuideGeneratorTest, RepresentativeSlackGrowsTheGuideMonotonically) {
+  SyntheticConfig config;
+  config.num_workers = 400;
+  config.num_tasks = 400;
+  config.grid_x = 10;
+  config.grid_y = 10;
+  config.num_slots = 8;
+  config.task_duration = 1.0;  // Tight: slack has something to recover.
+  config.seed = 77;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(*instance);
+
+  GuideOptions options;
+  options.engine = GuideOptions::Engine::kCompressed;
+  options.worker_duration = config.worker_duration;
+  options.task_duration = config.task_duration;
+
+  int64_t previous = -1;
+  for (double slack : {0.0, 0.25, 0.5, 1.0}) {
+    options.representative_slack = slack;
+    const auto guide = GuideGenerator(config.velocity, options)
+                           .Generate(prediction);
+    ASSERT_TRUE(guide.ok());
+    EXPECT_DOUBLE_EQ(guide->representative_slack(), slack);
+    // The guide's own validation honors the slack it was built with.
+    EXPECT_TRUE(guide->Validate().ok()) << "slack " << slack;
+    EXPECT_GE(guide->matched_pairs(), previous) << "slack " << slack;
+    previous = guide->matched_pairs();
+  }
+}
+
+// Property: every engine produces the same matching cardinality, and all
+// matched node pairs satisfy type-level feasibility.
+class GuideEngineEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GuideEngineEquivalenceTest, EnginesAgreeOnCardinality) {
+  SyntheticConfig config;
+  Rng rng(GetParam());
+  config.num_workers = 100 + static_cast<int>(rng.NextBounded(300));
+  config.num_tasks = 100 + static_cast<int>(rng.NextBounded(300));
+  config.grid_x = 6 + static_cast<int>(rng.NextBounded(6));
+  config.grid_y = 6 + static_cast<int>(rng.NextBounded(6));
+  config.num_slots = 4 + static_cast<int>(rng.NextBounded(8));
+  config.task_duration = 1.0 + rng.NextDouble() * 2.0;
+  config.worker_duration = 1.0 + rng.NextDouble() * 3.0;
+  config.seed = GetParam() * 1000 + 17;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(*instance);
+
+  GuideOptions options;
+  options.worker_duration = config.worker_duration;
+  options.task_duration = config.task_duration;
+
+  int64_t reference = -1;
+  for (const auto engine :
+       {GuideOptions::Engine::kFordFulkerson, GuideOptions::Engine::kDinic,
+        GuideOptions::Engine::kCompressed}) {
+    options.engine = engine;
+    const GuideGenerator generator(config.velocity, options);
+    const auto guide = generator.Generate(prediction);
+    ASSERT_TRUE(guide.ok());
+    EXPECT_TRUE(guide->Validate().ok());
+    if (reference < 0) {
+      reference = guide->matched_pairs();
+    } else {
+      EXPECT_EQ(guide->matched_pairs(), reference)
+          << "engine " << static_cast<int>(engine);
+    }
+  }
+  EXPECT_GE(reference, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuideEngineEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ftoa

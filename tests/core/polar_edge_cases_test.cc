@@ -1,0 +1,159 @@
+// Edge-case behaviour of the POLAR family beyond the happy paths: cross-
+// slot guide edges, task-before-worker arrivals, degenerate guides, and
+// occupancy-order effects that the algorithms' O(1) bookkeeping must get
+// right.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/polar.h"
+#include "core/polar_op.h"
+#include "model/instance.h"
+
+namespace ftoa {
+namespace {
+
+/// One-cell, two-slot world for hand-built guides.
+SpacetimeSpec TwoSlotWorld() {
+  return SpacetimeSpec(SlotSpec(10.0, 2), GridSpec(4.0, 4.0, 1, 1));
+}
+
+TEST(PolarEdgeCaseTest, TaskArrivingBeforeWorkerStillMatches) {
+  // The guide pairs a slot-0 task with a slot-1 worker: the task occupies
+  // first and waits; the worker's arrival completes the pair.
+  const SpacetimeSpec st = TwoSlotWorld();
+  std::vector<Worker> workers(1);
+  workers[0] = {0, {1.0, 1.0}, 6.0, 4.0};  // Slot 1.
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {1.0, 1.0}, 2.0, 8.0};  // Slot 0, generous deadline.
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+
+  auto guide = std::make_shared<OfflineGuide>(st, 1.0, 4.0, 8.0);
+  const GuideNodeId w = guide->AddWorkerNode(st.TypeAt(1, 0));
+  const GuideNodeId r = guide->AddTaskNode(st.TypeAt(0, 0));
+  ASSERT_TRUE(guide->MatchNodes(w, r).ok());
+
+  Polar polar(guide);
+  const Assignment a = polar.Run(instance);
+  ASSERT_EQ(a.size(), 1u);
+  // Matched at the worker's (later) arrival.
+  EXPECT_DOUBLE_EQ(a.pairs()[0].time, 6.0);
+
+  PolarOp polar_op(guide);
+  EXPECT_EQ(polar_op.Run(instance).size(), 1u);
+}
+
+TEST(PolarEdgeCaseTest, GuideWithOnlyUnmatchedNodesMatchesNothing) {
+  const SpacetimeSpec st = TwoSlotWorld();
+  std::vector<Worker> workers(2);
+  workers[0] = {0, {1.0, 1.0}, 1.0, 5.0};
+  workers[1] = {1, {1.0, 1.0}, 2.0, 5.0};
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {1.0, 1.0}, 1.5, 5.0};
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+
+  // Nodes exist but Ĝf matched none of them.
+  auto guide = std::make_shared<OfflineGuide>(st, 1.0, 5.0, 5.0);
+  guide->AddWorkerNode(st.TypeAt(0, 0));
+  guide->AddTaskNode(st.TypeAt(0, 0));
+
+  Polar polar(guide);
+  PolarOp polar_op(guide);
+  EXPECT_EQ(polar.Run(instance).size(), 0u);
+  EXPECT_EQ(polar_op.Run(instance).size(), 0u);
+}
+
+TEST(PolarEdgeCaseTest, PolarOccupancyIsFirstComeFirstServed) {
+  // Two guide nodes of the worker type, only the first matched in Ĝf.
+  // POLAR hands nodes out in creation order, so the *first* arriving
+  // worker gets the matched node.
+  const SpacetimeSpec st = TwoSlotWorld();
+  std::vector<Worker> workers(2);
+  workers[0] = {0, {1.0, 1.0}, 1.0, 8.0};
+  workers[1] = {1, {1.0, 1.0}, 2.0, 8.0};
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {1.0, 1.0}, 3.0, 6.0};
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+
+  auto guide = std::make_shared<OfflineGuide>(st, 1.0, 8.0, 6.0);
+  const GuideNodeId w0 = guide->AddWorkerNode(st.TypeAt(0, 0));
+  guide->AddWorkerNode(st.TypeAt(0, 0));  // Unmatched second node.
+  const GuideNodeId r = guide->AddTaskNode(st.TypeAt(0, 0));
+  ASSERT_TRUE(guide->MatchNodes(w0, r).ok());
+
+  Polar polar(guide);
+  const Assignment a = polar.Run(instance);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.MatchOfTask(0), 0);  // The first worker, not the second.
+}
+
+TEST(PolarEdgeCaseTest, PolarOpRoundRobinAlternatesNodes) {
+  // Two matched edges of the same worker/task types: round-robin must
+  // spread four workers over both nodes so both edges realize.
+  const SpacetimeSpec st = TwoSlotWorld();
+  std::vector<Worker> workers(2);
+  workers[0] = {0, {1.0, 1.0}, 1.0, 8.0};
+  workers[1] = {1, {1.0, 1.0}, 2.0, 8.0};
+  std::vector<Task> tasks(2);
+  tasks[0] = {0, {1.0, 1.0}, 3.0, 6.0};
+  tasks[1] = {1, {1.0, 1.0}, 4.0, 6.0};
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+
+  auto guide = std::make_shared<OfflineGuide>(st, 1.0, 8.0, 6.0);
+  const GuideNodeId w0 = guide->AddWorkerNode(st.TypeAt(0, 0));
+  const GuideNodeId w1 = guide->AddWorkerNode(st.TypeAt(0, 0));
+  const GuideNodeId r0 = guide->AddTaskNode(st.TypeAt(0, 0));
+  const GuideNodeId r1 = guide->AddTaskNode(st.TypeAt(0, 0));
+  ASSERT_TRUE(guide->MatchNodes(w0, r0).ok());
+  ASSERT_TRUE(guide->MatchNodes(w1, r1).ok());
+
+  PolarOp polar_op(guide);
+  const Assignment a = polar_op.Run(instance);
+  EXPECT_EQ(a.size(), 2u);
+  // Round-robin: worker 0 -> node 0 -> task node 0's queue; task 0 ->
+  // node r0 -> matches worker 0. Worker 1 -> node 1; task 1 -> r1 ->
+  // worker 1.
+  EXPECT_EQ(a.MatchOfTask(0), 0);
+  EXPECT_EQ(a.MatchOfTask(1), 1);
+}
+
+TEST(PolarEdgeCaseTest, EmptyInstanceAgainstNonEmptyGuide) {
+  const SpacetimeSpec st = TwoSlotWorld();
+  const Instance instance(st, 1.0, {}, {});
+  auto guide = std::make_shared<OfflineGuide>(st, 1.0, 5.0, 5.0);
+  ASSERT_TRUE(guide
+                  ->MatchNodes(guide->AddWorkerNode(st.TypeAt(0, 0)),
+                               guide->AddTaskNode(st.TypeAt(0, 0)))
+                  .ok());
+  Polar polar(guide);
+  PolarOp polar_op(guide);
+  EXPECT_EQ(polar.Run(instance).size(), 0u);
+  EXPECT_EQ(polar_op.Run(instance).size(), 0u);
+}
+
+TEST(PolarEdgeCaseTest, ManyObjectsOneNodePolarOpChains) {
+  // 5 workers and 5 tasks alternate on a single matched edge: POLAR-OP
+  // reuses the edge five times, POLAR once.
+  const SpacetimeSpec st = TwoSlotWorld();
+  std::vector<Worker> workers(5);
+  std::vector<Task> tasks(5);
+  for (int i = 0; i < 5; ++i) {
+    workers[static_cast<size_t>(i)] = {i, {1.0, 1.0}, 0.2 + i, 9.0};
+    tasks[static_cast<size_t>(i)] = {i, {1.0, 1.0}, 0.5 + i, 9.0};
+  }
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+
+  auto guide = std::make_shared<OfflineGuide>(st, 1.0, 9.0, 9.0);
+  ASSERT_TRUE(guide
+                  ->MatchNodes(guide->AddWorkerNode(st.TypeAt(0, 0)),
+                               guide->AddTaskNode(st.TypeAt(0, 0)))
+                  .ok());
+  Polar polar(guide);
+  PolarOp polar_op(guide);
+  EXPECT_EQ(polar.Run(instance).size(), 1u);
+  EXPECT_EQ(polar_op.Run(instance).size(), 5u);
+}
+
+}  // namespace
+}  // namespace ftoa

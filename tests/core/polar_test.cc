@@ -1,0 +1,156 @@
+#include "core/polar.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/guide_generator.h"
+#include "gen/synthetic.h"
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+using ftoa::testing::MakeExample1Instance;
+
+std::shared_ptr<const OfflineGuide> BuildGuide(
+    const Instance& instance, const PredictionMatrix& prediction,
+    double dw, double dr) {
+  GuideOptions options;
+  options.engine = GuideOptions::Engine::kDinic;
+  options.worker_duration = dw;
+  options.task_duration = dr;
+  const GuideGenerator generator(instance.velocity(), options);
+  auto guide = generator.Generate(prediction);
+  EXPECT_TRUE(guide.ok());
+  return std::make_shared<const OfflineGuide>(std::move(guide).value());
+}
+
+TEST(PolarTest, Example1PerfectPredictionAchievesOptimum) {
+  // With exact per-type counts, every predicted node is occupied by exactly
+  // the object it anticipates, so POLAR realizes all 6 guide pairs.
+  const Instance instance = MakeExample1Instance();
+  const auto guide = BuildGuide(
+      instance, PredictionMatrix::FromInstance(instance), 30.0, 2.0);
+  Polar polar(guide);
+  RunTrace trace;
+  const Assignment assignment = polar.Run(instance, &trace);
+  EXPECT_EQ(assignment.size(), 6u);
+  EXPECT_EQ(trace.ignored_workers + trace.ignored_tasks, 0);
+  EXPECT_EQ(polar.name(), "POLAR");
+}
+
+TEST(PolarTest, UnderPredictionIgnoresExtraObjects) {
+  // Remove one worker and one task from the prediction of their types:
+  // the corresponding extra arrivals are ignored (Algorithm 2 line 3).
+  const Instance instance = MakeExample1Instance();
+  PredictionMatrix prediction = PredictionMatrix::FromInstance(instance);
+  const SpacetimeSpec& st = instance.spacetime();
+  prediction.set_workers_at(st.TypeAt(0, 2), 2);  // 3 arrive, 2 predicted.
+  prediction.set_tasks_at(st.TypeAt(1, 1), 3);    // 4 arrive, 3 predicted.
+  const auto guide = BuildGuide(instance, prediction, 30.0, 2.0);
+  Polar polar(guide);
+  RunTrace trace;
+  const Assignment assignment = polar.Run(instance, &trace);
+  EXPECT_EQ(trace.ignored_workers, 1);
+  EXPECT_EQ(trace.ignored_tasks, 1);
+  EXPECT_LE(assignment.size(), 5u);
+}
+
+TEST(PolarTest, DispatchesWorkersTowardPartnerAreas) {
+  const Instance instance = MakeExample1Instance();
+  const auto guide = BuildGuide(
+      instance, PredictionMatrix::FromInstance(instance), 30.0, 2.0);
+  Polar polar(guide);
+  RunTrace trace;
+  polar.Run(instance, &trace);
+  // The top-right workers are guided to the bottom-right area where the
+  // slot-1 tasks will appear (the center of cell 1 is (6, 2)).
+  bool dispatched_to_bottom_right = false;
+  for (const DispatchRecord& record : trace.dispatches) {
+    if (record.target == Point{6.0, 2.0}) dispatched_to_bottom_right = true;
+  }
+  EXPECT_TRUE(dispatched_to_bottom_right);
+}
+
+TEST(PolarTest, DeterministicAcrossRuns) {
+  const Instance instance = MakeExample1Instance();
+  const auto guide = BuildGuide(
+      instance, PredictionMatrix::FromInstance(instance), 30.0, 2.0);
+  Polar polar(guide);
+  const Assignment a = polar.Run(instance);
+  const Assignment b = polar.Run(instance);
+  ASSERT_EQ(a.pairs().size(), b.pairs().size());
+  for (size_t i = 0; i < a.pairs().size(); ++i) {
+    EXPECT_EQ(a.pairs()[i].worker, b.pairs()[i].worker);
+    EXPECT_EQ(a.pairs()[i].task, b.pairs()[i].task);
+  }
+}
+
+TEST(PolarTest, EmptyGuideMatchesNothing) {
+  const Instance instance = MakeExample1Instance();
+  const auto guide = BuildGuide(
+      instance, PredictionMatrix(instance.spacetime()), 30.0, 2.0);
+  Polar polar(guide);
+  RunTrace trace;
+  const Assignment assignment = polar.Run(instance, &trace);
+  EXPECT_EQ(assignment.size(), 0u);
+  EXPECT_EQ(trace.ignored_workers, 7);
+  EXPECT_EQ(trace.ignored_tasks, 6);
+}
+
+TEST(PolarTest, LivenessCheckFiltersExpiredCounterparts) {
+  // Construct a worker that, under guide-trust, would be matched with a
+  // task arriving long after the worker left.
+  std::vector<Worker> workers(1);
+  workers[0] = {0, {1.0, 1.0}, 0.0, 1.0};  // Leaves at t = 1.
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {1.0, 1.0}, 8.0, 2.0};  // Arrives at t = 8.
+  const SpacetimeSpec st(SlotSpec(10.0, 1), GridSpec(8.0, 8.0, 1, 1));
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+
+  // A hand-built guide pairing the two types (same single type here).
+  auto guide = std::make_shared<OfflineGuide>(st, 1.0, 10.0, 10.0);
+  const GuideNodeId w = guide->AddWorkerNode(0);
+  const GuideNodeId r = guide->AddTaskNode(0);
+  ASSERT_TRUE(guide->MatchNodes(w, r).ok());
+
+  Polar trusting(guide, PolarOptions{.check_liveness = false});
+  EXPECT_EQ(trusting.Run(instance).size(), 1u);
+
+  Polar strict(guide, PolarOptions{.check_liveness = true});
+  EXPECT_EQ(strict.Run(instance).size(), 0u);
+}
+
+// Property: POLAR's matching size never exceeds the guide's |E*| nor
+// min(|W|, |R|), and all pairs are type-compatible with the guide.
+class PolarPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PolarPropertyTest, MatchingBoundedByGuide) {
+  SyntheticConfig config;
+  config.num_workers = 500;
+  config.num_tasks = 500;
+  config.grid_x = 10;
+  config.grid_y = 10;
+  config.num_slots = 8;
+  config.seed = GetParam();
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const auto prediction = GenerateSyntheticPrediction(config);
+  ASSERT_TRUE(prediction.ok());
+  const auto guide = BuildGuide(*instance, *prediction,
+                                config.worker_duration,
+                                config.task_duration);
+  Polar polar(guide);
+  const Assignment assignment = polar.Run(*instance);
+  EXPECT_LE(static_cast<int64_t>(assignment.size()),
+            guide->matched_pairs());
+  EXPECT_LE(assignment.size(),
+            std::min(instance->num_workers(), instance->num_tasks()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolarPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ftoa

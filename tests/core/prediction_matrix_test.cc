@@ -1,0 +1,96 @@
+#include "core/prediction_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+using ftoa::testing::MakeExample1Instance;
+
+TEST(PredictionMatrixTest, ZeroInitialized) {
+  const Instance instance = MakeExample1Instance();
+  const PredictionMatrix matrix(instance.spacetime());
+  EXPECT_EQ(matrix.TotalWorkers(), 0);
+  EXPECT_EQ(matrix.TotalTasks(), 0);
+}
+
+TEST(PredictionMatrixTest, FromInstanceMatchesCounts) {
+  const Instance instance = MakeExample1Instance();
+  const PredictionMatrix matrix = PredictionMatrix::FromInstance(instance);
+  EXPECT_EQ(matrix.TotalWorkers(), 7);
+  EXPECT_EQ(matrix.TotalTasks(), 6);
+  const SpacetimeSpec& st = instance.spacetime();
+  EXPECT_EQ(matrix.workers_at(st.TypeAt(0, 2)), 3);
+  EXPECT_EQ(matrix.workers_at(st.TypeAt(0, 3)), 4);
+  EXPECT_EQ(matrix.tasks_at(st.TypeAt(0, 2)), 2);
+  EXPECT_EQ(matrix.tasks_at(st.TypeAt(1, 1)), 4);
+}
+
+TEST(PredictionMatrixTest, SettersAndGetters) {
+  const Instance instance = MakeExample1Instance();
+  PredictionMatrix matrix(instance.spacetime());
+  matrix.set_workers_at(3, 5);
+  matrix.set_tasks_at(3, 2);
+  EXPECT_EQ(matrix.workers_at(3), 5);
+  EXPECT_EQ(matrix.tasks_at(3), 2);
+  EXPECT_EQ(matrix.TotalWorkers(), 5);
+  EXPECT_EQ(matrix.TotalTasks(), 2);
+}
+
+TEST(PredictionMatrixTest, FromIntensitiesRoundsAndClamps) {
+  const Instance instance = MakeExample1Instance();
+  const int types = instance.spacetime().num_types();
+  std::vector<double> workers(static_cast<size_t>(types), 0.0);
+  std::vector<double> tasks(static_cast<size_t>(types), 0.0);
+  workers[0] = 2.6;
+  workers[1] = -3.0;  // Clamped to zero.
+  tasks[2] = 0.4;     // Rounds to zero.
+  tasks[3] = 1.5;     // Rounds to 2.
+  const PredictionMatrix matrix = PredictionMatrix::FromIntensities(
+      instance.spacetime(), workers, tasks);
+  EXPECT_EQ(matrix.workers_at(0), 3);
+  EXPECT_EQ(matrix.workers_at(1), 0);
+  EXPECT_EQ(matrix.tasks_at(2), 0);
+  EXPECT_EQ(matrix.tasks_at(3), 2);
+}
+
+TEST(PredictionMatrixTest, NoiseIsDeterministicPerSeed) {
+  const Instance instance = MakeExample1Instance();
+  const PredictionMatrix base = PredictionMatrix::FromInstance(instance);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const PredictionMatrix noisy_a = base.WithNoise(0.5, 0.01, &rng_a);
+  const PredictionMatrix noisy_b = base.WithNoise(0.5, 0.01, &rng_b);
+  EXPECT_EQ(noisy_a.workers(), noisy_b.workers());
+  EXPECT_EQ(noisy_a.tasks(), noisy_b.tasks());
+}
+
+TEST(PredictionMatrixTest, ZeroNoiseIsIdentityWithoutPhantoms) {
+  const Instance instance = MakeExample1Instance();
+  const PredictionMatrix base = PredictionMatrix::FromInstance(instance);
+  Rng rng(7);
+  const PredictionMatrix same = base.WithNoise(0.0, 0.0, &rng);
+  EXPECT_EQ(same.workers(), base.workers());
+  EXPECT_EQ(same.tasks(), base.tasks());
+}
+
+TEST(PredictionMatrixTest, PhantomRateCreatesSpuriousTypes) {
+  const Instance instance = MakeExample1Instance();
+  const PredictionMatrix base = PredictionMatrix::FromInstance(instance);
+  Rng rng(7);
+  const PredictionMatrix noisy = base.WithNoise(0.0, 1.0, &rng);
+  // Every empty type received a phantom count of one.
+  for (TypeId t = 0; t < instance.spacetime().num_types(); ++t) {
+    if (base.workers_at(t) == 0) {
+      EXPECT_EQ(noisy.workers_at(t), 1);
+    }
+    if (base.tasks_at(t) == 0) {
+      EXPECT_EQ(noisy.tasks_at(t), 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftoa

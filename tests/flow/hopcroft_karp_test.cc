@@ -1,0 +1,118 @@
+#include "flow/hopcroft_karp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/dinic.h"
+#include "flow/graph.h"
+#include "util/rng.h"
+
+namespace ftoa {
+namespace {
+
+TEST(HopcroftKarpTest, PerfectMatchingOnCompleteBipartite) {
+  HopcroftKarp hk(3, 3);
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 0; v < 3; ++v) hk.AddEdge(u, v);
+  }
+  EXPECT_EQ(hk.Solve(), 3);
+  for (int u = 0; u < 3; ++u) {
+    const int v = hk.MatchOfLeft(u);
+    ASSERT_GE(v, 0);
+    EXPECT_EQ(hk.MatchOfRight(v), u);
+  }
+}
+
+TEST(HopcroftKarpTest, NoEdgesNoMatching) {
+  HopcroftKarp hk(4, 4);
+  EXPECT_EQ(hk.Solve(), 0);
+  EXPECT_EQ(hk.MatchOfLeft(0), -1);
+}
+
+TEST(HopcroftKarpTest, AugmentingPathRequired) {
+  // Greedy left-to-right would match 0-0 and block 1; HK must augment.
+  HopcroftKarp hk(2, 2);
+  hk.AddEdge(0, 0);
+  hk.AddEdge(0, 1);
+  hk.AddEdge(1, 0);
+  EXPECT_EQ(hk.Solve(), 2);
+}
+
+TEST(HopcroftKarpTest, UnbalancedSides) {
+  HopcroftKarp hk(5, 2);
+  for (int u = 0; u < 5; ++u) {
+    hk.AddEdge(u, 0);
+    hk.AddEdge(u, 1);
+  }
+  EXPECT_EQ(hk.Solve(), 2);
+}
+
+TEST(HopcroftKarpTest, SolveIsIdempotent) {
+  HopcroftKarp hk(3, 3);
+  hk.AddEdge(0, 1);
+  hk.AddEdge(1, 1);
+  hk.AddEdge(2, 2);
+  const int64_t first = hk.Solve();
+  EXPECT_EQ(first, 2);
+  EXPECT_EQ(hk.Solve(), first);
+}
+
+TEST(HopcroftKarpTest, ChainGraph) {
+  // Path structure: maximal matching is unique-size 3.
+  HopcroftKarp hk(3, 3);
+  hk.AddEdge(0, 0);
+  hk.AddEdge(1, 0);
+  hk.AddEdge(1, 1);
+  hk.AddEdge(2, 1);
+  hk.AddEdge(2, 2);
+  EXPECT_EQ(hk.Solve(), 3);
+}
+
+// Property: matching size equals unit-capacity max flow on random graphs,
+// and the matching is consistent (mutual, edges exist).
+class HkPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HkPropertyTest, MatchesUnitCapacityMaxFlow) {
+  Rng rng(GetParam());
+  const int left = 1 + static_cast<int>(rng.NextBounded(15));
+  const int right = 1 + static_cast<int>(rng.NextBounded(15));
+  HopcroftKarp hk(left, right);
+  std::vector<std::vector<bool>> adjacent(
+      static_cast<size_t>(left), std::vector<bool>(right, false));
+
+  const NodeId s = 0;
+  const NodeId t = static_cast<NodeId>(1 + left + right);
+  FlowGraph g(t + 1);
+  for (int u = 0; u < left; ++u) g.AddEdge(s, 1 + u, 1);
+  for (int v = 0; v < right; ++v) g.AddEdge(1 + left + v, t, 1);
+  for (int u = 0; u < left; ++u) {
+    for (int v = 0; v < right; ++v) {
+      if (rng.NextBool(0.3)) {
+        hk.AddEdge(u, v);
+        g.AddEdge(1 + u, 1 + left + v, 1);
+        adjacent[static_cast<size_t>(u)][static_cast<size_t>(v)] = true;
+      }
+    }
+  }
+  const int64_t matching = hk.Solve();
+  const int64_t flow = DinicMaxFlow(&g, s, t);
+  EXPECT_EQ(matching, flow);
+
+  // Consistency of the reported matching.
+  int64_t counted = 0;
+  for (int u = 0; u < left; ++u) {
+    const int v = hk.MatchOfLeft(u);
+    if (v < 0) continue;
+    ++counted;
+    EXPECT_TRUE(adjacent[static_cast<size_t>(u)][static_cast<size_t>(v)]);
+    EXPECT_EQ(hk.MatchOfRight(v), u);
+  }
+  EXPECT_EQ(counted, matching);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HkPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,105 @@
+#include "flow/min_cost_flow.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/dinic.h"
+#include "flow/graph.h"
+#include "util/rng.h"
+
+namespace ftoa {
+namespace {
+
+TEST(MinCostFlowTest, PrefersCheaperPath) {
+  // Two parallel s->t paths; max flow 2, the cheaper path carries flow
+  // first but both are needed for maximality.
+  MinCostFlowGraph g(4);
+  g.AddEdge(0, 1, 1, 1);
+  g.AddEdge(1, 3, 1, 1);
+  g.AddEdge(0, 2, 1, 5);
+  g.AddEdge(2, 3, 1, 5);
+  const auto outcome = g.Solve(0, 3);
+  EXPECT_EQ(outcome.flow, 2);
+  EXPECT_EQ(outcome.cost, 12);
+}
+
+TEST(MinCostFlowTest, ChoosesMinCostAmongMaxFlows) {
+  // Bipartite assignment: two workers, two tasks, both can serve both.
+  // Costs: w0-t0 = 1, w0-t1 = 10, w1-t0 = 10, w1-t1 = 1.
+  // Max flow = 2; min cost = 2 (diagonal), not 20.
+  MinCostFlowGraph g(6);
+  g.AddEdge(0, 1, 1, 0);  // s -> w0
+  g.AddEdge(0, 2, 1, 0);  // s -> w1
+  g.AddEdge(3, 5, 1, 0);  // t0 -> t
+  g.AddEdge(4, 5, 1, 0);  // t1 -> t
+  g.AddEdge(1, 3, 1, 1);
+  g.AddEdge(1, 4, 1, 10);
+  g.AddEdge(2, 3, 1, 10);
+  g.AddEdge(2, 4, 1, 1);
+  const auto outcome = g.Solve(0, 5);
+  EXPECT_EQ(outcome.flow, 2);
+  EXPECT_EQ(outcome.cost, 2);
+}
+
+TEST(MinCostFlowTest, MaximizesFlowEvenWhenCostly) {
+  // The only way to get flow 2 uses an expensive edge; flow must still
+  // be maximal.
+  MinCostFlowGraph g(4);
+  g.AddEdge(0, 1, 2, 0);
+  g.AddEdge(1, 2, 1, 1);
+  g.AddEdge(1, 3, 1, 100);
+  g.AddEdge(2, 3, 1, 1);
+  const auto outcome = g.Solve(0, 3);
+  EXPECT_EQ(outcome.flow, 2);
+  EXPECT_EQ(outcome.cost, 102);
+}
+
+TEST(MinCostFlowTest, ZeroFlowWhenDisconnected) {
+  MinCostFlowGraph g(3);
+  g.AddEdge(0, 1, 1, 1);
+  const auto outcome = g.Solve(0, 2);
+  EXPECT_EQ(outcome.flow, 0);
+  EXPECT_EQ(outcome.cost, 0);
+}
+
+TEST(MinCostFlowTest, PerEdgeFlowQuery) {
+  MinCostFlowGraph g(3);
+  const int32_t cheap = g.AddEdge(0, 1, 2, 1);
+  const int32_t hop = g.AddEdge(1, 2, 2, 1);
+  const auto outcome = g.Solve(0, 2);
+  EXPECT_EQ(outcome.flow, 2);
+  EXPECT_EQ(g.Flow(cheap), 2);
+  EXPECT_EQ(g.Flow(hop), 2);
+}
+
+// Property: the flow value of min-cost max-flow equals plain max flow on
+// the same random network.
+class McmfPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(McmfPropertyTest, FlowValueMatchesDinic) {
+  Rng rng(GetParam());
+  const int n = 6 + static_cast<int>(rng.NextBounded(6));
+  MinCostFlowGraph mcmf(n);
+  FlowGraph plain(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && rng.NextBool(0.3)) {
+        const int64_t cap = 1 + static_cast<int64_t>(rng.NextBounded(4));
+        const int64_t cost = static_cast<int64_t>(rng.NextBounded(10));
+        mcmf.AddEdge(u, v, cap, cost);
+        plain.AddEdge(u, v, cap);
+      }
+    }
+  }
+  const auto outcome = mcmf.Solve(0, n - 1);
+  const int64_t reference = DinicMaxFlow(&plain, 0, n - 1);
+  EXPECT_EQ(outcome.flow, reference);
+  EXPECT_GE(outcome.cost, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McmfPropertyTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,128 @@
+#include "gen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftoa {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig config;
+  config.num_workers = 2000;
+  config.num_tasks = 2000;
+  config.grid_x = 20;
+  config.grid_y = 20;
+  config.num_slots = 16;
+  config.seed = 99;
+  return config;
+}
+
+TEST(SyntheticTest, GeneratesRequestedCounts) {
+  const auto instance = GenerateSyntheticInstance(SmallConfig());
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->num_workers(), 2000u);
+  EXPECT_EQ(instance->num_tasks(), 2000u);
+  EXPECT_TRUE(instance->Validate().ok());
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  const auto a = GenerateSyntheticInstance(SmallConfig());
+  const auto b = GenerateSyntheticInstance(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->num_workers(); ++i) {
+    EXPECT_EQ(a->workers()[i].location, b->workers()[i].location);
+    EXPECT_DOUBLE_EQ(a->workers()[i].start, b->workers()[i].start);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig other = SmallConfig();
+  other.seed = 100;
+  const auto a = GenerateSyntheticInstance(SmallConfig());
+  const auto b = GenerateSyntheticInstance(other);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->workers()[0].location, b->workers()[0].location);
+}
+
+TEST(SyntheticTest, ObjectsWithinRegionAndHorizon) {
+  const auto instance = GenerateSyntheticInstance(SmallConfig());
+  ASSERT_TRUE(instance.ok());
+  for (const Worker& w : instance->workers()) {
+    EXPECT_GE(w.location.x, 0.0);
+    EXPECT_LE(w.location.x, 20.0);
+    EXPECT_GE(w.start, 0.0);
+    EXPECT_LE(w.start, 16.0);
+    EXPECT_DOUBLE_EQ(w.duration, 3.0);
+  }
+  for (const Task& r : instance->tasks()) {
+    EXPECT_DOUBLE_EQ(r.duration, 2.0);
+  }
+}
+
+TEST(SyntheticTest, TemporalMeansFollowTable4Parameters) {
+  // Workers center at 0.25 * horizon, tasks at 0.5 * horizon (defaults).
+  SyntheticConfig config = SmallConfig();
+  config.num_workers = 20000;
+  config.num_tasks = 20000;
+  config.workers.temporal_sigma = 0.1;  // Tighten for a sharp check.
+  config.tasks.temporal_sigma = 0.1;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  double worker_mean = 0.0;
+  double task_mean = 0.0;
+  for (const Worker& w : instance->workers()) worker_mean += w.start;
+  for (const Task& r : instance->tasks()) task_mean += r.start;
+  worker_mean /= instance->num_workers();
+  task_mean /= instance->num_tasks();
+  EXPECT_NEAR(worker_mean, 0.25 * 16.0, 0.2);
+  EXPECT_NEAR(task_mean, 0.5 * 16.0, 0.2);
+}
+
+TEST(SyntheticTest, SpatialMeansFollowTable4Parameters) {
+  SyntheticConfig config = SmallConfig();
+  config.num_workers = 20000;
+  config.workers.spatial_cov = 0.05;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (const Worker& w : instance->workers()) {
+    mean_x += w.location.x;
+    mean_y += w.location.y;
+  }
+  mean_x /= instance->num_workers();
+  mean_y /= instance->num_workers();
+  EXPECT_NEAR(mean_x, 0.25 * 20.0, 0.3);
+  EXPECT_NEAR(mean_y, 0.25 * 20.0, 0.3);
+}
+
+TEST(SyntheticTest, RejectsInvalidConfig) {
+  SyntheticConfig config = SmallConfig();
+  config.grid_x = 0;
+  EXPECT_FALSE(GenerateSyntheticInstance(config).ok());
+  config = SmallConfig();
+  config.velocity = -1.0;
+  EXPECT_FALSE(GenerateSyntheticInstance(config).ok());
+  config = SmallConfig();
+  config.num_workers = -5;
+  EXPECT_FALSE(GenerateSyntheticInstance(config).ok());
+}
+
+TEST(SyntheticTest, PredictionIsIndependentReplicateWithSimilarMass) {
+  const SyntheticConfig config = SmallConfig();
+  const auto prediction = GenerateSyntheticPrediction(config);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(prediction->TotalWorkers(), config.num_workers);
+  EXPECT_EQ(prediction->TotalTasks(), config.num_tasks);
+  // It must differ from the realized instance's counts (different draw).
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PredictionMatrix truth = PredictionMatrix::FromInstance(*instance);
+  EXPECT_NE(truth.workers(), prediction->workers());
+}
+
+}  // namespace
+}  // namespace ftoa

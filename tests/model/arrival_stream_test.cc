@@ -1,0 +1,65 @@
+#include "model/arrival_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+TEST(ArrivalStreamTest, SortedByTime) {
+  const Instance instance = ftoa::testing::MakeExample1Instance();
+  const auto events = BuildArrivalStream(instance);
+  ASSERT_EQ(events.size(), 13u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+}
+
+TEST(ArrivalStreamTest, WorkersPrecedeTasksOnTies) {
+  // w1 and r1 both arrive at t = 0 (paper Table 1: 9:00); the worker is
+  // processed first.
+  const Instance instance = ftoa::testing::MakeExample1Instance();
+  const auto events = BuildArrivalStream(instance);
+  EXPECT_EQ(events[0].kind, ObjectKind::kWorker);
+  EXPECT_EQ(events[0].index, 0);
+  EXPECT_EQ(events[1].kind, ObjectKind::kTask);
+  EXPECT_EQ(events[1].index, 0);
+}
+
+TEST(ArrivalStreamTest, TieBreakByIndexWithinKind) {
+  // w2 and w3 both arrive at t = 1.
+  const Instance instance = ftoa::testing::MakeExample1Instance();
+  const auto events = BuildArrivalStream(instance);
+  EXPECT_EQ(events[2].index, 1);
+  EXPECT_EQ(events[3].index, 2);
+}
+
+TEST(ArrivalStreamTest, MatchesTable1Order) {
+  const Instance instance = ftoa::testing::MakeExample1Instance();
+  const auto events = BuildArrivalStream(instance);
+  // Table 1: w1 r1 w2 w3 r2 w4 w5 w6 w7 r3 r4 r5 r6.
+  const std::vector<std::pair<ObjectKind, int32_t>> expected = {
+      {ObjectKind::kWorker, 0}, {ObjectKind::kTask, 0},
+      {ObjectKind::kWorker, 1}, {ObjectKind::kWorker, 2},
+      {ObjectKind::kTask, 1},   {ObjectKind::kWorker, 3},
+      {ObjectKind::kWorker, 4}, {ObjectKind::kWorker, 5},
+      {ObjectKind::kWorker, 6}, {ObjectKind::kTask, 2},
+      {ObjectKind::kTask, 3},   {ObjectKind::kTask, 4},
+      {ObjectKind::kTask, 5}};
+  ASSERT_EQ(events.size(), expected.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].kind, expected[i].first) << "at " << i;
+    EXPECT_EQ(events[i].index, expected[i].second) << "at " << i;
+  }
+}
+
+TEST(ArrivalStreamTest, EmptyInstance) {
+  const Instance instance(
+      SpacetimeSpec(SlotSpec(10.0, 2), GridSpec(8.0, 8.0, 2, 2)), 1.0, {},
+      {});
+  EXPECT_TRUE(BuildArrivalStream(instance).empty());
+}
+
+}  // namespace
+}  // namespace ftoa

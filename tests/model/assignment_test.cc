@@ -1,0 +1,80 @@
+#include "model/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+using ftoa::testing::MakeExample1Instance;
+
+TEST(AssignmentTest, AddAndQuery) {
+  Assignment assignment(3, 3);
+  EXPECT_TRUE(assignment.Add(0, 1, 5.0).ok());
+  EXPECT_EQ(assignment.size(), 1u);
+  EXPECT_TRUE(assignment.IsWorkerMatched(0));
+  EXPECT_TRUE(assignment.IsTaskMatched(1));
+  EXPECT_FALSE(assignment.IsWorkerMatched(1));
+  EXPECT_EQ(assignment.MatchOfWorker(0), 1);
+  EXPECT_EQ(assignment.MatchOfTask(1), 0);
+  EXPECT_EQ(assignment.MatchOfWorker(2), -1);
+}
+
+TEST(AssignmentTest, InvariableConstraintRejectsRematch) {
+  Assignment assignment(3, 3);
+  ASSERT_TRUE(assignment.Add(0, 1, 0.0).ok());
+  EXPECT_TRUE(assignment.Add(0, 2, 1.0).IsFailedPrecondition());
+  EXPECT_FALSE(assignment.Add(1, 1, 1.0).ok());
+  EXPECT_EQ(assignment.size(), 1u);
+}
+
+TEST(AssignmentTest, RejectsOutOfRangeIds) {
+  Assignment assignment(2, 2);
+  EXPECT_FALSE(assignment.Add(-1, 0, 0.0).ok());
+  EXPECT_FALSE(assignment.Add(0, 5, 0.0).ok());
+  EXPECT_FALSE(assignment.Add(2, 0, 0.0).ok());
+}
+
+TEST(AssignmentTest, PairsRecordDecisionTime) {
+  Assignment assignment(2, 2);
+  ASSERT_TRUE(assignment.Add(1, 0, 7.25).ok());
+  ASSERT_EQ(assignment.pairs().size(), 1u);
+  EXPECT_EQ(assignment.pairs()[0].worker, 1);
+  EXPECT_EQ(assignment.pairs()[0].task, 0);
+  EXPECT_DOUBLE_EQ(assignment.pairs()[0].time, 7.25);
+}
+
+TEST(AssignmentTest, ValidateAcceptsFeasiblePairs) {
+  const Instance instance = MakeExample1Instance();
+  Assignment assignment(instance.num_workers(), instance.num_tasks());
+  ASSERT_TRUE(assignment.Add(0, 0, 0.0).ok());  // w1 -> r1, d = 2 = Dr.
+  EXPECT_TRUE(assignment
+                  .Validate(instance,
+                            FeasibilityPolicy::kDispatchAtWorkerStart)
+                  .ok());
+}
+
+TEST(AssignmentTest, ValidateRejectsInfeasiblePair) {
+  const Instance instance = MakeExample1Instance();
+  Assignment assignment(instance.num_workers(), instance.num_tasks());
+  // w2 (1,8) appears at t = 1 and cannot reach r1 (3,6) by its deadline:
+  // 2 - (1 - 0) - sqrt(8) < 0.
+  ASSERT_TRUE(assignment.Add(1, 0, 1.0).ok());
+  EXPECT_FALSE(assignment
+                   .Validate(instance,
+                             FeasibilityPolicy::kDispatchAtWorkerStart)
+                   .ok());
+}
+
+TEST(AssignmentTest, ValidateChecksSizeCoherence) {
+  const Instance instance = MakeExample1Instance();
+  Assignment assignment(2, 2);  // Wrong dimensions.
+  EXPECT_FALSE(assignment
+                   .Validate(instance,
+                             FeasibilityPolicy::kDispatchAtWorkerStart)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace ftoa

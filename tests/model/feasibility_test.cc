@@ -1,0 +1,134 @@
+#include "model/feasibility.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+Worker MakeWorker(Point loc, double start, double duration) {
+  return Worker{0, loc, start, duration};
+}
+
+Task MakeTask(Point loc, double start, double duration) {
+  return Task{0, loc, start, duration};
+}
+
+TEST(TravelTimeTest, ScalesWithVelocity) {
+  EXPECT_DOUBLE_EQ(TravelTime({0.0, 0.0}, {3.0, 4.0}, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(TravelTime({0.0, 0.0}, {3.0, 4.0}, 2.5), 2.0);
+}
+
+TEST(FeasibilityTest, Condition1TaskMustAppearBeforeWorkerLeaves) {
+  const Worker w = MakeWorker({0.0, 0.0}, 0.0, 5.0);
+  // Task released exactly at the worker deadline: Sr < Sw + Dw is strict.
+  const Task late = MakeTask({0.0, 0.0}, 5.0, 10.0);
+  EXPECT_FALSE(CanServe(w, late, 1.0,
+                        FeasibilityPolicy::kDispatchAtWorkerStart));
+  const Task ok = MakeTask({0.0, 0.0}, 4.999, 10.0);
+  EXPECT_TRUE(CanServe(w, ok, 1.0,
+                       FeasibilityPolicy::kDispatchAtWorkerStart));
+}
+
+TEST(FeasibilityTest, PaperFormulaWorkerAfterTask) {
+  // Sw > Sr: Dr - (Sw - Sr) - d >= 0.
+  const Task r = MakeTask({0.0, 0.0}, 0.0, 5.0);
+  const Worker near = MakeWorker({3.0, 0.0}, 1.0, 10.0);
+  // 5 - 1 - 3 = 1 >= 0.
+  EXPECT_TRUE(CanServe(near, r, 1.0,
+                       FeasibilityPolicy::kDispatchAtWorkerStart));
+  const Worker far = MakeWorker({5.0, 0.0}, 1.0, 10.0);
+  // 5 - 1 - 5 = -1 < 0.
+  EXPECT_FALSE(CanServe(far, r, 1.0,
+                        FeasibilityPolicy::kDispatchAtWorkerStart));
+}
+
+TEST(FeasibilityTest, WorkerStartPolicyCreditsPreMovement) {
+  // Worker appears before the task; Definition 4 credits travel from Sw.
+  const Worker w = MakeWorker({0.0, 0.0}, 0.0, 10.0);
+  const Task r = MakeTask({4.0, 0.0}, 3.0, 2.0);
+  // Dr - (Sw - Sr) - d = 2 + 3 - 4 = 1 >= 0.
+  EXPECT_TRUE(CanServe(w, r, 1.0,
+                       FeasibilityPolicy::kDispatchAtWorkerStart));
+  // Wait-in-place: departs at Sr = 3, arrives 7 > deadline 5.
+  EXPECT_FALSE(CanServe(w, r, 1.0,
+                        FeasibilityPolicy::kDispatchAtAssignmentTime));
+}
+
+TEST(FeasibilityTest, PoliciesAgreeWhenWorkerArrivesSecond) {
+  // Sw >= Sr: departure time is Sw under both policies.
+  const Task r = MakeTask({0.0, 0.0}, 0.0, 6.0);
+  const Worker w = MakeWorker({4.0, 0.0}, 2.0, 10.0);
+  EXPECT_TRUE(CanServe(w, r, 1.0,
+                       FeasibilityPolicy::kDispatchAtWorkerStart));
+  EXPECT_TRUE(CanServe(w, r, 1.0,
+                       FeasibilityPolicy::kDispatchAtAssignmentTime));
+  const Worker too_far = MakeWorker({5.0, 0.0}, 2.0, 10.0);
+  EXPECT_FALSE(CanServe(too_far, r, 1.0,
+                        FeasibilityPolicy::kDispatchAtWorkerStart));
+  EXPECT_FALSE(CanServe(too_far, r, 1.0,
+                        FeasibilityPolicy::kDispatchAtAssignmentTime));
+}
+
+TEST(FeasibilityTest, WorkerStartNeverStricterThanAssignmentTime) {
+  // Property on a small grid of parameter combinations: the worker-start
+  // policy dominates (any assignment-time-feasible pair is worker-start
+  // feasible).
+  for (double sw : {0.0, 1.0, 3.0}) {
+    for (double sr : {0.0, 2.0, 4.0}) {
+      for (double d : {0.5, 2.0, 5.0}) {
+        for (double dr : {1.0, 3.0}) {
+          const Worker w = MakeWorker({0.0, 0.0}, sw, 6.0);
+          const Task r = MakeTask({d, 0.0}, sr, dr);
+          const bool at_assignment = CanServe(
+              w, r, 1.0, FeasibilityPolicy::kDispatchAtAssignmentTime);
+          const bool at_start = CanServe(
+              w, r, 1.0, FeasibilityPolicy::kDispatchAtWorkerStart);
+          if (at_assignment) {
+            EXPECT_TRUE(at_start);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FeasibilityTest, VelocityScalesReach) {
+  const Task r = MakeTask({10.0, 0.0}, 0.0, 2.0);
+  const Worker w = MakeWorker({0.0, 0.0}, 0.0, 5.0);
+  EXPECT_FALSE(
+      CanServe(w, r, 1.0, FeasibilityPolicy::kDispatchAtWorkerStart));
+  EXPECT_TRUE(
+      CanServe(w, r, 5.0, FeasibilityPolicy::kDispatchAtWorkerStart));
+}
+
+TEST(FeasibilityTest, Example1Pairs) {
+  // Checks Definition 4 on the paper's running example (see DESIGN.md):
+  // the offline-optimal matching of Figure 1c is feasible.
+  const Instance instance = ftoa::testing::MakeExample1Instance();
+  const auto policy = FeasibilityPolicy::kDispatchAtWorkerStart;
+  const double v = instance.velocity();
+  // w1 -> r1, w3 -> r2, w4 -> r3, w5 -> r4, w6 -> r5, w7 -> r6.
+  EXPECT_TRUE(CanServe(instance.worker(0), instance.task(0), v, policy));
+  EXPECT_TRUE(CanServe(instance.worker(2), instance.task(1), v, policy));
+  EXPECT_TRUE(CanServe(instance.worker(3), instance.task(2), v, policy));
+  EXPECT_TRUE(CanServe(instance.worker(4), instance.task(3), v, policy));
+  EXPECT_TRUE(CanServe(instance.worker(5), instance.task(4), v, policy));
+  EXPECT_TRUE(CanServe(instance.worker(6), instance.task(5), v, policy));
+  // w2 cannot serve r2 (5 - (1-2) - sqrt(10) < 0 is false: check).
+  EXPECT_FALSE(CanServe(instance.worker(1), instance.task(1), v, policy));
+}
+
+TEST(FeasibilityTest, MaxFeasibleDistanceBound) {
+  // No feasible pair may be farther apart than the bound.
+  const double bound = MaxFeasibleDistance(2.0, 3.0, 1.5);
+  EXPECT_DOUBLE_EQ(bound, 7.5);
+  const Worker w = MakeWorker({0.0, 0.0}, 0.0, 3.0);
+  const Task r = MakeTask({bound + 0.1, 0.0}, 2.9, 2.0);
+  EXPECT_FALSE(
+      CanServe(w, r, 1.5, FeasibilityPolicy::kDispatchAtWorkerStart));
+}
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,80 @@
+#include "model/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+using ftoa::testing::MakeExample1Instance;
+
+TEST(InstanceTest, IdsAssignedFromIndices) {
+  const Instance instance = MakeExample1Instance();
+  for (size_t i = 0; i < instance.num_workers(); ++i) {
+    EXPECT_EQ(instance.workers()[i].id, static_cast<WorkerId>(i));
+  }
+  for (size_t i = 0; i < instance.num_tasks(); ++i) {
+    EXPECT_EQ(instance.tasks()[i].id, static_cast<TaskId>(i));
+  }
+}
+
+TEST(InstanceTest, ValidatesCleanInstance) {
+  const Instance instance = MakeExample1Instance();
+  EXPECT_TRUE(instance.Validate().ok());
+}
+
+TEST(InstanceTest, RejectsNegativeTimes) {
+  std::vector<Worker> workers(1);
+  workers[0] = {0, {1.0, 1.0}, -1.0, 2.0};
+  const Instance instance(
+      SpacetimeSpec(SlotSpec(10.0, 2), GridSpec(8.0, 8.0, 2, 2)), 1.0,
+      std::move(workers), {});
+  EXPECT_FALSE(instance.Validate().ok());
+}
+
+TEST(InstanceTest, RejectsStartBeyondHorizon) {
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {1.0, 1.0}, 100.0, 2.0};
+  const Instance instance(
+      SpacetimeSpec(SlotSpec(10.0, 2), GridSpec(8.0, 8.0, 2, 2)), 1.0, {},
+      std::move(tasks));
+  EXPECT_FALSE(instance.Validate().ok());
+}
+
+TEST(InstanceTest, RejectsNonPositiveVelocity) {
+  const Instance instance(
+      SpacetimeSpec(SlotSpec(10.0, 2), GridSpec(8.0, 8.0, 2, 2)), 0.0, {},
+      {});
+  EXPECT_FALSE(instance.Validate().ok());
+}
+
+TEST(InstanceTest, MaxDurations) {
+  const Instance instance = MakeExample1Instance();
+  EXPECT_DOUBLE_EQ(instance.MaxTaskDuration(), 2.0);
+  EXPECT_DOUBLE_EQ(instance.MaxWorkerDuration(), 30.0);
+}
+
+TEST(InstanceTest, CountsPerTypeMatchExample1) {
+  const Instance instance = MakeExample1Instance();
+  const auto [workers, tasks] = instance.CountsPerType();
+  const SpacetimeSpec& st = instance.spacetime();
+  // Cell ids on the 2x2 grid: 0 = bottom-left, 1 = bottom-right,
+  // 2 = top-left, 3 = top-right. All workers arrive in slot 0:
+  // w1, w2, w3 top-left; w4..w7 top-right.
+  EXPECT_EQ(workers[static_cast<size_t>(st.TypeAt(0, 2))], 3);
+  EXPECT_EQ(workers[static_cast<size_t>(st.TypeAt(0, 3))], 4);
+  // Tasks: r1, r2 in slot 0 top-left; r3..r6 in slot 1 bottom-right.
+  EXPECT_EQ(tasks[static_cast<size_t>(st.TypeAt(0, 2))], 2);
+  EXPECT_EQ(tasks[static_cast<size_t>(st.TypeAt(1, 1))], 4);
+  // Totals add up.
+  int worker_total = 0;
+  int task_total = 0;
+  for (int c : workers) worker_total += c;
+  for (int c : tasks) task_total += c;
+  EXPECT_EQ(worker_total, 7);
+  EXPECT_EQ(task_total, 6);
+}
+
+}  // namespace
+}  // namespace ftoa

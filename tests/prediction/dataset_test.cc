@@ -1,0 +1,61 @@
+#include "prediction/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace ftoa {
+namespace {
+
+TEST(DemandDatasetTest, DimensionsAndDefaults) {
+  const DemandDataset data(7, 4, 9);
+  EXPECT_EQ(data.num_days(), 7);
+  EXPECT_EQ(data.slots_per_day(), 4);
+  EXPECT_EQ(data.num_cells(), 9);
+  EXPECT_DOUBLE_EQ(data.workers(3, 2, 5), 0.0);
+  EXPECT_DOUBLE_EQ(data.tasks(6, 3, 8), 0.0);
+  // Day-of-week defaults to day % 7.
+  EXPECT_EQ(data.day_of_week(0), 0);
+  EXPECT_EQ(data.day_of_week(6), 6);
+}
+
+TEST(DemandDatasetTest, SetAndGetCounts) {
+  DemandDataset data(2, 3, 4);
+  data.set_workers(1, 2, 3, 7.0);
+  data.set_tasks(0, 0, 0, 2.5);
+  EXPECT_DOUBLE_EQ(data.workers(1, 2, 3), 7.0);
+  EXPECT_DOUBLE_EQ(data.tasks(0, 0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(data.count(DemandSide::kWorkers, 1, 2, 3), 7.0);
+  EXPECT_DOUBLE_EQ(data.count(DemandSide::kTasks, 0, 0, 0), 2.5);
+  // Neighbors untouched.
+  EXPECT_DOUBLE_EQ(data.workers(1, 2, 2), 0.0);
+}
+
+TEST(DemandDatasetTest, WeatherStorage) {
+  DemandDataset data(2, 3, 4);
+  data.set_weather(1, 2, WeatherSample{25.0, 1.5});
+  EXPECT_DOUBLE_EQ(data.weather(1, 2).temperature, 25.0);
+  EXPECT_DOUBLE_EQ(data.weather(1, 2).precipitation, 1.5);
+  EXPECT_DOUBLE_EQ(data.weather(0, 0).temperature, 20.0);  // Default.
+}
+
+TEST(DemandDatasetTest, CellMean) {
+  DemandDataset data(3, 2, 2);
+  // Cell 1 gets 4.0 in every (day, slot) of the first two days.
+  for (int day = 0; day < 2; ++day) {
+    for (int slot = 0; slot < 2; ++slot) {
+      data.set_tasks(day, slot, 1, 4.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(data.CellMean(DemandSide::kTasks, 1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(data.CellMean(DemandSide::kTasks, 0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(data.CellMean(DemandSide::kTasks, 1, 0), 0.0);
+}
+
+TEST(DemandDatasetTest, ValidateAcceptsCleanData) {
+  DemandDataset data(2, 2, 2);
+  EXPECT_TRUE(data.Validate().ok());
+  data.set_workers(0, 0, 0, -1.0);
+  EXPECT_FALSE(data.Validate().ok());
+}
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,101 @@
+#include "prediction/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftoa {
+namespace {
+
+TEST(PredictionScorerTest, PerfectPredictionScoresZero) {
+  PredictionScorer scorer;
+  scorer.AddSlot({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0});
+  const PredictionScore score = scorer.Score();
+  EXPECT_DOUBLE_EQ(score.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(score.rmsle, 0.0);
+  EXPECT_EQ(score.evaluated_slots, 1);
+}
+
+TEST(PredictionScorerTest, ErrorRateMatchesPaperFormula) {
+  // ER for one slot: sum|a - ã| / sum a = (1 + 1) / (4 + 6) = 0.2.
+  PredictionScorer scorer;
+  scorer.AddSlot({4.0, 6.0}, {5.0, 5.0});
+  EXPECT_NEAR(scorer.Score().error_rate, 0.2, 1e-12);
+}
+
+TEST(PredictionScorerTest, RmsleMatchesPaperFormula) {
+  PredictionScorer scorer;
+  scorer.AddSlot({1.0, 3.0}, {0.0, 7.0});
+  const double d0 = std::log(2.0) - std::log(1.0);
+  const double d1 = std::log(4.0) - std::log(8.0);
+  const double expected = std::sqrt((d0 * d0 + d1 * d1) / 2.0);
+  EXPECT_NEAR(scorer.Score().rmsle, expected, 1e-12);
+}
+
+TEST(PredictionScorerTest, AveragesOverSlots) {
+  PredictionScorer scorer;
+  scorer.AddSlot({10.0}, {10.0});  // ER 0.
+  scorer.AddSlot({10.0}, {5.0});   // ER 0.5.
+  EXPECT_NEAR(scorer.Score().error_rate, 0.25, 1e-12);
+  EXPECT_EQ(scorer.Score().evaluated_slots, 2);
+}
+
+TEST(PredictionScorerTest, ZeroActualGuardedAgainstDivZero) {
+  PredictionScorer scorer;
+  scorer.AddSlot({0.0, 0.0}, {1.0, 0.0});
+  EXPECT_NEAR(scorer.Score().error_rate, 1.0, 1e-12);
+}
+
+TEST(PredictionScorerTest, NegativePredictionsClampedInLog) {
+  PredictionScorer scorer;
+  scorer.AddSlot({0.0}, {-3.0});
+  // log(0 + 1) - log(max(0,-3) + 1) = 0.
+  EXPECT_DOUBLE_EQ(scorer.Score().rmsle, 0.0);
+}
+
+TEST(EvaluatePredictorTest, RejectsBadSplit) {
+  class ZeroPredictor : public Predictor {
+   public:
+    std::string name() const override { return "zero"; }
+    Status Fit(const DemandDataset&, int, DemandSide) override {
+      return Status::OK();
+    }
+    std::vector<double> Predict(const DemandDataset& data, int,
+                                int) const override {
+      return std::vector<double>(static_cast<size_t>(data.num_cells()), 0.0);
+    }
+  };
+  const DemandDataset data(5, 2, 2);
+  ZeroPredictor predictor;
+  EXPECT_FALSE(EvaluatePredictor(&predictor, data, 0, DemandSide::kTasks)
+                   .ok());
+  EXPECT_FALSE(EvaluatePredictor(&predictor, data, 5, DemandSide::kTasks)
+                   .ok());
+  EXPECT_TRUE(EvaluatePredictor(&predictor, data, 3, DemandSide::kTasks)
+                  .ok());
+}
+
+TEST(EvaluatePredictorTest, ScoresZeroPredictorOnZeroData) {
+  class ZeroPredictor : public Predictor {
+   public:
+    std::string name() const override { return "zero"; }
+    Status Fit(const DemandDataset&, int, DemandSide) override {
+      return Status::OK();
+    }
+    std::vector<double> Predict(const DemandDataset& data, int,
+                                int) const override {
+      return std::vector<double>(static_cast<size_t>(data.num_cells()), 0.0);
+    }
+  };
+  const DemandDataset data(4, 2, 3);  // All-zero demand.
+  ZeroPredictor predictor;
+  const auto score = EvaluatePredictor(&predictor, data, 2,
+                                       DemandSide::kWorkers);
+  ASSERT_TRUE(score.ok());
+  EXPECT_DOUBLE_EQ(score->error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(score->rmsle, 0.0);
+  EXPECT_EQ(score->evaluated_slots, 4);
+}
+
+}  // namespace
+}  // namespace ftoa

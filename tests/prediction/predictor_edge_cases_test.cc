@@ -1,0 +1,128 @@
+// Degenerate-input behaviour of the predictors: constant and all-zero
+// series, missing lag windows at the start of the evaluation period, and
+// determinism of the stochastic learners.
+
+#include <gtest/gtest.h>
+
+#include "prediction/arima.h"
+#include "prediction/gbrt.h"
+#include "prediction/historical_average.h"
+#include "prediction/hp_msi.h"
+#include "prediction/neural_network.h"
+#include "prediction/paq.h"
+#include "prediction/registry.h"
+
+namespace ftoa {
+namespace {
+
+DemandDataset ConstantDataset(int days, int slots, int cells, double value) {
+  DemandDataset data(days, slots, cells);
+  for (int day = 0; day < days; ++day) {
+    for (int slot = 0; slot < slots; ++slot) {
+      for (int cell = 0; cell < cells; ++cell) {
+        data.set_tasks(day, slot, cell, value);
+        data.set_workers(day, slot, cell, value);
+      }
+    }
+  }
+  return data;
+}
+
+TEST(PredictorEdgeCaseTest, AllZeroHistoryPredictsNearZero) {
+  const DemandDataset data = ConstantDataset(20, 6, 4, 0.0);
+  for (const std::string& name : AllPredictorNames()) {
+    auto predictor = CreatePredictor(name);
+    ASSERT_TRUE(predictor.ok());
+    const Status fitted = (*predictor)->Fit(data, 15, DemandSide::kTasks);
+    if (!fitted.ok()) continue;  // Some models reject degenerate input.
+    const std::vector<double> out = (*predictor)->Predict(data, 16, 2);
+    for (double v : out) {
+      EXPECT_GE(v, 0.0) << name;
+      EXPECT_LT(v, 1.0) << name;
+    }
+  }
+}
+
+TEST(PredictorEdgeCaseTest, ConstantHistoryPredictsTheConstant) {
+  const DemandDataset data = ConstantDataset(20, 6, 4, 7.0);
+  // The structured models must nail an exactly constant signal.
+  for (const char* name : {"HA", "PAQ", "ARIMA"}) {
+    auto predictor = CreatePredictor(name);
+    ASSERT_TRUE(predictor.ok());
+    ASSERT_TRUE((*predictor)->Fit(data, 15, DemandSide::kTasks).ok())
+        << name;
+    const std::vector<double> out = (*predictor)->Predict(data, 16, 3);
+    for (double v : out) {
+      EXPECT_NEAR(v, 7.0, 0.5) << name;
+    }
+  }
+}
+
+TEST(PredictorEdgeCaseTest, ArimaFallsBackOnConstantSeries) {
+  // A constant series has zero-variance differences; the per-cell fit may
+  // be singular, and the documented fallback is "last observation".
+  const DemandDataset data = ConstantDataset(15, 8, 2, 3.0);
+  ArimaPredictor arima;
+  ASSERT_TRUE(arima.Fit(data, 12, DemandSide::kWorkers).ok());
+  const std::vector<double> out = arima.Predict(data, 13, 4);
+  for (double v : out) EXPECT_NEAR(v, 3.0, 1e-6);
+}
+
+TEST(PredictorEdgeCaseTest, StochasticLearnersAreDeterministic) {
+  DemandDataset data = ConstantDataset(25, 6, 6, 4.0);
+  // Break the symmetry a little so the models have something to fit.
+  for (int day = 0; day < 25; ++day) {
+    for (int slot = 0; slot < 6; ++slot) {
+      data.set_tasks(day, slot, 2, 4.0 + slot);
+    }
+  }
+  for (const char* name : {"GBRT", "NN", "HP-MSI"}) {
+    auto a = CreatePredictor(name);
+    auto b = CreatePredictor(name);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_TRUE((*a)->Fit(data, 20, DemandSide::kTasks).ok()) << name;
+    ASSERT_TRUE((*b)->Fit(data, 20, DemandSide::kTasks).ok()) << name;
+    const std::vector<double> out_a = (*a)->Predict(data, 22, 3);
+    const std::vector<double> out_b = (*b)->Predict(data, 22, 3);
+    ASSERT_EQ(out_a.size(), out_b.size()) << name;
+    for (size_t i = 0; i < out_a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(out_a[i], out_b[i]) << name << " cell " << i;
+    }
+  }
+}
+
+TEST(PredictorEdgeCaseTest, HaRejectsInvalidTrainDays) {
+  const DemandDataset data = ConstantDataset(10, 4, 2, 1.0);
+  HistoricalAverage ha;
+  EXPECT_FALSE(ha.Fit(data, 0, DemandSide::kTasks).ok());
+  EXPECT_FALSE(ha.Fit(data, 11, DemandSide::kTasks).ok());
+  EXPECT_TRUE(ha.Fit(data, 10, DemandSide::kTasks).ok());
+}
+
+TEST(PredictorEdgeCaseTest, ArimaRejectsTooShortSeries) {
+  const DemandDataset data = ConstantDataset(2, 2, 2, 1.0);
+  ArimaPredictor arima;
+  EXPECT_FALSE(arima.Fit(data, 2, DemandSide::kTasks).ok());
+}
+
+TEST(PredictorEdgeCaseTest, SingleCellCityWorks) {
+  DemandDataset data(20, 4, 1);
+  for (int day = 0; day < 20; ++day) {
+    for (int slot = 0; slot < 4; ++slot) {
+      data.set_tasks(day, slot, 0, 2.0 + slot);
+      data.set_workers(day, slot, 0, 2.0);
+    }
+  }
+  for (const std::string& name : AllPredictorNames()) {
+    auto predictor = CreatePredictor(name);
+    ASSERT_TRUE(predictor.ok());
+    const Status fitted = (*predictor)->Fit(data, 15, DemandSide::kTasks);
+    if (!fitted.ok()) continue;
+    const std::vector<double> out = (*predictor)->Predict(data, 16, 2);
+    ASSERT_EQ(out.size(), 1u) << name;
+    EXPECT_GE(out[0], 0.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,144 @@
+// Cross-algorithm invariants swept over randomized workload configurations
+// (TEST_P property style): structural validity, dominance relations, and
+// determinism that must hold for any input.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "baselines/gr_batch.h"
+#include "baselines/offline_opt.h"
+#include "baselines/simple_greedy.h"
+#include "baselines/tgoa.h"
+#include "core/guide_generator.h"
+#include "core/hybrid_polar_op.h"
+#include "core/polar.h"
+#include "core/polar_op.h"
+#include "gen/synthetic.h"
+#include "util/rng.h"
+
+namespace ftoa {
+namespace {
+
+struct SweepCase {
+  uint64_t seed;
+  int objects;
+  double task_duration;
+  int grid;
+  int slots;
+};
+
+class InvariantsTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    const SweepCase& param = GetParam();
+    config_.num_workers = param.objects;
+    config_.num_tasks = param.objects;
+    config_.grid_x = param.grid;
+    config_.grid_y = param.grid;
+    config_.num_slots = param.slots;
+    config_.task_duration = param.task_duration;
+    config_.seed = param.seed;
+    auto instance = GenerateSyntheticInstance(config_);
+    ASSERT_TRUE(instance.ok());
+    instance_ = std::make_unique<Instance>(std::move(instance).value());
+    auto prediction = GenerateSyntheticPrediction(config_);
+    ASSERT_TRUE(prediction.ok());
+    GuideOptions options;
+    options.engine = GuideOptions::Engine::kAuto;
+    options.worker_duration = config_.worker_duration;
+    options.task_duration = config_.task_duration;
+    auto guide = GuideGenerator(config_.velocity, options)
+                     .Generate(*prediction);
+    ASSERT_TRUE(guide.ok());
+    guide_ = std::make_shared<const OfflineGuide>(std::move(guide).value());
+  }
+
+  SyntheticConfig config_;
+  std::unique_ptr<Instance> instance_;
+  std::shared_ptr<const OfflineGuide> guide_;
+};
+
+TEST_P(InvariantsTest, AllAssignmentsStructurallySound) {
+  SimpleGreedy greedy;
+  GrBatch gr;
+  Tgoa tgoa;
+  Polar polar(guide_);
+  PolarOp polar_op(guide_);
+  HybridPolarOp hybrid(guide_);
+  OfflineOpt opt;
+  OnlineAlgorithm* algorithms[] = {&greedy, &gr, &tgoa, &polar, &polar_op,
+                                   &hybrid, &opt};
+  for (OnlineAlgorithm* algorithm : algorithms) {
+    const Assignment assignment = algorithm->Run(*instance_);
+    EXPECT_LE(assignment.size(),
+              std::min(instance_->num_workers(), instance_->num_tasks()))
+        << algorithm->name();
+    // Every reported pair is unique per side (structural) and within range;
+    // Assignment::Add enforces this, so re-walk the pairs for coherence.
+    for (const MatchedPair& pair : assignment.pairs()) {
+      EXPECT_EQ(assignment.MatchOfWorker(pair.worker), pair.task);
+      EXPECT_EQ(assignment.MatchOfTask(pair.task), pair.worker);
+    }
+  }
+}
+
+TEST_P(InvariantsTest, WaitInPlaceAssignmentsAreDeadlineFeasible) {
+  SimpleGreedy greedy;
+  const Assignment assignment = greedy.Run(*instance_);
+  EXPECT_TRUE(assignment
+                  .Validate(*instance_,
+                            FeasibilityPolicy::kDispatchAtAssignmentTime)
+                  .ok());
+}
+
+TEST_P(InvariantsTest, OptDominatesLivenessCheckedOnlineAlgorithms) {
+  OfflineOpt opt;
+  const size_t opt_size = opt.Run(*instance_).size();
+  SimpleGreedy greedy;
+  GrBatch gr;
+  Tgoa tgoa;
+  EXPECT_GE(opt_size, tgoa.Run(*instance_).size());
+  Polar polar(guide_, PolarOptions{.check_liveness = true});
+  PolarOp polar_op(guide_, PolarOptions{.check_liveness = true});
+  EXPECT_GE(opt_size, greedy.Run(*instance_).size());
+  EXPECT_GE(opt_size, gr.Run(*instance_).size());
+  EXPECT_GE(opt_size, polar.Run(*instance_).size());
+  EXPECT_GE(opt_size, polar_op.Run(*instance_).size());
+}
+
+TEST_P(InvariantsTest, AlgorithmsAreDeterministic) {
+  PolarOp polar_op(guide_);
+  const Assignment a = polar_op.Run(*instance_);
+  const Assignment b = polar_op.Run(*instance_);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.pairs().size(); ++i) {
+    EXPECT_EQ(a.pairs()[i].worker, b.pairs()[i].worker);
+    EXPECT_EQ(a.pairs()[i].task, b.pairs()[i].task);
+  }
+}
+
+TEST_P(InvariantsTest, HybridDominatesPolarOp) {
+  PolarOp polar_op(guide_);
+  HybridPolarOp hybrid(guide_);
+  EXPECT_GE(hybrid.Run(*instance_).size(), polar_op.Run(*instance_).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InvariantsTest,
+    ::testing::Values(SweepCase{1, 300, 1.0, 8, 6},
+                      SweepCase{2, 300, 2.0, 8, 6},
+                      SweepCase{3, 500, 2.0, 12, 8},
+                      SweepCase{4, 500, 3.0, 12, 8},
+                      SweepCase{5, 800, 2.0, 16, 12},
+                      SweepCase{6, 800, 1.5, 16, 12},
+                      SweepCase{7, 200, 2.5, 6, 4},
+                      SweepCase{8, 1000, 2.0, 20, 16}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.objects);
+    });
+
+}  // namespace
+}  // namespace ftoa

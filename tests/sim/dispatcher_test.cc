@@ -1,0 +1,59 @@
+#include "sim/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+Instance MakeSingleWorkerInstance() {
+  const SpacetimeSpec st(SlotSpec(10.0, 2), GridSpec(10.0, 10.0, 5, 5));
+  std::vector<Worker> workers(1);
+  workers[0] = {0, {0.0, 0.0}, 1.0, 8.0};
+  return Instance(st, 2.0, std::move(workers), {});
+}
+
+TEST(DispatcherTest, UndispatchedWorkerStaysAtOrigin) {
+  const Instance instance = MakeSingleWorkerInstance();
+  RunTrace trace;
+  const Dispatcher dispatcher(instance, trace);
+  EXPECT_FALSE(dispatcher.WasDispatched(0));
+  EXPECT_EQ(dispatcher.PositionAt(0, 0.0), (Point{0.0, 0.0}));
+  EXPECT_EQ(dispatcher.PositionAt(0, 9.0), (Point{0.0, 0.0}));
+}
+
+TEST(DispatcherTest, EnRoutePositionInterpolates) {
+  const Instance instance = MakeSingleWorkerInstance();
+  RunTrace trace;
+  // Dispatched at t = 1 toward (8, 0); velocity 2 -> arrives at t = 5.
+  trace.dispatches.push_back(DispatchRecord{0, {8.0, 0.0}, 1.0});
+  const Dispatcher dispatcher(instance, trace);
+  EXPECT_TRUE(dispatcher.WasDispatched(0));
+  EXPECT_EQ(dispatcher.PositionAt(0, 1.0), (Point{0.0, 0.0}));
+  EXPECT_EQ(dispatcher.PositionAt(0, 2.0), (Point{2.0, 0.0}));
+  EXPECT_EQ(dispatcher.PositionAt(0, 3.0), (Point{4.0, 0.0}));
+  // After arrival the worker parks at the target.
+  EXPECT_EQ(dispatcher.PositionAt(0, 5.0), (Point{8.0, 0.0}));
+  EXPECT_EQ(dispatcher.PositionAt(0, 100.0), (Point{8.0, 0.0}));
+}
+
+TEST(DispatcherTest, BeforeDepartureStaysAtOrigin) {
+  const Instance instance = MakeSingleWorkerInstance();
+  RunTrace trace;
+  trace.dispatches.push_back(DispatchRecord{0, {8.0, 0.0}, 3.0});
+  const Dispatcher dispatcher(instance, trace);
+  EXPECT_EQ(dispatcher.PositionAt(0, 0.0), (Point{0.0, 0.0}));
+  EXPECT_EQ(dispatcher.PositionAt(0, 2.9), (Point{0.0, 0.0}));
+}
+
+TEST(DispatcherTest, ZeroLengthDispatchParksImmediately) {
+  const Instance instance = MakeSingleWorkerInstance();
+  RunTrace trace;
+  trace.dispatches.push_back(DispatchRecord{0, {0.0, 0.0}, 1.0});
+  const Dispatcher dispatcher(instance, trace);
+  EXPECT_EQ(dispatcher.PositionAt(0, 5.0), (Point{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,67 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/offline_opt.h"
+#include "baselines/simple_greedy.h"
+#include "core/guide_generator.h"
+#include "core/polar_op.h"
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+using ftoa::testing::MakeExample1Instance;
+
+TEST(RunnerTest, CollectsBasicMetrics) {
+  const Instance instance = MakeExample1Instance();
+  OfflineOpt opt;
+  const auto metrics = RunAlgorithm(&opt, instance);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->algorithm, "OPT");
+  EXPECT_EQ(metrics->matching_size, 6);
+  EXPECT_GE(metrics->elapsed_seconds, 0.0);
+}
+
+TEST(RunnerTest, ValidationPassesForOpt) {
+  const Instance instance = MakeExample1Instance();
+  OfflineOpt opt;
+  RunnerOptions options;
+  options.validate = true;
+  options.validation_policy = FeasibilityPolicy::kDispatchAtWorkerStart;
+  EXPECT_TRUE(RunAlgorithm(&opt, instance, options).ok());
+}
+
+TEST(RunnerTest, ValidationUsesRequestedPolicy) {
+  const Instance instance = MakeExample1Instance();
+  SimpleGreedy greedy;
+  RunnerOptions options;
+  options.validate = true;
+  options.validation_policy = FeasibilityPolicy::kDispatchAtAssignmentTime;
+  EXPECT_TRUE(RunAlgorithm(&greedy, instance, options).ok());
+}
+
+TEST(RunnerTest, StrictVerificationPopulatesExtras) {
+  const Instance instance = MakeExample1Instance();
+  GuideOptions guide_options;
+  guide_options.engine = GuideOptions::Engine::kDinic;
+  guide_options.worker_duration = 30.0;
+  guide_options.task_duration = 2.0;
+  auto guide = std::make_shared<const OfflineGuide>(
+      std::move(GuideGenerator(instance.velocity(), guide_options)
+                    .Generate(PredictionMatrix::FromInstance(instance)))
+          .value());
+  PolarOp polar_op(guide);
+  RunnerOptions options;
+  options.strict_verification = true;
+  const auto metrics = RunAlgorithm(&polar_op, instance, options);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->strict_feasible_pairs + metrics->strict_violations,
+            metrics->matching_size);
+  EXPECT_GT(metrics->dispatched_workers, 0);
+}
+
+}  // namespace
+}  // namespace ftoa

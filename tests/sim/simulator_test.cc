@@ -1,0 +1,78 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+Instance MakeSimpleInstance() {
+  const SpacetimeSpec st(SlotSpec(10.0, 2), GridSpec(10.0, 10.0, 5, 5));
+  std::vector<Worker> workers(1);
+  workers[0] = {0, {0.0, 0.0}, 0.0, 8.0};
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {4.0, 0.0}, 2.0, 3.0};  // Deadline t = 5.
+  return Instance(st, 1.0, std::move(workers), std::move(tasks));
+}
+
+TEST(VerifyStrictTest, AcceptsReachablePair) {
+  const Instance instance = MakeSimpleInstance();
+  Assignment assignment(1, 1);
+  // Decided at t = 2; travel 4 units at v = 1 -> arrival 6 > 5: infeasible
+  // without pre-movement...
+  ASSERT_TRUE(assignment.Add(0, 0, 2.0).ok());
+  RunTrace no_movement;
+  const StrictVerification without =
+      VerifyStrict(instance, assignment, no_movement);
+  EXPECT_EQ(without.total_pairs, 1);
+  EXPECT_EQ(without.violations, 1);
+  EXPECT_EQ(without.late_arrival, 1);
+
+  // ...but a dispatch toward the task area at t = 0 puts the worker at
+  // (2, 0) by t = 2, making the arrival (t = 4) feasible.
+  RunTrace with_movement;
+  with_movement.dispatches.push_back(DispatchRecord{0, {4.0, 0.0}, 0.0});
+  const StrictVerification with =
+      VerifyStrict(instance, assignment, with_movement);
+  EXPECT_EQ(with.feasible_pairs, 1);
+  EXPECT_EQ(with.violations, 0);
+}
+
+TEST(VerifyStrictTest, FlagsPairDecidedBeforeTaskRelease) {
+  const Instance instance = MakeSimpleInstance();
+  Assignment assignment(1, 1);
+  ASSERT_TRUE(assignment.Add(0, 0, 1.0).ok());  // Task appears at t = 2.
+  RunTrace trace;
+  const StrictVerification result =
+      VerifyStrict(instance, assignment, trace);
+  EXPECT_EQ(result.task_not_released, 1);
+  EXPECT_EQ(result.violations, 1);
+}
+
+TEST(VerifyStrictTest, FlagsExpiredWorker) {
+  const SpacetimeSpec st(SlotSpec(10.0, 2), GridSpec(10.0, 10.0, 5, 5));
+  std::vector<Worker> workers(1);
+  workers[0] = {0, {0.0, 0.0}, 0.0, 1.0};  // Leaves at t = 1.
+  std::vector<Task> tasks(1);
+  tasks[0] = {0, {0.0, 0.0}, 2.0, 5.0};
+  const Instance instance(st, 1.0, std::move(workers), std::move(tasks));
+  Assignment assignment(1, 1);
+  ASSERT_TRUE(assignment.Add(0, 0, 2.0).ok());
+  const StrictVerification result =
+      VerifyStrict(instance, assignment, RunTrace{});
+  EXPECT_EQ(result.worker_expired, 1);
+  EXPECT_EQ(result.violations, 1);
+}
+
+TEST(VerifyStrictTest, EmptyAssignmentIsClean) {
+  const Instance instance = MakeSimpleInstance();
+  const Assignment assignment(1, 1);
+  const StrictVerification result =
+      VerifyStrict(instance, assignment, RunTrace{});
+  EXPECT_EQ(result.total_pairs, 0);
+  EXPECT_EQ(result.violations, 0);
+}
+
+}  // namespace
+}  // namespace ftoa

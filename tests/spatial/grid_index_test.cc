@@ -1,0 +1,173 @@
+#include "spatial/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ftoa {
+namespace {
+
+GridSpec MakeGrid() { return GridSpec(100.0, 100.0, 10, 10); }
+
+TEST(GridIndexTest, InsertEraseContains) {
+  GridIndex index(MakeGrid());
+  EXPECT_EQ(index.size(), 0u);
+  index.Insert(1, {5.0, 5.0});
+  index.Insert(2, {50.0, 50.0});
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.Contains(1));
+  EXPECT_TRUE(index.Erase(1));
+  EXPECT_FALSE(index.Contains(1));
+  EXPECT_FALSE(index.Erase(1));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(GridIndexTest, ReinsertMovesPoint) {
+  GridIndex index(MakeGrid());
+  index.Insert(1, {5.0, 5.0});
+  index.Insert(1, {95.0, 95.0});
+  EXPECT_EQ(index.size(), 1u);
+  const IndexedPoint hit = index.FindNearest({95.0, 95.0}, 1.0);
+  EXPECT_EQ(hit.id, 1);
+}
+
+TEST(GridIndexTest, FindNearestBasic) {
+  GridIndex index(MakeGrid());
+  index.Insert(1, {10.0, 10.0});
+  index.Insert(2, {20.0, 10.0});
+  index.Insert(3, {90.0, 90.0});
+  const IndexedPoint hit = index.FindNearest({12.0, 10.0}, 100.0);
+  EXPECT_EQ(hit.id, 1);
+}
+
+TEST(GridIndexTest, FindNearestRespectsMaxDistance) {
+  GridIndex index(MakeGrid());
+  index.Insert(1, {10.0, 10.0});
+  EXPECT_EQ(index.FindNearest({50.0, 50.0}, 5.0).id, -1);
+  EXPECT_EQ(index.FindNearest({50.0, 50.0}, 100.0).id, 1);
+}
+
+TEST(GridIndexTest, FindNearestAppliesFilter) {
+  GridIndex index(MakeGrid());
+  index.Insert(1, {10.0, 10.0});
+  index.Insert(2, {12.0, 10.0});
+  const IndexedPoint hit = index.FindNearest(
+      {10.0, 10.0}, 50.0,
+      [](const IndexedPoint& entry, double) { return entry.id != 1; });
+  EXPECT_EQ(hit.id, 2);
+}
+
+TEST(GridIndexTest, EmptyIndexReturnsMiss) {
+  GridIndex index(MakeGrid());
+  EXPECT_EQ(index.FindNearest({50.0, 50.0}, 100.0).id, -1);
+}
+
+TEST(GridIndexTest, ForEachInDiskFindsAllWithinRadius) {
+  GridIndex index(MakeGrid());
+  index.Insert(1, {50.0, 50.0});
+  index.Insert(2, {53.0, 50.0});
+  index.Insert(3, {50.0, 56.0});
+  index.Insert(4, {90.0, 90.0});
+  std::vector<int64_t> found;
+  index.ForEachInDisk({50.0, 50.0}, 5.0,
+                      [&](const IndexedPoint& entry, double) {
+                        found.push_back(entry.id);
+                      });
+  std::sort(found.begin(), found.end());
+  EXPECT_EQ(found, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(GridIndexTest, InfiniteRadiusScansEverything) {
+  GridIndex index(MakeGrid());
+  index.Insert(1, {5.0, 5.0});
+  index.Insert(2, {95.0, 95.0});
+  int count = 0;
+  index.ForEachInDisk({0.0, 0.0}, std::numeric_limits<double>::max(),
+                      [&](const IndexedPoint&, double) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(GridIndexTest, ForEachInCell) {
+  const GridSpec grid = MakeGrid();
+  GridIndex index(grid);
+  index.Insert(1, {5.0, 5.0});
+  index.Insert(2, {6.0, 6.0});
+  index.Insert(3, {55.0, 55.0});
+  int count = 0;
+  index.ForEachInCell(grid.CellOf({5.0, 5.0}),
+                      [&](const IndexedPoint&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+// Property: FindNearest agrees with brute force over random point sets.
+class GridIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridIndexPropertyTest, NearestMatchesBruteForce) {
+  Rng rng(GetParam());
+  const GridSpec grid = MakeGrid();
+  GridIndex index(grid);
+  std::vector<IndexedPoint> points;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const Point p{rng.NextDouble(0.0, 100.0), rng.NextDouble(0.0, 100.0)};
+    points.push_back({i, p});
+    index.Insert(i, p);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const Point query{rng.NextDouble(0.0, 100.0),
+                      rng.NextDouble(0.0, 100.0)};
+    const double max_distance = rng.NextDouble(1.0, 60.0);
+    // Brute force reference.
+    int64_t best = -1;
+    double best_d = max_distance;
+    for (const auto& entry : points) {
+      const double d = Distance(query, entry.location);
+      if (d < best_d || (d == best_d && best >= 0 && entry.id < best)) {
+        best_d = d;
+        best = entry.id;
+      }
+    }
+    const IndexedPoint hit = index.FindNearest(query, max_distance);
+    if (best == -1) {
+      EXPECT_EQ(hit.id, -1);
+    } else {
+      ASSERT_NE(hit.id, -1);
+      EXPECT_NEAR(Distance(query, hit.location), best_d, 1e-9);
+    }
+  }
+}
+
+TEST_P(GridIndexPropertyTest, DiskQueryMatchesBruteForce) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const GridSpec grid = MakeGrid();
+  GridIndex index(grid);
+  std::vector<IndexedPoint> points;
+  for (int i = 0; i < 150; ++i) {
+    const Point p{rng.NextDouble(0.0, 100.0), rng.NextDouble(0.0, 100.0)};
+    points.push_back({i, p});
+    index.Insert(i, p);
+  }
+  for (int q = 0; q < 20; ++q) {
+    const Point query{rng.NextDouble(0.0, 100.0),
+                      rng.NextDouble(0.0, 100.0)};
+    const double radius = rng.NextDouble(0.0, 50.0);
+    size_t expected = 0;
+    for (const auto& entry : points) {
+      if (Distance(query, entry.location) <= radius) ++expected;
+    }
+    size_t got = 0;
+    index.ForEachInDisk(query, radius,
+                        [&](const IndexedPoint&, double) { ++got; });
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,90 @@
+#include "spatial/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "spatial/point.h"
+
+namespace ftoa {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Point{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Point{2.0, 4.0}));
+}
+
+TEST(PointTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(PointTest, LerpClampsFraction) {
+  const Point a{0.0, 0.0};
+  const Point b{10.0, 0.0};
+  EXPECT_EQ(Lerp(a, b, 0.5), (Point{5.0, 0.0}));
+  EXPECT_EQ(Lerp(a, b, -1.0), a);
+  EXPECT_EQ(Lerp(a, b, 2.0), b);
+}
+
+TEST(GridSpecTest, CellMapping) {
+  const GridSpec grid(10.0, 10.0, 5, 5);  // 2x2-unit cells.
+  EXPECT_EQ(grid.num_cells(), 25);
+  EXPECT_EQ(grid.CellOf({0.5, 0.5}), 0);
+  EXPECT_EQ(grid.CellOf({2.5, 0.5}), 1);
+  EXPECT_EQ(grid.CellOf({0.5, 2.5}), 5);
+  EXPECT_EQ(grid.CellOf({9.9, 9.9}), 24);
+}
+
+TEST(GridSpecTest, OutOfRegionPointsClamped) {
+  const GridSpec grid(10.0, 10.0, 5, 5);
+  EXPECT_EQ(grid.CellOf({-1.0, -1.0}), 0);
+  EXPECT_EQ(grid.CellOf({100.0, 100.0}), 24);
+  EXPECT_EQ(grid.CellOf({10.0, 0.0}), 4);  // Exactly on the open edge.
+}
+
+TEST(GridSpecTest, CellCoordinatesRoundTrip) {
+  const GridSpec grid(12.0, 8.0, 4, 2);
+  for (CellId id = 0; id < grid.num_cells(); ++id) {
+    EXPECT_EQ(grid.CellAt(grid.CellX(id), grid.CellY(id)), id);
+    EXPECT_EQ(grid.CellOf(grid.CellCenter(id)), id);
+  }
+}
+
+TEST(GridSpecTest, CellCenter) {
+  const GridSpec grid(10.0, 10.0, 5, 5);
+  EXPECT_EQ(grid.CellCenter(0), (Point{1.0, 1.0}));
+  EXPECT_EQ(grid.CellCenter(24), (Point{9.0, 9.0}));
+}
+
+TEST(GridSpecTest, ContainsRespectsOpenUpperEdge) {
+  const GridSpec grid(10.0, 10.0, 5, 5);
+  EXPECT_TRUE(grid.Contains({0.0, 0.0}));
+  EXPECT_TRUE(grid.Contains({9.999, 9.999}));
+  EXPECT_FALSE(grid.Contains({10.0, 5.0}));
+  EXPECT_FALSE(grid.Contains({-0.001, 5.0}));
+}
+
+TEST(GridSpecTest, DistanceToCell) {
+  const GridSpec grid(10.0, 10.0, 5, 5);
+  // Point inside the cell: distance 0.
+  EXPECT_DOUBLE_EQ(grid.DistanceToCell({1.0, 1.0}, 0), 0.0);
+  // Point directly left of cell 1 ([2,4) x [0,2)).
+  EXPECT_DOUBLE_EQ(grid.DistanceToCell({1.0, 1.0}, 1), 1.0);
+  // Diagonal distance to cell 6 ([2,4) x [2,4)) from the origin corner.
+  EXPECT_DOUBLE_EQ(grid.DistanceToCell({0.0, 0.0}, 6),
+                   Distance({0.0, 0.0}, {2.0, 2.0}));
+}
+
+TEST(GridSpecTest, NonSquareCells) {
+  const GridSpec grid(30.0, 10.0, 3, 2);  // 10x5 cells.
+  EXPECT_DOUBLE_EQ(grid.cell_width(), 10.0);
+  EXPECT_DOUBLE_EQ(grid.cell_height(), 5.0);
+  EXPECT_EQ(grid.CellOf({15.0, 7.0}), grid.CellAt(1, 1));
+}
+
+}  // namespace
+}  // namespace ftoa

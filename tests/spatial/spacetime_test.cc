@@ -1,0 +1,59 @@
+#include "spatial/spacetime.h"
+
+#include <gtest/gtest.h>
+
+namespace ftoa {
+namespace {
+
+TEST(SlotSpecTest, SlotMapping) {
+  const SlotSpec slots(48.0, 48);
+  EXPECT_DOUBLE_EQ(slots.slot_duration(), 1.0);
+  EXPECT_EQ(slots.SlotOf(0.0), 0);
+  EXPECT_EQ(slots.SlotOf(0.999), 0);
+  EXPECT_EQ(slots.SlotOf(1.0), 1);
+  EXPECT_EQ(slots.SlotOf(47.5), 47);
+}
+
+TEST(SlotSpecTest, TimesOutsideHorizonClamped) {
+  const SlotSpec slots(10.0, 5);
+  EXPECT_EQ(slots.SlotOf(-1.0), 0);
+  EXPECT_EQ(slots.SlotOf(100.0), 4);
+  EXPECT_EQ(slots.SlotOf(10.0), 4);
+}
+
+TEST(SlotSpecTest, Representatives) {
+  const SlotSpec slots(10.0, 2);
+  EXPECT_DOUBLE_EQ(slots.SlotStart(1), 5.0);
+  EXPECT_DOUBLE_EQ(slots.SlotMidpoint(0), 2.5);
+  EXPECT_DOUBLE_EQ(slots.SlotMidpoint(1), 7.5);
+}
+
+TEST(SpacetimeSpecTest, TypeRoundTrip) {
+  const SpacetimeSpec st(SlotSpec(10.0, 2), GridSpec(8.0, 8.0, 2, 2));
+  EXPECT_EQ(st.num_types(), 8);
+  for (int slot = 0; slot < 2; ++slot) {
+    for (CellId cell = 0; cell < 4; ++cell) {
+      const TypeId type = st.TypeAt(slot, cell);
+      EXPECT_EQ(st.SlotOfType(type), slot);
+      EXPECT_EQ(st.AreaOfType(type), cell);
+    }
+  }
+}
+
+TEST(SpacetimeSpecTest, TypeOfObject) {
+  const SpacetimeSpec st(SlotSpec(10.0, 2), GridSpec(8.0, 8.0, 2, 2));
+  // (1, 6): left half (x < 4), top half (y >= 4) -> cell (0, 1) = id 2.
+  EXPECT_EQ(st.TypeOf({1.0, 6.0}, 0.0), st.TypeAt(0, 2));
+  // Second slot.
+  EXPECT_EQ(st.TypeOf({5.0, 3.0}, 7.0), st.TypeAt(1, 1));
+}
+
+TEST(SpacetimeSpecTest, Representatives) {
+  const SpacetimeSpec st(SlotSpec(10.0, 2), GridSpec(8.0, 8.0, 2, 2));
+  const TypeId type = st.TypeAt(1, 3);
+  EXPECT_EQ(st.RepresentativeLocation(type), (Point{6.0, 6.0}));
+  EXPECT_DOUBLE_EQ(st.RepresentativeTime(type), 7.5);
+}
+
+}  // namespace
+}  // namespace ftoa

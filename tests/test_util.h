@@ -1,0 +1,49 @@
+// Shared fixtures for the ftoa test suite, most importantly the paper's
+// running example (Example 1 / Table 1 / Figure 1), which several unit and
+// integration tests reproduce end to end.
+
+#ifndef FTOA_TESTS_TEST_UTIL_H_
+#define FTOA_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "model/instance.h"
+#include "spatial/spacetime.h"
+
+namespace ftoa {
+namespace testing {
+
+/// Builds the paper's Example 1: seven taxis (workers) and six
+/// taxi-calling tasks on an 8x8 region, times in minutes after 9:00,
+/// Dr = 2 minutes, Dw = 30 minutes, velocity 1 unit/minute. The type space
+/// is 2 slots x 2x2 areas as in Figure 1d.
+inline Instance MakeExample1Instance() {
+  std::vector<Worker> workers(7);
+  const double dw = 30.0;
+  workers[0] = {0, {1.0, 6.0}, 0.0, dw};  // w1, 9:00
+  workers[1] = {1, {1.0, 8.0}, 1.0, dw};  // w2, 9:01
+  workers[2] = {2, {3.0, 7.0}, 1.0, dw};  // w3, 9:01
+  workers[3] = {3, {5.0, 6.0}, 3.0, dw};  // w4, 9:03
+  workers[4] = {4, {6.0, 5.0}, 3.0, dw};  // w5, 9:03
+  workers[5] = {5, {6.0, 7.0}, 3.0, dw};  // w6, 9:03
+  workers[6] = {6, {7.0, 6.0}, 4.0, dw};  // w7, 9:04
+
+  std::vector<Task> tasks(6);
+  const double dr = 2.0;
+  tasks[0] = {0, {3.0, 6.0}, 0.0, dr};  // r1, 9:00
+  tasks[1] = {1, {2.0, 5.0}, 2.0, dr};  // r2, 9:02
+  tasks[2] = {2, {5.0, 3.0}, 5.0, dr};  // r3, 9:05
+  tasks[3] = {3, {4.0, 1.0}, 6.0, dr};  // r4, 9:06
+  tasks[4] = {4, {8.0, 2.0}, 7.0, dr};  // r5, 9:07
+  tasks[5] = {5, {6.0, 1.0}, 8.0, dr};  // r6, 9:08
+
+  const GridSpec grid(8.0, 8.0, 2, 2);       // Four areas as in Figure 1d.
+  const SlotSpec slots(10.0, 2);             // Two 5-minute slots.
+  return Instance(SpacetimeSpec(slots, grid), /*velocity=*/1.0,
+                  std::move(workers), std::move(tasks));
+}
+
+}  // namespace testing
+}  // namespace ftoa
+
+#endif  // FTOA_TESTS_TEST_UTIL_H_

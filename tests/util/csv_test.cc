@@ -1,0 +1,90 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace ftoa {
+namespace {
+
+TEST(CsvEscapeTest, PlainCellUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesCellsWithSpecials) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvParseLineTest, SplitsSimpleCells) {
+  const auto cells = CsvParseLine("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[1], "b");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(CsvParseLineTest, HandlesQuotedCells) {
+  const auto cells = CsvParseLine("\"a,b\",c,\"say \"\"hi\"\"\"");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a,b");
+  EXPECT_EQ(cells[1], "c");
+  EXPECT_EQ(cells[2], "say \"hi\"");
+}
+
+TEST(CsvParseLineTest, EmptyCellsPreserved) {
+  const auto cells = CsvParseLine("a,,c,");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[1], "");
+  EXPECT_EQ(cells[3], "");
+}
+
+TEST(CsvRoundTripTest, EscapeThenParse) {
+  const std::vector<std::string> original = {"plain", "with,comma",
+                                             "with \"quote\"", ""};
+  std::string line;
+  for (size_t i = 0; i < original.size(); ++i) {
+    if (i > 0) line += ',';
+    line += CsvEscape(original[i]);
+  }
+  const auto parsed = CsvParseLine(line);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/ftoa_csv_test.csv";
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.Ok());
+    ASSERT_TRUE(writer.WriteRow({"name", "value"}).ok());
+    ASSERT_TRUE(writer.WriteRow({"alpha", "1,5"}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  const auto rows = CsvReadFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], "name");
+  EXPECT_EQ((*rows)[1][1], "1,5");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileErrors) {
+  const auto rows = CsvReadFile("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST(CsvFileTest, DoubleCloseFails) {
+  const std::string path = ::testing::TempDir() + "/ftoa_csv_close.csv";
+  CsvWriter writer(path);
+  ASSERT_TRUE(writer.Ok());
+  EXPECT_TRUE(writer.Close().ok());
+  EXPECT_FALSE(writer.Close().ok());
+  EXPECT_FALSE(writer.WriteRow({"x"}).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ftoa

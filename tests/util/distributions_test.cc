@@ -1,0 +1,121 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ftoa {
+namespace {
+
+TEST(TruncatedNormalTest, SamplesWithinBounds) {
+  Rng rng(1);
+  const TruncatedNormal dist(5.0, 10.0, 0.0, 10.0);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = dist.Sample(rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(TruncatedNormalTest, ZeroStddevReturnsClampedMean) {
+  Rng rng(2);
+  const TruncatedNormal inside(5.0, 0.0, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(inside.Sample(rng), 5.0);
+  const TruncatedNormal above(20.0, 0.0, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(above.Sample(rng), 10.0);
+  const TruncatedNormal below(-3.0, 0.0, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(below.Sample(rng), 0.0);
+}
+
+TEST(TruncatedNormalTest, MeanApproximatelyPreservedWhenInterior) {
+  Rng rng(3);
+  const TruncatedNormal dist(50.0, 5.0, 0.0, 100.0);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += dist.Sample(rng);
+  EXPECT_NEAR(sum / n, 50.0, 0.2);
+}
+
+TEST(TruncatedNormalTest, FarTailStillBounded) {
+  Rng rng(4);
+  // Mean far outside the interval: rejection gives up and clamps.
+  const TruncatedNormal dist(1000.0, 1.0, 0.0, 10.0);
+  for (int i = 0; i < 100; ++i) {
+    const double v = dist.Sample(rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(TruncatedNormal2dTest, SamplesInsideRectangle) {
+  Rng rng(5);
+  const TruncatedNormal2d dist(25.0, 25.0, 8.0, 8.0, 50.0, 50.0);
+  for (int i = 0; i < 5000; ++i) {
+    double x = -1.0;
+    double y = -1.0;
+    dist.Sample(rng, &x, &y);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 50.0);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LE(y, 50.0);
+  }
+}
+
+TEST(DiscreteDistributionTest, RespectsWeights) {
+  Rng rng(6);
+  const DiscreteDistribution dist({1.0, 3.0, 6.0});
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[dist.Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(DiscreteDistributionTest, ZeroWeightNeverSampled) {
+  Rng rng(7);
+  const DiscreteDistribution dist({0.0, 1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dist.Sample(rng), 1u);
+  }
+}
+
+TEST(DiscreteDistributionTest, AllZeroWeightsFallBackToUniform) {
+  Rng rng(8);
+  const DiscreteDistribution dist({0.0, 0.0, 0.0, 0.0});
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[dist.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(DiscreteDistributionTest, NegativeWeightsTreatedAsZero) {
+  Rng rng(9);
+  const DiscreteDistribution dist({-5.0, 1.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(dist.Sample(rng), 1u);
+}
+
+TEST(DiscreteDistributionTest, NormalizedProbabilities) {
+  const DiscreteDistribution dist({2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(dist.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(dist.probability(1), 0.25);
+  EXPECT_DOUBLE_EQ(dist.probability(2), 0.5);
+}
+
+TEST(SampleStatsTest, ComputesMoments) {
+  const SampleStats stats = ComputeSampleStats({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats.variance, 1.25);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 4.0);
+  EXPECT_EQ(stats.count, 4u);
+}
+
+TEST(SampleStatsTest, EmptyInput) {
+  const SampleStats stats = ComputeSampleStats({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace ftoa

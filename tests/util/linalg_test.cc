@@ -1,0 +1,154 @@
+#include "util/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ftoa {
+namespace {
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  const Matrix product = a.Multiply(Matrix::Identity(2));
+  EXPECT_DOUBLE_EQ(product(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(product(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(product(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(product(1, 1), 4.0);
+}
+
+TEST(MatrixTest, TransposeSwapsIndices) {
+  Matrix a(2, 3);
+  a(0, 2) = 7.0;
+  a(1, 0) = -2.0;
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+}
+
+TEST(MatrixTest, ApplyMatchesManualProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(0, 2) = 3.0;
+  a(1, 0) = 4.0;
+  a(1, 1) = 5.0;
+  a(1, 2) = 6.0;
+  const std::vector<double> v = {1.0, 0.0, -1.0};
+  const std::vector<double> out = a.Apply(v);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(SolveLinearSystemTest, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const auto x = SolveLinearSystem(a, {5.0, 10.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, RequiresPivoting) {
+  // Zero on the initial pivot position forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const auto x = SolveLinearSystem(a, {2.0, 3.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, DetectsSingularity) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  const auto x = SolveLinearSystem(a, {1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_TRUE(x.status().IsFailedPrecondition());
+}
+
+TEST(SolveLinearSystemTest, RejectsShapeMismatch) {
+  EXPECT_FALSE(SolveLinearSystem(Matrix(2, 3), {1.0, 2.0}).ok());
+  EXPECT_FALSE(SolveLinearSystem(Matrix(2, 2), {1.0}).ok());
+}
+
+TEST(SolveLinearSystemTest, RandomRoundTrip) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.NextBounded(8);
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.NextDouble(-5.0, 5.0);
+      for (size_t j = 0; j < n; ++j) a(i, j) = rng.NextDouble(-1.0, 1.0);
+      a(i, i) += static_cast<double>(n);  // Diagonally dominant: invertible.
+    }
+    const std::vector<double> b = a.Apply(x_true);
+    const auto solved = SolveLinearSystem(a, b);
+    ASSERT_TRUE(solved.ok());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR((*solved)[i], x_true[i], 1e-8);
+    }
+  }
+}
+
+TEST(SolveLeastSquaresTest, RecoversExactLinearModel) {
+  // y = 3 + 2 * x, noiseless.
+  const int n = 20;
+  Matrix design(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    design(static_cast<size_t>(i), 0) = 1.0;
+    design(static_cast<size_t>(i), 1) = i;
+    y[static_cast<size_t>(i)] = 3.0 + 2.0 * i;
+  }
+  const auto coef = SolveLeastSquares(design, y, 0.0);
+  ASSERT_TRUE(coef.ok());
+  EXPECT_NEAR((*coef)[0], 3.0, 1e-9);
+  EXPECT_NEAR((*coef)[1], 2.0, 1e-9);
+}
+
+TEST(SolveLeastSquaresTest, RidgeHandlesCollinearFeatures) {
+  // Two identical columns: plain OLS normal equations are singular, ridge
+  // splits the weight evenly.
+  const int n = 10;
+  Matrix design(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    design(static_cast<size_t>(i), 0) = i;
+    design(static_cast<size_t>(i), 1) = i;
+    y[static_cast<size_t>(i)] = 4.0 * i;
+  }
+  EXPECT_FALSE(SolveLeastSquares(design, y, 0.0).ok());
+  const auto coef = SolveLeastSquares(design, y, 1e-6);
+  ASSERT_TRUE(coef.ok());
+  EXPECT_NEAR((*coef)[0] + (*coef)[1], 4.0, 1e-3);
+}
+
+TEST(SolveLeastSquaresTest, RejectsNegativeLambda) {
+  EXPECT_FALSE(SolveLeastSquares(Matrix(2, 1), {1.0, 2.0}, -1.0).ok());
+}
+
+TEST(DotTest, ComputesInnerProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, -5.0, 6.0}), 12.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace ftoa

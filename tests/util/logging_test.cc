@@ -1,0 +1,103 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stopwatch.h"
+
+namespace ftoa {
+namespace {
+
+/// Fails the test when streamed: proves suppressed messages never format.
+struct Expensive {};
+std::ostream& operator<<(std::ostream& os, const Expensive&) {
+  ADD_FAILURE() << "formatted a suppressed log message";
+  return os;
+}
+
+/// Counts how often it is streamed.
+struct Counter {
+  int* count;
+};
+std::ostream& operator<<(std::ostream& os, const Counter& c) {
+  ++*c.count;
+  return os << "counted";
+}
+
+/// Opaque sink preventing the optimizer from deleting busy loops.
+void benchmark_guard(const double* value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = logging::GetLevel(); }
+  void TearDown() override { logging::SetLevel(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  logging::SetLevel(LogLevel::kError);
+  EXPECT_EQ(logging::GetLevel(), LogLevel::kError);
+  logging::SetLevel(LogLevel::kDebug);
+  EXPECT_EQ(logging::GetLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning),
+            static_cast<int>(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, DisabledMessagesDoNotFormat) {
+  logging::SetLevel(LogLevel::kError);
+  // The macro must skip streaming entirely when the level is filtered out.
+  FTOA_LOG_DEBUG << Expensive{};
+  FTOA_LOG_INFO << Expensive{};
+  FTOA_LOG_WARNING << Expensive{};
+}
+
+TEST_F(LoggingTest, EnabledMessagesFormat) {
+  logging::SetLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  FTOA_LOG_DEBUG << Counter{&evaluations};
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTimeMonotonically) {
+  Stopwatch stopwatch;
+  const int64_t first = stopwatch.ElapsedNanos();
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i * 0.5;
+  benchmark_guard(&sink);
+  const int64_t second = stopwatch.ElapsedNanos();
+  EXPECT_GE(first, 0);
+  EXPECT_GE(second, first);
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(StopwatchTest, UnitConversionsAgree) {
+  Stopwatch stopwatch;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  benchmark_guard(&sink);
+  const int64_t nanos = stopwatch.ElapsedNanos();
+  EXPECT_LE(stopwatch.ElapsedMicros() * 1000, stopwatch.ElapsedNanos());
+  EXPECT_NEAR(stopwatch.ElapsedSeconds(), nanos * 1e-9, 0.5);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch stopwatch;
+  double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink += i;
+  benchmark_guard(&sink);
+  const int64_t before = stopwatch.ElapsedNanos();
+  stopwatch.Restart();
+  EXPECT_LT(stopwatch.ElapsedNanos(), before + 1000000);
+  EXPECT_GT(sink, 0.0);
+}
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,61 @@
+#include "util/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace ftoa {
+namespace {
+
+TEST(MemoryTrackerTest, CountersMoveWithAllocations) {
+  const MemoryStats before = memory_tracker::Snapshot();
+  auto block = std::make_unique<std::vector<char>>(1 << 20);
+  const MemoryStats during = memory_tracker::Snapshot();
+  EXPECT_GE(during.live_bytes, before.live_bytes + (1 << 20));
+  EXPECT_GT(during.total_allocs, before.total_allocs);
+  block.reset();
+  const MemoryStats after = memory_tracker::Snapshot();
+  EXPECT_LT(after.live_bytes, during.live_bytes);
+  EXPECT_GT(after.total_frees, during.total_frees - 1);
+}
+
+TEST(MemoryTrackerTest, PeakCapturesTransientAllocation) {
+  memory_tracker::ResetPeak();
+  const uint64_t baseline = memory_tracker::PeakBytes();
+  {
+    std::vector<char> transient(8 << 20);
+    // Touch so the optimizer cannot remove the allocation.
+    transient[0] = 1;
+    transient[transient.size() - 1] = 2;
+    EXPECT_GT(transient[0] + transient[transient.size() - 1], 0);
+  }
+  EXPECT_GE(memory_tracker::PeakBytes(), baseline + (8 << 20));
+}
+
+TEST(MemoryScopeTest, PeakDeltaSeesScopedGrowth) {
+  MemoryScope scope;
+  {
+    std::vector<char> data(4 << 20);
+    data[0] = 1;
+    EXPECT_GE(scope.PeakDelta(), static_cast<uint64_t>(4 << 20));
+  }
+  // After the vector dies, the peak delta persists but live delta drops.
+  EXPECT_GE(scope.PeakDelta(), static_cast<uint64_t>(4 << 20));
+  EXPECT_LT(scope.LiveDelta(), static_cast<uint64_t>(4 << 20));
+}
+
+TEST(MemoryTrackerTest, AlignedAllocationsTracked) {
+  memory_tracker::ResetPeak();
+  struct alignas(64) Wide {
+    char payload[256];
+  };
+  const uint64_t before = memory_tracker::LiveBytes();
+  auto wide = std::make_unique<Wide>();
+  wide->payload[0] = 1;
+  EXPECT_GE(memory_tracker::LiveBytes(), before + sizeof(Wide));
+  wide.reset();
+}
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,185 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ftoa {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  uint64_t acc = 0;
+  for (int i = 0; i < 10; ++i) acc |= rng.Next();
+  EXPECT_NE(acc, 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInBounds) {
+  Rng rng(99);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(5);
+  const uint64_t bound = 10;
+  std::vector<int> histogram(bound, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++histogram[rng.NextBounded(bound)];
+  }
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(histogram[b], draws / static_cast<int>(bound),
+                draws / static_cast<int>(bound) / 10);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianShiftScale) {
+  Rng rng(12);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatchesSmall) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextPoisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatchesLarge) {
+  Rng rng(14);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(200.0));
+  }
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(15);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+  EXPECT_EQ(rng.NextPoisson(-1.0), 0u);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(16);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(17);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(21);
+  Rng child_a = parent.Fork(1);
+  Rng child_b = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child_a.Next() == child_b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng p1(21);
+  Rng p2(21);
+  Rng c1 = p1.Fork(9);
+  Rng c2 = p2.Fork(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(c1.Next(), c2.Next());
+}
+
+TEST(RngTest, ReseedResetsStream) {
+  Rng rng(33);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 8; ++i) first.push_back(rng.Next());
+  rng.Seed(33);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(rng.Next(), first[i]);
+}
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,72 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ftoa {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const auto tokens = Split("a,b,c", ',');
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyTokens) {
+  const auto tokens = Split(",x,", ',');
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "");
+  EXPECT_EQ(tokens[1], "x");
+  EXPECT_EQ(tokens[2], "");
+}
+
+TEST(TrimTest, RemovesWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("inner space kept"), "inner space kept");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("--scale=2", "--scale"));
+  EXPECT_FALSE(StartsWith("-scale", "--scale"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("HeLLo123"), "hello123");
+}
+
+TEST(ParseIntTest, ValidInputs) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt("-7"), -7);
+  EXPECT_EQ(*ParseInt("  13  "), 13);
+}
+
+TEST(ParseIntTest, InvalidInputs) {
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("12abc").ok());
+  EXPECT_FALSE(ParseInt("abc").ok());
+  EXPECT_FALSE(ParseInt("99999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" 0.125 "), 0.125);
+}
+
+TEST(ParseDoubleTest, InvalidInputs) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("nope").ok());
+}
+
+TEST(FormatBytesTest, PicksUnits) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+}  // namespace
+}  // namespace ftoa

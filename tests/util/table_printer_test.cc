@@ -1,0 +1,52 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ftoa {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "10000"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10000"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HandlesShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter table({"x"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinterTest, FormatInt) {
+  EXPECT_EQ(TablePrinter::FormatInt(12345), "12345");
+  EXPECT_EQ(TablePrinter::FormatInt(-7), "-7");
+}
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,298 @@
+// ftoa — command-line front end for the library, the entry point a
+// downstream user scripts against.
+//
+//   ftoa generate synthetic --workers=5000 --tasks=5000 --out=day.csv
+//   ftoa generate city --city=beijing --day=20 --scale=0.1 --out=day.csv
+//   ftoa run --instance=day.csv --algorithm=polar-op [--strict]
+//   ftoa inspect --instance=day.csv
+//
+// `run` executes one algorithm over a saved instance and prints matching
+// size, wall time, peak heap, and (with --strict) the physical
+// re-verification breakdown. The guide for POLAR-family algorithms is
+// derived from the instance's own realized counts unless --prediction
+// points at a second instance file whose counts act as the forecast.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/gr_batch.h"
+#include "baselines/offline_opt.h"
+#include "baselines/simple_greedy.h"
+#include "baselines/tgoa.h"
+#include "core/guide_generator.h"
+#include "core/hybrid_polar_op.h"
+#include "core/polar.h"
+#include "core/polar_op.h"
+#include "gen/city_trace.h"
+#include "gen/synthetic.h"
+#include "model/io.h"
+#include "sim/runner.h"
+#include "util/string_util.h"
+
+namespace ftoa {
+namespace {
+
+/// Simple --key=value argument map.
+class ArgMap {
+ public:
+  ArgMap(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const auto parsed = ParseDouble(it->second);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "invalid number for --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return *parsed;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const auto parsed = ParseInt(it->second);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "invalid integer for --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return *parsed;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ftoa generate synthetic [--workers=N] [--tasks=N] [--grid=N]\n"
+      "       [--slots=N] [--dr=F] [--dw=F] [--seed=N] --out=FILE\n"
+      "  ftoa generate city [--city=beijing|hangzhou] [--day=N]\n"
+      "       [--scale=F] --out=FILE\n"
+      "  ftoa run --instance=FILE --algorithm=NAME [--prediction=FILE]\n"
+      "       [--strict] [--dr=F] [--dw=F]\n"
+      "       (NAME: simple-greedy | gr | tgoa | polar | polar-op |\n"
+      "              polar-op-g | opt)\n"
+      "  ftoa inspect --instance=FILE\n");
+  return 2;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string kind = argv[2];
+  const ArgMap args(argc, argv, 3);
+  const std::string out = args.Get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+
+  Result<Instance> instance = Status::Unimplemented("unknown kind");
+  if (kind == "synthetic") {
+    SyntheticConfig config;
+    config.num_workers = static_cast<int>(args.GetInt("workers", 20000));
+    config.num_tasks = static_cast<int>(args.GetInt("tasks", 20000));
+    config.grid_x = static_cast<int>(args.GetInt("grid", 50));
+    config.grid_y = config.grid_x;
+    config.num_slots = static_cast<int>(args.GetInt("slots", 48));
+    config.task_duration = args.GetDouble("dr", 2.0);
+    config.worker_duration = args.GetDouble("dw", 3.0);
+    config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    instance = GenerateSyntheticInstance(config);
+  } else if (kind == "city") {
+    CityProfile profile = args.Get("city", "beijing") == "hangzhou"
+                              ? HangzhouProfile()
+                              : BeijingProfile();
+    const double scale = args.GetDouble("scale", 0.1);
+    profile.workers_per_day *= scale;
+    profile.tasks_per_day *= scale;
+    const CityTraceGenerator generator(profile);
+    instance = generator.GenerateInstanceForDay(
+        static_cast<int>(args.GetInt("day", profile.history_days - 3)));
+  } else {
+    return Usage();
+  }
+  if (!instance.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved = SaveInstanceCsv(*instance, out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu workers and %zu tasks to %s\n",
+              instance->num_workers(), instance->num_tasks(), out.c_str());
+  return 0;
+}
+
+int CmdRun(int argc, char** argv) {
+  const ArgMap args(argc, argv, 2);
+  const std::string path = args.Get("instance");
+  const std::string algorithm_name = args.Get("algorithm", "polar-op");
+  if (path.empty()) {
+    std::fprintf(stderr, "run: --instance is required\n");
+    return 2;
+  }
+  auto instance = LoadInstanceCsv(path);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+
+  // Guide-based algorithms need a prediction.
+  std::shared_ptr<const OfflineGuide> guide;
+  const bool needs_guide = algorithm_name == "polar" ||
+                           algorithm_name == "polar-op" ||
+                           algorithm_name == "polar-op-g";
+  if (needs_guide) {
+    PredictionMatrix prediction = PredictionMatrix::FromInstance(*instance);
+    const std::string prediction_path = args.Get("prediction");
+    if (!prediction_path.empty()) {
+      auto forecast_instance = LoadInstanceCsv(prediction_path);
+      if (!forecast_instance.ok()) {
+        std::fprintf(stderr, "prediction load failed: %s\n",
+                     forecast_instance.status().ToString().c_str());
+        return 1;
+      }
+      prediction = PredictionMatrix::FromInstance(*forecast_instance);
+    }
+    GuideOptions options;
+    options.engine = GuideOptions::Engine::kAuto;
+    options.worker_duration =
+        args.GetDouble("dw", instance->MaxWorkerDuration());
+    options.task_duration =
+        args.GetDouble("dr", instance->MaxTaskDuration());
+    auto generated = GuideGenerator(instance->velocity(), options)
+                         .Generate(prediction);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "guide generation failed: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    guide = std::make_shared<const OfflineGuide>(
+        std::move(generated).value());
+  }
+
+  std::unique_ptr<OnlineAlgorithm> algorithm;
+  if (algorithm_name == "simple-greedy") {
+    algorithm = std::make_unique<SimpleGreedy>();
+  } else if (algorithm_name == "gr") {
+    algorithm = std::make_unique<GrBatch>();
+  } else if (algorithm_name == "tgoa") {
+    algorithm = std::make_unique<Tgoa>();
+  } else if (algorithm_name == "polar") {
+    algorithm = std::make_unique<Polar>(guide);
+  } else if (algorithm_name == "polar-op") {
+    algorithm = std::make_unique<PolarOp>(guide);
+  } else if (algorithm_name == "polar-op-g") {
+    algorithm = std::make_unique<HybridPolarOp>(guide);
+  } else if (algorithm_name == "opt") {
+    algorithm = std::make_unique<OfflineOpt>();
+  } else {
+    std::fprintf(stderr, "unknown algorithm: %s\n",
+                 algorithm_name.c_str());
+    return 2;
+  }
+
+  RunnerOptions options;
+  options.strict_verification = args.Has("strict");
+  const auto metrics = RunAlgorithm(algorithm.get(), *instance, options);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 metrics.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("algorithm      %s\n", metrics->algorithm.c_str());
+  std::printf("matching size  %lld  (of %zu workers / %zu tasks)\n",
+              static_cast<long long>(metrics->matching_size),
+              instance->num_workers(), instance->num_tasks());
+  std::printf("time           %.4f s\n", metrics->elapsed_seconds);
+  std::printf("peak heap      %s\n",
+              FormatBytes(metrics->peak_memory_bytes).c_str());
+  if (options.strict_verification) {
+    std::printf("strict check   %lld feasible / %lld violations; %lld "
+                "workers relocated\n",
+                static_cast<long long>(metrics->strict_feasible_pairs),
+                static_cast<long long>(metrics->strict_violations),
+                static_cast<long long>(metrics->dispatched_workers));
+  }
+  return 0;
+}
+
+int CmdInspect(int argc, char** argv) {
+  const ArgMap args(argc, argv, 2);
+  const std::string path = args.Get("instance");
+  if (path.empty()) {
+    std::fprintf(stderr, "inspect: --instance is required\n");
+    return 2;
+  }
+  auto instance = LoadInstanceCsv(path);
+  if (!instance.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+  const GridSpec& grid = instance->spacetime().grid();
+  const SlotSpec& slots = instance->spacetime().slots();
+  std::printf("region     %.1f x %.1f, %d x %d cells\n", grid.width(),
+              grid.height(), grid.cells_x(), grid.cells_y());
+  std::printf("horizon    %.1f over %d slots\n", slots.horizon(),
+              slots.num_slots());
+  std::printf("velocity   %.2f\n", instance->velocity());
+  std::printf("workers    %zu (max Dw %.2f)\n", instance->num_workers(),
+              instance->MaxWorkerDuration());
+  std::printf("tasks      %zu (max Dr %.2f)\n", instance->num_tasks(),
+              instance->MaxTaskDuration());
+  const auto [workers, tasks] = instance->CountsPerType();
+  int nonempty = 0;
+  int peak = 0;
+  for (size_t t = 0; t < workers.size(); ++t) {
+    const int total = workers[t] + tasks[t];
+    if (total > 0) ++nonempty;
+    peak = std::max(peak, total);
+  }
+  std::printf("types      %d of %d occupied, busiest holds %d objects\n",
+              nonempty, instance->spacetime().num_types(), peak);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ftoa
+
+int main(int argc, char** argv) {
+  if (argc < 2) return ftoa::Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return ftoa::CmdGenerate(argc, argv);
+  if (command == "run") return ftoa::CmdRun(argc, argv);
+  if (command == "inspect") return ftoa::CmdInspect(argc, argv);
+  return ftoa::Usage();
+}
