@@ -24,6 +24,16 @@ struct GrBatchOptions {
   /// decided. kDispatchAtWorkerStart applies Definition 4's formula
   /// verbatim instead (ablation knob).
   FeasibilityPolicy policy = FeasibilityPolicy::kDispatchAtAssignmentTime;
+
+  /// Default: carry one incremental matcher across windows — each window
+  /// only inserts the new arrivals' nodes/edges and re-augments for them,
+  /// instead of re-enumerating every pooled worker's candidates and
+  /// rebuilding a Hopcroft-Karp instance per window. Sound because matched
+  /// pairs leave the pool at once: leftovers are pairwise infeasible, so
+  /// every edge of the next window's graph touches a new arrival. Disable
+  /// for the rebuild-per-window reference used by the equivalence tests;
+  /// RunTrace::matcher_rebuilds tells the two apart.
+  bool incremental_matching = true;
 };
 
 /// The GR batched-matching baseline.
@@ -36,6 +46,9 @@ class GrBatch : public OnlineAlgorithm {
   Assignment DoRun(const Instance& instance, RunTrace* trace) override;
 
  private:
+  Assignment RunIncremental(const Instance& instance, RunTrace* trace);
+  Assignment RunRebuild(const Instance& instance, RunTrace* trace);
+
   GrBatchOptions options_;
 };
 

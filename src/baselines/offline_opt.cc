@@ -25,8 +25,11 @@ Assignment OfflineOpt::DoRun(const Instance& instance, RunTrace* trace) {
   }
   const double max_dr = instance.MaxTaskDuration();
 
-  HopcroftKarp matcher(static_cast<int32_t>(instance.num_workers()),
-                       static_cast<int32_t>(instance.num_tasks()));
+  // Enumerate the pruned feasible edges once (the spatial query plus
+  // CanServe dominates construction), then hand the matcher an
+  // exactly-sized edge arena.
+  std::vector<std::pair<WorkerId, TaskId>> edges;
+  edges.reserve(static_cast<size_t>(instance.num_workers()) * 4);
   for (const Worker& w : instance.workers()) {
     const double radius = (max_dr + w.duration) * velocity;
     task_index.ForEachInDisk(
@@ -34,10 +37,14 @@ Assignment OfflineOpt::DoRun(const Instance& instance, RunTrace* trace) {
           const Task& r = instance.task(static_cast<TaskId>(entry.id));
           if (CanServe(w, r, velocity,
                        FeasibilityPolicy::kDispatchAtWorkerStart)) {
-            matcher.AddEdge(w.id, r.id);
+            edges.emplace_back(w.id, r.id);
           }
         });
   }
+  HopcroftKarp matcher(static_cast<int32_t>(instance.num_workers()),
+                       static_cast<int32_t>(instance.num_tasks()));
+  matcher.ReserveEdges(edges.size());
+  for (const auto& [w, r] : edges) matcher.AddEdge(w, r);
   matcher.Solve();
 
   for (const Worker& w : instance.workers()) {

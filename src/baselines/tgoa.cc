@@ -4,16 +4,218 @@
 #include <unordered_map>
 #include <vector>
 
+#include "flow/dynamic_matching.h"
 #include "flow/hopcroft_karp.h"
 #include "model/arrival_stream.h"
 #include "spatial/grid_index.h"
 
 namespace ftoa {
 
+namespace {
+
+/// Erases every index entry whose deadline (per `deadline_of`) precedes
+/// `now`, reporting each removed id through `on_erase`. One whole-region
+/// disk query stands in for "iterate everything"; `scratch` is reused
+/// across sweeps to avoid per-sweep allocations.
+template <typename DeadlineFn, typename OnEraseFn>
+void SweepExpired(GridIndex& index, const GridSpec& grid, double now,
+                  DeadlineFn&& deadline_of, OnEraseFn&& on_erase,
+                  std::vector<int64_t>& scratch) {
+  scratch.clear();
+  index.ForEachInDisk({grid.width() / 2, grid.height() / 2},
+                      std::numeric_limits<double>::max(),
+                      [&](const IndexedPoint& entry, double) {
+                        if (deadline_of(entry.id) < now) {
+                          scratch.push_back(entry.id);
+                        }
+                      });
+  for (const int64_t id : scratch) {
+    index.Erase(id);
+    on_erase(id);
+  }
+}
+
+}  // namespace
+
 Tgoa::Tgoa(TgoaOptions options) : options_(options) {}
 
 Assignment Tgoa::DoRun(const Instance& instance, RunTrace* trace) {
-  (void)trace;  // TGOA never relocates workers.
+  return options_.incremental_matching ? RunIncremental(instance, trace)
+                                       : RunRebuild(instance, trace);
+}
+
+// Incremental mode: one DynamicBipartiteMatcher holds a maximum matching
+// over the waiting (unmatched, alive) pool for the entire run. Every object
+// adds its candidate edges exactly once, at insertion time (pair
+// feasibility here is time-invariant, so the later endpoint of a pair
+// discovers the edge); a second-phase arrival then costs one
+// augmenting-path search — the guardrail "is the newcomer matched in a
+// maximum matching of the revealed pool?" answered without rebuilding
+// anything. Committed pairs and expired objects are deactivated in place,
+// with the one-path repair restoring maximality.
+Assignment Tgoa::RunIncremental(const Instance& instance, RunTrace* trace) {
+  const double velocity = instance.velocity();
+  Assignment assignment(instance.num_workers(), instance.num_tasks());
+
+  const std::vector<ArrivalEvent> events = BuildArrivalStream(instance);
+  const size_t greedy_phase = static_cast<size_t>(
+      static_cast<double>(events.size()) * options_.greedy_fraction);
+
+  GridIndex waiting_workers(instance.spacetime().grid());
+  GridIndex waiting_tasks(instance.spacetime().grid());
+  const double max_radius = MaxFeasibleDistance(
+      instance.MaxTaskDuration(), instance.MaxWorkerDuration(), velocity);
+
+  auto greedy_feasible = [&](const Worker& w, const Task& r) {
+    return CanServe(w, r, velocity, options_.policy);
+  };
+
+  DynamicBipartiteMatcher matcher;  // Left = workers, right = tasks.
+  matcher.ReserveNodes(static_cast<size_t>(instance.num_workers()),
+                       static_cast<size_t>(instance.num_tasks()));
+  // Edge volume is data dependent; seed the arena with a few candidates
+  // per object so steady-state growth is amortized away.
+  matcher.ReserveEdges(4 * static_cast<size_t>(instance.num_workers() +
+                                               instance.num_tasks()));
+  std::vector<int32_t> worker_slot(
+      static_cast<size_t>(instance.num_workers()), -1);
+  std::vector<int32_t> task_slot(static_cast<size_t>(instance.num_tasks()),
+                                 -1);
+  std::vector<WorkerId> slot_worker;
+  std::vector<TaskId> slot_task;
+  slot_worker.reserve(static_cast<size_t>(instance.num_workers()));
+  slot_task.reserve(static_cast<size_t>(instance.num_tasks()));
+  std::vector<int64_t> expiry_scratch;
+
+  // Joins the waiting pool: node slot plus candidate edges against the
+  // opposite waiting side (computed once; feasibility never changes).
+  auto enter_worker = [&](const Worker& w) {
+    const int32_t lslot = matcher.AddLeft();
+    worker_slot[static_cast<size_t>(w.id)] = lslot;
+    slot_worker.push_back(w.id);
+    waiting_tasks.ForEachInDisk(
+        w.location, max_radius, [&](const IndexedPoint& entry, double) {
+          const Task& r = instance.task(static_cast<TaskId>(entry.id));
+          if (greedy_feasible(w, r)) {
+            matcher.AddEdge(lslot, task_slot[static_cast<size_t>(r.id)]);
+          }
+        });
+    return lslot;
+  };
+  auto enter_task = [&](const Task& r) {
+    const int32_t rslot = matcher.AddRight();
+    task_slot[static_cast<size_t>(r.id)] = rslot;
+    slot_task.push_back(r.id);
+    waiting_workers.ForEachInDisk(
+        r.location, max_radius, [&](const IndexedPoint& entry, double) {
+          const Worker& w = instance.worker(static_cast<WorkerId>(entry.id));
+          if (greedy_feasible(w, r)) {
+            matcher.AddEdge(worker_slot[static_cast<size_t>(w.id)], rslot);
+          }
+        });
+    return rslot;
+  };
+
+  for (size_t k = 0; k < events.size(); ++k) {
+    const ArrivalEvent& event = events[k];
+    const bool in_greedy_phase = k < greedy_phase;
+    if (event.kind == ObjectKind::kWorker) {
+      const Worker& w = instance.worker(event.index);
+      if (in_greedy_phase) {
+        const IndexedPoint hit = waiting_tasks.FindNearest(
+            w.location, max_radius,
+            [&](const IndexedPoint& entry, double) {
+              const Task& r = instance.task(static_cast<TaskId>(entry.id));
+              return greedy_feasible(w, r) && r.Deadline() >= event.time;
+            });
+        if (hit.id >= 0) {
+          assignment.Add(w.id, static_cast<TaskId>(hit.id), event.time);
+          waiting_tasks.Erase(hit.id);
+          matcher.RemoveRight(task_slot[static_cast<size_t>(hit.id)]);
+        } else {
+          enter_worker(w);
+          waiting_workers.Insert(w.id, w.location);
+        }
+      } else {
+        const int32_t lslot = enter_worker(w);
+        if (matcher.TryAugmentLeft(lslot)) {
+          const int32_t rslot = matcher.MatchOfLeft(lslot);
+          const TaskId partner = slot_task[static_cast<size_t>(rslot)];
+          assignment.Add(w.id, partner, event.time);
+          matcher.RemovePair(lslot, rslot);
+          waiting_tasks.Erase(partner);
+        } else {
+          waiting_workers.Insert(w.id, w.location);
+        }
+      }
+    } else {
+      const Task& r = instance.task(event.index);
+      if (in_greedy_phase) {
+        const IndexedPoint hit = waiting_workers.FindNearest(
+            r.location, max_radius,
+            [&](const IndexedPoint& entry, double) {
+              const Worker& w =
+                  instance.worker(static_cast<WorkerId>(entry.id));
+              return greedy_feasible(w, r) && w.Deadline() >= event.time;
+            });
+        if (hit.id >= 0) {
+          assignment.Add(static_cast<WorkerId>(hit.id), r.id, event.time);
+          waiting_workers.Erase(hit.id);
+          matcher.RemoveLeft(worker_slot[static_cast<size_t>(hit.id)]);
+        } else {
+          enter_task(r);
+          waiting_tasks.Insert(r.id, r.location);
+        }
+      } else {
+        const int32_t rslot = enter_task(r);
+        if (matcher.TryAugmentRight(rslot)) {
+          const int32_t lslot = matcher.MatchOfRight(rslot);
+          const WorkerId partner = slot_worker[static_cast<size_t>(lslot)];
+          assignment.Add(partner, r.id, event.time);
+          matcher.RemovePair(lslot, rslot);
+          waiting_workers.Erase(partner);
+        } else {
+          waiting_tasks.Insert(r.id, r.location);
+        }
+      }
+    }
+    // Periodic lazy expiry keeps the indexes and the live part of the
+    // matcher's pool small.
+    if ((k & 1023u) == 0u) {
+      SweepExpired(
+          waiting_workers, instance.spacetime().grid(), event.time,
+          [&](int64_t id) {
+            return instance.worker(static_cast<WorkerId>(id)).Deadline();
+          },
+          [&](int64_t id) {
+            matcher.RemoveLeft(worker_slot[static_cast<size_t>(id)]);
+          },
+          expiry_scratch);
+      SweepExpired(
+          waiting_tasks, instance.spacetime().grid(), event.time,
+          [&](int64_t id) {
+            return instance.task(static_cast<TaskId>(id)).Deadline();
+          },
+          [&](int64_t id) {
+            matcher.RemoveRight(task_slot[static_cast<size_t>(id)]);
+          },
+          expiry_scratch);
+    }
+  }
+  if (trace != nullptr) {
+    trace->matcher_augment_searches += matcher.augment_searches();
+    // No per-arrival reconstruction happened: matcher_rebuilds untouched.
+  }
+  return assignment;
+}
+
+// Rebuild-per-arrival reference mode: the historical implementation, which
+// reconstructs a Hopcroft-Karp instance (and re-enumerates the candidate
+// edges of the whole waiting pool) for every second-phase arrival — the
+// O(E sqrt(V))-per-arrival scalability weakness of [26] that POLAR's O(1)
+// removes. Kept for the incremental-equivalence tests and as the baseline
+// leg of the flow microbenches.
+Assignment Tgoa::RunRebuild(const Instance& instance, RunTrace* trace) {
   const double velocity = instance.velocity();
   Assignment assignment(instance.num_workers(), instance.num_tasks());
 
@@ -30,12 +232,11 @@ Assignment Tgoa::DoRun(const Instance& instance, RunTrace* trace) {
   auto greedy_feasible = [&](const Worker& w, const Task& r) {
     return CanServe(w, r, velocity, options_.policy);
   };
+  std::vector<int64_t> expiry_scratch;
 
   // Optimal-matching guardrail for the second phase: the new object is
   // committed only when it is matched in a maximum matching of all
-  // currently waiting (unmatched, alive) objects plus itself. We re-run
-  // Hopcroft-Karp over the pruned candidate edges — O(E sqrt(V)) per
-  // arrival, the scalability weakness of [26] that POLAR's O(1) removes.
+  // currently waiting (unmatched, alive) objects plus itself.
   auto optimal_partner_for_worker = [&](const Worker& w) -> TaskId {
     // Collect alive waiting workers + the new one, and waiting tasks.
     std::vector<WorkerId> left;
@@ -76,6 +277,7 @@ Assignment Tgoa::DoRun(const Instance& instance, RunTrace* trace) {
     for (WorkerId id : other_workers) add_worker(instance.worker(id));
 
     if (edges.empty()) return -1;
+    if (trace != nullptr) ++trace->matcher_rebuilds;
     HopcroftKarp matcher(static_cast<int32_t>(left.size()),
                          static_cast<int32_t>(right.size()));
     matcher.ReserveEdges(edges.size());
@@ -121,6 +323,7 @@ Assignment Tgoa::DoRun(const Instance& instance, RunTrace* trace) {
     for (TaskId id : other_tasks) add_task(instance.task(id));
 
     if (edges.empty()) return -1;
+    if (trace != nullptr) ++trace->matcher_rebuilds;
     HopcroftKarp matcher(static_cast<int32_t>(left.size()),
                          static_cast<int32_t>(right.size()));
     matcher.ReserveEdges(edges.size());
@@ -178,30 +381,18 @@ Assignment Tgoa::DoRun(const Instance& instance, RunTrace* trace) {
     // Periodic lazy expiry keeps the indexes (and the per-arrival matching
     // graphs) small.
     if ((k & 1023u) == 0u) {
-      std::vector<int64_t> expired;
-      waiting_workers.ForEachInDisk(
-          {instance.spacetime().grid().width() / 2,
-           instance.spacetime().grid().height() / 2},
-          std::numeric_limits<double>::max(),
-          [&](const IndexedPoint& entry, double) {
-            if (instance.worker(static_cast<WorkerId>(entry.id)).Deadline() <
-                event.time) {
-              expired.push_back(entry.id);
-            }
-          });
-      for (int64_t id : expired) waiting_workers.Erase(id);
-      expired.clear();
-      waiting_tasks.ForEachInDisk(
-          {instance.spacetime().grid().width() / 2,
-           instance.spacetime().grid().height() / 2},
-          std::numeric_limits<double>::max(),
-          [&](const IndexedPoint& entry, double) {
-            if (instance.task(static_cast<TaskId>(entry.id)).Deadline() <
-                event.time) {
-              expired.push_back(entry.id);
-            }
-          });
-      for (int64_t id : expired) waiting_tasks.Erase(id);
+      SweepExpired(
+          waiting_workers, instance.spacetime().grid(), event.time,
+          [&](int64_t id) {
+            return instance.worker(static_cast<WorkerId>(id)).Deadline();
+          },
+          [](int64_t) {}, expiry_scratch);
+      SweepExpired(
+          waiting_tasks, instance.spacetime().grid(), event.time,
+          [&](int64_t id) {
+            return instance.task(static_cast<TaskId>(id)).Deadline();
+          },
+          [](int64_t) {}, expiry_scratch);
     }
   }
   return assignment;

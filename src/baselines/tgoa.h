@@ -26,6 +26,15 @@ struct TgoaOptions {
   /// Pair feasibility; wait-in-place semantics by default, matching the
   /// model of [26] (workers do not relocate).
   FeasibilityPolicy policy = FeasibilityPolicy::kDispatchAtAssignmentTime;
+
+  /// Default: carry one incremental matcher across the whole run — each
+  /// second-phase arrival costs one augmenting-path search over the waiting
+  /// pool instead of a from-scratch Hopcroft-Karp per arrival (the [26]
+  /// weakness this baseline previously reproduced *too* faithfully).
+  /// Disable to get the historical rebuild-per-arrival reference, used by
+  /// the incremental-equivalence tests; RunTrace::matcher_rebuilds tells
+  /// the two apart.
+  bool incremental_matching = true;
 };
 
 /// The TGOA baseline.
@@ -38,6 +47,9 @@ class Tgoa : public OnlineAlgorithm {
   Assignment DoRun(const Instance& instance, RunTrace* trace) override;
 
  private:
+  Assignment RunIncremental(const Instance& instance, RunTrace* trace);
+  Assignment RunRebuild(const Instance& instance, RunTrace* trace);
+
   TgoaOptions options_;
 };
 

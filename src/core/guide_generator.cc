@@ -154,10 +154,12 @@ Result<OfflineGuide> GuideGenerator::GenerateNodeLevel(
   const InstantiatedNodes nodes = InstantiateNodes(prediction, &guide);
 
   // Network layout: source 0, worker nodes 1..m, task nodes m+1..m+n,
-  // sink m+n+1 (Algorithm 1 lines 1-5).
+  // sink m+n+1 (Algorithm 1 lines 1-5). The edge arena and the solver
+  // scratch live in the generator and are reused across calls.
   const NodeId source = 0;
   const NodeId sink = static_cast<NodeId>(m + n + 1);
-  FlowGraph network(static_cast<NodeId>(m + n + 2));
+  FlowGraph& network = maxflow_network_;
+  network.Reset(static_cast<NodeId>(m + n + 2));
   network.ReserveEdges(static_cast<size_t>(m + n + node_edges));
   for (int64_t w = 0; w < m; ++w) {
     network.AddEdge(source, static_cast<NodeId>(1 + w), 1);
@@ -188,7 +190,7 @@ Result<OfflineGuide> GuideGenerator::GenerateNodeLevel(
 
   // Line 10: max flow.
   if (use_dinic) {
-    DinicMaxFlow(&network, source, sink);
+    dinic_.Solve(&network, source, sink);
   } else {
     FordFulkersonMaxFlow(&network, source, sink);
   }
@@ -257,7 +259,10 @@ Result<OfflineGuide> GuideGenerator::GenerateCompressed(
   };
 
   if (minimize_cost) {
-    MinCostFlowGraph network(sink + 1);
+    MinCostFlowGraph& network = mincost_network_;
+    network.Reset(sink + 1);
+    network.ReserveEdges(static_cast<size_t>(wcount) + tcount +
+                         pairs.size());
     for (int32_t i = 0; i < wcount; ++i) {
       network.AddEdge(source, 1 + i,
                       prediction.workers_at(worker_types[static_cast<size_t>(
@@ -296,7 +301,8 @@ Result<OfflineGuide> GuideGenerator::GenerateCompressed(
     return guide;
   }
 
-  FlowGraph network(sink + 1);
+  FlowGraph& network = maxflow_network_;
+  network.Reset(sink + 1);
   network.ReserveEdges(static_cast<size_t>(wcount) + tcount + pairs.size());
   for (int32_t i = 0; i < wcount; ++i) {
     network.AddEdge(source, 1 + i,
@@ -318,7 +324,7 @@ Result<OfflineGuide> GuideGenerator::GenerateCompressed(
                           prediction.tasks_at(pair.task_type));
     pair_edge_ids.push_back(network.AddEdge(1 + wi, 1 + wcount + ti, cap));
   }
-  DinicMaxFlow(&network, source, sink);
+  dinic_.Solve(&network, source, sink);
   for (size_t k = 0; k < pairs.size(); ++k) {
     const int64_t flow = network.Flow(pair_edge_ids[k]);
     if (flow > 0) {

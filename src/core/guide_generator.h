@@ -26,6 +26,9 @@
 
 #include "core/guide.h"
 #include "core/prediction_matrix.h"
+#include "flow/dinic.h"
+#include "flow/graph.h"
+#include "flow/min_cost_flow.h"
 #include "util/result.h"
 
 namespace ftoa {
@@ -66,6 +69,12 @@ struct GuideOptions {
 };
 
 /// Builds OfflineGuide instances from prediction matrices.
+///
+/// The generator owns reusable solver arenas (flow network edge arenas and
+/// the solvers' scratch buffers), so repeated Generate calls — one per
+/// prediction window in a live deployment — stop re-allocating the network.
+/// Consequently a GuideGenerator instance is NOT thread-safe; use one
+/// instance per thread.
 class GuideGenerator {
  public:
   /// `velocity` is the shared worker speed of the deployment.
@@ -93,6 +102,12 @@ class GuideGenerator {
 
   double velocity_;
   GuideOptions options_;
+
+  // Reusable solver arenas (see class comment). Mutable: reusing scratch
+  // does not change the observable result of the logically-const Generate.
+  mutable FlowGraph maxflow_network_;
+  mutable MinCostFlowGraph mincost_network_;
+  mutable DinicSolver dinic_;
 };
 
 }  // namespace ftoa

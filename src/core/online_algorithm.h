@@ -31,6 +31,14 @@ struct RunTrace {
   /// (under-prediction; "the object is ignored", Section 5.1).
   int64_t ignored_workers = 0;
   int64_t ignored_tasks = 0;
+
+  /// Matching-engine instrumentation for the batched baselines (TGOA, GR):
+  /// how many times a matcher was (re)built from scratch. The incremental
+  /// carry-across-batches mode keeps this at 0; the rebuild-per-batch
+  /// reference mode increments it once per batch/trial.
+  int64_t matcher_rebuilds = 0;
+  /// Augmenting-path searches run by the incremental matcher.
+  int64_t matcher_augment_searches = 0;
 };
 
 /// Base class of every algorithm under evaluation.

@@ -6,118 +6,97 @@
 
 namespace ftoa {
 
-namespace {
-
-class DinicSolver {
- public:
-  DinicSolver(FlowGraph& g, NodeId source, NodeId sink)
-      : g_(g),
-        source_(source),
-        sink_(sink),
-        level_(static_cast<size_t>(g.num_nodes())),
-        iter_(static_cast<size_t>(g.num_nodes())) {}
-
-  int64_t Solve() {
-    int64_t total = 0;
-    while (Bfs()) {
-      std::copy(g_.head().begin(), g_.head().end(), iter_.begin());
-      while (true) {
-        const int64_t pushed =
-            Dfs(source_, std::numeric_limits<int64_t>::max());
-        if (pushed == 0) break;
-        total += pushed;
+bool DinicSolver::Bfs(const FlowGraph& g, NodeId source, NodeId sink) {
+  std::fill(level_.begin(), level_.end(), -1);
+  queue_.clear();
+  queue_.push_back(source);
+  level_[static_cast<size_t>(source)] = 0;
+  for (size_t qi = 0; qi < queue_.size(); ++qi) {
+    const NodeId u = queue_[qi];
+    for (EdgeId e = g.head()[static_cast<size_t>(u)]; e != -1;
+         e = g.next()[static_cast<size_t>(e)]) {
+      const NodeId v = g.To(e);
+      if (g.Capacity(e) > 0 && level_[static_cast<size_t>(v)] < 0) {
+        level_[static_cast<size_t>(v)] = level_[static_cast<size_t>(u)] + 1;
+        queue_.push_back(v);
       }
     }
-    return total;
   }
+  return level_[static_cast<size_t>(sink)] >= 0;
+}
 
- private:
-  bool Bfs() {
-    std::fill(level_.begin(), level_.end(), -1);
-    queue_.clear();
-    queue_.push_back(source_);
-    level_[static_cast<size_t>(source_)] = 0;
-    for (size_t qi = 0; qi < queue_.size(); ++qi) {
-      const NodeId u = queue_[qi];
-      for (EdgeId e = g_.head()[static_cast<size_t>(u)]; e != -1;
-           e = g_.next()[static_cast<size_t>(e)]) {
-        const NodeId v = g_.To(e);
-        if (g_.Capacity(e) > 0 && level_[static_cast<size_t>(v)] < 0) {
-          level_[static_cast<size_t>(v)] =
-              level_[static_cast<size_t>(u)] + 1;
-          queue_.push_back(v);
-        }
-      }
-    }
-    return level_[static_cast<size_t>(sink_)] >= 0;
-  }
-
-  // Iterative blocking-flow DFS along level-increasing edges.
-  int64_t Dfs(NodeId start, int64_t limit) {
-    if (start == sink_) return limit;
-    struct Frame {
-      NodeId node;
-      int64_t limit;
-      EdgeId via;  // Edge taken from the parent frame, -1 at the root.
-    };
-    std::vector<Frame> stack;
-    stack.push_back(Frame{start, limit, -1});
-    while (!stack.empty()) {
-      Frame& frame = stack.back();
-      const NodeId u = frame.node;
-      EdgeId& it = iter_[static_cast<size_t>(u)];
-      bool advanced = false;
-      while (it != -1) {
-        const EdgeId e = it;
-        const NodeId v = g_.To(e);
-        if (g_.Capacity(e) > 0 &&
-            level_[static_cast<size_t>(v)] ==
-                level_[static_cast<size_t>(u)] + 1) {
-          const int64_t next_limit = std::min(frame.limit, g_.Capacity(e));
-          if (v == sink_) {
-            // Augment the whole path stored on the stack plus edge e.
-            g_.cap()[static_cast<size_t>(e)] -= next_limit;
-            g_.cap()[static_cast<size_t>(e ^ 1)] += next_limit;
-            for (size_t i = stack.size(); i-- > 1;) {
-              const EdgeId pe = stack[i].via;
-              g_.cap()[static_cast<size_t>(pe)] -= next_limit;
-              g_.cap()[static_cast<size_t>(pe ^ 1)] += next_limit;
-            }
-            return next_limit;
+// Iterative blocking-flow DFS along level-increasing edges.
+int64_t DinicSolver::BlockingPath(FlowGraph& g, NodeId source, NodeId sink,
+                                  int64_t limit) {
+  if (source == sink) return limit;
+  stack_.clear();
+  stack_.push_back(Frame{source, limit, -1});
+  while (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    const NodeId u = frame.node;
+    EdgeId& it = iter_[static_cast<size_t>(u)];
+    bool advanced = false;
+    while (it != -1) {
+      const EdgeId e = it;
+      const NodeId v = g.To(e);
+      if (g.Capacity(e) > 0 &&
+          level_[static_cast<size_t>(v)] ==
+              level_[static_cast<size_t>(u)] + 1) {
+        const int64_t next_limit = std::min(frame.limit, g.Capacity(e));
+        if (v == sink) {
+          // Augment the whole path stored on the stack plus edge e.
+          g.cap()[static_cast<size_t>(e)] -= next_limit;
+          g.cap()[static_cast<size_t>(e ^ 1)] += next_limit;
+          for (size_t i = stack_.size(); i-- > 1;) {
+            const EdgeId pe = stack_[i].via;
+            g.cap()[static_cast<size_t>(pe)] -= next_limit;
+            g.cap()[static_cast<size_t>(pe ^ 1)] += next_limit;
           }
-          stack.push_back(Frame{v, next_limit, e});
-          advanced = true;
-          break;
+          return next_limit;
         }
-        it = g_.next()[static_cast<size_t>(e)];
+        stack_.push_back(Frame{v, next_limit, e});
+        advanced = true;
+        break;
       }
-      if (!advanced) {
-        // Dead end: remove u from the level graph and backtrack.
-        level_[static_cast<size_t>(u)] = -1;
-        stack.pop_back();
-        if (!stack.empty()) {
-          const NodeId parent = stack.back().node;
-          EdgeId& parent_it = iter_[static_cast<size_t>(parent)];
-          parent_it = g_.next()[static_cast<size_t>(parent_it)];
-        }
+      it = g.next()[static_cast<size_t>(e)];
+    }
+    if (!advanced) {
+      // Dead end: remove u from the level graph and backtrack.
+      level_[static_cast<size_t>(u)] = -1;
+      stack_.pop_back();
+      if (!stack_.empty()) {
+        const NodeId parent = stack_.back().node;
+        EdgeId& parent_it = iter_[static_cast<size_t>(parent)];
+        parent_it = g.next()[static_cast<size_t>(parent_it)];
       }
     }
-    return 0;
   }
+  return 0;
+}
 
-  FlowGraph& g_;
-  NodeId source_;
-  NodeId sink_;
-  std::vector<int32_t> level_;
-  std::vector<EdgeId> iter_;
-  std::vector<NodeId> queue_;
-};
-
-}  // namespace
+int64_t DinicSolver::Solve(FlowGraph* graph, NodeId source, NodeId sink) {
+  FlowGraph& g = *graph;
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  if (level_.size() < n) {
+    level_.resize(n);
+    iter_.resize(n);
+  }
+  int64_t total = 0;
+  while (Bfs(g, source, sink)) {
+    std::copy(g.head().begin(), g.head().end(), iter_.begin());
+    while (true) {
+      const int64_t pushed =
+          BlockingPath(g, source, sink, std::numeric_limits<int64_t>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
 
 int64_t DinicMaxFlow(FlowGraph* graph, NodeId source, NodeId sink) {
-  DinicSolver solver(*graph, source, sink);
-  return solver.Solve();
+  DinicSolver solver;
+  return solver.Solve(graph, source, sink);
 }
 
 std::vector<bool> ResidualReachable(const FlowGraph& graph, NodeId source) {

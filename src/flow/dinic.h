@@ -2,6 +2,11 @@
 // capacity bipartite networks it runs in O(E * sqrt(V)), which makes it the
 // default engine for offline guide generation and offline OPT ("any other
 // max-flow algorithm is applicable", paper Section 4 note (1)).
+//
+// `DinicSolver` owns its scratch arrays (levels, edge cursors, BFS queue,
+// DFS stack) and reuses them across calls, so a long-lived solver performs
+// zero heap allocations per Solve once warmed up. The `DinicMaxFlow` free
+// function remains as a one-shot convenience wrapper.
 
 #ifndef FTOA_FLOW_DINIC_H_
 #define FTOA_FLOW_DINIC_H_
@@ -12,8 +17,33 @@
 
 namespace ftoa {
 
-/// Computes the maximum s-t flow; the graph retains the resulting residual
-/// capacities.
+/// Reusable Dinic solver; scratch buffers persist across Solve calls.
+/// Not thread-safe.
+class DinicSolver {
+ public:
+  DinicSolver() = default;
+
+  /// Computes the maximum s-t flow; the graph retains the resulting
+  /// residual capacities. May be called repeatedly, on different graphs.
+  int64_t Solve(FlowGraph* graph, NodeId source, NodeId sink);
+
+ private:
+  bool Bfs(const FlowGraph& g, NodeId source, NodeId sink);
+  int64_t BlockingPath(FlowGraph& g, NodeId source, NodeId sink,
+                       int64_t limit);
+
+  struct Frame {
+    NodeId node;
+    int64_t limit;
+    EdgeId via;  // Edge taken from the parent frame, -1 at the root.
+  };
+  std::vector<int32_t> level_;
+  std::vector<EdgeId> iter_;
+  std::vector<NodeId> queue_;
+  std::vector<Frame> stack_;
+};
+
+/// One-shot convenience wrapper around DinicSolver.
 int64_t DinicMaxFlow(FlowGraph* graph, NodeId source, NodeId sink);
 
 /// Computes the minimum s-t cut reachability after a max flow: returns a

@@ -12,11 +12,12 @@ namespace {
 int64_t Augment(FlowGraph& g, NodeId source, NodeId sink,
                 std::vector<int32_t>& visit_mark, int32_t epoch,
                 std::vector<EdgeId>& path_edges,
-                std::vector<EdgeId>& dfs_stack) {
+                std::vector<EdgeId>& dfs_stack,
+                std::vector<NodeId>& node_stack) {
   // dfs_stack holds the edge iterator per depth; path_edges the chosen edge.
   path_edges.clear();
   dfs_stack.clear();
-  std::vector<NodeId> node_stack;
+  node_stack.clear();
   node_stack.push_back(source);
   dfs_stack.push_back(g.head()[static_cast<size_t>(source)]);
   visit_mark[static_cast<size_t>(source)] = epoch;
@@ -65,12 +66,13 @@ int64_t FordFulkersonMaxFlow(FlowGraph* graph, NodeId source, NodeId sink) {
   std::vector<int32_t> visit_mark(static_cast<size_t>(g.num_nodes()), 0);
   std::vector<EdgeId> path_edges;
   std::vector<EdgeId> dfs_stack;
+  std::vector<NodeId> node_stack;
   int64_t total = 0;
   int32_t epoch = 0;
   while (true) {
     ++epoch;
-    const int64_t pushed =
-        Augment(g, source, sink, visit_mark, epoch, path_edges, dfs_stack);
+    const int64_t pushed = Augment(g, source, sink, visit_mark, epoch,
+                                   path_edges, dfs_stack, node_stack);
     if (pushed == 0) break;
     total += pushed;
   }

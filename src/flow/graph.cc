@@ -7,6 +7,13 @@ namespace ftoa {
 FlowGraph::FlowGraph(NodeId num_nodes)
     : head_(static_cast<size_t>(num_nodes), -1) {}
 
+void FlowGraph::Reset(NodeId num_nodes) {
+  head_.assign(static_cast<size_t>(num_nodes), -1);
+  next_.clear();
+  to_.clear();
+  cap_.clear();
+}
+
 EdgeId FlowGraph::AddEdge(NodeId u, NodeId v, int64_t cap) {
   assert(u >= 0 && u < num_nodes());
   assert(v >= 0 && v < num_nodes());

@@ -21,7 +21,12 @@ using EdgeId = int32_t;
 class FlowGraph {
  public:
   /// Creates a graph with `num_nodes` nodes and no edges.
-  explicit FlowGraph(NodeId num_nodes);
+  explicit FlowGraph(NodeId num_nodes = 0);
+
+  /// Rewinds to an empty graph with `num_nodes` nodes, keeping the edge
+  /// arena's allocation so a long-lived graph can be rebuilt without
+  /// touching the heap.
+  void Reset(NodeId num_nodes);
 
   /// Adds edge u -> v with capacity `cap` (and the residual v -> u with 0).
   /// Returns the id of the forward edge. Capacities must be non-negative.

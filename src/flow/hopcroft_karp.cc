@@ -1,6 +1,7 @@
 #include "flow/hopcroft_karp.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 
 namespace ftoa {
@@ -9,13 +10,21 @@ namespace {
 constexpr int32_t kInf = std::numeric_limits<int32_t>::max();
 }  // namespace
 
-HopcroftKarp::HopcroftKarp(int32_t num_left, int32_t num_right)
-    : num_left_(num_left),
-      num_right_(num_right),
-      match_left_(static_cast<size_t>(num_left), -1),
-      match_right_(static_cast<size_t>(num_right), -1),
-      dist_(static_cast<size_t>(num_left), 0),
-      iter_(static_cast<size_t>(num_left), 0) {}
+HopcroftKarp::HopcroftKarp(int32_t num_left, int32_t num_right) {
+  Reset(num_left, num_right);
+}
+
+void HopcroftKarp::Reset(int32_t num_left, int32_t num_right) {
+  num_left_ = num_left;
+  num_right_ = num_right;
+  edge_from_.clear();
+  edge_to_.clear();
+  adjacency_built_ = false;
+  match_left_.assign(static_cast<size_t>(num_left), -1);
+  match_right_.assign(static_cast<size_t>(num_right), -1);
+  dist_.assign(static_cast<size_t>(num_left), 0);
+  iter_.assign(static_cast<size_t>(num_left), 0);
+}
 
 void HopcroftKarp::AddEdge(int32_t u, int32_t v) {
   edge_from_.push_back(u);
@@ -26,6 +35,13 @@ void HopcroftKarp::AddEdge(int32_t u, int32_t v) {
 void HopcroftKarp::ReserveEdges(size_t num_edges) {
   edge_from_.reserve(num_edges);
   edge_to_.reserve(num_edges);
+}
+
+void HopcroftKarp::SetMatch(int32_t u, int32_t v) {
+  assert(match_left_[static_cast<size_t>(u)] < 0);
+  assert(match_right_[static_cast<size_t>(v)] < 0);
+  match_left_[static_cast<size_t>(u)] = v;
+  match_right_[static_cast<size_t>(v)] = u;
 }
 
 bool HopcroftKarp::Bfs() {
@@ -59,10 +75,10 @@ bool HopcroftKarp::Bfs() {
 
 bool HopcroftKarp::Dfs(int32_t root) {
   // Iterative DFS with per-node edge cursors (iter_).
-  std::vector<int32_t> stack;
-  stack.push_back(root);
-  while (!stack.empty()) {
-    const int32_t u = stack.back();
+  stack_.clear();
+  stack_.push_back(root);
+  while (!stack_.empty()) {
+    const int32_t u = stack_.back();
     int32_t& k = iter_[static_cast<size_t>(u)];
     const int32_t end = adj_start_[static_cast<size_t>(u) + 1];
     bool advanced = false;
@@ -73,8 +89,8 @@ bool HopcroftKarp::Dfs(int32_t root) {
       if (w < 0) {
         // Augment along the stack: re-pair every node on the path.
         int32_t right = v;
-        for (size_t i = stack.size(); i-- > 0;) {
-          const int32_t left = stack[i];
+        for (size_t i = stack_.size(); i-- > 0;) {
+          const int32_t left = stack_[i];
           const int32_t prev_right = match_left_[static_cast<size_t>(left)];
           match_left_[static_cast<size_t>(left)] = right;
           match_right_[static_cast<size_t>(right)] = left;
@@ -83,14 +99,14 @@ bool HopcroftKarp::Dfs(int32_t root) {
         return true;
       }
       if (dist_[static_cast<size_t>(w)] == dist_[static_cast<size_t>(u)] + 1) {
-        stack.push_back(w);
+        stack_.push_back(w);
         advanced = true;
         break;
       }
     }
     if (!advanced) {
       dist_[static_cast<size_t>(u)] = kInf;  // Prune from this phase.
-      stack.pop_back();
+      stack_.pop_back();
     }
   }
   return false;
@@ -106,10 +122,11 @@ int64_t HopcroftKarp::Solve() {
       adj_start_[i] += adj_start_[i - 1];
     }
     adj_.assign(edge_to_.size(), 0);
-    std::vector<int32_t> cursor(adj_start_.begin(), adj_start_.end() - 1);
+    // Reuse iter_ as the per-left write cursor during the counting sort.
+    std::copy(adj_start_.begin(), adj_start_.end() - 1, iter_.begin());
     for (size_t e = 0; e < edge_from_.size(); ++e) {
       adj_[static_cast<size_t>(
-          cursor[static_cast<size_t>(edge_from_[e])]++)] = edge_to_[e];
+          iter_[static_cast<size_t>(edge_from_[e])]++)] = edge_to_[e];
     }
     adjacency_built_ = true;
   }

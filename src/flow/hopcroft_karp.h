@@ -1,6 +1,11 @@
 // Hopcroft-Karp maximum-cardinality bipartite matching, O(E * sqrt(V)).
-// Used by offline OPT (the paper's OPT curve) and by the GR baseline's
-// per-window batch matching.
+// Used by offline OPT (the paper's OPT curve) and by the rebuild-per-batch
+// reference mode of the GR baseline's window matching.
+//
+// Reusable: `Reset()` rewinds the instance while keeping every buffer
+// allocation, and Solve() warm-starts from whatever matching is already
+// installed (either left over from a previous Solve on the same graph or
+// seeded via `SetMatch`), augmenting only for the remaining exposed nodes.
 
 #ifndef FTOA_FLOW_HOPCROFT_KARP_H_
 #define FTOA_FLOW_HOPCROFT_KARP_H_
@@ -15,7 +20,11 @@ namespace ftoa {
 class HopcroftKarp {
  public:
   /// Creates an empty graph with `num_left` left and `num_right` right nodes.
-  HopcroftKarp(int32_t num_left, int32_t num_right);
+  HopcroftKarp(int32_t num_left = 0, int32_t num_right = 0);
+
+  /// Rewinds to an empty graph with the given sides, keeping all buffer
+  /// capacity from previous instances (zero allocations once warmed up).
+  void Reset(int32_t num_left, int32_t num_right);
 
   /// Adds an edge between left node `u` and right node `v` (0-based).
   void AddEdge(int32_t u, int32_t v);
@@ -23,7 +32,14 @@ class HopcroftKarp {
   /// Reserve space for `num_edges` edges.
   void ReserveEdges(size_t num_edges);
 
-  /// Computes a maximum matching; returns its cardinality. Idempotent.
+  /// Warm start: installs the pair (u, v) into the current matching. Both
+  /// endpoints must be unmatched; the pair should be an actual edge of the
+  /// graph for the resulting matching to be meaningful.
+  void SetMatch(int32_t u, int32_t v);
+
+  /// Computes a maximum matching; returns its cardinality. Idempotent, and
+  /// incremental: an existing matching (prior Solve or SetMatch) is kept
+  /// and only exposed nodes are augmented from.
   int64_t Solve();
 
   /// Right partner of left node `u` after Solve(), or -1.
@@ -41,8 +57,8 @@ class HopcroftKarp {
   bool Bfs();
   bool Dfs(int32_t u);
 
-  int32_t num_left_;
-  int32_t num_right_;
+  int32_t num_left_ = 0;
+  int32_t num_right_ = 0;
   // CSR-ish adjacency built lazily at Solve() time from the edge list.
   std::vector<int32_t> edge_from_;
   std::vector<int32_t> edge_to_;
@@ -55,6 +71,7 @@ class HopcroftKarp {
   std::vector<int32_t> dist_;
   std::vector<int32_t> queue_;
   std::vector<int32_t> iter_;
+  std::vector<int32_t> stack_;
 };
 
 }  // namespace ftoa

@@ -11,12 +11,58 @@ namespace {
 constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
 }  // namespace
 
-MinCostFlowGraph::MinCostFlowGraph(int32_t num_nodes)
-    : head_(static_cast<size_t>(num_nodes), -1) {}
+MinCostFlowGraph::MinCostFlowGraph(int32_t num_nodes) { Reset(num_nodes); }
+
+void MinCostFlowGraph::Reset(int32_t num_nodes) {
+  head_.assign(static_cast<size_t>(num_nodes), -1);
+  next_.clear();
+  to_.clear();
+  cap_.clear();
+  cost_.clear();
+  potential_.assign(static_cast<size_t>(num_nodes), 0);
+  stamp_.assign(static_cast<size_t>(num_nodes), 0);
+  round_ = 0;
+  needs_repair_ = false;
+  // dist_/in_edge_ are stamped, heap_/touched_/queue_ cleared per use; they
+  // only ever need to be at least num_nodes long.
+  if (dist_.size() < static_cast<size_t>(num_nodes)) {
+    dist_.resize(static_cast<size_t>(num_nodes));
+    in_edge_.resize(static_cast<size_t>(num_nodes));
+  }
+}
+
+void MinCostFlowGraph::ReserveEdges(size_t num_edges) {
+  to_.reserve(num_edges * 2);
+  cap_.reserve(num_edges * 2);
+  cost_.reserve(num_edges * 2);
+  next_.reserve(num_edges * 2);
+}
+
+int32_t MinCostFlowGraph::AddNode() {
+  const int32_t id = num_nodes();
+  head_.push_back(-1);
+  potential_.push_back(0);
+  stamp_.push_back(0);
+  if (dist_.size() < head_.size()) {
+    dist_.push_back(0);
+    in_edge_.push_back(-1);
+  }
+  return id;
+}
+
+int64_t MinCostFlowGraph::ReducedCost(int32_t e) const {
+  const int32_t u = to_[static_cast<size_t>(e ^ 1)];
+  const int32_t v = to_[static_cast<size_t>(e)];
+  return cost_[static_cast<size_t>(e)] + potential_[static_cast<size_t>(u)] -
+         potential_[static_cast<size_t>(v)];
+}
 
 int32_t MinCostFlowGraph::AddEdge(int32_t u, int32_t v, int64_t cap,
                                   int64_t cost) {
+  assert(u >= 0 && u < num_nodes());
+  assert(v >= 0 && v < num_nodes());
   assert(cap >= 0);
+  assert(cost >= 0);
   const int32_t forward = static_cast<int32_t>(to_.size());
   to_.push_back(v);
   cap_.push_back(cap);
@@ -29,10 +75,206 @@ int32_t MinCostFlowGraph::AddEdge(int32_t u, int32_t v, int64_t cap,
   cost_.push_back(-cost);
   next_.push_back(head_[static_cast<size_t>(v)]);
   head_[static_cast<size_t>(v)] = forward + 1;
+
+  // An edge appended after earlier Solve rounds can undercut the current
+  // potential gap; flag for repair instead of re-running Bellman-Ford now.
+  if (cap > 0 && ReducedCost(forward) < 0) needs_repair_ = true;
   return forward;
 }
 
+void MinCostFlowGraph::PushFlow(int32_t e, int64_t amount) {
+  assert(e >= 0 && static_cast<size_t>(e) < to_.size());
+  assert(amount >= 0 && amount <= cap_[static_cast<size_t>(e)]);
+  cap_[static_cast<size_t>(e)] -= amount;
+  cap_[static_cast<size_t>(e ^ 1)] += amount;
+  if (cap_[static_cast<size_t>(e ^ 1)] > 0 && ReducedCost(e ^ 1) < 0) {
+    needs_repair_ = true;
+  }
+}
+
+int64_t MinCostFlowGraph::TotalRoutedCost() const {
+  int64_t total = 0;
+  for (size_t e = 0; e < to_.size(); e += 2) {
+    total += Flow(static_cast<int32_t>(e)) * cost_[e];
+  }
+  return total;
+}
+
+void MinCostFlowGraph::CancelNegativeCycles() {
+  const int32_t n = num_nodes();
+  if (n == 0) return;
+  while (true) {
+    // Bellman-Ford from a virtual source attached to every node with a
+    // zero-cost arc: dist starts at zero everywhere, so any node that still
+    // relaxes after n full passes sits on (or hangs off) a negative cycle.
+    std::fill(dist_.begin(), dist_.begin() + n, 0);
+    std::fill(in_edge_.begin(), in_edge_.begin() + n, -1);
+    int32_t relaxed = -1;
+    for (int32_t round = 0; round < n; ++round) {
+      relaxed = -1;
+      for (size_t e = 0; e < to_.size(); ++e) {
+        if (cap_[e] <= 0) continue;
+        const int32_t u = to_[e ^ 1];
+        const int32_t v = to_[e];
+        const int64_t candidate = dist_[static_cast<size_t>(u)] + cost_[e];
+        if (candidate < dist_[static_cast<size_t>(v)]) {
+          dist_[static_cast<size_t>(v)] = candidate;
+          in_edge_[static_cast<size_t>(v)] = static_cast<int32_t>(e);
+          relaxed = v;
+        }
+      }
+      if (relaxed < 0) return;  // Converged: no negative cycle remains.
+    }
+    // Walk n parent steps from the last relaxed node to land on the cycle,
+    // then cancel it with its bottleneck capacity.
+    int32_t x = relaxed;
+    for (int32_t i = 0; i < n; ++i) {
+      x = to_[static_cast<size_t>(in_edge_[static_cast<size_t>(x)] ^ 1)];
+    }
+    int64_t bottleneck = kInf;
+    int32_t v = x;
+    do {
+      const int32_t e = in_edge_[static_cast<size_t>(v)];
+      bottleneck = std::min(bottleneck, cap_[static_cast<size_t>(e)]);
+      v = to_[static_cast<size_t>(e ^ 1)];
+    } while (v != x);
+    v = x;
+    do {
+      const int32_t e = in_edge_[static_cast<size_t>(v)];
+      cap_[static_cast<size_t>(e)] -= bottleneck;
+      cap_[static_cast<size_t>(e ^ 1)] += bottleneck;
+      v = to_[static_cast<size_t>(e ^ 1)];
+    } while (v != x);
+  }
+}
+
+void MinCostFlowGraph::RepairPotentials(int32_t /*s*/) {
+  // Label-correcting fixpoint: lower potentials until every residual arc has
+  // a non-negative reduced cost again. Starting from the current (almost
+  // feasible) potentials this touches few nodes; it terminates because the
+  // residual graph of a feasible flow built from non-negative-cost edges by
+  // shortest-path augmentation or a cost-feasible warm start has no negative
+  // cycle.
+  queue_.clear();
+  in_queue_.assign(head_.size(), 0);
+  for (int32_t u = 0; u < num_nodes(); ++u) {
+    queue_.push_back(u);
+    in_queue_[static_cast<size_t>(u)] = 1;
+  }
+  const int64_t pop_limit =
+      (static_cast<int64_t>(head_.size()) + 1) *
+      (static_cast<int64_t>(to_.size()) + 1);
+  int64_t pops = 0;
+  for (size_t qi = 0; qi < queue_.size(); ++qi) {
+    const int32_t u = queue_[qi];
+    in_queue_[static_cast<size_t>(u)] = 0;
+    ++pops;
+    assert(pops <= pop_limit && "negative cycle in residual network");
+    if (pops > pop_limit) return;  // Defense in depth for NDEBUG builds.
+    for (int32_t e = head_[static_cast<size_t>(u)]; e != -1;
+         e = next_[static_cast<size_t>(e)]) {
+      if (cap_[static_cast<size_t>(e)] <= 0) continue;
+      const int32_t v = to_[static_cast<size_t>(e)];
+      const int64_t candidate = potential_[static_cast<size_t>(u)] +
+                                cost_[static_cast<size_t>(e)];
+      if (candidate < potential_[static_cast<size_t>(v)]) {
+        potential_[static_cast<size_t>(v)] = candidate;
+        if (!in_queue_[static_cast<size_t>(v)]) {
+          in_queue_[static_cast<size_t>(v)] = 1;
+          queue_.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+bool MinCostFlowGraph::DijkstraOnce(int32_t s, int32_t t) {
+  ++round_;
+  ++path_searches_;
+  heap_.clear();
+  touched_.clear();
+  dist_[static_cast<size_t>(s)] = 0;
+  in_edge_[static_cast<size_t>(s)] = -1;
+  stamp_[static_cast<size_t>(s)] = round_;
+  touched_.push_back(s);
+  heap_.push_back(HeapEntry{0, s});
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const HeapEntry top = heap_.back();
+    heap_.pop_back();
+    const int32_t u = top.node;
+    if (top.dist != dist_[static_cast<size_t>(u)]) continue;  // Stale entry.
+    if (u == t) return true;  // All closer nodes are settled and relaxed.
+    for (int32_t e = head_[static_cast<size_t>(u)]; e != -1;
+         e = next_[static_cast<size_t>(e)]) {
+      if (cap_[static_cast<size_t>(e)] <= 0) continue;
+      const int32_t v = to_[static_cast<size_t>(e)];
+      const int64_t rc = ReducedCost(e);
+      assert(rc >= 0 && "potentials invariant violated");
+      const int64_t candidate = top.dist + rc;
+      const bool fresh = stamp_[static_cast<size_t>(v)] != round_;
+      if (fresh || candidate < dist_[static_cast<size_t>(v)]) {
+        dist_[static_cast<size_t>(v)] = candidate;
+        in_edge_[static_cast<size_t>(v)] = e;
+        if (fresh) {
+          stamp_[static_cast<size_t>(v)] = round_;
+          touched_.push_back(v);
+        }
+        heap_.push_back(HeapEntry{candidate, v});
+        std::push_heap(heap_.begin(), heap_.end());
+      }
+    }
+  }
+  return false;
+}
+
 MinCostFlowGraph::Outcome MinCostFlowGraph::Solve(int32_t s, int32_t t) {
+  assert(s >= 0 && s < num_nodes());
+  assert(t >= 0 && t < num_nodes());
+  assert(s != t);
+  if (needs_repair_) {
+    CancelNegativeCycles();
+    RepairPotentials(s);
+    needs_repair_ = false;
+  }
+  Outcome outcome;
+  while (DijkstraOnce(s, t)) {
+    const int64_t dist_t = dist_[static_cast<size_t>(t)];
+    const int64_t path_cost = dist_t + potential_[static_cast<size_t>(t)] -
+                              potential_[static_cast<size_t>(s)];
+    // Advance potentials by the capped distance, shifted by -dist(t) so
+    // that *untouched* nodes (conceptually at distance infinity, capped to
+    // dist(t)) need no write at all. The shift is uniform across the
+    // conceptual all-nodes update, so reduced costs are unaffected by it.
+    // Case check for a residual arc u -> v:
+    //  * both touched: min-capped labels preserve rc >= 0 because a node
+    //    with label < dist(t) is settled and has relaxed its arcs;
+    //  * u touched, v untouched: then dist(u) >= dist(t) (a settled u
+    //    would have labelled v), so u's term is zero — rc unchanged;
+    //  * u untouched, v touched: v's term is <= 0, so rc only grows.
+    for (const int32_t v : touched_) {
+      potential_[static_cast<size_t>(v)] +=
+          std::min(dist_[static_cast<size_t>(v)], dist_t) - dist_t;
+    }
+    int64_t bottleneck = kInf;
+    for (int32_t v = t; v != s;) {
+      const int32_t e = in_edge_[static_cast<size_t>(v)];
+      bottleneck = std::min(bottleneck, cap_[static_cast<size_t>(e)]);
+      v = to_[static_cast<size_t>(e ^ 1)];
+    }
+    for (int32_t v = t; v != s;) {
+      const int32_t e = in_edge_[static_cast<size_t>(v)];
+      cap_[static_cast<size_t>(e)] -= bottleneck;
+      cap_[static_cast<size_t>(e ^ 1)] += bottleneck;
+      v = to_[static_cast<size_t>(e ^ 1)];
+    }
+    outcome.flow += bottleneck;
+    outcome.cost += bottleneck * path_cost;
+  }
+  return outcome;
+}
+
+MinCostFlowGraph::Outcome MinCostFlowGraph::SolveSpfa(int32_t s, int32_t t) {
   Outcome outcome;
   const size_t n = head_.size();
   std::vector<int64_t> dist(n);
@@ -42,6 +284,7 @@ MinCostFlowGraph::Outcome MinCostFlowGraph::Solve(int32_t s, int32_t t) {
   while (true) {
     // SPFA shortest path by cost in the residual network (handles the
     // negative residual costs of reversed edges).
+    ++path_searches_;
     std::fill(dist.begin(), dist.end(), kInf);
     std::fill(in_edge.begin(), in_edge.end(), -1);
     std::fill(in_queue.begin(), in_queue.end(), false);
@@ -94,6 +337,9 @@ MinCostFlowGraph::Outcome MinCostFlowGraph::Solve(int32_t s, int32_t t) {
     outcome.flow += bottleneck;
     outcome.cost += bottleneck * dist[static_cast<size_t>(t)];
   }
+  // SPFA does not maintain potentials; a subsequent Solve() must rebuild
+  // them before trusting Dijkstra.
+  needs_repair_ = true;
   return outcome;
 }
 

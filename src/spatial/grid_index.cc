@@ -1,9 +1,5 @@
 #include "spatial/grid_index.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
 namespace ftoa {
 
 GridIndex::GridIndex(const GridSpec& grid)
@@ -30,95 +26,6 @@ bool GridIndex::Erase(int64_t id) {
   bucket.pop_back();
   locator_.erase(it);
   return true;
-}
-
-IndexedPoint GridIndex::FindNearest(Point origin, double max_distance,
-                                    const Filter& filter) const {
-  IndexedPoint best{-1, {}};
-  double best_distance = max_distance;
-  bool found = false;
-
-  const int origin_cx = grid_.CellX(grid_.CellOf(origin));
-  const int origin_cy = grid_.CellY(grid_.CellOf(origin));
-  const double cell_min =
-      std::min(grid_.cell_width(), grid_.cell_height());
-  const int max_ring = static_cast<int>(
-      std::ceil(max_distance / cell_min)) + 1;
-
-  auto scan_cell = [&](int cx, int cy) {
-    if (!grid_.ValidCell(cx, cy)) return;
-    const CellId cell = grid_.CellAt(cx, cy);
-    // Skip cells that cannot contain a better candidate.
-    if (grid_.DistanceToCell(origin, cell) > best_distance) return;
-    for (const IndexedPoint& entry : buckets_[static_cast<size_t>(cell)]) {
-      const double d = Distance(origin, entry.location);
-      if (d > best_distance) continue;
-      if (found && d >= best_distance && entry.id >= best.id) continue;
-      if (filter && !filter(entry, d)) continue;
-      // Deterministic tie-break: smaller distance, then smaller id.
-      if (!found || d < best_distance ||
-          (d == best_distance && entry.id < best.id)) {
-        best = entry;
-        best_distance = d;
-        found = true;
-      }
-    }
-  };
-
-  for (int ring = 0; ring <= max_ring; ++ring) {
-    // Stop when even the closest point of this ring is farther than the
-    // current best (the ring lower bound grows by one cell size per step).
-    if (found && (ring - 1) * cell_min > best_distance) break;
-    if (ring == 0) {
-      scan_cell(origin_cx, origin_cy);
-      continue;
-    }
-    for (int dx = -ring; dx <= ring; ++dx) {
-      scan_cell(origin_cx + dx, origin_cy - ring);
-      scan_cell(origin_cx + dx, origin_cy + ring);
-    }
-    for (int dy = -ring + 1; dy <= ring - 1; ++dy) {
-      scan_cell(origin_cx - ring, origin_cy + dy);
-      scan_cell(origin_cx + ring, origin_cy + dy);
-    }
-  }
-  return found ? best : IndexedPoint{-1, {}};
-}
-
-void GridIndex::ForEachInDisk(
-    Point origin, double radius,
-    const std::function<void(const IndexedPoint&, double)>& fn) const {
-  // Any radius beyond the region diagonal covers everything; clamping keeps
-  // the cell-range arithmetic finite for "scan all" callers.
-  radius = std::min(radius, grid_.width() + grid_.height());
-  const int cx_lo = std::max(
-      0, static_cast<int>((origin.x - radius) / grid_.cell_width()));
-  const int cx_hi = std::min(
-      grid_.cells_x() - 1,
-      static_cast<int>((origin.x + radius) / grid_.cell_width()));
-  const int cy_lo = std::max(
-      0, static_cast<int>((origin.y - radius) / grid_.cell_height()));
-  const int cy_hi = std::min(
-      grid_.cells_y() - 1,
-      static_cast<int>((origin.y + radius) / grid_.cell_height()));
-  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
-    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
-      const CellId cell = grid_.CellAt(cx, cy);
-      if (grid_.DistanceToCell(origin, cell) > radius) continue;
-      for (const IndexedPoint& entry : buckets_[static_cast<size_t>(cell)]) {
-        const double d = Distance(origin, entry.location);
-        if (d <= radius) fn(entry, d);
-      }
-    }
-  }
-}
-
-void GridIndex::ForEachInCell(
-    CellId cell, const std::function<void(const IndexedPoint&)>& fn) const {
-  if (cell < 0 || cell >= grid_.num_cells()) return;
-  for (const IndexedPoint& entry : buckets_[static_cast<size_t>(cell)]) {
-    fn(entry);
-  }
 }
 
 }  // namespace ftoa

@@ -2,14 +2,20 @@
 // answer nearest-neighbor and disk queries with predicate filtering.
 //
 // This is the spatial substrate behind SimpleGreedy (nearest feasible
-// counterpart per arrival) and the edge-pruned construction of the offline
-// OPT bipartite graph.
+// counterpart per arrival), the edge-pruned construction of the offline
+// OPT bipartite graph, and the incremental candidate queries of the TGOA
+// and GR baselines.
+//
+// The query methods are templated on the callable so hot callers pay a
+// direct (usually inlined) call per candidate instead of a std::function
+// allocation + indirect dispatch per query.
 
 #ifndef FTOA_SPATIAL_GRID_INDEX_H_
 #define FTOA_SPATIAL_GRID_INDEX_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -42,26 +48,109 @@ class GridIndex {
   /// Number of live entries.
   size_t size() const { return locator_.size(); }
 
-  /// Predicate deciding whether a candidate may be matched; receives the
-  /// candidate and its Euclidean distance from the query point.
-  using Filter = std::function<bool(const IndexedPoint&, double distance)>;
-
   /// Returns the nearest entry within `max_distance` of `origin` passing
-  /// `filter` (nullptr-able: empty std::function accepts everything), or an
-  /// IndexedPoint with id = -1 when none qualifies. Rings of cells are
-  /// scanned outward, and the scan stops as soon as the best candidate found
-  /// so far is closer than the next ring can possibly be.
+  /// `filter` — any callable `bool(const IndexedPoint&, double distance)`
+  /// deciding whether a candidate may be matched — or an IndexedPoint with
+  /// id = -1 when none qualifies. Rings of cells are scanned outward, and
+  /// the scan stops as soon as the best candidate found so far is closer
+  /// than the next ring can possibly be.
+  template <typename FilterFn>
   IndexedPoint FindNearest(Point origin, double max_distance,
-                           const Filter& filter = Filter()) const;
+                           FilterFn&& filter) const {
+    IndexedPoint best{-1, {}};
+    double best_distance = max_distance;
+    bool found = false;
 
-  /// Invokes `fn` for every entry within `radius` of `origin`.
-  void ForEachInDisk(Point origin, double radius,
-                     const std::function<void(const IndexedPoint&,
-                                              double distance)>& fn) const;
+    const int origin_cx = grid_.CellX(grid_.CellOf(origin));
+    const int origin_cy = grid_.CellY(grid_.CellOf(origin));
+    const double cell_min = std::min(grid_.cell_width(), grid_.cell_height());
+    const int max_ring =
+        static_cast<int>(std::ceil(max_distance / cell_min)) + 1;
 
-  /// Invokes `fn` for every entry in cell `cell`.
-  void ForEachInCell(CellId cell,
-                     const std::function<void(const IndexedPoint&)>& fn) const;
+    auto scan_cell = [&](int cx, int cy) {
+      if (!grid_.ValidCell(cx, cy)) return;
+      const CellId cell = grid_.CellAt(cx, cy);
+      // Skip cells that cannot contain a better candidate.
+      if (grid_.DistanceToCell(origin, cell) > best_distance) return;
+      for (const IndexedPoint& entry : buckets_[static_cast<size_t>(cell)]) {
+        const double d = Distance(origin, entry.location);
+        if (d > best_distance) continue;
+        if (found && d >= best_distance && entry.id >= best.id) continue;
+        if (!filter(entry, d)) continue;
+        // Deterministic tie-break: smaller distance, then smaller id.
+        if (!found || d < best_distance ||
+            (d == best_distance && entry.id < best.id)) {
+          best = entry;
+          best_distance = d;
+          found = true;
+        }
+      }
+    };
+
+    for (int ring = 0; ring <= max_ring; ++ring) {
+      // Stop when even the closest point of this ring is farther than the
+      // current best (the ring lower bound grows by one cell size per step).
+      if (found && (ring - 1) * cell_min > best_distance) break;
+      if (ring == 0) {
+        scan_cell(origin_cx, origin_cy);
+        continue;
+      }
+      for (int dx = -ring; dx <= ring; ++dx) {
+        scan_cell(origin_cx + dx, origin_cy - ring);
+        scan_cell(origin_cx + dx, origin_cy + ring);
+      }
+      for (int dy = -ring + 1; dy <= ring - 1; ++dy) {
+        scan_cell(origin_cx - ring, origin_cy + dy);
+        scan_cell(origin_cx + ring, origin_cy + dy);
+      }
+    }
+    return found ? best : IndexedPoint{-1, {}};
+  }
+
+  /// Unfiltered nearest-neighbor query.
+  IndexedPoint FindNearest(Point origin, double max_distance) const {
+    return FindNearest(origin, max_distance,
+                       [](const IndexedPoint&, double) { return true; });
+  }
+
+  /// Invokes `fn(entry, distance)` for every entry within `radius` of
+  /// `origin`.
+  template <typename Fn>
+  void ForEachInDisk(Point origin, double radius, Fn&& fn) const {
+    // Any radius beyond the region diagonal covers everything; clamping
+    // keeps the cell-range arithmetic finite for "scan all" callers.
+    radius = std::min(radius, grid_.width() + grid_.height());
+    const int cx_lo = std::max(
+        0, static_cast<int>((origin.x - radius) / grid_.cell_width()));
+    const int cx_hi = std::min(
+        grid_.cells_x() - 1,
+        static_cast<int>((origin.x + radius) / grid_.cell_width()));
+    const int cy_lo = std::max(
+        0, static_cast<int>((origin.y - radius) / grid_.cell_height()));
+    const int cy_hi = std::min(
+        grid_.cells_y() - 1,
+        static_cast<int>((origin.y + radius) / grid_.cell_height()));
+    for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+        const CellId cell = grid_.CellAt(cx, cy);
+        if (grid_.DistanceToCell(origin, cell) > radius) continue;
+        for (const IndexedPoint& entry :
+             buckets_[static_cast<size_t>(cell)]) {
+          const double d = Distance(origin, entry.location);
+          if (d <= radius) fn(entry, d);
+        }
+      }
+    }
+  }
+
+  /// Invokes `fn(entry)` for every entry in cell `cell`.
+  template <typename Fn>
+  void ForEachInCell(CellId cell, Fn&& fn) const {
+    if (cell < 0 || cell >= grid_.num_cells()) return;
+    for (const IndexedPoint& entry : buckets_[static_cast<size_t>(cell)]) {
+      fn(entry);
+    }
+  }
 
  private:
   struct Slot {

@@ -100,6 +100,59 @@ TEST(GrBatchTest, TasksCarryAcrossWindows) {
   EXPECT_DOUBLE_EQ(assignment.pairs()[0].time, 6.0);
 }
 
+TEST(GrBatchTest, IncrementalMatchesRebuildOnExample1) {
+  const Instance instance = MakeExample1Instance();
+  GrBatch incremental(GrBatchOptions{});
+  GrBatch rebuild(GrBatchOptions{.incremental_matching = false});
+  RunTrace inc_trace;
+  RunTrace reb_trace;
+  const Assignment a = incremental.Run(instance, &inc_trace);
+  const Assignment b = rebuild.Run(instance, &reb_trace);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(inc_trace.matcher_rebuilds, 0);
+}
+
+TEST(GrBatchTest, IncrementalMatchesRebuildOnRandomWorkloads) {
+  // Carrying the matcher across windows (inserting only the new arrivals'
+  // nodes/edges and re-augmenting for them) must deliver the same total
+  // utility as rebuilding a Hopcroft-Karp instance per window, while never
+  // reconstructing the matcher (matcher_rebuilds == 0 vs one per matched
+  // window).
+  SyntheticConfig config;
+  config.num_workers = 300;
+  config.num_tasks = 300;
+  config.grid_x = 10;
+  config.grid_y = 10;
+  config.num_slots = 8;
+  for (uint64_t seed : {5u, 29u, 71u, 113u}) {
+    config.seed = seed;
+    const auto instance = GenerateSyntheticInstance(config);
+    ASSERT_TRUE(instance.ok());
+    GrBatch incremental(GrBatchOptions{});
+    GrBatch rebuild(GrBatchOptions{.incremental_matching = false});
+    RunTrace inc_trace;
+    RunTrace reb_trace;
+    const Assignment a = incremental.Run(*instance, &inc_trace);
+    const Assignment b = rebuild.Run(*instance, &reb_trace);
+    EXPECT_EQ(a.size(), b.size()) << "seed " << seed;
+    EXPECT_EQ(inc_trace.matcher_rebuilds, 0) << "seed " << seed;
+    EXPECT_GT(reb_trace.matcher_rebuilds, 0) << "seed " << seed;
+    // Every committed pair must satisfy the boundary-departure rule in
+    // both modes (mirrors AssignmentsFeasibleFromBoundary).
+    for (const MatchedPair& pair : a.pairs()) {
+      const Worker& w = instance->worker(pair.worker);
+      const Task& r = instance->task(pair.task);
+      EXPECT_LE(w.start, pair.time);
+      EXPECT_LE(r.start, pair.time);
+      const double arrival =
+          pair.time +
+          TravelTime(w.location, r.location, instance->velocity());
+      EXPECT_LE(arrival, r.Deadline() + 1e-9);
+      EXPECT_LT(r.start, w.Deadline());
+    }
+  }
+}
+
 // Property: GR's assignments always satisfy the wait-in-place arrival rule
 // (decision-time departure) and never exceed min(|W|, |R|).
 class GrBatchPropertyTest : public ::testing::TestWithParam<uint64_t> {};

@@ -74,6 +74,50 @@ TEST(TgoaTest, BoundedByOptOnRandomWorkloads) {
   }
 }
 
+TEST(TgoaTest, IncrementalMatchesRebuildOnExample1) {
+  const Instance instance = MakeExample1Instance();
+  Tgoa incremental(TgoaOptions{});
+  Tgoa rebuild(TgoaOptions{.incremental_matching = false});
+  RunTrace inc_trace;
+  RunTrace reb_trace;
+  const Assignment a = incremental.Run(instance, &inc_trace);
+  const Assignment b = rebuild.Run(instance, &reb_trace);
+  EXPECT_EQ(a.size(), b.size());
+  // The incremental mode must not have reconstructed a matcher.
+  EXPECT_EQ(inc_trace.matcher_rebuilds, 0);
+}
+
+TEST(TgoaTest, IncrementalMatchesRebuildOnRandomWorkloads) {
+  // The carry-across-arrivals matcher must deliver the same total utility
+  // as the historical rebuild-per-arrival trial on deterministic
+  // instances, without ever rebuilding (matcher_rebuilds == 0 vs > 0).
+  SyntheticConfig config;
+  config.num_workers = 250;
+  config.num_tasks = 250;
+  config.grid_x = 10;
+  config.grid_y = 10;
+  config.num_slots = 8;
+  for (uint64_t seed : {3u, 17u, 51u, 202u}) {
+    config.seed = seed;
+    const auto instance = GenerateSyntheticInstance(config);
+    ASSERT_TRUE(instance.ok());
+    Tgoa incremental(TgoaOptions{});
+    Tgoa rebuild(TgoaOptions{.incremental_matching = false});
+    RunTrace inc_trace;
+    RunTrace reb_trace;
+    const Assignment a = incremental.Run(*instance, &inc_trace);
+    const Assignment b = rebuild.Run(*instance, &reb_trace);
+    EXPECT_EQ(a.size(), b.size()) << "seed " << seed;
+    EXPECT_TRUE(a.Validate(*instance,
+                           FeasibilityPolicy::kDispatchAtAssignmentTime)
+                    .ok())
+        << "seed " << seed;
+    EXPECT_EQ(inc_trace.matcher_rebuilds, 0) << "seed " << seed;
+    EXPECT_GT(inc_trace.matcher_augment_searches, 0) << "seed " << seed;
+    EXPECT_GT(reb_trace.matcher_rebuilds, 0) << "seed " << seed;
+  }
+}
+
 TEST(TgoaTest, OptimalPhaseCanBeatPureGreedyLocally) {
   // A configuration where nearest-first greedy makes a regrettable choice:
   // the second-phase guardrail avoids it. w0 arrives first and sits

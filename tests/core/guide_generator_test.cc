@@ -216,5 +216,46 @@ TEST_P(GuideEngineEquivalenceTest, EnginesAgreeOnCardinality) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GuideEngineEquivalenceTest,
                          ::testing::Range<uint64_t>(1, 9));
 
+TEST(GuideGeneratorTest, RepeatedGenerateReusesArenasDeterministically) {
+  // One generator instance serves many predictions in a live deployment;
+  // the reused solver arenas must not leak state between calls: repeated
+  // Generate on the same prediction gives the identical guide.
+  SyntheticConfig config;
+  config.num_workers = 200;
+  config.num_tasks = 200;
+  config.grid_x = 8;
+  config.grid_y = 8;
+  config.num_slots = 6;
+  config.seed = 77;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(*instance);
+  for (const auto engine : {GuideOptions::Engine::kDinic,
+                            GuideOptions::Engine::kCompressed,
+                            GuideOptions::Engine::kCompressedMinCost}) {
+    GuideOptions options;
+    options.engine = engine;
+    options.worker_duration = config.worker_duration;
+    options.task_duration = config.task_duration;
+    const GuideGenerator generator(config.velocity, options);
+    const auto first = generator.Generate(prediction);
+    ASSERT_TRUE(first.ok());
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      const auto again = generator.Generate(prediction);
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again->matched_pairs(), first->matched_pairs())
+          << "engine " << static_cast<int>(engine);
+      // Pairings themselves must be identical across reuse.
+      ASSERT_EQ(again->worker_nodes().size(), first->worker_nodes().size());
+      for (size_t node = 0; node < first->worker_nodes().size(); ++node) {
+        EXPECT_EQ(again->worker_nodes()[node].partner,
+                  first->worker_nodes()[node].partner)
+            << "engine " << static_cast<int>(engine) << " node " << node;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ftoa

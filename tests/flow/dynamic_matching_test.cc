@@ -1,0 +1,182 @@
+#include "flow/dynamic_matching.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "flow/hopcroft_karp.h"
+#include "util/rng.h"
+
+namespace ftoa {
+namespace {
+
+TEST(DynamicMatchingTest, MatchesSimplePairs) {
+  DynamicBipartiteMatcher m;
+  const int32_t l0 = m.AddLeft();
+  const int32_t l1 = m.AddLeft();
+  const int32_t r0 = m.AddRight();
+  const int32_t r1 = m.AddRight();
+  m.AddEdge(l0, r0);
+  m.AddEdge(l1, r0);
+  m.AddEdge(l1, r1);
+  EXPECT_TRUE(m.TryAugmentLeft(l0));
+  EXPECT_TRUE(m.TryAugmentLeft(l1));
+  EXPECT_EQ(m.matching_size(), 2);
+  EXPECT_EQ(m.MatchOfLeft(l0), r0);
+  EXPECT_EQ(m.MatchOfLeft(l1), r1);
+}
+
+TEST(DynamicMatchingTest, AugmentReroutesExistingMatches) {
+  // l1 can only take r0; l0 must be re-routed to r1 through the
+  // alternating path.
+  DynamicBipartiteMatcher m;
+  const int32_t l0 = m.AddLeft();
+  const int32_t l1 = m.AddLeft();
+  const int32_t r0 = m.AddRight();
+  const int32_t r1 = m.AddRight();
+  m.AddEdge(l0, r0);
+  m.AddEdge(l0, r1);
+  m.AddEdge(l1, r0);
+  EXPECT_TRUE(m.TryAugmentLeft(l0));
+  EXPECT_EQ(m.MatchOfLeft(l0), r0);
+  EXPECT_TRUE(m.TryAugmentLeft(l1));
+  EXPECT_EQ(m.MatchOfLeft(l1), r0);
+  EXPECT_EQ(m.MatchOfLeft(l0), r1);
+  EXPECT_EQ(m.matching_size(), 2);
+}
+
+TEST(DynamicMatchingTest, RemoveRepairsMaximality) {
+  // Removing a matched node releases its partner, and the repair
+  // augmentation re-matches the partner when possible.
+  DynamicBipartiteMatcher m;
+  const int32_t l0 = m.AddLeft();
+  const int32_t l1 = m.AddLeft();
+  const int32_t r0 = m.AddRight();
+  m.AddEdge(l0, r0);
+  m.AddEdge(l1, r0);
+  EXPECT_TRUE(m.TryAugmentLeft(l0));
+  EXPECT_FALSE(m.TryAugmentLeft(l1));  // r0 taken, no augmenting path.
+  m.RemoveLeft(l0);
+  // The repair from r0 must have re-matched it to l1.
+  EXPECT_EQ(m.matching_size(), 1);
+  EXPECT_EQ(m.MatchOfRight(r0), l1);
+}
+
+TEST(DynamicMatchingTest, RemovePairCommitsBothSides) {
+  DynamicBipartiteMatcher m;
+  const int32_t l0 = m.AddLeft();
+  const int32_t r0 = m.AddRight();
+  m.AddEdge(l0, r0);
+  EXPECT_TRUE(m.TryAugmentLeft(l0));
+  m.RemovePair(l0, r0);
+  EXPECT_EQ(m.matching_size(), 0);
+  EXPECT_FALSE(m.LeftActive(l0));
+  EXPECT_FALSE(m.RightActive(r0));
+}
+
+TEST(DynamicMatchingTest, TryAugmentRightMirrorsLeft) {
+  DynamicBipartiteMatcher m;
+  const int32_t l0 = m.AddLeft();
+  const int32_t r0 = m.AddRight();
+  const int32_t r1 = m.AddRight();
+  m.AddEdge(l0, r0);
+  m.AddEdge(l0, r1);
+  EXPECT_TRUE(m.TryAugmentRight(r0));
+  EXPECT_EQ(m.MatchOfRight(r0), l0);
+  EXPECT_FALSE(m.TryAugmentRight(r1));  // l0 taken, no alternative.
+}
+
+TEST(DynamicMatchingTest, ResetClearsState) {
+  DynamicBipartiteMatcher m;
+  m.AddLeft();
+  m.AddRight();
+  m.AddEdge(0, 0);
+  EXPECT_TRUE(m.TryAugmentLeft(0));
+  m.Reset();
+  EXPECT_EQ(m.matching_size(), 0);
+  EXPECT_EQ(m.num_left(), 0);
+  EXPECT_EQ(m.num_right(), 0);
+  EXPECT_EQ(m.num_edges(), 0u);
+}
+
+// Property: incrementally inserting all nodes/edges and augmenting from
+// each left reaches the same maximum cardinality as Hopcroft-Karp on the
+// same bipartite graph.
+class DynamicMatchingPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicMatchingPropertyTest, CardinalityMatchesHopcroftKarp) {
+  Rng rng(GetParam() * 2654435761u + 17);
+  const int32_t num_left = 5 + static_cast<int32_t>(rng.NextBounded(25));
+  const int32_t num_right = 5 + static_cast<int32_t>(rng.NextBounded(25));
+
+  DynamicBipartiteMatcher dynamic;
+  HopcroftKarp hk(num_left, num_right);
+  for (int32_t l = 0; l < num_left; ++l) dynamic.AddLeft();
+  for (int32_t r = 0; r < num_right; ++r) dynamic.AddRight();
+  for (int32_t l = 0; l < num_left; ++l) {
+    for (int32_t r = 0; r < num_right; ++r) {
+      if (rng.NextBool(0.15)) {
+        dynamic.AddEdge(l, r);
+        hk.AddEdge(l, r);
+      }
+    }
+  }
+  for (int32_t l = 0; l < num_left; ++l) dynamic.TryAugmentLeft(l);
+  EXPECT_EQ(dynamic.matching_size(), hk.Solve());
+}
+
+TEST_P(DynamicMatchingPropertyTest, RemovalKeepsMaximality) {
+  // After random node removals, the maintained matching must still equal
+  // a from-scratch maximum matching over the surviving subgraph.
+  Rng rng(GetParam() * 40503 + 3);
+  const int32_t num_left = 5 + static_cast<int32_t>(rng.NextBounded(20));
+  const int32_t num_right = 5 + static_cast<int32_t>(rng.NextBounded(20));
+  DynamicBipartiteMatcher dynamic;
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t l = 0; l < num_left; ++l) dynamic.AddLeft();
+  for (int32_t r = 0; r < num_right; ++r) dynamic.AddRight();
+  for (int32_t l = 0; l < num_left; ++l) {
+    for (int32_t r = 0; r < num_right; ++r) {
+      if (rng.NextBool(0.2)) {
+        dynamic.AddEdge(l, r);
+        edges.emplace_back(l, r);
+      }
+    }
+  }
+  for (int32_t l = 0; l < num_left; ++l) dynamic.TryAugmentLeft(l);
+
+  for (int32_t l = 0; l < num_left; ++l) {
+    if (rng.NextBool(0.3)) dynamic.RemoveLeft(l);
+  }
+  for (int32_t r = 0; r < num_right; ++r) {
+    if (rng.NextBool(0.3)) dynamic.RemoveRight(r);
+  }
+
+  // From-scratch reference over the survivors.
+  HopcroftKarp hk(num_left, num_right);
+  for (const auto& [l, r] : edges) {
+    if (dynamic.LeftActive(l) && dynamic.RightActive(r)) hk.AddEdge(l, r);
+  }
+  EXPECT_EQ(dynamic.matching_size(), hk.Solve());
+
+  // The maintained matching itself must be consistent and edge-valid.
+  int64_t matched = 0;
+  for (int32_t l = 0; l < num_left; ++l) {
+    const int32_t r = dynamic.LeftActive(l) ? dynamic.MatchOfLeft(l) : -1;
+    if (r < 0) continue;
+    ++matched;
+    EXPECT_TRUE(dynamic.RightActive(r));
+    EXPECT_EQ(dynamic.MatchOfRight(r), l);
+    EXPECT_TRUE(std::count(edges.begin(), edges.end(),
+                           std::make_pair(l, r)) > 0);
+  }
+  EXPECT_EQ(matched, dynamic.matching_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicMatchingPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace ftoa

@@ -114,5 +114,44 @@ TEST_P(HkPropertyTest, MatchesUnitCapacityMaxFlow) {
 INSTANTIATE_TEST_SUITE_P(Seeds, HkPropertyTest,
                          ::testing::Range<uint64_t>(1, 26));
 
+TEST(HopcroftKarpTest, ResetReusesInstance) {
+  HopcroftKarp hk(2, 2);
+  hk.AddEdge(0, 0);
+  hk.AddEdge(1, 1);
+  EXPECT_EQ(hk.Solve(), 2);
+  hk.Reset(3, 1);
+  EXPECT_EQ(hk.num_edges(), 0u);
+  hk.AddEdge(2, 0);
+  EXPECT_EQ(hk.Solve(), 1);
+  EXPECT_EQ(hk.MatchOfLeft(2), 0);
+  EXPECT_EQ(hk.MatchOfLeft(0), -1);
+}
+
+TEST(HopcroftKarpTest, WarmStartFromSeededMatching) {
+  // Seeding a partial matching with SetMatch leaves Solve with only the
+  // remaining augmentations; the result is still maximum.
+  HopcroftKarp hk(3, 3);
+  hk.AddEdge(0, 0);
+  hk.AddEdge(0, 1);
+  hk.AddEdge(1, 0);
+  hk.AddEdge(2, 2);
+  hk.SetMatch(0, 0);
+  EXPECT_EQ(hk.Solve(), 3);
+  // l1 only likes r0: the warm-started pair must have been re-routed.
+  EXPECT_EQ(hk.MatchOfRight(0), 1);
+  EXPECT_EQ(hk.MatchOfLeft(0), 1);
+  EXPECT_EQ(hk.MatchOfLeft(2), 2);
+}
+
+TEST(HopcroftKarpTest, SolveIsIncrementalAcrossEdgeInsertions) {
+  HopcroftKarp hk(2, 2);
+  hk.AddEdge(0, 0);
+  EXPECT_EQ(hk.Solve(), 1);
+  hk.AddEdge(1, 1);
+  EXPECT_EQ(hk.Solve(), 2);  // Prior matching kept, one augmentation.
+  EXPECT_EQ(hk.MatchOfLeft(0), 0);
+  EXPECT_EQ(hk.MatchOfLeft(1), 1);
+}
+
 }  // namespace
 }  // namespace ftoa

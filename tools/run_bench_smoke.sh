@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Perf-trajectory smoke: builds Release, runs the flow microbench and the
+# per-object online-algorithm microbench, and records their JSON next to
+# the repo root (BENCH_flow.json, BENCH_perobject.json) so future PRs can
+# diff solver performance against this one.
+#
+# Usage: tools/run_bench_smoke.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-release}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+      -DFTOA_BUILD_TESTS=OFF >/dev/null
+cmake --build "$BUILD" --target bench_micro_flow bench_micro_perobject \
+      -j "$(nproc)"
+
+echo "== bench_micro_flow (Dijkstra+potentials vs SPFA, arenas, matcher)"
+"$BUILD/bench_micro_flow" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="$ROOT/BENCH_flow.json" \
+    --benchmark_out_format=json
+
+echo "== bench_micro_perobject (per-arrival cost of the online algorithms)"
+"$BUILD/bench_micro_perobject" \
+    --benchmark_min_time=0.05 \
+    --benchmark_filter='.*/1000$|.*/4000$' \
+    --benchmark_out="$ROOT/BENCH_perobject.json" \
+    --benchmark_out_format=json
+
+# Headline number: min-cost flow speedup on the dense 2048x2048 instance.
+python3 - "$ROOT/BENCH_flow.json" <<'EOF'
+import json, sys
+runs = {b["name"]: b["real_time"]
+        for b in json.load(open(sys.argv[1]))["benchmarks"]}
+dij = runs.get("BM_MinCostFlowDijkstra/2048/48")
+spfa = runs.get("BM_MinCostFlowSpfa/2048/48")
+if dij and spfa:
+    print(f"min-cost flow 2048x2048: dijkstra {dij:.0f}ms, "
+          f"spfa {spfa:.0f}ms, speedup {spfa / dij:.2f}x")
+EOF
