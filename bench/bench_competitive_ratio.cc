@@ -57,22 +57,24 @@ int main(int argc, char** argv) {
   TablePrinter table(
       {"algorithm", "min ratio", "mean ratio", "proven bound"});
 
-  Polar polar(guide);
-  PolarOp polar_op(guide);
   struct Entry {
-    OnlineAlgorithm* algorithm;
+    const char* name;
+    std::function<std::unique_ptr<OnlineAlgorithm>()> factory;
     const char* bound;
   };
-  const Entry entries[] = {{&polar, "0.40 (Thm 1)"},
-                           {&polar_op, "0.47 (Thm 2)"}};
+  const Entry entries[] = {
+      {"POLAR", [guide]() { return std::make_unique<Polar>(guide); },
+       "0.40 (Thm 1)"},
+      {"POLAR-OP", [guide]() { return std::make_unique<PolarOp>(guide); },
+       "0.47 (Thm 2)"}};
   for (const Entry& entry : entries) {
     const auto estimate = EstimateCompetitiveRatio(
-        sampler, [&]() { return entry.algorithm; }, trials, 7);
+        sampler, entry.factory, trials, 7, context.num_threads);
     if (!estimate.ok()) {
       std::cerr << estimate.status().ToString() << "\n";
       return 1;
     }
-    table.AddRow({entry.algorithm->name(),
+    table.AddRow({entry.name,
                   TablePrinter::FormatDouble(estimate->min_ratio, 3),
                   TablePrinter::FormatDouble(estimate->mean_ratio, 3),
                   entry.bound});

@@ -15,13 +15,13 @@ int main(int argc, char** argv) {
   const BenchContext context = ParseArgs(argc, argv);
 
   const double deadlines[] = {1.0, 1.5, 2.0, 2.5, 3.0};
-  std::vector<SweepPoint> points;
+  std::vector<SweepConfig> configs;
   for (double dr : deadlines) {
     SyntheticConfig config = DefaultSyntheticConfig(context);
     config.task_duration = dr;
-    points.push_back(RunSyntheticPoint(TablePrinter::FormatDouble(dr, 1),
-                                       config, context));
+    configs.push_back({TablePrinter::FormatDouble(dr, 1), config});
   }
+  const std::vector<SweepPoint> points = RunSyntheticSweep(configs, context);
   PrintFigure("Figure 4 col 3: varying Dr", "Dr", points, context);
   return 0;
 }

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   const BenchContext context = ParseArgs(argc, argv);
 
   const int grids[] = {20, 30, 50, 100, 200};
-  std::vector<SweepPoint> points;
+  std::vector<SweepConfig> configs;
   for (int g : grids) {
     SyntheticConfig config = DefaultSyntheticConfig(context);
     // The paper divides the *same* region into more cells; our unit system
@@ -25,9 +25,9 @@ int main(int argc, char** argv) {
     config.grid_x = g;
     config.grid_y = g;
     config.velocity = 5.0 * ratio;  // Same physical speed, finer cells.
-    points.push_back(
-        RunSyntheticPoint(std::to_string(g), config, context));
+    configs.push_back({std::to_string(g), config});
   }
+  const std::vector<SweepPoint> points = RunSyntheticSweep(configs, context);
   PrintFigure("Figure 4 col 4: varying grid granularity", "Grid", points,
               context);
   return 0;

@@ -14,14 +14,14 @@ int main(int argc, char** argv) {
   const BenchContext context = ParseArgs(argc, argv);
 
   const int paper_sizes[] = {5000, 10000, 20000, 30000, 40000};
-  std::vector<SweepPoint> points;
+  std::vector<SweepConfig> configs;
   for (int size : paper_sizes) {
     SyntheticConfig config = DefaultSyntheticConfig(context);
     config.num_workers =
         static_cast<int>(std::lround(size * context.scale));
-    points.push_back(
-        RunSyntheticPoint(std::to_string(size), config, context));
+    configs.push_back({std::to_string(size), config});
   }
+  const std::vector<SweepPoint> points = RunSyntheticSweep(configs, context);
   PrintFigure("Figure 4 col 1: varying |W|", "|W|", points, context);
   return 0;
 }

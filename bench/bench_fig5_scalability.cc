@@ -19,15 +19,15 @@ int main(int argc, char** argv) {
   // ParseArgs already applied it, so only adjust when untouched).
   const int paper_sizes[] = {200000, 400000, 600000, 800000, 1000000};
 
-  std::vector<SweepPoint> points;
+  std::vector<SweepConfig> configs;
   for (int size : paper_sizes) {
     SyntheticConfig config = DefaultSyntheticConfig(context);
     const int n = static_cast<int>(std::lround(size * context.scale * 0.1));
     config.num_workers = n;
     config.num_tasks = n;
-    points.push_back(
-        RunSyntheticPoint(std::to_string(size), config, context));
+    configs.push_back({std::to_string(size), config});
   }
+  const std::vector<SweepPoint> points = RunSyntheticSweep(configs, context);
   PrintFigure("Figure 5 col 2: scalability |W| = |R|", "|W|(|R|)", points,
               context);
   return 0;

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   const BenchContext context = ParseArgs(argc, argv);
 
   const int slot_counts[] = {12, 24, 48, 96, 144};
-  std::vector<SweepPoint> points;
+  std::vector<SweepConfig> configs;
   for (int t : slot_counts) {
     SyntheticConfig config = DefaultSyntheticConfig(context);
     // Keep the physical horizon of the default (48 one-unit slots) while
@@ -25,9 +25,9 @@ int main(int argc, char** argv) {
     config.velocity = 5.0 * slot_length;
     config.task_duration = 2.0 / slot_length;
     config.worker_duration = 3.0 / slot_length;
-    points.push_back(
-        RunSyntheticPoint(std::to_string(t), config, context));
+    configs.push_back({std::to_string(t), config});
   }
+  const std::vector<SweepPoint> points = RunSyntheticSweep(configs, context);
   PrintFigure("Figure 5 col 1: varying time slots", "TimeSlot", points,
               context);
   return 0;

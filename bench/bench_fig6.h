@@ -25,13 +25,13 @@ inline int RunFig6Sweep(
     char** argv) {
   const BenchContext context = ParseArgs(argc, argv);
   const double values[] = {0.25, 0.375, 0.5, 0.625, 0.75};
-  std::vector<SweepPoint> points;
+  std::vector<SweepConfig> configs;
   for (double value : values) {
     SyntheticConfig config = DefaultSyntheticConfig(context);
     apply(&config, value);
-    points.push_back(RunSyntheticPoint(
-        TablePrinter::FormatDouble(value, 3), config, context));
+    configs.push_back({TablePrinter::FormatDouble(value, 3), config});
   }
+  const std::vector<SweepPoint> points = RunSyntheticSweep(configs, context);
   PrintFigure(figure_name, x_name, points, context);
   return 0;
 }

@@ -1,9 +1,14 @@
 #include "harness.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <utility>
 
 #include "baselines/gr_batch.h"
 #include "baselines/offline_opt.h"
@@ -14,6 +19,7 @@
 #include "core/polar_op.h"
 #include "sim/runner.h"
 #include "util/csv.h"
+#include "util/thread_pool.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -52,10 +58,17 @@ BenchContext ParseArgs(int argc, char** argv) {
       }
     } else if (StartsWith(arg, "--csv=")) {
       context.csv_dir = arg.substr(6);
+    } else if (StartsWith(arg, "--threads=")) {
+      const auto value = ParseInt(arg.substr(10));
+      if (!value.ok() || *value < 1 || *value > 1024) {
+        std::fprintf(stderr, "invalid --threads value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      context.num_threads = static_cast<int>(*value);
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: %s [--scale=<f>] [--no-opt] [--hybrid] "
-                   "[--csv=<dir>]\n",
+                   "[--csv=<dir>] [--threads=<n>]\n",
                    argv[0]);
       std::exit(0);
     } else {
@@ -92,8 +105,6 @@ std::vector<RunMetrics> RunSuite(const Instance& instance,
                                  const PredictionMatrix& prediction,
                                  const GuideOptions& guide_options,
                                  const BenchContext& context) {
-  std::vector<RunMetrics> results;
-
   // Offline preprocessing (guide generation), excluded from measurements.
   auto guide_result = GuideGenerator(instance.velocity(), guide_options)
                           .Generate(prediction);
@@ -102,8 +113,17 @@ std::vector<RunMetrics> RunSuite(const Instance& instance,
                  guide_result.status().ToString().c_str());
     std::exit(1);
   }
-  auto guide = std::make_shared<const OfflineGuide>(
-      std::move(guide_result).value());
+  return RunSuiteWithGuide(instance,
+                           std::make_shared<const OfflineGuide>(
+                               std::move(guide_result).value()),
+                           context);
+}
+
+std::vector<RunMetrics> RunSuiteWithGuide(
+    const Instance& instance,
+    const std::shared_ptr<const OfflineGuide>& guide,
+    const BenchContext& context) {
+  std::vector<RunMetrics> results;
 
   SimpleGreedy simple_greedy;
   GrBatch gr;
@@ -138,13 +158,29 @@ std::vector<RunMetrics> RunSuite(const Instance& instance,
   return results;
 }
 
-SweepPoint RunSyntheticPoint(const std::string& x_label,
-                             const SyntheticConfig& config,
-                             const BenchContext& context) {
+namespace {
+
+/// A sweep point's offline preprocessing: the realized instance plus the
+/// guide built from its prediction. Everything the measured (serial) run
+/// needs, with the expensive generation work already done.
+struct PreparedPoint {
+  std::string x_label;
+  Instance instance;
+  std::shared_ptr<const OfflineGuide> guide;
+};
+
+/// Generates instance + prediction + guide for one sweep point.
+/// `guide_threads` shards the guide solve; the parallel sweep passes 1
+/// because it already parallelizes across points. Throws std::runtime_error
+/// on failure — this runs on pool workers, where std::exit is unsafe; the
+/// pool's futures carry the exception back to the main thread.
+PreparedPoint PreparePoint(const std::string& x_label,
+                           const SyntheticConfig& config,
+                           const BenchContext& context, int guide_threads) {
   auto instance = GenerateSyntheticInstance(config);
   if (!instance.ok()) {
-    std::fprintf(stderr, "workload generation failed\n");
-    std::exit(1);
+    throw std::runtime_error("workload generation failed: " +
+                             instance.status().ToString());
   }
   Result<PredictionMatrix> prediction = [&]() -> Result<PredictionMatrix> {
     switch (context.prediction_mode) {
@@ -158,17 +194,93 @@ SweepPoint RunSyntheticPoint(const std::string& x_label,
     return GenerateSyntheticExpectedPrediction(config);
   }();
   if (!prediction.ok()) {
-    std::fprintf(stderr, "prediction generation failed\n");
-    std::exit(1);
+    throw std::runtime_error("prediction generation failed: " +
+                             prediction.status().ToString());
   }
   GuideOptions guide_options;
   guide_options.engine = GuideOptions::Engine::kAuto;
   guide_options.worker_duration = config.worker_duration;
   guide_options.task_duration = config.task_duration;
-  SweepPoint point;
-  point.x_label = x_label;
-  point.metrics = RunSuite(*instance, *prediction, guide_options, context);
-  return point;
+  guide_options.num_threads = guide_threads;
+  auto guide_result = GuideGenerator(instance->velocity(), guide_options)
+                          .Generate(*prediction);
+  if (!guide_result.ok()) {
+    throw std::runtime_error("guide generation failed: " +
+                             guide_result.status().ToString());
+  }
+  return PreparedPoint{x_label, std::move(*instance),
+                       std::make_shared<const OfflineGuide>(
+                           std::move(guide_result).value())};
+}
+
+/// Exits from the calling (main) thread with the failure message.
+[[noreturn]] void DiePreparing(const std::exception& e) {
+  std::fprintf(stderr, "%s\n", e.what());
+  std::exit(1);
+}
+
+}  // namespace
+
+SweepPoint RunSyntheticPoint(const std::string& x_label,
+                             const SyntheticConfig& config,
+                             const BenchContext& context) {
+  try {
+    PreparedPoint prepared =
+        PreparePoint(x_label, config, context, context.num_threads);
+    SweepPoint point;
+    point.x_label = x_label;
+    point.metrics =
+        RunSuiteWithGuide(prepared.instance, prepared.guide, context);
+    return point;
+  } catch (const std::exception& e) {
+    DiePreparing(e);
+  }
+}
+
+std::vector<SweepPoint> RunSyntheticSweep(
+    const std::vector<SweepConfig>& configs, const BenchContext& context) {
+  std::vector<std::unique_ptr<PreparedPoint>> prepared(configs.size());
+  const int pool_size = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(std::max(1, context.num_threads)),
+                       configs.size()));
+  try {
+    if (pool_size > 1) {
+      ThreadPool pool(pool_size);
+      std::vector<std::future<void>> done;
+      done.reserve(configs.size());
+      for (size_t i = 0; i < configs.size(); ++i) {
+        done.push_back(pool.Submit([&prepared, &configs, &context, i]() {
+          prepared[i] = std::make_unique<PreparedPoint>(
+              PreparePoint(configs[i].x_label, configs[i].config, context,
+                           /*guide_threads=*/1));
+        }));
+      }
+      for (std::future<void>& f : done) f.get();
+    } else {
+      for (size_t i = 0; i < configs.size(); ++i) {
+        prepared[i] = std::make_unique<PreparedPoint>(
+            PreparePoint(configs[i].x_label, configs[i].config, context,
+                         context.num_threads));
+      }
+    }
+  } catch (const std::exception& e) {
+    DiePreparing(e);  // Rethrown by future.get() on the main thread.
+  }
+
+  // Measured runs stay serial and in sweep order (see harness.h). Each
+  // point is released right after its run: a scalability sweep's instances
+  // are large, and holding all of them through the measured phase would
+  // multiply the bench's resident set by the sweep length.
+  std::vector<SweepPoint> points;
+  points.reserve(prepared.size());
+  for (std::unique_ptr<PreparedPoint>& p : prepared) {
+    SweepPoint point;
+    point.x_label = p->x_label;
+    point.metrics = RunSuiteWithGuide(p->instance, p->guide, context);
+    points.push_back(std::move(point));
+    p.reset();
+  }
+  return points;
 }
 
 namespace {

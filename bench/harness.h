@@ -13,6 +13,10 @@
 //                      scale: it recomputes a matching per arrival)
 //   --prediction=<m>   expected | replicate | perfect (synthetic sweeps)
 //   --csv=<dir>        additionally dump each table as CSV into <dir>
+//   --threads=<n>      worker threads for sweep-point preparation (instance
+//                      + prediction + guide generation) and the sharded
+//                      guide solve; the measured algorithm runs stay serial
+//                      so Time/Memory remain paper-comparable
 
 #ifndef FTOA_BENCH_HARNESS_H_
 #define FTOA_BENCH_HARNESS_H_
@@ -52,6 +56,9 @@ struct BenchContext {
   /// OPT is skipped above this many objects per side even when enabled
   /// (its pruned bipartite graph stops fitting in laptop memory).
   int64_t opt_object_cap = 50000;
+  /// Worker threads for sweep preparation and the sharded guide solve
+  /// (--threads). 1 = fully serial.
+  int num_threads = 1;
 };
 
 /// Parses argv; unknown flags abort with a usage message.
@@ -75,6 +82,13 @@ std::vector<RunMetrics> RunSuite(const Instance& instance,
                                  const GuideOptions& guide_options,
                                  const BenchContext& context);
 
+/// As RunSuite, but with the guide already built (used by the parallel
+/// sweep, which prepares guides off-thread and measures serially).
+std::vector<RunMetrics> RunSuiteWithGuide(
+    const Instance& instance,
+    const std::shared_ptr<const OfflineGuide>& guide,
+    const BenchContext& context);
+
 /// One sweep point: an x-axis label plus the metrics of every algorithm.
 struct SweepPoint {
   std::string x_label;
@@ -87,6 +101,22 @@ struct SweepPoint {
 SweepPoint RunSyntheticPoint(const std::string& x_label,
                              const SyntheticConfig& config,
                              const BenchContext& context);
+
+/// One labelled configuration of a sweep.
+struct SweepConfig {
+  std::string x_label;
+  SyntheticConfig config;
+};
+
+/// Runs a whole synthetic sweep. With context.num_threads > 1 the
+/// *preparation* of every point — instance generation, prediction, and
+/// guide construction, i.e. the offline preprocessing the paper excludes
+/// from its measurements — runs on a thread pool; the measured algorithm
+/// runs then execute serially in sweep order, so Time/Memory numbers are
+/// identical to the serial loop (the process-wide heap tracker and the
+/// wall clock both need an otherwise-quiet process).
+std::vector<SweepPoint> RunSyntheticSweep(
+    const std::vector<SweepConfig>& configs, const BenchContext& context);
 
 /// Prints the three paper-style tables (MatchingSize / Time(s) / Memory(MB))
 /// for a figure and optionally dumps them as CSV.

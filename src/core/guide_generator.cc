@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <numeric>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "flow/dinic.h"
@@ -14,6 +17,20 @@ namespace ftoa {
 
 GuideGenerator::GuideGenerator(double velocity, GuideOptions options)
     : velocity_(velocity), options_(options) {}
+
+GuideGenerator::~GuideGenerator() = default;
+
+GuideGenerator::ShardArena& GuideGenerator::ShardAt(size_t index) const {
+  while (shards_.size() <= index) {
+    shards_.push_back(std::make_unique<ShardArena>());
+  }
+  return *shards_[index];
+}
+
+ThreadPool& GuideGenerator::Pool() const {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  return *pool_;
+}
 
 void GuideGenerator::ForEachFeasibleTypePair(
     const PredictionMatrix& prediction,
@@ -61,16 +78,26 @@ void GuideGenerator::ForEachFeasibleTypePair(
 
         // Choose between scanning the bounding box of the feasibility disk
         // and scanning the slot's nonempty task cells, whichever is smaller.
+        // std::floor before the int cast so each bound is the disk edge's
+        // true cell index even when (wloc - radius) is negative. With the
+        // current clamps the cast alone happens to agree (trunc and floor
+        // differ only below zero, where max(0, ...) erases the difference),
+        // but that equivalence is incidental — floor states the intended
+        // semantics instead of relying on it.
         const int cx_lo = std::max(
-            0, static_cast<int>((wloc.x - radius) / grid.cell_width()));
+            0, static_cast<int>(
+                   std::floor((wloc.x - radius) / grid.cell_width())));
         const int cx_hi = std::min(
             grid.cells_x() - 1,
-            static_cast<int>((wloc.x + radius) / grid.cell_width()));
+            static_cast<int>(
+                std::floor((wloc.x + radius) / grid.cell_width())));
         const int cy_lo = std::max(
-            0, static_cast<int>((wloc.y - radius) / grid.cell_height()));
+            0, static_cast<int>(
+                   std::floor((wloc.y - radius) / grid.cell_height())));
         const int cy_hi = std::min(
             grid.cells_y() - 1,
-            static_cast<int>((wloc.y + radius) / grid.cell_height()));
+            static_cast<int>(
+                std::floor((wloc.y + radius) / grid.cell_height())));
         const int64_t box_cells = static_cast<int64_t>(cx_hi - cx_lo + 1) *
                                   (cy_hi - cy_lo + 1);
         const auto& sparse = task_cells_by_slot[static_cast<size_t>(tslot)];
@@ -158,7 +185,8 @@ Result<OfflineGuide> GuideGenerator::GenerateNodeLevel(
   // scratch live in the generator and are reused across calls.
   const NodeId source = 0;
   const NodeId sink = static_cast<NodeId>(m + n + 1);
-  FlowGraph& network = maxflow_network_;
+  ShardArena& arena = ShardAt(0);
+  FlowGraph& network = arena.maxflow;
   network.Reset(static_cast<NodeId>(m + n + 2));
   network.ReserveEdges(static_cast<size_t>(m + n + node_edges));
   for (int64_t w = 0; w < m; ++w) {
@@ -190,7 +218,7 @@ Result<OfflineGuide> GuideGenerator::GenerateNodeLevel(
 
   // Line 10: max flow.
   if (use_dinic) {
-    dinic_.Solve(&network, source, sink);
+    arena.dinic.Solve(&network, source, sink);
   } else {
     FordFulkersonMaxFlow(&network, source, sink);
   }
@@ -236,100 +264,254 @@ Result<OfflineGuide> GuideGenerator::GenerateCompressed(
 
   const int32_t wcount = static_cast<int32_t>(worker_types.size());
   const int32_t tcount = static_cast<int32_t>(task_types.size());
-  const int32_t source = 0;
-  const int32_t sink = 1 + wcount + tcount;
 
   OfflineGuide guide(st, velocity_, options_.worker_duration,
                      options_.task_duration,
                      options_.representative_slack);
   const InstantiatedNodes nodes = InstantiateNodes(prediction, &guide);
 
-  // Cursors handing out the next unmatched node of each type.
+  // ---- Connected-component decomposition. Compact worker node i and
+  // compact task node j live at union-find indices i and wcount + j.
+  // Components are independent flow problems: every source/sink edge is
+  // private to its type node, so no augmenting path crosses components and
+  // solving them separately is exact.
+  std::vector<int32_t> parent(static_cast<size_t>(wcount + tcount));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](int32_t x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const TypePairEdge& pair : pairs) {
+    const int32_t a =
+        find(worker_node_of_type[static_cast<size_t>(pair.worker_type)]);
+    const int32_t b = find(
+        wcount + task_node_of_type[static_cast<size_t>(pair.task_type)]);
+    if (a != b) parent[static_cast<size_t>(b)] = a;
+  }
+
+  // Component ids in first-appearance order over the pair list, so the
+  // decomposition — and with it the chunking below — is deterministic.
+  std::vector<int32_t> comp_of_root(static_cast<size_t>(wcount + tcount),
+                                    -1);
+  std::vector<int32_t> pair_comp(pairs.size());
+  int32_t num_components = 0;
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const int32_t root = find(
+        worker_node_of_type[static_cast<size_t>(pairs[k].worker_type)]);
+    if (comp_of_root[static_cast<size_t>(root)] < 0) {
+      comp_of_root[static_cast<size_t>(root)] = num_components++;
+    }
+    pair_comp[k] = comp_of_root[static_cast<size_t>(root)];
+  }
+  last_num_components_ = num_components;
+
+  // Group pairs and compact nodes by component with counting sorts that
+  // preserve the original order within each component.
+  auto group_by_comp = [num_components](const std::vector<int32_t>& comp_of,
+                                        std::vector<int32_t>* begin,
+                                        std::vector<int32_t>* items) {
+    begin->assign(static_cast<size_t>(num_components) + 1, 0);
+    for (const int32_t c : comp_of) ++(*begin)[static_cast<size_t>(c) + 1];
+    for (int32_t c = 0; c < num_components; ++c) {
+      (*begin)[static_cast<size_t>(c) + 1] += (*begin)[static_cast<size_t>(c)];
+    }
+    items->resize(comp_of.size());
+    std::vector<int32_t> cursor(begin->begin(), begin->end() - 1);
+    for (size_t i = 0; i < comp_of.size(); ++i) {
+      (*items)[static_cast<size_t>(
+          cursor[static_cast<size_t>(comp_of[i])]++)] =
+          static_cast<int32_t>(i);
+    }
+  };
+
+  std::vector<int32_t> comp_pair_begin;
+  std::vector<int32_t> comp_pairs;  // Pair indices grouped by component.
+  group_by_comp(pair_comp, &comp_pair_begin, &comp_pairs);
+
+  std::vector<int32_t> comp_of_worker(static_cast<size_t>(wcount));
+  for (int32_t i = 0; i < wcount; ++i) {
+    comp_of_worker[static_cast<size_t>(i)] =
+        comp_of_root[static_cast<size_t>(find(i))];
+  }
+  std::vector<int32_t> comp_of_task(static_cast<size_t>(tcount));
+  for (int32_t j = 0; j < tcount; ++j) {
+    comp_of_task[static_cast<size_t>(j)] =
+        comp_of_root[static_cast<size_t>(find(wcount + j))];
+  }
+  std::vector<int32_t> comp_worker_begin;
+  std::vector<int32_t> comp_workers;  // Compact worker ids by component.
+  group_by_comp(comp_of_worker, &comp_worker_begin, &comp_workers);
+  std::vector<int32_t> comp_task_begin;
+  std::vector<int32_t> comp_tasks;  // Compact task ids by component.
+  group_by_comp(comp_of_task, &comp_task_begin, &comp_tasks);
+
+  // Local (within-component) network node id of each compact node.
+  std::vector<int32_t> local_worker_id(static_cast<size_t>(wcount));
+  for (int32_t c = 0; c < num_components; ++c) {
+    for (int32_t p = comp_worker_begin[static_cast<size_t>(c)];
+         p < comp_worker_begin[static_cast<size_t>(c) + 1]; ++p) {
+      local_worker_id[static_cast<size_t>(comp_workers[static_cast<size_t>(
+          p)])] = p - comp_worker_begin[static_cast<size_t>(c)];
+    }
+  }
+  std::vector<int32_t> local_task_id(static_cast<size_t>(tcount));
+  for (int32_t c = 0; c < num_components; ++c) {
+    for (int32_t p = comp_task_begin[static_cast<size_t>(c)];
+         p < comp_task_begin[static_cast<size_t>(c) + 1]; ++p) {
+      local_task_id[static_cast<size_t>(comp_tasks[static_cast<size_t>(
+          p)])] = p - comp_task_begin[static_cast<size_t>(c)];
+    }
+  }
+
+  // ---- Solve every component on a shard arena; per-pair flows land in a
+  // shared array indexed by the *original* pair index, so the merge below
+  // is independent of which thread solved which component.
+  std::vector<int64_t> pair_flow(pairs.size(), 0);
+
+  auto solve_components = [&](int32_t comp_lo, int32_t comp_hi,
+                              ShardArena* arena) {
+    std::vector<int32_t> edge_ids;  // Pair-edge ids of the current network.
+    for (int32_t c = comp_lo; c < comp_hi; ++c) {
+      const int32_t w_lo = comp_worker_begin[static_cast<size_t>(c)];
+      const int32_t t_lo = comp_task_begin[static_cast<size_t>(c)];
+      const int32_t cw =
+          comp_worker_begin[static_cast<size_t>(c) + 1] - w_lo;
+      const int32_t ct = comp_task_begin[static_cast<size_t>(c) + 1] - t_lo;
+      const int32_t p_lo = comp_pair_begin[static_cast<size_t>(c)];
+      const int32_t p_hi = comp_pair_begin[static_cast<size_t>(c) + 1];
+      const int32_t source = 0;
+      const int32_t sink = 1 + cw + ct;
+
+      edge_ids.clear();
+      edge_ids.reserve(static_cast<size_t>(p_hi - p_lo));
+      auto add_supply_edges = [&](auto& network, auto add_edge) {
+        for (int32_t p = w_lo; p < w_lo + cw; ++p) {
+          const TypeId type = worker_types[static_cast<size_t>(
+              comp_workers[static_cast<size_t>(p)])];
+          add_edge(network, source, 1 + (p - w_lo),
+                   static_cast<int64_t>(prediction.workers_at(type)));
+        }
+        for (int32_t p = t_lo; p < t_lo + ct; ++p) {
+          const TypeId type = task_types[static_cast<size_t>(
+              comp_tasks[static_cast<size_t>(p)])];
+          add_edge(network, 1 + cw + (p - t_lo), sink,
+                   static_cast<int64_t>(prediction.tasks_at(type)));
+        }
+      };
+
+      if (minimize_cost) {
+        MinCostFlowGraph& network = arena->mincost;
+        network.Reset(sink + 1);
+        network.ReserveEdges(static_cast<size_t>(cw + ct + (p_hi - p_lo)));
+        add_supply_edges(network,
+                         [](MinCostFlowGraph& net, int32_t u, int32_t v,
+                            int64_t cap) { net.AddEdge(u, v, cap, 0); });
+        for (int32_t p = p_lo; p < p_hi; ++p) {
+          const TypePairEdge& pair =
+              pairs[static_cast<size_t>(comp_pairs[static_cast<size_t>(p)])];
+          const int32_t wi = local_worker_id[static_cast<size_t>(
+              worker_node_of_type[static_cast<size_t>(pair.worker_type)])];
+          const int32_t ti = local_task_id[static_cast<size_t>(
+              task_node_of_type[static_cast<size_t>(pair.task_type)])];
+          const double travel =
+              TravelTime(st.RepresentativeLocation(pair.worker_type),
+                         st.RepresentativeLocation(pair.task_type),
+                         velocity_);
+          const int64_t cap =
+              std::min<int64_t>(prediction.workers_at(pair.worker_type),
+                                prediction.tasks_at(pair.task_type));
+          edge_ids.push_back(network.AddEdge(
+              1 + wi, 1 + cw + ti, cap,
+              static_cast<int64_t>(std::llround(travel * 1e6))));
+        }
+        network.Solve(source, sink);
+        for (int32_t p = p_lo; p < p_hi; ++p) {
+          pair_flow[static_cast<size_t>(comp_pairs[static_cast<size_t>(
+              p)])] = network.Flow(edge_ids[static_cast<size_t>(p - p_lo)]);
+        }
+      } else {
+        FlowGraph& network = arena->maxflow;
+        network.Reset(sink + 1);
+        network.ReserveEdges(static_cast<size_t>(cw + ct + (p_hi - p_lo)));
+        add_supply_edges(network,
+                         [](FlowGraph& net, int32_t u, int32_t v,
+                            int64_t cap) { net.AddEdge(u, v, cap); });
+        for (int32_t p = p_lo; p < p_hi; ++p) {
+          const TypePairEdge& pair =
+              pairs[static_cast<size_t>(comp_pairs[static_cast<size_t>(p)])];
+          const int32_t wi = local_worker_id[static_cast<size_t>(
+              worker_node_of_type[static_cast<size_t>(pair.worker_type)])];
+          const int32_t ti = local_task_id[static_cast<size_t>(
+              task_node_of_type[static_cast<size_t>(pair.task_type)])];
+          const int64_t cap =
+              std::min<int64_t>(prediction.workers_at(pair.worker_type),
+                                prediction.tasks_at(pair.task_type));
+          edge_ids.push_back(network.AddEdge(1 + wi, 1 + cw + ti, cap));
+        }
+        arena->dinic.Solve(&network, source, sink);
+        for (int32_t p = p_lo; p < p_hi; ++p) {
+          pair_flow[static_cast<size_t>(comp_pairs[static_cast<size_t>(
+              p)])] = network.Flow(edge_ids[static_cast<size_t>(p - p_lo)]);
+        }
+      }
+    }
+  };
+
+  // Partition components into one contiguous chunk per thread, balanced on
+  // pair counts (the dominant solve cost). The partition affects only which
+  // arena/thread solves a component, never the component's result.
+  const int32_t chunks = std::max<int32_t>(
+      1, std::min<int32_t>(options_.num_threads, num_components));
+  if (chunks <= 1) {
+    solve_components(0, num_components, &ShardAt(0));
+  } else {
+    const int64_t total_pairs = static_cast<int64_t>(pairs.size());
+    std::vector<int32_t> bounds(static_cast<size_t>(chunks) + 1, 0);
+    bounds[static_cast<size_t>(chunks)] = num_components;
+    for (int32_t i = 1; i < chunks; ++i) {
+      const int64_t target = total_pairs * i / chunks;
+      const auto it =
+          std::lower_bound(comp_pair_begin.begin(), comp_pair_begin.end(),
+                           static_cast<int32_t>(target));
+      const int32_t at_least = bounds[static_cast<size_t>(i) - 1] + 1;
+      bounds[static_cast<size_t>(i)] = std::min(
+          num_components - (chunks - i),
+          std::max(at_least, static_cast<int32_t>(
+                                 it - comp_pair_begin.begin())));
+    }
+    std::vector<std::future<void>> done;
+    done.reserve(static_cast<size_t>(chunks));
+    for (int32_t i = 0; i < chunks; ++i) {
+      const int32_t lo = bounds[static_cast<size_t>(i)];
+      const int32_t hi = bounds[static_cast<size_t>(i) + 1];
+      ShardArena* arena = &ShardAt(static_cast<size_t>(i));
+      done.push_back(Pool().Submit(
+          [&solve_components, lo, hi, arena]() {
+            solve_components(lo, hi, arena);
+          }));
+    }
+    for (std::future<void>& f : done) f.get();
+  }
+
+  // ---- Deterministic merge: realize matches in the original pair order,
+  // handing out nodes with per-type cursors exactly like the serial path.
   std::vector<int32_t> worker_cursor(static_cast<size_t>(num_types), 0);
   std::vector<int32_t> task_cursor(static_cast<size_t>(num_types), 0);
-  auto realize_pairs = [&](TypeId wt, TypeId tt, int64_t flow) -> Status {
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const int64_t flow = pair_flow[k];
+    if (flow <= 0) continue;
+    const TypeId wt = pairs[k].worker_type;
+    const TypeId tt = pairs[k].task_type;
     const GuideNodeId w0 = nodes.first_worker_node[static_cast<size_t>(wt)];
     const GuideNodeId r0 = nodes.first_task_node[static_cast<size_t>(tt)];
-    for (int64_t k = 0; k < flow; ++k) {
+    for (int64_t u = 0; u < flow; ++u) {
       const GuideNodeId w = w0 + worker_cursor[static_cast<size_t>(wt)]++;
       const GuideNodeId r = r0 + task_cursor[static_cast<size_t>(tt)]++;
       FTOA_RETURN_NOT_OK(guide.MatchNodes(w, r));
-    }
-    return Status::OK();
-  };
-
-  if (minimize_cost) {
-    MinCostFlowGraph& network = mincost_network_;
-    network.Reset(sink + 1);
-    network.ReserveEdges(static_cast<size_t>(wcount) + tcount +
-                         pairs.size());
-    for (int32_t i = 0; i < wcount; ++i) {
-      network.AddEdge(source, 1 + i,
-                      prediction.workers_at(worker_types[static_cast<size_t>(
-                          i)]),
-                      0);
-    }
-    for (int32_t j = 0; j < tcount; ++j) {
-      network.AddEdge(1 + wcount + j, sink,
-                      prediction.tasks_at(task_types[static_cast<size_t>(j)]),
-                      0);
-    }
-    std::vector<int32_t> pair_edge_ids;
-    pair_edge_ids.reserve(pairs.size());
-    for (const TypePairEdge& pair : pairs) {
-      const int32_t wi =
-          worker_node_of_type[static_cast<size_t>(pair.worker_type)];
-      const int32_t ti = task_node_of_type[static_cast<size_t>(pair.task_type)];
-      const double travel =
-          TravelTime(st.RepresentativeLocation(pair.worker_type),
-                     st.RepresentativeLocation(pair.task_type), velocity_);
-      const int64_t cap =
-          std::min<int64_t>(prediction.workers_at(pair.worker_type),
-                            prediction.tasks_at(pair.task_type));
-      pair_edge_ids.push_back(network.AddEdge(
-          1 + wi, 1 + wcount + ti, cap,
-          static_cast<int64_t>(std::llround(travel * 1e6))));
-    }
-    network.Solve(source, sink);
-    for (size_t k = 0; k < pairs.size(); ++k) {
-      const int64_t flow = network.Flow(pair_edge_ids[k]);
-      if (flow > 0) {
-        FTOA_RETURN_NOT_OK(
-            realize_pairs(pairs[k].worker_type, pairs[k].task_type, flow));
-      }
-    }
-    return guide;
-  }
-
-  FlowGraph& network = maxflow_network_;
-  network.Reset(sink + 1);
-  network.ReserveEdges(static_cast<size_t>(wcount) + tcount + pairs.size());
-  for (int32_t i = 0; i < wcount; ++i) {
-    network.AddEdge(source, 1 + i,
-                    prediction.workers_at(worker_types[static_cast<size_t>(
-                        i)]));
-  }
-  for (int32_t j = 0; j < tcount; ++j) {
-    network.AddEdge(1 + wcount + j, sink,
-                    prediction.tasks_at(task_types[static_cast<size_t>(j)]));
-  }
-  std::vector<EdgeId> pair_edge_ids;
-  pair_edge_ids.reserve(pairs.size());
-  for (const TypePairEdge& pair : pairs) {
-    const int32_t wi =
-        worker_node_of_type[static_cast<size_t>(pair.worker_type)];
-    const int32_t ti = task_node_of_type[static_cast<size_t>(pair.task_type)];
-    const int64_t cap =
-        std::min<int64_t>(prediction.workers_at(pair.worker_type),
-                          prediction.tasks_at(pair.task_type));
-    pair_edge_ids.push_back(network.AddEdge(1 + wi, 1 + wcount + ti, cap));
-  }
-  dinic_.Solve(&network, source, sink);
-  for (size_t k = 0; k < pairs.size(); ++k) {
-    const int64_t flow = network.Flow(pair_edge_ids[k]);
-    if (flow > 0) {
-      FTOA_RETURN_NOT_OK(
-          realize_pairs(pairs[k].worker_type, pairs[k].task_type, flow));
     }
   }
   return guide;

@@ -18,11 +18,25 @@
 //    matchings, pick one minimizing total travel time.
 //  * kAuto — node-level Dinic when the node-level network is small,
 //    kCompressed otherwise.
+//
+// Sharded solving: the compressed engines first decompose the type-pair
+// network into connected components (union-find over the feasible pairs).
+// Components are independent sub-problems — no augmenting path crosses
+// them — so each is solved on its own small network, and with
+// GuideOptions::num_threads > 1 the components are partitioned into one
+// contiguous, pair-count-balanced chunk per thread and solved on per-chunk
+// solver arenas in parallel. Per-pair flows are written into a global
+// array indexed by the original pair order and realized into guide matches
+// in that order after the join, so the resulting guide is bit-identical no
+// matter how many threads solved it (the serial path runs the exact same
+// decomposition with one chunk).
 
 #ifndef FTOA_CORE_GUIDE_GENERATOR_H_
 #define FTOA_CORE_GUIDE_GENERATOR_H_
 
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "core/guide.h"
 #include "core/prediction_matrix.h"
@@ -30,6 +44,7 @@
 #include "flow/graph.h"
 #include "flow/min_cost_flow.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace ftoa {
 
@@ -66,19 +81,28 @@ struct GuideOptions {
   /// kAuto switches to kCompressed when the node-level network would exceed
   /// this many edges.
   int64_t node_level_edge_limit = 2'000'000;
+
+  /// Worker threads for the sharded compressed solve (see file comment).
+  /// 1 = solve all components on the calling thread. The guide is
+  /// bit-identical for every value. Only the compressed engines shard;
+  /// the node-level network is one component by construction.
+  int num_threads = 1;
 };
 
 /// Builds OfflineGuide instances from prediction matrices.
 ///
 /// The generator owns reusable solver arenas (flow network edge arenas and
-/// the solvers' scratch buffers), so repeated Generate calls — one per
-/// prediction window in a live deployment — stop re-allocating the network.
-/// Consequently a GuideGenerator instance is NOT thread-safe; use one
-/// instance per thread.
+/// the solvers' scratch buffers) — one arena set per shard when
+/// num_threads > 1 — so repeated Generate calls (one per prediction window
+/// in a live deployment) stop re-allocating the network. Consequently a
+/// GuideGenerator instance is NOT thread-safe: it parallelizes internally,
+/// but concurrent Generate calls on one instance are undefined; use one
+/// instance per calling thread.
 class GuideGenerator {
  public:
   /// `velocity` is the shared worker speed of the deployment.
   GuideGenerator(double velocity, GuideOptions options);
+  ~GuideGenerator();
 
   /// Runs Algorithm 1 (or an equivalent engine) on `prediction`.
   Result<OfflineGuide> Generate(const PredictionMatrix& prediction) const;
@@ -94,20 +118,37 @@ class GuideGenerator {
       const PredictionMatrix& prediction,
       const std::function<void(TypeId, TypeId)>& fn) const;
 
+  /// Connected components the last compressed Generate decomposed into
+  /// (instrumentation for tests and benches; 0 before any compressed run).
+  int32_t last_num_components() const { return last_num_components_; }
+
  private:
+  /// One shard's reusable solver state. Each chunk of components is solved
+  /// entirely on one arena, so arenas never cross threads within a call.
+  struct ShardArena {
+    FlowGraph maxflow;
+    MinCostFlowGraph mincost;
+    DinicSolver dinic;
+  };
+
   Result<OfflineGuide> GenerateNodeLevel(const PredictionMatrix& prediction,
                                          bool use_dinic) const;
   Result<OfflineGuide> GenerateCompressed(const PredictionMatrix& prediction,
                                           bool minimize_cost) const;
+
+  /// Lazily grown per-shard arenas; index 0 also serves the serial paths.
+  ShardArena& ShardAt(size_t index) const;
+  /// Lazily created worker pool (only when options_.num_threads > 1).
+  ThreadPool& Pool() const;
 
   double velocity_;
   GuideOptions options_;
 
   // Reusable solver arenas (see class comment). Mutable: reusing scratch
   // does not change the observable result of the logically-const Generate.
-  mutable FlowGraph maxflow_network_;
-  mutable MinCostFlowGraph mincost_network_;
-  mutable DinicSolver dinic_;
+  mutable std::vector<std::unique_ptr<ShardArena>> shards_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable int32_t last_num_components_ = 0;
 };
 
 }  // namespace ftoa

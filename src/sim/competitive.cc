@@ -1,18 +1,30 @@
 #include "sim/competitive.h"
 
 #include <algorithm>
+#include <future>
+#include <utility>
 #include <vector>
 
 #include "baselines/offline_opt.h"
-#include "util/distributions.h"
+#include "util/thread_pool.h"
 
 namespace ftoa {
+
+namespace {
+
+std::vector<double> WeightsOf(const std::vector<int32_t>& counts) {
+  return std::vector<double>(counts.begin(), counts.end());
+}
+
+}  // namespace
 
 IidInstanceSampler::IidInstanceSampler(PredictionMatrix prediction,
                                        double velocity,
                                        double worker_duration,
                                        double task_duration)
     : prediction_(std::move(prediction)),
+      worker_types_(WeightsOf(prediction_.workers())),
+      task_types_(WeightsOf(prediction_.tasks())),
       velocity_(velocity),
       worker_duration_(worker_duration),
       task_duration_(task_duration) {}
@@ -21,13 +33,6 @@ Instance IidInstanceSampler::Sample(Rng* rng) const {
   const SpacetimeSpec& st = prediction_.spacetime();
   const GridSpec& grid = st.grid();
   const SlotSpec& slots = st.slots();
-
-  std::vector<double> worker_weights(prediction_.workers().begin(),
-                                     prediction_.workers().end());
-  std::vector<double> task_weights(prediction_.tasks().begin(),
-                                   prediction_.tasks().end());
-  const DiscreteDistribution worker_types(worker_weights);
-  const DiscreteDistribution task_types(task_weights);
 
   auto sample_object = [&](TypeId type, double duration, auto* object) {
     const int slot = st.SlotOfType(type);
@@ -44,12 +49,12 @@ Instance IidInstanceSampler::Sample(Rng* rng) const {
   std::vector<Worker> workers(
       static_cast<size_t>(prediction_.TotalWorkers()));
   for (Worker& w : workers) {
-    sample_object(static_cast<TypeId>(worker_types.Sample(*rng)),
+    sample_object(static_cast<TypeId>(worker_types_.Sample(*rng)),
                   worker_duration_, &w);
   }
   std::vector<Task> tasks(static_cast<size_t>(prediction_.TotalTasks()));
   for (Task& r : tasks) {
-    sample_object(static_cast<TypeId>(task_types.Sample(*rng)),
+    sample_object(static_cast<TypeId>(task_types_.Sample(*rng)),
                   task_duration_, &r);
   }
   return Instance(st, velocity_, std::move(workers), std::move(tasks));
@@ -57,8 +62,9 @@ Instance IidInstanceSampler::Sample(Rng* rng) const {
 
 Result<CompetitiveEstimate> EstimateCompetitiveRatio(
     const IidInstanceSampler& sampler,
-    const std::function<OnlineAlgorithm*()>& algorithm_factory, int trials,
-    uint64_t seed) {
+    const std::function<std::unique_ptr<OnlineAlgorithm>()>&
+        algorithm_factory,
+    int trials, uint64_t seed, int num_threads, ThreadPool* pool) {
   if (trials <= 0) {
     return Status::InvalidArgument(
         "EstimateCompetitiveRatio: trials must be positive");
@@ -68,25 +74,70 @@ Result<CompetitiveEstimate> EstimateCompetitiveRatio(
     return Status::FailedPrecondition(
         "EstimateCompetitiveRatio: empty prediction");
   }
-  Rng rng(seed);
+
+  // Per-trial outcomes, indexed by trial so the aggregation below runs in
+  // trial order — the estimate is bit-identical for every thread count.
+  struct TrialOutcome {
+    double ratio = 0.0;
+    bool degenerate = false;
+  };
+  std::vector<TrialOutcome> outcomes(static_cast<size_t>(trials));
+
+  // Each trial forks its own RNG stream from the (never-advanced) root, so
+  // a trial's instance depends only on (seed, trial index), not on which
+  // thread — or in what order — it runs.
+  auto run_range = [&](int begin, int end) {
+    const Rng root(seed);
+    OfflineOpt opt;
+    for (int trial = begin; trial < end; ++trial) {
+      Rng trial_rng = root.Fork(static_cast<uint64_t>(trial) + 1);
+      const Instance instance = sampler.Sample(&trial_rng);
+      const size_t opt_size = opt.Run(instance).size();
+      TrialOutcome& outcome = outcomes[static_cast<size_t>(trial)];
+      if (opt_size == 0) {
+        outcome.degenerate = true;
+        continue;
+      }
+      const std::unique_ptr<OnlineAlgorithm> algorithm = algorithm_factory();
+      const size_t online_size = algorithm->Run(instance).size();
+      outcome.ratio =
+          static_cast<double>(online_size) / static_cast<double>(opt_size);
+    }
+  };
+
+  const int chunks = std::max(1, std::min(num_threads, trials));
+  if (chunks <= 1) {
+    run_range(0, trials);
+  } else {
+    std::unique_ptr<ThreadPool> owned;
+    if (pool == nullptr) {
+      owned = std::make_unique<ThreadPool>(chunks);
+      pool = owned.get();
+    }
+    std::vector<std::future<void>> done;
+    done.reserve(static_cast<size_t>(chunks));
+    for (int i = 0; i < chunks; ++i) {
+      const int begin = static_cast<int>(
+          static_cast<int64_t>(trials) * i / chunks);
+      const int end = static_cast<int>(
+          static_cast<int64_t>(trials) * (i + 1) / chunks);
+      done.push_back(pool->Submit([&run_range, begin, end]() {
+        run_range(begin, end);
+      }));
+    }
+    for (std::future<void>& f : done) f.get();
+  }
+
   CompetitiveEstimate estimate;
   estimate.min_ratio = 1.0;
   double ratio_sum = 0.0;
-  OfflineOpt opt;
-  for (int trial = 0; trial < trials; ++trial) {
-    Rng trial_rng = rng.Fork(static_cast<uint64_t>(trial) + 1);
-    const Instance instance = sampler.Sample(&trial_rng);
-    const size_t opt_size = opt.Run(instance).size();
-    if (opt_size == 0) {
+  for (const TrialOutcome& outcome : outcomes) {
+    if (outcome.degenerate) {
       ++estimate.degenerate_trials;
       continue;
     }
-    OnlineAlgorithm* algorithm = algorithm_factory();
-    const size_t online_size = algorithm->Run(instance).size();
-    const double ratio =
-        static_cast<double>(online_size) / static_cast<double>(opt_size);
-    estimate.min_ratio = std::min(estimate.min_ratio, ratio);
-    ratio_sum += ratio;
+    estimate.min_ratio = std::min(estimate.min_ratio, outcome.ratio);
+    ratio_sum += outcome.ratio;
     ++estimate.trials;
   }
   if (estimate.trials > 0) {

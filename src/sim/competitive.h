@@ -14,8 +14,10 @@
 
 #include "core/online_algorithm.h"
 #include "core/prediction_matrix.h"
+#include "util/distributions.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ftoa {
 
@@ -23,6 +25,10 @@ namespace ftoa {
 /// (task) types are drawn from Pr_a[i][j] = a_ij / m (Pr_b = b_ij / n),
 /// with m (n) trials; each object lands uniformly within its type's slot
 /// and cell.
+///
+/// The per-type alias tables are built once here, so Sample is O(m + n)
+/// with O(1) per draw; a const sampler is safe to share across threads
+/// (Sample touches only the caller's rng).
 class IidInstanceSampler {
  public:
   /// `worker_duration` / `task_duration` are the global Dw / Dr of the
@@ -37,6 +43,8 @@ class IidInstanceSampler {
 
  private:
   PredictionMatrix prediction_;
+  DiscreteDistribution worker_types_;  // Alias tables over the prediction,
+  DiscreteDistribution task_types_;    // built once in the constructor.
   double velocity_;
   double worker_duration_;
   double task_duration_;
@@ -51,13 +59,25 @@ struct CompetitiveEstimate {
 };
 
 /// Runs `trials` sampled instances through `algorithm` and the offline
-/// optimum. `algorithm_factory` receives nothing and returns the algorithm
-/// to evaluate — a factory because guide-based algorithms are stateless
-/// across runs but the caller may want a fresh object per trial.
+/// optimum. `algorithm_factory` receives nothing and returns a fresh,
+/// caller-owned algorithm per trial (ownership transfers here; the object
+/// is destroyed when its trial ends, so no per-trial state leaks across
+/// trials — or processes outlive their run).
+///
+/// With `num_threads` > 1 the trials are partitioned into one contiguous
+/// chunk per thread; every trial forks its own RNG stream from `seed`, so
+/// the estimate is bit-identical for every thread count. The factory is
+/// then invoked concurrently and must be thread-safe (returning a fresh
+/// algorithm over shared immutable state — e.g. a shared_ptr'd guide — is
+/// fine). `pool` optionally supplies the worker threads, letting repeat
+/// callers (benches, sweeps) amortize thread spawn/join across calls;
+/// when null, a pool local to the call is created.
 Result<CompetitiveEstimate> EstimateCompetitiveRatio(
     const IidInstanceSampler& sampler,
-    const std::function<OnlineAlgorithm*()>& algorithm_factory, int trials,
-    uint64_t seed);
+    const std::function<std::unique_ptr<OnlineAlgorithm>()>&
+        algorithm_factory,
+    int trials, uint64_t seed, int num_threads = 1,
+    ThreadPool* pool = nullptr);
 
 }  // namespace ftoa
 

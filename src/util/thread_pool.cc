@@ -1,0 +1,56 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace ftoa {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Compact the drained prefix once it dominates the queue, so a
+    // long-lived pool does not grow its task vector without bound.
+    if (next_ > 64 && next_ > queue_.size() / 2) {
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<ptrdiff_t>(next_));
+      next_ = 0;
+    }
+    queue_.push_back(std::move(fn));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock,
+                 [this]() { return stopping_ || next_ < queue_.size(); });
+      if (next_ >= queue_.size()) return;  // stopping_ and queue drained.
+      task = std::move(queue_[next_++]);
+    }
+    // packaged_task captures any exception into the future; a raw closure
+    // that throws would std::terminate here, which is the documented
+    // contract (Submit is the exception-safe entry point).
+    task();
+  }
+}
+
+}  // namespace ftoa

@@ -1,0 +1,73 @@
+// A fixed-size worker-thread pool for sharded batch solves.
+//
+// The pool owns `num_threads` long-lived workers draining a single FIFO task
+// queue. `Submit` returns a std::future for the task's result; an exception
+// thrown by the task is captured into the future (std::packaged_task
+// semantics) and rethrown at `future.get()`, so parallel shards fail loudly
+// at the join point instead of crashing a worker thread.
+//
+// Intended use in this codebase: guide generation shards its per-component
+// flow networks across the pool (core/guide_generator), competitive-ratio
+// estimation shards its Monte-Carlo trials (sim/competitive), and the bench
+// harness shards sweep-point preparation (bench/harness). All of those
+// partition work into one contiguous chunk per thread and give each chunk
+// its own solver arena, so tasks never share mutable state and determinism
+// is preserved by merging results in a fixed order after the join.
+
+#ifndef FTOA_UTIL_THREAD_POOL_H_
+#define FTOA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ftoa {
+
+/// Fixed set of worker threads draining a FIFO task queue. Thread-safe:
+/// any thread may Submit. Destruction drains the queue (all submitted
+/// tasks run) before joining the workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs every queued task, then joins the workers.
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` surface at future.get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+ private:
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::function<void()>> queue_;  // FIFO via next_ cursor.
+  size_t next_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_UTIL_THREAD_POOL_H_

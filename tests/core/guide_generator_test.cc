@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "gen/synthetic.h"
 #include "test_util.h"
 #include "util/rng.h"
@@ -77,6 +80,64 @@ TEST(GuideGeneratorTest, EstimateCountsNodeLevelEdges) {
                 prediction.tasks_at(tt);
   });
   EXPECT_EQ(generator.EstimateNodeLevelEdges(prediction), expected);
+}
+
+TEST(GuideGeneratorTest, FeasibilityBoxIsExactForWorkersNearOrigin) {
+  // Exactness guard for the disk bounding box where it is most fragile:
+  // a worker in the origin cell, whose (wloc - radius) goes negative (the
+  // regime where int-cast truncation and floor semantics diverge and only
+  // the clamp keeps them aligned). The box scan must report exactly the
+  // pairs the brute-force midpoint test admits.
+  const GridSpec grid(6.0, 6.0, 6, 6);
+  const SlotSpec slots(4.0, 4);
+  const SpacetimeSpec st(slots, grid);
+  const double velocity = 1.0;
+  const double dw = 2.0;
+  const double dr = 1.5;
+
+  PredictionMatrix prediction(st);
+  // One worker type in the origin cell; its feasibility disk pokes past
+  // the region's lower-left corner.
+  prediction.set_workers_at(st.TypeAt(1, grid.CellAt(0, 0)), 3);
+  // Tasks scattered over enough cells that the box scan (not the sparse
+  // fallback) is selected for the small disk.
+  const int task_cells[][2] = {{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 0},
+                               {0, 2}, {3, 3}, {5, 5}, {4, 1}, {1, 4}};
+  for (const auto& cell : task_cells) {
+    prediction.set_tasks_at(
+        st.TypeAt(1, grid.CellAt(cell[0], cell[1])), 2);
+  }
+
+  GuideOptions options;
+  options.engine = GuideOptions::Engine::kCompressed;
+  options.worker_duration = dw;
+  options.task_duration = dr;
+  const GuideGenerator generator(velocity, options);
+
+  std::set<std::pair<TypeId, TypeId>> reported;
+  generator.ForEachFeasibleTypePair(
+      prediction, [&](TypeId wt, TypeId tt) { reported.insert({wt, tt}); });
+
+  // Brute force over all type pairs with the generator's own midpoint
+  // predicate: sr < sw + dw, slack = dr - (sw - sr) >= 0, and travel time
+  // within the slack.
+  std::set<std::pair<TypeId, TypeId>> expected;
+  for (TypeId wt = 0; wt < st.num_types(); ++wt) {
+    if (prediction.workers_at(wt) <= 0) continue;
+    const double sw = slots.SlotMidpoint(st.SlotOfType(wt));
+    for (TypeId tt = 0; tt < st.num_types(); ++tt) {
+      if (prediction.tasks_at(tt) <= 0) continue;
+      const double sr = slots.SlotMidpoint(st.SlotOfType(tt));
+      if (!(sr < sw + dw)) continue;
+      const double slack = dr - (sw - sr);
+      if (slack < 0.0) continue;
+      const double d = Distance(st.RepresentativeLocation(wt),
+                                st.RepresentativeLocation(tt));
+      if (d / velocity <= slack) expected.insert({wt, tt});
+    }
+  }
+  EXPECT_EQ(reported, expected);
+  EXPECT_FALSE(expected.empty());
 }
 
 TEST(GuideGeneratorTest, EmptyPredictionYieldsEmptyGuide) {
@@ -197,7 +258,8 @@ TEST_P(GuideEngineEquivalenceTest, EnginesAgreeOnCardinality) {
   int64_t reference = -1;
   for (const auto engine :
        {GuideOptions::Engine::kFordFulkerson, GuideOptions::Engine::kDinic,
-        GuideOptions::Engine::kCompressed}) {
+        GuideOptions::Engine::kCompressed,
+        GuideOptions::Engine::kCompressedMinCost}) {
     options.engine = engine;
     const GuideGenerator generator(config.velocity, options);
     const auto guide = generator.Generate(prediction);
@@ -215,6 +277,111 @@ TEST_P(GuideEngineEquivalenceTest, EnginesAgreeOnCardinality) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GuideEngineEquivalenceTest,
                          ::testing::Range<uint64_t>(1, 9));
+
+// Property: the sharded parallel solve must be invisible — any
+// num_threads produces the exact guide (every pairing identical) of the
+// serial num_threads = 1 run, for both compressed engines.
+class GuideParallelIdentityTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(GuideParallelIdentityTest, ParallelGuideIsBitIdenticalToSerial) {
+  SyntheticConfig config;
+  Rng rng(GetParam() * 77 + 5);
+  config.num_workers = 200 + static_cast<int>(rng.NextBounded(400));
+  config.num_tasks = 200 + static_cast<int>(rng.NextBounded(400));
+  config.grid_x = 8 + static_cast<int>(rng.NextBounded(8));
+  config.grid_y = 8 + static_cast<int>(rng.NextBounded(8));
+  config.num_slots = 6 + static_cast<int>(rng.NextBounded(10));
+  // Mix of regimes: some seeds get tiny feasibility disks (many
+  // components), others the default physics (few components).
+  config.velocity = rng.NextBool() ? 0.3 : 5.0;
+  config.task_duration = 0.5 + rng.NextDouble() * 2.0;
+  config.worker_duration = 0.5 + rng.NextDouble() * 3.0;
+  config.seed = GetParam() * 991 + 3;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(*instance);
+
+  for (const auto engine : {GuideOptions::Engine::kCompressed,
+                            GuideOptions::Engine::kCompressedMinCost}) {
+    GuideOptions options;
+    options.engine = engine;
+    options.worker_duration = config.worker_duration;
+    options.task_duration = config.task_duration;
+
+    options.num_threads = 1;
+    const GuideGenerator serial(config.velocity, options);
+    const auto serial_guide = serial.Generate(prediction);
+    ASSERT_TRUE(serial_guide.ok());
+
+    for (const int threads : {2, 3, 8}) {
+      options.num_threads = threads;
+      const GuideGenerator parallel(config.velocity, options);
+      const auto parallel_guide = parallel.Generate(prediction);
+      ASSERT_TRUE(parallel_guide.ok());
+      EXPECT_EQ(parallel.last_num_components(),
+                serial.last_num_components());
+      EXPECT_EQ(parallel_guide->matched_pairs(),
+                serial_guide->matched_pairs())
+          << "engine " << static_cast<int>(engine) << " threads "
+          << threads;
+      ASSERT_EQ(parallel_guide->worker_nodes().size(),
+                serial_guide->worker_nodes().size());
+      for (size_t node = 0; node < serial_guide->worker_nodes().size();
+           ++node) {
+        ASSERT_EQ(parallel_guide->worker_nodes()[node].partner,
+                  serial_guide->worker_nodes()[node].partner)
+            << "engine " << static_cast<int>(engine) << " threads "
+            << threads << " node " << node;
+      }
+      ASSERT_EQ(parallel_guide->task_nodes().size(),
+                serial_guide->task_nodes().size());
+      for (size_t node = 0; node < serial_guide->task_nodes().size();
+           ++node) {
+        ASSERT_EQ(parallel_guide->task_nodes()[node].partner,
+                  serial_guide->task_nodes()[node].partner)
+            << "engine " << static_cast<int>(engine) << " threads "
+            << threads << " node " << node;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuideParallelIdentityTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(GuideGeneratorTest, ShardedSolveDecomposesDisconnectedRegimes) {
+  // With a feasibility disk smaller than one cell, type pairs only form
+  // within a cell, so the compressed network must shatter into many
+  // components — the structure the parallel shards exploit.
+  SyntheticConfig config;
+  config.num_workers = 2000;
+  config.num_tasks = 2000;
+  config.grid_x = 10;
+  config.grid_y = 10;
+  config.num_slots = 8;
+  config.velocity = 0.2;
+  config.task_duration = 0.5;
+  config.worker_duration = 1.0;
+  config.seed = 31;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(*instance);
+
+  GuideOptions options;
+  options.engine = GuideOptions::Engine::kCompressed;
+  options.worker_duration = config.worker_duration;
+  options.task_duration = config.task_duration;
+  options.num_threads = 4;
+  const GuideGenerator generator(config.velocity, options);
+  const auto guide = generator.Generate(prediction);
+  ASSERT_TRUE(guide.ok());
+  EXPECT_GT(generator.last_num_components(), 4);
+  EXPECT_GT(guide->matched_pairs(), 0);
+  EXPECT_TRUE(guide->Validate().ok());
+}
 
 TEST(GuideGeneratorTest, RepeatedGenerateReusesArenasDeterministically) {
   // One generator instance serves many predictions in a live deployment;

@@ -63,9 +63,8 @@ TEST(IidInstanceSamplerTest, SamplesAreDeterministicPerRngState) {
 TEST(EstimateCompetitiveRatioTest, OptScoresOne) {
   const PredictionMatrix prediction = SmallPrediction();
   const IidInstanceSampler sampler(prediction, 5.0, 3.0, 2.0);
-  OfflineOpt opt;
   const auto estimate = EstimateCompetitiveRatio(
-      sampler, [&]() { return &opt; }, 5, 3);
+      sampler, []() { return std::make_unique<OfflineOpt>(); }, 5, 3);
   ASSERT_TRUE(estimate.ok());
   EXPECT_DOUBLE_EQ(estimate->min_ratio, 1.0);
   EXPECT_DOUBLE_EQ(estimate->mean_ratio, 1.0);
@@ -81,9 +80,9 @@ TEST(EstimateCompetitiveRatioTest, PolarOpBeatsItsBoundHere) {
   options.task_duration = 2.0;
   auto guide = std::make_shared<const OfflineGuide>(
       std::move(GuideGenerator(5.0, options).Generate(prediction)).value());
-  PolarOp polar_op(guide);
   const auto estimate = EstimateCompetitiveRatio(
-      sampler, [&]() { return &polar_op; }, 10, 17);
+      sampler, [guide]() { return std::make_unique<PolarOp>(guide); }, 10,
+      17);
   ASSERT_TRUE(estimate.ok());
   EXPECT_GT(estimate->min_ratio, 0.0);
   EXPECT_LE(estimate->min_ratio, 1.0);
@@ -93,19 +92,50 @@ TEST(EstimateCompetitiveRatioTest, PolarOpBeatsItsBoundHere) {
   EXPECT_GE(estimate->mean_ratio, estimate->min_ratio);
 }
 
+TEST(EstimateCompetitiveRatioTest, ParallelTrialsMatchSerialBitExactly) {
+  // The trial partition must never change the estimate: every trial forks
+  // its own RNG stream and the aggregation runs in trial order, so any
+  // thread count yields the serial result bit for bit.
+  const PredictionMatrix prediction = SmallPrediction();
+  const IidInstanceSampler sampler(prediction, 5.0, 3.0, 2.0);
+  GuideOptions options;
+  options.engine = GuideOptions::Engine::kAuto;
+  options.worker_duration = 3.0;
+  options.task_duration = 2.0;
+  auto guide = std::make_shared<const OfflineGuide>(
+      std::move(GuideGenerator(5.0, options).Generate(prediction)).value());
+  const auto factory = [guide]() { return std::make_unique<PolarOp>(guide); };
+  const auto serial =
+      EstimateCompetitiveRatio(sampler, factory, 12, 99, /*num_threads=*/1);
+  ASSERT_TRUE(serial.ok());
+  ThreadPool shared_pool(4);
+  for (const int threads : {2, 3, 8}) {
+    // Both execution vehicles — a per-call pool and a caller-supplied
+    // one — must reproduce the serial estimate exactly.
+    for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr),
+                             &shared_pool}) {
+      const auto parallel =
+          EstimateCompetitiveRatio(sampler, factory, 12, 99, threads, pool);
+      ASSERT_TRUE(parallel.ok()) << "threads " << threads;
+      EXPECT_EQ(parallel->trials, serial->trials) << "threads " << threads;
+      EXPECT_EQ(parallel->degenerate_trials, serial->degenerate_trials);
+      EXPECT_DOUBLE_EQ(parallel->min_ratio, serial->min_ratio)
+          << "threads " << threads;
+      EXPECT_DOUBLE_EQ(parallel->mean_ratio, serial->mean_ratio)
+          << "threads " << threads;
+    }
+  }
+}
+
 TEST(EstimateCompetitiveRatioTest, RejectsBadArguments) {
   const PredictionMatrix prediction = SmallPrediction();
   const IidInstanceSampler sampler(prediction, 5.0, 3.0, 2.0);
-  OfflineOpt opt;
-  EXPECT_FALSE(EstimateCompetitiveRatio(
-                   sampler, [&]() { return &opt; }, 0, 1)
-                   .ok());
+  const auto factory = []() { return std::make_unique<OfflineOpt>(); };
+  EXPECT_FALSE(EstimateCompetitiveRatio(sampler, factory, 0, 1).ok());
 
   const PredictionMatrix empty(prediction.spacetime());
   const IidInstanceSampler empty_sampler(empty, 5.0, 3.0, 2.0);
-  EXPECT_FALSE(EstimateCompetitiveRatio(
-                   empty_sampler, [&]() { return &opt; }, 3, 1)
-                   .ok());
+  EXPECT_FALSE(EstimateCompetitiveRatio(empty_sampler, factory, 3, 1).ok());
 }
 
 }  // namespace

@@ -83,9 +83,16 @@ TEST(StopwatchTest, UnitConversionsAgree) {
   double sink = 0.0;
   for (int i = 0; i < 100000; ++i) sink += i;
   benchmark_guard(&sink);
-  const int64_t nanos = stopwatch.ElapsedNanos();
-  EXPECT_LE(stopwatch.ElapsedMicros() * 1000, stopwatch.ElapsedNanos());
-  EXPECT_NEAR(stopwatch.ElapsedSeconds(), nanos * 1e-9, 0.5);
+  // Each accessor re-reads the clock, so the readings must be explicitly
+  // sequenced oldest-unit-first; passing two accessor calls to one
+  // EXPECT_* leaves their order unspecified and the comparison racy (it
+  // flaked under ASan's slowdown).
+  const int64_t micros = stopwatch.ElapsedMicros();
+  const int64_t nanos = stopwatch.ElapsedNanos();  // Read after micros.
+  const double seconds = stopwatch.ElapsedSeconds();  // Read after nanos.
+  EXPECT_LE(micros * 1000, nanos);
+  EXPECT_GE(seconds, static_cast<double>(nanos) * 1e-9 - 1e-12);
+  EXPECT_NEAR(seconds, static_cast<double>(nanos) * 1e-9, 0.5);
 }
 
 TEST(StopwatchTest, RestartResets) {

@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ftoa {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> results;
+  for (int i = 0; i < 64; ++i) {
+    results.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([]() { return 1; });
+  auto bad = pool.Submit(
+      []() -> int { throw std::runtime_error("shard failed"); });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must survive for later tasks.
+  EXPECT_EQ(pool.Submit([]() { return 2; }).get(), 2);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 128; ++i) {
+      pool.Submit([&executed]() {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // Destructor joins after every queued task ran.
+  EXPECT_EQ(executed.load(), 128);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // The first task blocks until the second one runs; it can only finish if
+  // the pool really runs tasks on distinct threads.
+  ThreadPool pool(2);
+  std::atomic<bool> second_ran{false};
+  auto a = pool.Submit([&second_ran]() {
+    while (!second_ran.load()) std::this_thread::yield();
+  });
+  auto b = pool.Submit([&second_ran]() { second_ran.store(true); });
+  a.get();
+  b.get();
+  EXPECT_TRUE(second_ran.load());
+}
+
+TEST(ThreadPoolTest, ManySubmittersOneQueue) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::future<void>> outer;
+  for (int i = 0; i < 8; ++i) {
+    outer.push_back(std::async(std::launch::async, [&pool, &sum, i]() {
+      std::vector<std::future<void>> inner;
+      for (int k = 0; k < 32; ++k) {
+        inner.push_back(pool.Submit([&sum, i, k]() {
+          sum.fetch_add(i * 100 + k, std::memory_order_relaxed);
+        }));
+      }
+      for (auto& f : inner) f.get();
+    }));
+  }
+  for (auto& f : outer) f.get();
+  int64_t expected = 0;
+  for (int i = 0; i < 8; ++i) {
+    for (int k = 0; k < 32; ++k) expected += i * 100 + k;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace ftoa

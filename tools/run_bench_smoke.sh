@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Perf-trajectory smoke: builds Release, runs the flow microbench and the
-# per-object online-algorithm microbench, and records their JSON next to
-# the repo root (BENCH_flow.json, BENCH_perobject.json) so future PRs can
-# diff solver performance against this one.
+# Perf-trajectory smoke: builds Release, runs the flow microbench, the
+# per-object online-algorithm microbench, and the parallel/sharding
+# microbench, and records their JSON next to the repo root
+# (BENCH_flow.json, BENCH_perobject.json, BENCH_parallel.json) so future
+# PRs can diff solver performance against this one.
 #
 # Usage: tools/run_bench_smoke.sh [build-dir]
 set -euo pipefail
@@ -12,7 +13,8 @@ BUILD="${1:-$ROOT/build-release}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DFTOA_BUILD_TESTS=OFF >/dev/null
-cmake --build "$BUILD" --target bench_micro_flow bench_micro_perobject \
+cmake --build "$BUILD" \
+      --target bench_micro_flow bench_micro_perobject bench_parallel \
       -j "$(nproc)"
 
 echo "== bench_micro_flow (Dijkstra+potentials vs SPFA, arenas, matcher)"
@@ -28,6 +30,12 @@ echo "== bench_micro_perobject (per-arrival cost of the online algorithms)"
     --benchmark_out="$ROOT/BENCH_perobject.json" \
     --benchmark_out_format=json
 
+echo "== bench_parallel (sharded guide solve + parallel MC trials)"
+"$BUILD/bench_parallel" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="$ROOT/BENCH_parallel.json" \
+    --benchmark_out_format=json
+
 # Headline number: min-cost flow speedup on the dense 2048x2048 instance.
 python3 - "$ROOT/BENCH_flow.json" <<'EOF'
 import json, sys
@@ -38,4 +46,20 @@ spfa = runs.get("BM_MinCostFlowSpfa/2048/48")
 if dij and spfa:
     print(f"min-cost flow 2048x2048: dijkstra {dij:.0f}ms, "
           f"spfa {spfa:.0f}ms, speedup {spfa / dij:.2f}x")
+EOF
+
+# Headline numbers: serial vs parallel guide generation and trial
+# throughput (ratios near 1.0 are expected on single-core machines).
+python3 - "$ROOT/BENCH_parallel.json" <<'EOF'
+import json, sys
+runs = {b["name"]: b["real_time"]
+        for b in json.load(open(sys.argv[1]))["benchmarks"]}
+for base, label in [("BM_GuideCompressed", "guide (sharded)"),
+                    ("BM_GuideCompressedMinCost", "guide min-cost"),
+                    ("BM_CompetitiveTrials", "MC trials")]:
+    serial = runs.get(f"{base}/1")
+    parallel = runs.get(f"{base}/4")
+    if serial and parallel:
+        print(f"{label}: serial {serial:.1f}ms, 4 threads "
+              f"{parallel:.1f}ms, speedup {serial / parallel:.2f}x")
 EOF

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# ASan + UBSan build-and-test: configures a dedicated build tree with
+# -DFTOA_SANITIZE=ON (AddressSanitizer with leak detection + UBSan with
+# -fno-sanitize-recover=all), builds the full test suite, and runs it via
+# the `sanitizer` ctest label the sanitize configuration attaches to every
+# test. Memory leaks — like the per-trial OnlineAlgorithm leak this guard
+# was introduced for — and UB abort the run loudly.
+#
+# Usage: tools/run_sanitizers.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-asan}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFTOA_SANITIZE=ON -DFTOA_BUILD_BENCHES=OFF \
+      -DFTOA_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD" -j "$(nproc)"
+
+echo "== ctest -L sanitizer (ASan leak checking on, UBSan fatal)"
+ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir "$BUILD" -L sanitizer --output-on-failure \
+          -j "$(nproc)"
+echo "sanitizer suite passed"
