@@ -11,9 +11,8 @@
 #include <iostream>
 #include <memory>
 
+#include "core/algorithm_registry.h"
 #include "core/guide_generator.h"
-#include "core/polar.h"
-#include "core/polar_op.h"
 #include "gen/synthetic.h"
 #include "harness.h"
 #include "sim/competitive.h"
@@ -57,24 +56,26 @@ int main(int argc, char** argv) {
   TablePrinter table(
       {"algorithm", "min ratio", "mean ratio", "proven bound"});
 
+  AlgorithmDeps deps;
+  deps.guide = guide;
   struct Entry {
-    const char* name;
-    std::function<std::unique_ptr<OnlineAlgorithm>()> factory;
+    const char* name;  ///< Registry name; per-trial factory goes through it.
     const char* bound;
   };
-  const Entry entries[] = {
-      {"POLAR", [guide]() { return std::make_unique<Polar>(guide); },
-       "0.40 (Thm 1)"},
-      {"POLAR-OP", [guide]() { return std::make_unique<PolarOp>(guide); },
-       "0.47 (Thm 2)"}};
+  const Entry entries[] = {{"polar", "0.40 (Thm 1)"},
+                           {"polar-op", "0.47 (Thm 2)"}};
   for (const Entry& entry : entries) {
+    const std::string name = entry.name;
+    const auto factory = [&name, &deps]() {
+      return std::move(CreateAlgorithm(name, deps)).value();
+    };
     const auto estimate = EstimateCompetitiveRatio(
-        sampler, entry.factory, trials, 7, context.num_threads);
+        sampler, factory, trials, 7, context.num_threads);
     if (!estimate.ok()) {
       std::cerr << estimate.status().ToString() << "\n";
       return 1;
     }
-    table.AddRow({entry.name,
+    table.AddRow({AlgorithmDisplayName(name),
                   TablePrinter::FormatDouble(estimate->min_ratio, 3),
                   TablePrinter::FormatDouble(estimate->mean_ratio, 3),
                   entry.bound});

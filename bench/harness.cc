@@ -10,13 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "baselines/gr_batch.h"
-#include "baselines/offline_opt.h"
-#include "baselines/tgoa.h"
-#include "baselines/simple_greedy.h"
-#include "core/hybrid_polar_op.h"
-#include "core/polar.h"
-#include "core/polar_op.h"
+#include "core/algorithm_registry.h"
 #include "sim/runner.h"
 #include "util/csv.h"
 #include "util/thread_pool.h"
@@ -125,31 +119,33 @@ std::vector<RunMetrics> RunSuiteWithGuide(
     const BenchContext& context) {
   std::vector<RunMetrics> results;
 
-  SimpleGreedy simple_greedy;
-  GrBatch gr;
-  Tgoa tgoa;
-  Polar polar(guide);
-  PolarOp polar_op(guide);
-  HybridPolarOp hybrid(guide);
-  OfflineOpt opt;
-
-  std::vector<OnlineAlgorithm*> algorithms = {&simple_greedy, &gr, &polar,
-                                              &polar_op};
+  // The five paper series plus the opt-in extensions, all built through the
+  // algorithm registry (figure order: greedy, GR, [TGOA], POLAR family).
+  std::vector<std::string> suite = {"simple-greedy", "gr", "polar",
+                                    "polar-op"};
   if (context.include_tgoa) {
-    algorithms.insert(algorithms.begin() + 2, &tgoa);
+    suite.insert(suite.begin() + 2, "tgoa");
   }
-  if (context.include_hybrid) algorithms.push_back(&hybrid);
+  if (context.include_hybrid) suite.push_back("polar-op-g");
   const bool run_opt =
       context.include_opt &&
       static_cast<int64_t>(instance.num_workers()) <=
           context.opt_object_cap &&
       static_cast<int64_t>(instance.num_tasks()) <= context.opt_object_cap;
-  if (run_opt) algorithms.push_back(&opt);
+  if (run_opt) suite.push_back("opt");
 
-  for (OnlineAlgorithm* algorithm : algorithms) {
-    auto metrics = RunAlgorithm(algorithm, instance);
+  AlgorithmDeps deps;
+  deps.guide = guide;
+  for (const std::string& name : suite) {
+    auto algorithm = CreateAlgorithm(name, deps);
+    if (!algorithm.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                   algorithm.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto metrics = RunAlgorithm(algorithm->get(), instance);
     if (!metrics.ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", algorithm->name().c_str(),
+      std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
                    metrics.status().ToString().c_str());
       std::exit(1);
     }

@@ -11,13 +11,12 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "baselines/offline_opt.h"
-#include "baselines/simple_greedy.h"
+#include "core/algorithm_registry.h"
 #include "core/guide_generator.h"
-#include "core/polar.h"
-#include "core/polar_op.h"
+#include "model/arrival_stream.h"
 #include "model/instance.h"
 
 using namespace ftoa;
@@ -66,16 +65,20 @@ int main() {
               static_cast<long long>(guide->matched_pairs()));
 
   // --- 3. Online step: replay the arrival stream through each algorithm.
-  SimpleGreedy greedy;
-  Polar polar(guide);
-  PolarOp polar_op(guide);
-  OfflineOpt opt;
-
-  OnlineAlgorithm* algorithms[] = {&greedy, &polar, &polar_op, &opt};
-  for (OnlineAlgorithm* algorithm : algorithms) {
+  // Algorithms come from the registry by name; Run() replays the whole
+  // instance through one streaming session.
+  AlgorithmDeps deps;
+  deps.guide = guide;
+  for (const std::string& name :
+       {"simple-greedy", "polar", "polar-op", "opt"}) {
+    auto algorithm = CreateAlgorithm(name, deps);
+    if (!algorithm.ok()) {
+      std::fprintf(stderr, "%s\n", algorithm.status().ToString().c_str());
+      return 1;
+    }
     RunTrace trace;
-    const Assignment assignment = algorithm->Run(instance, &trace);
-    std::printf("%-12s matched %zu of 6 tasks", algorithm->name().c_str(),
+    const Assignment assignment = (*algorithm)->Run(instance, &trace);
+    std::printf("%-12s matched %zu of 6 tasks", (*algorithm)->name().c_str(),
                 assignment.size());
     if (!trace.dispatches.empty()) {
       std::printf("  (%zu workers relocated in advance)",
@@ -87,5 +90,27 @@ int main() {
                   pair.task + 1, pair.time);
     }
   }
+
+  // --- 4. The same thing, live: feed arrivals into a session by hand.
+  // This is the API a real dispatcher uses — per-arrival OnWorker/OnTask
+  // decisions, Finish() when the day ends. Batch Run() above is exactly
+  // this replay, so both produce identical assignments.
+  auto polar_op = CreateAlgorithm("polar-op", deps);
+  if (!polar_op.ok()) {
+    std::fprintf(stderr, "%s\n", polar_op.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<AssignmentSession> session =
+      (*polar_op)->StartSession(instance);
+  for (const ArrivalEvent& event : BuildArrivalStream(instance)) {
+    if (event.kind == ObjectKind::kWorker) {
+      session->OnWorker(event.index, event.time);
+    } else {
+      session->OnTask(event.index, event.time);
+    }
+  }
+  const SessionResult live = session->Finish();
+  std::printf("streaming session matched %zu of 6 tasks (same as Run)\n",
+              live.assignment.size());
   return 0;
 }

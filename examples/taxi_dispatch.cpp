@@ -6,7 +6,8 @@
 //   2. Train the offline predictor (HP-MSI, the paper's Table 5 winner) and
 //      forecast tomorrow's per-(slot, area) supply and demand.
 //   3. Build the offline guide (type-compressed max-flow).
-//   4. Replay tomorrow's arrivals through POLAR-OP and the baselines, then
+//   4. Serve tomorrow's arrivals through each algorithm's streaming
+//      session (one decision per arrival, latency-percentile metered) and
 //      strictly re-simulate worker movement to verify served requests.
 //
 //   $ ./taxi_dispatch [scale]       (default scale 0.15)
@@ -14,12 +15,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "baselines/offline_opt.h"
-#include "baselines/simple_greedy.h"
+#include "core/algorithm_registry.h"
 #include "core/guide_generator.h"
-#include "core/polar_op.h"
 #include "gen/city_trace.h"
 #include "prediction/hp_msi.h"
 #include "prediction/metrics.h"
@@ -97,21 +97,30 @@ int main(int argc, char** argv) {
   std::printf("realized day: %zu taxis, %zu requests\n\n",
               instance->num_workers(), instance->num_tasks());
 
-  PolarOp polar_op(guide);
-  SimpleGreedy greedy;
-  OfflineOpt opt;
-  OnlineAlgorithm* algorithms[] = {&greedy, &polar_op, &opt};
-  for (OnlineAlgorithm* algorithm : algorithms) {
+  AlgorithmDeps deps;
+  deps.guide = guide;
+  for (const std::string& name : {"simple-greedy", "polar-op", "opt"}) {
+    auto algorithm = CreateAlgorithm(name, deps);
+    if (!algorithm.ok()) continue;
     RunnerOptions options;
     options.strict_verification = true;
-    const auto metrics = RunAlgorithm(algorithm, *instance, options);
+    // Streaming mode: the runner drives the algorithm's AssignmentSession
+    // one arrival at a time — the production serving path — and meters
+    // every decision.
+    options.streaming = true;
+    const auto metrics = RunAlgorithm(algorithm->get(), *instance, options);
     if (!metrics.ok()) continue;
     std::printf(
-        "%-12s served %lld requests in %.3fs (peak heap %.1f MB)",
+        "%-12s served %lld requests in %.3fs (peak heap %.1f MB)\n",
         metrics->algorithm.c_str(),
         static_cast<long long>(metrics->matching_size),
         metrics->elapsed_seconds,
         static_cast<double>(metrics->peak_memory_bytes) / (1 << 20));
+    std::printf("             decision latency p50 %.0f ns, p99 %.0f ns "
+                "over %lld arrivals",
+                metrics->decision_latency_p50_ns,
+                metrics->decision_latency_p99_ns,
+                static_cast<long long>(metrics->decisions));
     if (metrics->dispatched_workers > 0) {
       std::printf("; %lld taxis relocated, %lld/%lld pairs survive strict "
                   "re-simulation",

@@ -2,22 +2,103 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
 #include "flow/dynamic_matching.h"
 #include "flow/hopcroft_karp.h"
-#include "model/arrival_stream.h"
 #include "spatial/grid_index.h"
 
 namespace ftoa {
 
-GrBatch::GrBatch(GrBatchOptions options) : options_(options) {}
+namespace {
 
-Assignment GrBatch::DoRun(const Instance& instance, RunTrace* trace) {
-  return options_.incremental_matching ? RunIncremental(instance, trace)
-                                       : RunRebuild(instance, trace);
-}
+/// An arrival buffered until its window's boundary passes.
+struct PendingArrival {
+  double time = 0.0;
+  bool is_worker = false;
+  int32_t id = -1;
+};
+
+/// Shared windowing skeleton of both GR modes. Arrivals are buffered in
+/// stream order; a window k (boundary = k * window) is processed once the
+/// caller proves no earlier arrival can follow — by feeding an arrival
+/// later than the boundary, calling AdvanceTo past it, or flushing. A
+/// window absorbs every buffered arrival with time <= its boundary, so the
+/// assignment is bit-identical to the batch replay that drained the whole
+/// stream window by window.
+class GrSessionBase : public AssignmentSessionBase {
+ public:
+  GrSessionBase(const Instance& instance, const GrBatchOptions& options)
+      : AssignmentSessionBase(instance),
+        options_(options),
+        window_(options.window > 0.0
+                    ? options.window
+                    : 0.25 *
+                          instance.spacetime().slots().slot_duration()),
+        num_windows_(static_cast<int>(std::ceil(
+                         (instance.spacetime().slots().horizon() +
+                          instance.MaxTaskDuration()) /
+                         window_)) +
+                     1) {}
+
+  void OnWorker(WorkerId worker, double time) override {
+    CatchUpTo(time);
+    pending_.push_back(PendingArrival{time, true, worker});
+  }
+
+  void OnTask(TaskId task, double time) override {
+    CatchUpTo(time);
+    pending_.push_back(PendingArrival{time, false, task});
+  }
+
+  void AdvanceTo(double time) override { CatchUpTo(time); }
+
+  void Flush() override {
+    while (next_window_ <= num_windows_) ProcessWindow(next_window_++);
+    OnFlushed();
+  }
+
+ protected:
+  virtual void ProcessWindow(int k) = 0;
+  /// Post-flush hook (instrumentation fold-in); may run more than once.
+  virtual void OnFlushed() {}
+
+  /// Pops every buffered arrival with time <= `boundary`, in stream order.
+  template <typename WorkerFn, typename TaskFn>
+  void AbsorbUpTo(double boundary, WorkerFn&& on_worker, TaskFn&& on_task) {
+    while (!pending_.empty() && pending_.front().time <= boundary) {
+      const PendingArrival& arrival = pending_.front();
+      if (arrival.is_worker) {
+        on_worker(static_cast<WorkerId>(arrival.id));
+      } else {
+        on_task(static_cast<TaskId>(arrival.id));
+      }
+      pending_.pop_front();
+    }
+  }
+
+  double boundary_of(int k) const { return k * window_; }
+
+  GrBatchOptions options_;
+  double window_;
+  int num_windows_;
+  int next_window_ = 1;
+
+ private:
+  /// Processes every window whose boundary lies strictly before `time`: an
+  /// arrival at exactly a boundary still belongs to that window, so the
+  /// window stays open until a strictly later timestamp is seen.
+  void CatchUpTo(double time) {
+    while (next_window_ <= num_windows_ &&
+           boundary_of(next_window_) < time) {
+      ProcessWindow(next_window_++);
+    }
+  }
+
+  std::deque<PendingArrival> pending_;
+};
 
 // Incremental mode: one DynamicBipartiteMatcher carries the pool across
 // window boundaries. Key structural fact making this sound: GR commits
@@ -31,95 +112,62 @@ Assignment GrBatch::DoRun(const Instance& instance, RunTrace* trace) {
 // edges and augmenting from the workers those edges touch reproduces a
 // maximum matching of the full window graph, at a per-window cost
 // proportional to the new arrivals' edges.
-Assignment GrBatch::RunIncremental(const Instance& instance,
-                                   RunTrace* trace) {
-  const double velocity = instance.velocity();
-  Assignment assignment(instance.num_workers(), instance.num_tasks());
+class GrIncrementalSession final : public GrSessionBase {
+ public:
+  GrIncrementalSession(const Instance& instance,
+                       const GrBatchOptions& options)
+      : GrSessionBase(instance, options),
+        radius_(instance.MaxTaskDuration() * instance.velocity()),
+        task_index_(instance.spacetime().grid()),
+        worker_index_(instance.spacetime().grid()),
+        worker_slot_(static_cast<size_t>(instance.num_workers()), -1),
+        task_slot_(static_cast<size_t>(instance.num_tasks()), -1) {
+    matcher_.ReserveNodes(static_cast<size_t>(instance.num_workers()),
+                          static_cast<size_t>(instance.num_tasks()));
+    // Edge volume is data dependent; seed the arena with a few candidates
+    // per object so steady-state growth is amortized away.
+    matcher_.ReserveEdges(4 * static_cast<size_t>(instance.num_workers() +
+                                                  instance.num_tasks()));
+  }
 
-  const double window =
-      options_.window > 0.0
-          ? options_.window
-          : 0.25 * instance.spacetime().slots().slot_duration();
-  const double horizon = instance.spacetime().slots().horizon();
-  const double max_dr = instance.MaxTaskDuration();
-  const double radius = max_dr * velocity;
+ protected:
+  void ProcessWindow(int k) override {
+    const double boundary = boundary_of(k);
+    const double velocity = instance().velocity();
 
-  std::vector<ArrivalEvent> events = BuildArrivalStream(instance);
-  size_t next_event = 0;
-
-  // Unmatched objects alive on the platform, carried across windows. Both
-  // sides are spatially indexed: tasks for the new-worker edge queries,
-  // workers for the new-task edge queries.
-  std::vector<WorkerId> pool_workers;
-  std::vector<TaskId> pool_tasks;
-  GridIndex task_index(instance.spacetime().grid());
-  GridIndex worker_index(instance.spacetime().grid());
-
-  DynamicBipartiteMatcher matcher;  // Left = workers, right = tasks.
-  matcher.ReserveNodes(static_cast<size_t>(instance.num_workers()),
-                       static_cast<size_t>(instance.num_tasks()));
-  // Edge volume is data dependent; seed the arena with a few candidates
-  // per object so steady-state growth is amortized away.
-  matcher.ReserveEdges(4 * static_cast<size_t>(instance.num_workers() +
-                                               instance.num_tasks()));
-  std::vector<int32_t> worker_slot(
-      static_cast<size_t>(instance.num_workers()), -1);
-  std::vector<int32_t> task_slot(static_cast<size_t>(instance.num_tasks()),
-                                 -1);
-  std::vector<WorkerId> slot_worker;
-  std::vector<TaskId> slot_task;
-  // Workers whose candidate set changed this window (new arrivals plus
-  // carried-over workers adjacent to a new task); matched by window number.
-  std::vector<int32_t> dirty_slots;
-  std::vector<int32_t> dirty_window;
-
-  std::vector<WorkerId> new_workers;
-  std::vector<TaskId> new_tasks;
-
-  const int num_windows =
-      static_cast<int>(std::ceil((horizon + max_dr) / window)) + 1;
-
-  for (int k = 1; k <= num_windows; ++k) {
-    const double boundary = k * window;
     // Absorb every arrival up to this boundary.
-    new_workers.clear();
-    new_tasks.clear();
-    while (next_event < events.size() &&
-           events[next_event].time <= boundary) {
-      const ArrivalEvent& event = events[next_event++];
-      if (event.kind == ObjectKind::kWorker) {
-        new_workers.push_back(event.index);
-      } else {
-        new_tasks.push_back(event.index);
-      }
-    }
+    new_workers_.clear();
+    new_tasks_.clear();
+    AbsorbUpTo(
+        boundary, [&](WorkerId id) { new_workers_.push_back(id); },
+        [&](TaskId id) { new_tasks_.push_back(id); });
 
     // Evict expired carried-over objects.
     auto worker_dead = [&](WorkerId id) {
-      return instance.worker(id).Deadline() <= boundary;
+      return instance().worker(id).Deadline() <= boundary;
     };
     auto task_dead = [&](TaskId id) {
       // A task is hopeless once even a co-located worker departing now
       // would miss its deadline.
-      return instance.task(id).Deadline() < boundary;
+      return instance().task(id).Deadline() < boundary;
     };
-    pool_workers.erase(
-        std::remove_if(pool_workers.begin(), pool_workers.end(),
+    pool_workers_.erase(
+        std::remove_if(pool_workers_.begin(), pool_workers_.end(),
                        [&](WorkerId id) {
                          if (!worker_dead(id)) return false;
-                         worker_index.Erase(id);
-                         matcher.RemoveLeft(
-                             worker_slot[static_cast<size_t>(id)]);
+                         worker_index_.Erase(id);
+                         matcher_.RemoveLeft(
+                             worker_slot_[static_cast<size_t>(id)]);
                          return true;
                        }),
-        pool_workers.end());
-    for (size_t i = 0; i < pool_tasks.size();) {
-      if (task_dead(pool_tasks[i])) {
-        task_index.Erase(pool_tasks[i]);
-        matcher.RemoveRight(
-            task_slot[static_cast<size_t>(pool_tasks[i])]);
-        pool_tasks[i] = pool_tasks.back();
-        pool_tasks.pop_back();
+        pool_workers_.end());
+    for (size_t i = 0; i < pool_tasks_.size();) {
+      if (task_dead(pool_tasks_[i])) {
+        task_index_.Erase(pool_tasks_[i]);
+        matcher_.RemoveRight(
+            task_slot_[static_cast<size_t>(pool_tasks_[i])]);
+        pool_tasks_[i] = pool_tasks_.back();
+        pool_tasks_.pop_back();
       } else {
         ++i;
       }
@@ -137,60 +185,61 @@ Assignment GrBatch::RunIncremental(const Instance& instance,
       return CanServe(w, r, velocity, options_.policy);
     };
     auto mark_dirty = [&](int32_t lslot) {
-      if (dirty_window[static_cast<size_t>(lslot)] == k) return;
-      dirty_window[static_cast<size_t>(lslot)] = k;
-      dirty_slots.push_back(lslot);
+      if (dirty_window_[static_cast<size_t>(lslot)] == k) return;
+      dirty_window_[static_cast<size_t>(lslot)] = k;
+      dirty_slots_.push_back(lslot);
     };
-    dirty_slots.clear();
+    dirty_slots_.clear();
 
     // New tasks first: their edges to carried-over workers (the worker
     // index does not hold this window's workers yet, so no duplicates with
     // the new-worker pass below).
-    for (TaskId id : new_tasks) {
+    for (TaskId id : new_tasks_) {
       if (task_dead(id)) continue;  // Expired within its arrival window.
-      const Task& r = instance.task(id);
-      const int32_t rslot = matcher.AddRight();
-      task_slot[static_cast<size_t>(id)] = rslot;
-      if (static_cast<size_t>(rslot) >= slot_task.size()) {
-        slot_task.resize(static_cast<size_t>(rslot) + 1);
+      const Task& r = instance().task(id);
+      const int32_t rslot = matcher_.AddRight();
+      task_slot_[static_cast<size_t>(id)] = rslot;
+      if (static_cast<size_t>(rslot) >= slot_task_.size()) {
+        slot_task_.resize(static_cast<size_t>(rslot) + 1);
       }
-      slot_task[static_cast<size_t>(rslot)] = id;
-      pool_tasks.push_back(id);
-      task_index.Insert(id, r.location);
-      worker_index.ForEachInDisk(
-          r.location, radius, [&](const IndexedPoint& entry, double d) {
+      slot_task_[static_cast<size_t>(rslot)] = id;
+      pool_tasks_.push_back(id);
+      task_index_.Insert(id, r.location);
+      worker_index_.ForEachInDisk(
+          r.location, radius_, [&](const IndexedPoint& entry, double d) {
             const Worker& w =
-                instance.worker(static_cast<WorkerId>(entry.id));
+                instance().worker(static_cast<WorkerId>(entry.id));
             if (edge_ok(w, r, d)) {
-              const int32_t lslot = worker_slot[static_cast<size_t>(w.id)];
-              matcher.AddEdge(lslot, rslot);
-              if (dirty_window.size() <= static_cast<size_t>(lslot)) {
-                dirty_window.resize(static_cast<size_t>(lslot) + 1, 0);
+              const int32_t lslot = worker_slot_[static_cast<size_t>(w.id)];
+              matcher_.AddEdge(lslot, rslot);
+              if (dirty_window_.size() <= static_cast<size_t>(lslot)) {
+                dirty_window_.resize(static_cast<size_t>(lslot) + 1, 0);
               }
               mark_dirty(lslot);
             }
           });
     }
     // Then new workers, against the full task pool (old + this window's).
-    for (WorkerId id : new_workers) {
+    for (WorkerId id : new_workers_) {
       if (worker_dead(id)) continue;
-      const Worker& w = instance.worker(id);
-      const int32_t lslot = matcher.AddLeft();
-      worker_slot[static_cast<size_t>(id)] = lslot;
-      if (static_cast<size_t>(lslot) >= slot_worker.size()) {
-        slot_worker.resize(static_cast<size_t>(lslot) + 1);
+      const Worker& w = instance().worker(id);
+      const int32_t lslot = matcher_.AddLeft();
+      worker_slot_[static_cast<size_t>(id)] = lslot;
+      if (static_cast<size_t>(lslot) >= slot_worker_.size()) {
+        slot_worker_.resize(static_cast<size_t>(lslot) + 1);
       }
-      slot_worker[static_cast<size_t>(lslot)] = id;
-      if (dirty_window.size() <= static_cast<size_t>(lslot)) {
-        dirty_window.resize(static_cast<size_t>(lslot) + 1, 0);
+      slot_worker_[static_cast<size_t>(lslot)] = id;
+      if (dirty_window_.size() <= static_cast<size_t>(lslot)) {
+        dirty_window_.resize(static_cast<size_t>(lslot) + 1, 0);
       }
-      pool_workers.push_back(id);
-      worker_index.Insert(id, w.location);
-      task_index.ForEachInDisk(
-          w.location, radius, [&](const IndexedPoint& entry, double d) {
-            const Task& r = instance.task(static_cast<TaskId>(entry.id));
+      pool_workers_.push_back(id);
+      worker_index_.Insert(id, w.location);
+      task_index_.ForEachInDisk(
+          w.location, radius_, [&](const IndexedPoint& entry, double d) {
+            const Task& r = instance().task(static_cast<TaskId>(entry.id));
             if (edge_ok(w, r, d)) {
-              matcher.AddEdge(lslot, task_slot[static_cast<size_t>(r.id)]);
+              matcher_.AddEdge(lslot,
+                               task_slot_[static_cast<size_t>(r.id)]);
               mark_dirty(lslot);
             }
           });
@@ -207,10 +256,10 @@ Assignment GrBatch::RunIncremental(const Instance& instance,
     // pool-order processing. Without it, fresh workers win the tasks and
     // the older ones expire unmatched, which measurably lowers the total
     // matched count over a full trace.
-    std::sort(dirty_slots.begin(), dirty_slots.end());
-    for (const int32_t lslot : dirty_slots) {
-      if (matcher.LeftActive(lslot) && matcher.MatchOfLeft(lslot) < 0) {
-        matcher.TryAugmentLeft(lslot);
+    std::sort(dirty_slots_.begin(), dirty_slots_.end());
+    for (const int32_t lslot : dirty_slots_) {
+      if (matcher_.LeftActive(lslot) && matcher_.MatchOfLeft(lslot) < 0) {
+        matcher_.TryAugmentLeft(lslot);
       }
     }
 
@@ -218,127 +267,136 @@ Assignment GrBatch::RunIncremental(const Instance& instance,
     // is dirty (augmentation started and re-routed only within this
     // window's edge set).
     bool committed = false;
-    for (const int32_t lslot : dirty_slots) {
-      if (!matcher.LeftActive(lslot)) continue;
-      const int32_t rslot = matcher.MatchOfLeft(lslot);
+    for (const int32_t lslot : dirty_slots_) {
+      if (!matcher_.LeftActive(lslot)) continue;
+      const int32_t rslot = matcher_.MatchOfLeft(lslot);
       if (rslot < 0) continue;
-      const WorkerId wid = slot_worker[static_cast<size_t>(lslot)];
-      const TaskId tid = slot_task[static_cast<size_t>(rslot)];
-      assignment.Add(wid, tid, boundary);
-      matcher.RemovePair(lslot, rslot);
-      worker_index.Erase(wid);
-      task_index.Erase(tid);
+      const WorkerId wid = slot_worker_[static_cast<size_t>(lslot)];
+      const TaskId tid = slot_task_[static_cast<size_t>(rslot)];
+      assignment_.Add(wid, tid, boundary);
+      matcher_.RemovePair(lslot, rslot);
+      worker_index_.Erase(wid);
+      task_index_.Erase(tid);
       committed = true;
     }
     if (committed) {
-      pool_workers.erase(
-          std::remove_if(pool_workers.begin(), pool_workers.end(),
+      pool_workers_.erase(
+          std::remove_if(pool_workers_.begin(), pool_workers_.end(),
                          [&](WorkerId id) {
-                           return !matcher.LeftActive(
-                               worker_slot[static_cast<size_t>(id)]);
+                           return !matcher_.LeftActive(
+                               worker_slot_[static_cast<size_t>(id)]);
                          }),
-          pool_workers.end());
-      pool_tasks.erase(
-          std::remove_if(pool_tasks.begin(), pool_tasks.end(),
+          pool_workers_.end());
+      pool_tasks_.erase(
+          std::remove_if(pool_tasks_.begin(), pool_tasks_.end(),
                          [&](TaskId id) {
-                           return !matcher.RightActive(
-                               task_slot[static_cast<size_t>(id)]);
+                           return !matcher_.RightActive(
+                               task_slot_[static_cast<size_t>(id)]);
                          }),
-          pool_tasks.end());
+          pool_tasks_.end());
     }
   }
-  if (trace != nullptr) {
-    trace->matcher_augment_searches += matcher.augment_searches();
-    // No per-window reconstruction happened: matcher_rebuilds untouched.
+
+  void OnFlushed() override {
+    // Fold the matcher instrumentation into the trace (delta-based, so
+    // repeated Flush calls stay correct). No per-window reconstruction
+    // happened: matcher_rebuilds untouched.
+    trace_.matcher_augment_searches +=
+        matcher_.augment_searches() - recorded_augment_searches_;
+    recorded_augment_searches_ = matcher_.augment_searches();
   }
-  return assignment;
-}
+
+ private:
+  double radius_;
+  // Unmatched objects alive on the platform, carried across windows. Both
+  // sides are spatially indexed: tasks for the new-worker edge queries,
+  // workers for the new-task edge queries.
+  std::vector<WorkerId> pool_workers_;
+  std::vector<TaskId> pool_tasks_;
+  GridIndex task_index_;
+  GridIndex worker_index_;
+  DynamicBipartiteMatcher matcher_;  // Left = workers, right = tasks.
+  std::vector<int32_t> worker_slot_;
+  std::vector<int32_t> task_slot_;
+  std::vector<WorkerId> slot_worker_;
+  std::vector<TaskId> slot_task_;
+  // Workers whose candidate set changed this window (new arrivals plus
+  // carried-over workers adjacent to a new task); matched by window number.
+  std::vector<int32_t> dirty_slots_;
+  std::vector<int32_t> dirty_window_;
+  std::vector<WorkerId> new_workers_;
+  std::vector<TaskId> new_tasks_;
+  int64_t recorded_augment_searches_ = 0;
+};
 
 // Rebuild-per-window reference mode: the historical implementation, which
 // re-enumerates every pooled worker's candidates and constructs a fresh
 // Hopcroft-Karp instance at each window boundary. Kept for the
 // incremental-equivalence tests.
-Assignment GrBatch::RunRebuild(const Instance& instance, RunTrace* trace) {
-  const double velocity = instance.velocity();
-  Assignment assignment(instance.num_workers(), instance.num_tasks());
+class GrRebuildSession final : public GrSessionBase {
+ public:
+  GrRebuildSession(const Instance& instance, const GrBatchOptions& options)
+      : GrSessionBase(instance, options),
+        max_dr_(instance.MaxTaskDuration()),
+        task_index_(instance.spacetime().grid()) {}
 
-  const double window =
-      options_.window > 0.0
-          ? options_.window
-          : 0.25 * instance.spacetime().slots().slot_duration();
-  const double horizon = instance.spacetime().slots().horizon();
-  const double max_dr = instance.MaxTaskDuration();
+ protected:
+  void ProcessWindow(int k) override {
+    const double boundary = boundary_of(k);
+    const double velocity = instance().velocity();
 
-  std::vector<ArrivalEvent> events = BuildArrivalStream(instance);
-  size_t next_event = 0;
-
-  // Unmatched objects alive on the platform, carried across windows.
-  std::vector<WorkerId> pool_workers;
-  std::vector<TaskId> pool_tasks;
-  // Tasks are indexed spatially so per-worker candidate enumeration in a
-  // batch is a disk query instead of a full cross product.
-  GridIndex task_index(instance.spacetime().grid());
-
-  const int num_windows =
-      static_cast<int>(std::ceil((horizon + max_dr) / window)) + 1;
-
-  for (int k = 1; k <= num_windows; ++k) {
-    const double boundary = k * window;
     // Absorb every arrival up to this boundary.
-    while (next_event < events.size() &&
-           events[next_event].time <= boundary) {
-      const ArrivalEvent& event = events[next_event++];
-      if (event.kind == ObjectKind::kWorker) {
-        pool_workers.push_back(event.index);
-      } else {
-        pool_tasks.push_back(event.index);
-        task_index.Insert(event.index,
-                          instance.task(event.index).location);
-      }
-    }
+    AbsorbUpTo(
+        boundary, [&](WorkerId id) { pool_workers_.push_back(id); },
+        [&](TaskId id) {
+          pool_tasks_.push_back(id);
+          task_index_.Insert(id, instance().task(id).location);
+        });
 
     // Evict expired objects.
     auto worker_dead = [&](WorkerId id) {
-      return instance.worker(id).Deadline() <= boundary;
+      return instance().worker(id).Deadline() <= boundary;
     };
     auto task_dead = [&](TaskId id) {
       // A task is hopeless once even a co-located worker departing now
       // would miss its deadline.
-      return instance.task(id).Deadline() < boundary;
+      return instance().task(id).Deadline() < boundary;
     };
-    pool_workers.erase(
-        std::remove_if(pool_workers.begin(), pool_workers.end(), worker_dead),
-        pool_workers.end());
-    for (size_t i = 0; i < pool_tasks.size();) {
-      if (task_dead(pool_tasks[i])) {
-        task_index.Erase(pool_tasks[i]);
-        pool_tasks[i] = pool_tasks.back();
-        pool_tasks.pop_back();
+    pool_workers_.erase(
+        std::remove_if(pool_workers_.begin(), pool_workers_.end(),
+                       worker_dead),
+        pool_workers_.end());
+    for (size_t i = 0; i < pool_tasks_.size();) {
+      if (task_dead(pool_tasks_[i])) {
+        task_index_.Erase(pool_tasks_[i]);
+        pool_tasks_[i] = pool_tasks_.back();
+        pool_tasks_.pop_back();
       } else {
         ++i;
       }
     }
-    if (pool_workers.empty() || pool_tasks.empty()) continue;
+    if (pool_workers_.empty() || pool_tasks_.empty()) return;
 
     // Build the batch bipartite graph. Workers depart at the boundary, so
     // an edge requires boundary + d <= Sr + Dr and Sr < Sw + Dw.
     std::unordered_map<int64_t, int32_t> task_slot;  // TaskId -> right index.
     std::vector<TaskId> right_tasks;
-    // Hopcroft-Karp needs right-side cardinality up front; build edges first.
+    // Hopcroft-Karp needs right-side cardinality up front; build edges
+    // first.
     struct PendingEdge {
       int32_t left;
       TaskId task;
     };
-    std::vector<PendingEdge> pending;
-    pending.reserve(4 * pool_workers.size());
-    for (size_t wi = 0; wi < pool_workers.size(); ++wi) {
-      const Worker& w = instance.worker(pool_workers[wi]);
+    std::vector<PendingEdge> pending_edges;
+    pending_edges.reserve(4 * pool_workers_.size());
+    for (size_t wi = 0; wi < pool_workers_.size(); ++wi) {
+      const Worker& w = instance().worker(pool_workers_[wi]);
       // Pool tasks arrived at or before the boundary, so the arrival
       // condition boundary + d/v <= Sr + Dr implies d <= max_dr * v.
-      task_index.ForEachInDisk(
-          w.location, max_dr * velocity,
+      task_index_.ForEachInDisk(
+          w.location, max_dr_ * velocity,
           [&](const IndexedPoint& entry, double d) {
-            const Task& r = instance.task(static_cast<TaskId>(entry.id));
+            const Task& r = instance().task(static_cast<TaskId>(entry.id));
             if (!(r.start < w.Deadline())) return;
             if (options_.policy ==
                 FeasibilityPolicy::kDispatchAtAssignmentTime) {
@@ -348,47 +406,69 @@ Assignment GrBatch::RunRebuild(const Instance& instance, RunTrace* trace) {
             } else if (!CanServe(w, r, velocity, options_.policy)) {
               return;
             }
-            pending.push_back(
+            pending_edges.push_back(
                 PendingEdge{static_cast<int32_t>(wi),
                             static_cast<TaskId>(entry.id)});
           });
     }
-    if (pending.empty()) continue;
-    for (const PendingEdge& edge : pending) {
+    if (pending_edges.empty()) return;
+    for (const PendingEdge& edge : pending_edges) {
       if (task_slot.find(edge.task) == task_slot.end()) {
         task_slot[edge.task] = static_cast<int32_t>(right_tasks.size());
         right_tasks.push_back(edge.task);
       }
     }
-    if (trace != nullptr) ++trace->matcher_rebuilds;
-    HopcroftKarp hk(static_cast<int32_t>(pool_workers.size()),
+    ++trace_.matcher_rebuilds;
+    HopcroftKarp hk(static_cast<int32_t>(pool_workers_.size()),
                     static_cast<int32_t>(right_tasks.size()));
-    hk.ReserveEdges(pending.size());
-    for (const PendingEdge& edge : pending) {
+    hk.ReserveEdges(pending_edges.size());
+    for (const PendingEdge& edge : pending_edges) {
       hk.AddEdge(edge.left, task_slot[edge.task]);
     }
     hk.Solve();
 
     // Commit the matched pairs and shrink the pools.
     std::vector<WorkerId> next_workers;
-    next_workers.reserve(pool_workers.size());
-    for (size_t wi = 0; wi < pool_workers.size(); ++wi) {
+    next_workers.reserve(pool_workers_.size());
+    for (size_t wi = 0; wi < pool_workers_.size(); ++wi) {
       const int32_t right = hk.MatchOfLeft(static_cast<int32_t>(wi));
       if (right >= 0) {
         const TaskId task = right_tasks[static_cast<size_t>(right)];
-        assignment.Add(pool_workers[wi], task, boundary);
-        task_index.Erase(task);
+        assignment_.Add(pool_workers_[wi], task, boundary);
+        task_index_.Erase(task);
       } else {
-        next_workers.push_back(pool_workers[wi]);
+        next_workers.push_back(pool_workers_[wi]);
       }
     }
-    pool_workers.swap(next_workers);
-    pool_tasks.erase(
-        std::remove_if(pool_tasks.begin(), pool_tasks.end(),
-                       [&](TaskId id) { return assignment.IsTaskMatched(id); }),
-        pool_tasks.end());
+    pool_workers_.swap(next_workers);
+    pool_tasks_.erase(
+        std::remove_if(pool_tasks_.begin(), pool_tasks_.end(),
+                       [&](TaskId id) {
+                         return assignment_.IsTaskMatched(id);
+                       }),
+        pool_tasks_.end());
   }
-  return assignment;
+
+ private:
+  double max_dr_;
+  // Unmatched objects alive on the platform, carried across windows. Tasks
+  // are indexed spatially so per-worker candidate enumeration in a batch is
+  // a disk query instead of a full cross product.
+  std::vector<WorkerId> pool_workers_;
+  std::vector<TaskId> pool_tasks_;
+  GridIndex task_index_;
+};
+
+}  // namespace
+
+GrBatch::GrBatch(GrBatchOptions options) : options_(options) {}
+
+std::unique_ptr<AssignmentSession> GrBatch::StartSession(
+    const Instance& instance) {
+  if (options_.incremental_matching) {
+    return std::make_unique<GrIncrementalSession>(instance, options_);
+  }
+  return std::make_unique<GrRebuildSession>(instance, options_);
 }
 
 }  // namespace ftoa

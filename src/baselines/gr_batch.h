@@ -43,12 +43,10 @@ class GrBatch : public OnlineAlgorithm {
 
   std::string name() const override { return "GR"; }
 
-  Assignment DoRun(const Instance& instance, RunTrace* trace) override;
+  std::unique_ptr<AssignmentSession> StartSession(
+      const Instance& instance) override;
 
  private:
-  Assignment RunIncremental(const Instance& instance, RunTrace* trace);
-  Assignment RunRebuild(const Instance& instance, RunTrace* trace);
-
   GrBatchOptions options_;
 };
 

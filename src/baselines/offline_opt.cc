@@ -8,13 +8,13 @@
 
 namespace ftoa {
 
-Assignment OfflineOpt::DoRun(const Instance& instance, RunTrace* trace) {
-  (void)trace;
+namespace {
+
+/// Maximum-cardinality matching over all feasible pairs of the full
+/// instance (the paper's OPT).
+void SolveOffline(const Instance& instance, Assignment* assignment) {
   const double velocity = instance.velocity();
-  Assignment assignment(instance.num_workers(), instance.num_tasks());
-  if (instance.num_workers() == 0 || instance.num_tasks() == 0) {
-    return assignment;
-  }
+  if (instance.num_workers() == 0 || instance.num_tasks() == 0) return;
 
   // Index tasks by location; for worker w the deadline constraint bounds
   // candidate tasks to d <= (Dr + Sr - Sw) * v with Sr - Sw < Dw, i.e. a
@@ -51,12 +51,44 @@ Assignment OfflineOpt::DoRun(const Instance& instance, RunTrace* trace) {
     const int32_t task = matcher.MatchOfLeft(w.id);
     if (task >= 0) {
       // The decision time of an offline pair is when both sides are known.
-      const double decision =
-          std::max(w.start, instance.task(task).start);
-      assignment.Add(w.id, task, decision);
+      const double decision = std::max(w.start, instance.task(task).start);
+      assignment->Add(w.id, task, decision);
     }
   }
-  return assignment;
+}
+
+/// Buffering session: OPT needs the whole realized instance, which it was
+/// handed at StartSession, so the streamed arrivals carry no extra
+/// information — the session simply waits for the stream to end and solves
+/// the full matching on the first Flush.
+class OfflineOptSession final : public AssignmentSessionBase {
+ public:
+  using AssignmentSessionBase::AssignmentSessionBase;
+
+  void OnWorker(WorkerId worker, double time) override {
+    (void)worker;
+    (void)time;
+  }
+  void OnTask(TaskId task, double time) override {
+    (void)task;
+    (void)time;
+  }
+
+  void Flush() override {
+    if (solved_) return;
+    solved_ = true;
+    SolveOffline(instance(), &assignment_);
+  }
+
+ private:
+  bool solved_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<AssignmentSession> OfflineOpt::StartSession(
+    const Instance& instance) {
+  return std::make_unique<OfflineOptSession>(instance);
 }
 
 }  // namespace ftoa

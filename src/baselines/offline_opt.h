@@ -15,14 +15,16 @@ namespace ftoa {
 
 /// The offline optimum. (Implemented against the OnlineAlgorithm interface
 /// so benches can sweep it alongside the online algorithms, but it sees the
-/// whole instance at once.)
+/// whole instance at once — its session buffers the stream and solves on
+/// Flush/Finish.)
 class OfflineOpt : public OnlineAlgorithm {
  public:
   OfflineOpt() = default;
 
   std::string name() const override { return "OPT"; }
 
-  Assignment DoRun(const Instance& instance, RunTrace* trace) override;
+  std::unique_ptr<AssignmentSession> StartSession(
+      const Instance& instance) override;
 };
 
 }  // namespace ftoa

@@ -3,130 +3,154 @@
 #include <limits>
 #include <vector>
 
-#include "model/arrival_stream.h"
 #include "spatial/grid_index.h"
 
 namespace ftoa {
 
-SimpleGreedy::SimpleGreedy(SimpleGreedyOptions options) : options_(options) {}
+namespace {
 
-Assignment SimpleGreedy::DoRun(const Instance& instance, RunTrace* trace) {
-  (void)trace;  // SimpleGreedy never relocates workers.
-  const double velocity = instance.velocity();
-  Assignment assignment(instance.num_workers(), instance.num_tasks());
+/// Indexed variant: candidate search via grid-index ring expansion.
+class IndexedGreedySession final : public AssignmentSessionBase {
+ public:
+  IndexedGreedySession(const Instance& instance, SimpleGreedyOptions options)
+      : AssignmentSessionBase(instance),
+        options_(options),
+        waiting_workers_(instance.spacetime().grid()),
+        waiting_tasks_(instance.spacetime().grid()),
+        max_radius_(MaxFeasibleDistance(instance.MaxTaskDuration(),
+                                        instance.MaxWorkerDuration(),
+                                        instance.velocity())) {}
 
-  const FeasibilityPolicy kPolicy = options_.policy;
-
-  if (options_.use_spatial_index) {
-    GridIndex waiting_workers(instance.spacetime().grid());
-    GridIndex waiting_tasks(instance.spacetime().grid());
-    const double max_radius =
-        MaxFeasibleDistance(instance.MaxTaskDuration(),
-                            instance.MaxWorkerDuration(), velocity);
-    for (const ArrivalEvent& event : BuildArrivalStream(instance)) {
-      if (event.kind == ObjectKind::kWorker) {
-        const Worker& w = instance.worker(event.index);
-        const IndexedPoint hit = waiting_tasks.FindNearest(
-            w.location, max_radius,
-            [&](const IndexedPoint& entry, double) {
-              const Task& r = instance.task(static_cast<TaskId>(entry.id));
-              return CanServe(w, r, velocity, kPolicy);
-            });
-        if (hit.id >= 0) {
-          assignment.Add(w.id, static_cast<TaskId>(hit.id), event.time);
-          waiting_tasks.Erase(hit.id);
-        } else {
-          waiting_workers.Insert(w.id, w.location);
-        }
-      } else {
-        const Task& r = instance.task(event.index);
-        const IndexedPoint hit = waiting_workers.FindNearest(
-            r.location, max_radius,
-            [&](const IndexedPoint& entry, double) {
-              const Worker& w =
-                  instance.worker(static_cast<WorkerId>(entry.id));
-              return CanServe(w, r, velocity, kPolicy);
-            });
-        if (hit.id >= 0) {
-          assignment.Add(static_cast<WorkerId>(hit.id), r.id, event.time);
-          waiting_workers.Erase(hit.id);
-        } else {
-          waiting_tasks.Insert(r.id, r.location);
-        }
-      }
+  void OnWorker(WorkerId worker, double time) override {
+    const double velocity = instance().velocity();
+    const Worker& w = instance().worker(worker);
+    const IndexedPoint hit = waiting_tasks_.FindNearest(
+        w.location, max_radius_, [&](const IndexedPoint& entry, double) {
+          const Task& r = instance().task(static_cast<TaskId>(entry.id));
+          return CanServe(w, r, velocity, options_.policy);
+        });
+    if (hit.id >= 0) {
+      assignment_.Add(w.id, static_cast<TaskId>(hit.id), time);
+      waiting_tasks_.Erase(hit.id);
+    } else {
+      waiting_workers_.Insert(w.id, w.location);
     }
-    return assignment;
   }
 
-  // Faithful variant: linear scan over all waiting counterparts. Expired or
-  // matched entries are compacted away lazily during the scans.
-  std::vector<int32_t> waiting_workers;
-  std::vector<int32_t> waiting_tasks;
-  for (const ArrivalEvent& event : BuildArrivalStream(instance)) {
-    if (event.kind == ObjectKind::kWorker) {
-      const Worker& w = instance.worker(event.index);
-      double best_distance = std::numeric_limits<double>::infinity();
-      int32_t best = -1;
-      size_t write = 0;
-      for (size_t i = 0; i < waiting_tasks.size(); ++i) {
-        const int32_t id = waiting_tasks[i];
-        const Task& r = instance.task(id);
-        if (r.Deadline() < event.time) continue;  // Expired: drop.
-        waiting_tasks[write++] = id;
-        if (!CanServe(w, r, velocity, kPolicy)) continue;
-        const double d = Distance(w.location, r.location);
-        if (d < best_distance || (d == best_distance && id < best)) {
-          best_distance = d;
-          best = id;
-        }
+  void OnTask(TaskId task, double time) override {
+    const double velocity = instance().velocity();
+    const Task& r = instance().task(task);
+    const IndexedPoint hit = waiting_workers_.FindNearest(
+        r.location, max_radius_, [&](const IndexedPoint& entry, double) {
+          const Worker& w =
+              instance().worker(static_cast<WorkerId>(entry.id));
+          return CanServe(w, r, velocity, options_.policy);
+        });
+    if (hit.id >= 0) {
+      assignment_.Add(static_cast<WorkerId>(hit.id), r.id, time);
+      waiting_workers_.Erase(hit.id);
+    } else {
+      waiting_tasks_.Insert(r.id, r.location);
+    }
+  }
+
+ private:
+  SimpleGreedyOptions options_;
+  GridIndex waiting_workers_;
+  GridIndex waiting_tasks_;
+  double max_radius_;
+};
+
+/// Faithful variant: linear scan over all waiting counterparts. Expired or
+/// matched entries are compacted away lazily during the scans.
+class LinearGreedySession final : public AssignmentSessionBase {
+ public:
+  LinearGreedySession(const Instance& instance, SimpleGreedyOptions options)
+      : AssignmentSessionBase(instance), options_(options) {}
+
+  void OnWorker(WorkerId worker, double time) override {
+    const double velocity = instance().velocity();
+    const Worker& w = instance().worker(worker);
+    double best_distance = std::numeric_limits<double>::infinity();
+    int32_t best = -1;
+    size_t write = 0;
+    for (size_t i = 0; i < waiting_tasks_.size(); ++i) {
+      const int32_t id = waiting_tasks_[i];
+      const Task& r = instance().task(id);
+      if (r.Deadline() < time) continue;  // Expired: drop.
+      waiting_tasks_[write++] = id;
+      if (!CanServe(w, r, velocity, options_.policy)) continue;
+      const double d = Distance(w.location, r.location);
+      if (d < best_distance || (d == best_distance && id < best)) {
+        best_distance = d;
+        best = id;
       }
-      waiting_tasks.resize(write);
-      if (best >= 0) {
-        assignment.Add(w.id, best, event.time);
-        // Remove the matched task from the waiting list.
-        for (size_t i = 0; i < waiting_tasks.size(); ++i) {
-          if (waiting_tasks[i] == best) {
-            waiting_tasks[i] = waiting_tasks.back();
-            waiting_tasks.pop_back();
-            break;
-          }
+    }
+    waiting_tasks_.resize(write);
+    if (best >= 0) {
+      assignment_.Add(w.id, best, time);
+      // Remove the matched task from the waiting list.
+      for (size_t i = 0; i < waiting_tasks_.size(); ++i) {
+        if (waiting_tasks_[i] == best) {
+          waiting_tasks_[i] = waiting_tasks_.back();
+          waiting_tasks_.pop_back();
+          break;
         }
-      } else {
-        waiting_workers.push_back(w.id);
       }
     } else {
-      const Task& r = instance.task(event.index);
-      double best_distance = std::numeric_limits<double>::infinity();
-      int32_t best = -1;
-      size_t write = 0;
-      for (size_t i = 0; i < waiting_workers.size(); ++i) {
-        const int32_t id = waiting_workers[i];
-        const Worker& w = instance.worker(id);
-        if (w.Deadline() < event.time) continue;  // Left the platform.
-        waiting_workers[write++] = id;
-        if (!CanServe(w, r, velocity, kPolicy)) continue;
-        const double d = Distance(w.location, r.location);
-        if (d < best_distance || (d == best_distance && id < best)) {
-          best_distance = d;
-          best = id;
-        }
-      }
-      waiting_workers.resize(write);
-      if (best >= 0) {
-        assignment.Add(best, r.id, event.time);
-        for (size_t i = 0; i < waiting_workers.size(); ++i) {
-          if (waiting_workers[i] == best) {
-            waiting_workers[i] = waiting_workers.back();
-            waiting_workers.pop_back();
-            break;
-          }
-        }
-      } else {
-        waiting_tasks.push_back(r.id);
-      }
+      waiting_workers_.push_back(w.id);
     }
   }
-  return assignment;
+
+  void OnTask(TaskId task, double time) override {
+    const double velocity = instance().velocity();
+    const Task& r = instance().task(task);
+    double best_distance = std::numeric_limits<double>::infinity();
+    int32_t best = -1;
+    size_t write = 0;
+    for (size_t i = 0; i < waiting_workers_.size(); ++i) {
+      const int32_t id = waiting_workers_[i];
+      const Worker& w = instance().worker(id);
+      if (w.Deadline() < time) continue;  // Left the platform.
+      waiting_workers_[write++] = id;
+      if (!CanServe(w, r, velocity, options_.policy)) continue;
+      const double d = Distance(w.location, r.location);
+      if (d < best_distance || (d == best_distance && id < best)) {
+        best_distance = d;
+        best = id;
+      }
+    }
+    waiting_workers_.resize(write);
+    if (best >= 0) {
+      assignment_.Add(best, r.id, time);
+      for (size_t i = 0; i < waiting_workers_.size(); ++i) {
+        if (waiting_workers_[i] == best) {
+          waiting_workers_[i] = waiting_workers_.back();
+          waiting_workers_.pop_back();
+          break;
+        }
+      }
+    } else {
+      waiting_tasks_.push_back(r.id);
+    }
+  }
+
+ private:
+  SimpleGreedyOptions options_;
+  std::vector<int32_t> waiting_workers_;
+  std::vector<int32_t> waiting_tasks_;
+};
+
+}  // namespace
+
+SimpleGreedy::SimpleGreedy(SimpleGreedyOptions options) : options_(options) {}
+
+std::unique_ptr<AssignmentSession> SimpleGreedy::StartSession(
+    const Instance& instance) {
+  if (options_.use_spatial_index) {
+    return std::make_unique<IndexedGreedySession>(instance, options_);
+  }
+  return std::make_unique<LinearGreedySession>(instance, options_);
 }
 
 }  // namespace ftoa

@@ -40,7 +40,8 @@ class SimpleGreedy : public OnlineAlgorithm {
     return options_.use_spatial_index ? "SimpleGreedy-Idx" : "SimpleGreedy";
   }
 
-  Assignment DoRun(const Instance& instance, RunTrace* trace) override;
+  std::unique_ptr<AssignmentSession> StartSession(
+      const Instance& instance) override;
 
  private:
   SimpleGreedyOptions options_;

@@ -6,7 +6,6 @@
 
 #include "flow/dynamic_matching.h"
 #include "flow/hopcroft_karp.h"
-#include "model/arrival_stream.h"
 #include "spatial/grid_index.h"
 
 namespace ftoa {
@@ -35,14 +34,61 @@ void SweepExpired(GridIndex& index, const GridSpec& grid, double now,
   }
 }
 
-}  // namespace
+/// Shared per-run state of both TGOA modes: the greedy-phase split (fixed
+/// by the instance's total object count — the arrival stream is exactly
+/// every object once), the waiting-pool indexes, and the event counter that
+/// paces the lazy expiry sweeps.
+class TgoaSessionBase : public AssignmentSessionBase {
+ public:
+  TgoaSessionBase(const Instance& instance, const TgoaOptions& options)
+      : AssignmentSessionBase(instance),
+        options_(options),
+        greedy_phase_(static_cast<size_t>(
+            static_cast<double>(instance.num_workers() +
+                                instance.num_tasks()) *
+            options.greedy_fraction)),
+        waiting_workers_(instance.spacetime().grid()),
+        waiting_tasks_(instance.spacetime().grid()),
+        max_radius_(MaxFeasibleDistance(instance.MaxTaskDuration(),
+                                        instance.MaxWorkerDuration(),
+                                        instance.velocity())) {}
 
-Tgoa::Tgoa(TgoaOptions options) : options_(options) {}
+ protected:
+  bool GreedyFeasible(const Worker& w, const Task& r) const {
+    return CanServe(w, r, instance().velocity(), options_.policy);
+  }
+  bool InGreedyPhase() const { return event_index_ < greedy_phase_; }
 
-Assignment Tgoa::DoRun(const Instance& instance, RunTrace* trace) {
-  return options_.incremental_matching ? RunIncremental(instance, trace)
-                                       : RunRebuild(instance, trace);
-}
+  /// Call after each arrival: runs the periodic lazy expiry that keeps the
+  /// indexes (and the matching pools) small, then advances the counter.
+  template <typename OnWorkerGone, typename OnTaskGone>
+  void FinishEvent(double now, OnWorkerGone&& worker_gone,
+                   OnTaskGone&& task_gone) {
+    if ((event_index_ & 1023u) == 0u) {
+      SweepExpired(
+          waiting_workers_, instance().spacetime().grid(), now,
+          [&](int64_t id) {
+            return instance().worker(static_cast<WorkerId>(id)).Deadline();
+          },
+          worker_gone, expiry_scratch_);
+      SweepExpired(
+          waiting_tasks_, instance().spacetime().grid(), now,
+          [&](int64_t id) {
+            return instance().task(static_cast<TaskId>(id)).Deadline();
+          },
+          task_gone, expiry_scratch_);
+    }
+    ++event_index_;
+  }
+
+  TgoaOptions options_;
+  size_t greedy_phase_;
+  size_t event_index_ = 0;
+  GridIndex waiting_workers_;
+  GridIndex waiting_tasks_;
+  double max_radius_;
+  std::vector<int64_t> expiry_scratch_;
+};
 
 // Incremental mode: one DynamicBipartiteMatcher holds a maximum matching
 // over the waiting (unmatched, alive) pool for the entire run. Every object
@@ -53,161 +99,143 @@ Assignment Tgoa::DoRun(const Instance& instance, RunTrace* trace) {
 // maximum matching of the revealed pool?" answered without rebuilding
 // anything. Committed pairs and expired objects are deactivated in place,
 // with the one-path repair restoring maximality.
-Assignment Tgoa::RunIncremental(const Instance& instance, RunTrace* trace) {
-  const double velocity = instance.velocity();
-  Assignment assignment(instance.num_workers(), instance.num_tasks());
+class TgoaIncrementalSession final : public TgoaSessionBase {
+ public:
+  TgoaIncrementalSession(const Instance& instance, const TgoaOptions& options)
+      : TgoaSessionBase(instance, options),
+        worker_slot_(static_cast<size_t>(instance.num_workers()), -1),
+        task_slot_(static_cast<size_t>(instance.num_tasks()), -1) {
+    matcher_.ReserveNodes(static_cast<size_t>(instance.num_workers()),
+                          static_cast<size_t>(instance.num_tasks()));
+    // Edge volume is data dependent; seed the arena with a few candidates
+    // per object so steady-state growth is amortized away.
+    matcher_.ReserveEdges(4 * static_cast<size_t>(instance.num_workers() +
+                                                  instance.num_tasks()));
+    slot_worker_.reserve(static_cast<size_t>(instance.num_workers()));
+    slot_task_.reserve(static_cast<size_t>(instance.num_tasks()));
+  }
 
-  const std::vector<ArrivalEvent> events = BuildArrivalStream(instance);
-  const size_t greedy_phase = static_cast<size_t>(
-      static_cast<double>(events.size()) * options_.greedy_fraction);
+  void OnWorker(WorkerId worker, double time) override {
+    const Worker& w = instance().worker(worker);
+    if (InGreedyPhase()) {
+      const IndexedPoint hit = waiting_tasks_.FindNearest(
+          w.location, max_radius_, [&](const IndexedPoint& entry, double) {
+            const Task& r = instance().task(static_cast<TaskId>(entry.id));
+            return GreedyFeasible(w, r) && r.Deadline() >= time;
+          });
+      if (hit.id >= 0) {
+        assignment_.Add(w.id, static_cast<TaskId>(hit.id), time);
+        waiting_tasks_.Erase(hit.id);
+        matcher_.RemoveRight(task_slot_[static_cast<size_t>(hit.id)]);
+      } else {
+        EnterWorker(w);
+        waiting_workers_.Insert(w.id, w.location);
+      }
+    } else {
+      const int32_t lslot = EnterWorker(w);
+      if (matcher_.TryAugmentLeft(lslot)) {
+        const int32_t rslot = matcher_.MatchOfLeft(lslot);
+        const TaskId partner = slot_task_[static_cast<size_t>(rslot)];
+        assignment_.Add(w.id, partner, time);
+        matcher_.RemovePair(lslot, rslot);
+        waiting_tasks_.Erase(partner);
+      } else {
+        waiting_workers_.Insert(w.id, w.location);
+      }
+    }
+    SweepAndCount(time);
+  }
 
-  GridIndex waiting_workers(instance.spacetime().grid());
-  GridIndex waiting_tasks(instance.spacetime().grid());
-  const double max_radius = MaxFeasibleDistance(
-      instance.MaxTaskDuration(), instance.MaxWorkerDuration(), velocity);
+  void OnTask(TaskId task, double time) override {
+    const Task& r = instance().task(task);
+    if (InGreedyPhase()) {
+      const IndexedPoint hit = waiting_workers_.FindNearest(
+          r.location, max_radius_, [&](const IndexedPoint& entry, double) {
+            const Worker& w =
+                instance().worker(static_cast<WorkerId>(entry.id));
+            return GreedyFeasible(w, r) && w.Deadline() >= time;
+          });
+      if (hit.id >= 0) {
+        assignment_.Add(static_cast<WorkerId>(hit.id), r.id, time);
+        waiting_workers_.Erase(hit.id);
+        matcher_.RemoveLeft(worker_slot_[static_cast<size_t>(hit.id)]);
+      } else {
+        EnterTask(r);
+        waiting_tasks_.Insert(r.id, r.location);
+      }
+    } else {
+      const int32_t rslot = EnterTask(r);
+      if (matcher_.TryAugmentRight(rslot)) {
+        const int32_t lslot = matcher_.MatchOfRight(rslot);
+        const WorkerId partner = slot_worker_[static_cast<size_t>(lslot)];
+        assignment_.Add(partner, r.id, time);
+        matcher_.RemovePair(lslot, rslot);
+        waiting_workers_.Erase(partner);
+      } else {
+        waiting_tasks_.Insert(r.id, r.location);
+      }
+    }
+    SweepAndCount(time);
+  }
 
-  auto greedy_feasible = [&](const Worker& w, const Task& r) {
-    return CanServe(w, r, velocity, options_.policy);
-  };
+  void Flush() override {
+    // Fold the matcher instrumentation into the trace (delta-based, so
+    // repeated Flush calls stay correct). No per-arrival reconstruction
+    // happened: matcher_rebuilds untouched.
+    trace_.matcher_augment_searches +=
+        matcher_.augment_searches() - recorded_augment_searches_;
+    recorded_augment_searches_ = matcher_.augment_searches();
+  }
 
-  DynamicBipartiteMatcher matcher;  // Left = workers, right = tasks.
-  matcher.ReserveNodes(static_cast<size_t>(instance.num_workers()),
-                       static_cast<size_t>(instance.num_tasks()));
-  // Edge volume is data dependent; seed the arena with a few candidates
-  // per object so steady-state growth is amortized away.
-  matcher.ReserveEdges(4 * static_cast<size_t>(instance.num_workers() +
-                                               instance.num_tasks()));
-  std::vector<int32_t> worker_slot(
-      static_cast<size_t>(instance.num_workers()), -1);
-  std::vector<int32_t> task_slot(static_cast<size_t>(instance.num_tasks()),
-                                 -1);
-  std::vector<WorkerId> slot_worker;
-  std::vector<TaskId> slot_task;
-  slot_worker.reserve(static_cast<size_t>(instance.num_workers()));
-  slot_task.reserve(static_cast<size_t>(instance.num_tasks()));
-  std::vector<int64_t> expiry_scratch;
-
-  // Joins the waiting pool: node slot plus candidate edges against the
-  // opposite waiting side (computed once; feasibility never changes).
-  auto enter_worker = [&](const Worker& w) {
-    const int32_t lslot = matcher.AddLeft();
-    worker_slot[static_cast<size_t>(w.id)] = lslot;
-    slot_worker.push_back(w.id);
-    waiting_tasks.ForEachInDisk(
-        w.location, max_radius, [&](const IndexedPoint& entry, double) {
-          const Task& r = instance.task(static_cast<TaskId>(entry.id));
-          if (greedy_feasible(w, r)) {
-            matcher.AddEdge(lslot, task_slot[static_cast<size_t>(r.id)]);
+ private:
+  /// Joins the waiting pool: node slot plus candidate edges against the
+  /// opposite waiting side (computed once; feasibility never changes).
+  int32_t EnterWorker(const Worker& w) {
+    const int32_t lslot = matcher_.AddLeft();
+    worker_slot_[static_cast<size_t>(w.id)] = lslot;
+    slot_worker_.push_back(w.id);
+    waiting_tasks_.ForEachInDisk(
+        w.location, max_radius_, [&](const IndexedPoint& entry, double) {
+          const Task& r = instance().task(static_cast<TaskId>(entry.id));
+          if (GreedyFeasible(w, r)) {
+            matcher_.AddEdge(lslot, task_slot_[static_cast<size_t>(r.id)]);
           }
         });
     return lslot;
-  };
-  auto enter_task = [&](const Task& r) {
-    const int32_t rslot = matcher.AddRight();
-    task_slot[static_cast<size_t>(r.id)] = rslot;
-    slot_task.push_back(r.id);
-    waiting_workers.ForEachInDisk(
-        r.location, max_radius, [&](const IndexedPoint& entry, double) {
-          const Worker& w = instance.worker(static_cast<WorkerId>(entry.id));
-          if (greedy_feasible(w, r)) {
-            matcher.AddEdge(worker_slot[static_cast<size_t>(w.id)], rslot);
+  }
+  int32_t EnterTask(const Task& r) {
+    const int32_t rslot = matcher_.AddRight();
+    task_slot_[static_cast<size_t>(r.id)] = rslot;
+    slot_task_.push_back(r.id);
+    waiting_workers_.ForEachInDisk(
+        r.location, max_radius_, [&](const IndexedPoint& entry, double) {
+          const Worker& w =
+              instance().worker(static_cast<WorkerId>(entry.id));
+          if (GreedyFeasible(w, r)) {
+            matcher_.AddEdge(worker_slot_[static_cast<size_t>(w.id)], rslot);
           }
         });
     return rslot;
-  };
+  }
 
-  for (size_t k = 0; k < events.size(); ++k) {
-    const ArrivalEvent& event = events[k];
-    const bool in_greedy_phase = k < greedy_phase;
-    if (event.kind == ObjectKind::kWorker) {
-      const Worker& w = instance.worker(event.index);
-      if (in_greedy_phase) {
-        const IndexedPoint hit = waiting_tasks.FindNearest(
-            w.location, max_radius,
-            [&](const IndexedPoint& entry, double) {
-              const Task& r = instance.task(static_cast<TaskId>(entry.id));
-              return greedy_feasible(w, r) && r.Deadline() >= event.time;
-            });
-        if (hit.id >= 0) {
-          assignment.Add(w.id, static_cast<TaskId>(hit.id), event.time);
-          waiting_tasks.Erase(hit.id);
-          matcher.RemoveRight(task_slot[static_cast<size_t>(hit.id)]);
-        } else {
-          enter_worker(w);
-          waiting_workers.Insert(w.id, w.location);
-        }
-      } else {
-        const int32_t lslot = enter_worker(w);
-        if (matcher.TryAugmentLeft(lslot)) {
-          const int32_t rslot = matcher.MatchOfLeft(lslot);
-          const TaskId partner = slot_task[static_cast<size_t>(rslot)];
-          assignment.Add(w.id, partner, event.time);
-          matcher.RemovePair(lslot, rslot);
-          waiting_tasks.Erase(partner);
-        } else {
-          waiting_workers.Insert(w.id, w.location);
-        }
-      }
-    } else {
-      const Task& r = instance.task(event.index);
-      if (in_greedy_phase) {
-        const IndexedPoint hit = waiting_workers.FindNearest(
-            r.location, max_radius,
-            [&](const IndexedPoint& entry, double) {
-              const Worker& w =
-                  instance.worker(static_cast<WorkerId>(entry.id));
-              return greedy_feasible(w, r) && w.Deadline() >= event.time;
-            });
-        if (hit.id >= 0) {
-          assignment.Add(static_cast<WorkerId>(hit.id), r.id, event.time);
-          waiting_workers.Erase(hit.id);
-          matcher.RemoveLeft(worker_slot[static_cast<size_t>(hit.id)]);
-        } else {
-          enter_task(r);
-          waiting_tasks.Insert(r.id, r.location);
-        }
-      } else {
-        const int32_t rslot = enter_task(r);
-        if (matcher.TryAugmentRight(rslot)) {
-          const int32_t lslot = matcher.MatchOfRight(rslot);
-          const WorkerId partner = slot_worker[static_cast<size_t>(lslot)];
-          assignment.Add(partner, r.id, event.time);
-          matcher.RemovePair(lslot, rslot);
-          waiting_workers.Erase(partner);
-        } else {
-          waiting_tasks.Insert(r.id, r.location);
-        }
-      }
-    }
-    // Periodic lazy expiry keeps the indexes and the live part of the
-    // matcher's pool small.
-    if ((k & 1023u) == 0u) {
-      SweepExpired(
-          waiting_workers, instance.spacetime().grid(), event.time,
-          [&](int64_t id) {
-            return instance.worker(static_cast<WorkerId>(id)).Deadline();
-          },
-          [&](int64_t id) {
-            matcher.RemoveLeft(worker_slot[static_cast<size_t>(id)]);
-          },
-          expiry_scratch);
-      SweepExpired(
-          waiting_tasks, instance.spacetime().grid(), event.time,
-          [&](int64_t id) {
-            return instance.task(static_cast<TaskId>(id)).Deadline();
-          },
-          [&](int64_t id) {
-            matcher.RemoveRight(task_slot[static_cast<size_t>(id)]);
-          },
-          expiry_scratch);
-    }
+  void SweepAndCount(double now) {
+    FinishEvent(
+        now,
+        [&](int64_t id) {
+          matcher_.RemoveLeft(worker_slot_[static_cast<size_t>(id)]);
+        },
+        [&](int64_t id) {
+          matcher_.RemoveRight(task_slot_[static_cast<size_t>(id)]);
+        });
   }
-  if (trace != nullptr) {
-    trace->matcher_augment_searches += matcher.augment_searches();
-    // No per-arrival reconstruction happened: matcher_rebuilds untouched.
-  }
-  return assignment;
-}
+
+  DynamicBipartiteMatcher matcher_;  // Left = workers, right = tasks.
+  std::vector<int32_t> worker_slot_;
+  std::vector<int32_t> task_slot_;
+  std::vector<WorkerId> slot_worker_;
+  std::vector<TaskId> slot_task_;
+  int64_t recorded_augment_searches_ = 0;
+};
 
 // Rebuild-per-arrival reference mode: the historical implementation, which
 // reconstructs a Hopcroft-Karp instance (and re-enumerates the candidate
@@ -215,29 +243,60 @@ Assignment Tgoa::RunIncremental(const Instance& instance, RunTrace* trace) {
 // O(E sqrt(V))-per-arrival scalability weakness of [26] that POLAR's O(1)
 // removes. Kept for the incremental-equivalence tests and as the baseline
 // leg of the flow microbenches.
-Assignment Tgoa::RunRebuild(const Instance& instance, RunTrace* trace) {
-  const double velocity = instance.velocity();
-  Assignment assignment(instance.num_workers(), instance.num_tasks());
+class TgoaRebuildSession final : public TgoaSessionBase {
+ public:
+  using TgoaSessionBase::TgoaSessionBase;
 
-  const std::vector<ArrivalEvent> events = BuildArrivalStream(instance);
-  const size_t greedy_phase = static_cast<size_t>(
-      static_cast<double>(events.size()) * options_.greedy_fraction);
+  void OnWorker(WorkerId worker, double time) override {
+    const Worker& w = instance().worker(worker);
+    TaskId partner = -1;
+    if (InGreedyPhase()) {
+      const IndexedPoint hit = waiting_tasks_.FindNearest(
+          w.location, max_radius_, [&](const IndexedPoint& entry, double) {
+            const Task& r = instance().task(static_cast<TaskId>(entry.id));
+            return GreedyFeasible(w, r) && r.Deadline() >= time;
+          });
+      partner = hit.id >= 0 ? static_cast<TaskId>(hit.id) : -1;
+    } else {
+      partner = OptimalPartnerForWorker(w);
+    }
+    if (partner >= 0) {
+      assignment_.Add(w.id, partner, time);
+      waiting_tasks_.Erase(partner);
+    } else {
+      waiting_workers_.Insert(w.id, w.location);
+    }
+    FinishEvent(time, [](int64_t) {}, [](int64_t) {});
+  }
 
-  // Unmatched alive objects, spatially indexed for candidate pruning.
-  GridIndex waiting_workers(instance.spacetime().grid());
-  GridIndex waiting_tasks(instance.spacetime().grid());
-  const double max_radius = MaxFeasibleDistance(
-      instance.MaxTaskDuration(), instance.MaxWorkerDuration(), velocity);
+  void OnTask(TaskId task, double time) override {
+    const Task& r = instance().task(task);
+    WorkerId partner = -1;
+    if (InGreedyPhase()) {
+      const IndexedPoint hit = waiting_workers_.FindNearest(
+          r.location, max_radius_, [&](const IndexedPoint& entry, double) {
+            const Worker& w =
+                instance().worker(static_cast<WorkerId>(entry.id));
+            return GreedyFeasible(w, r) && w.Deadline() >= time;
+          });
+      partner = hit.id >= 0 ? static_cast<WorkerId>(hit.id) : -1;
+    } else {
+      partner = OptimalPartnerForTask(r);
+    }
+    if (partner >= 0) {
+      assignment_.Add(partner, r.id, time);
+      waiting_workers_.Erase(partner);
+    } else {
+      waiting_tasks_.Insert(r.id, r.location);
+    }
+    FinishEvent(time, [](int64_t) {}, [](int64_t) {});
+  }
 
-  auto greedy_feasible = [&](const Worker& w, const Task& r) {
-    return CanServe(w, r, velocity, options_.policy);
-  };
-  std::vector<int64_t> expiry_scratch;
-
+ private:
   // Optimal-matching guardrail for the second phase: the new object is
   // committed only when it is matched in a maximum matching of all
   // currently waiting (unmatched, alive) objects plus itself.
-  auto optimal_partner_for_worker = [&](const Worker& w) -> TaskId {
+  TaskId OptimalPartnerForWorker(const Worker& w) {
     // Collect alive waiting workers + the new one, and waiting tasks.
     std::vector<WorkerId> left;
     std::unordered_map<int64_t, int32_t> left_slot;
@@ -258,26 +317,26 @@ Assignment Tgoa::RunRebuild(const Instance& instance, RunTrace* trace) {
       const int32_t lid = static_cast<int32_t>(left.size());
       left.push_back(candidate.id);
       left_slot[candidate.id] = lid;
-      waiting_tasks.ForEachInDisk(
-          candidate.location, max_radius,
+      waiting_tasks_.ForEachInDisk(
+          candidate.location, max_radius_,
           [&](const IndexedPoint& entry, double) {
-            const Task& r = instance.task(static_cast<TaskId>(entry.id));
-            if (greedy_feasible(candidate, r)) {
+            const Task& r = instance().task(static_cast<TaskId>(entry.id));
+            if (GreedyFeasible(candidate, r)) {
               edges.emplace_back(lid, right_index(r.id));
             }
           });
     };
     add_worker(w);
     std::vector<WorkerId> other_workers;
-    waiting_workers.ForEachInDisk(
+    waiting_workers_.ForEachInDisk(
         w.location, std::numeric_limits<double>::max(),
         [&](const IndexedPoint& entry, double) {
           other_workers.push_back(static_cast<WorkerId>(entry.id));
         });
-    for (WorkerId id : other_workers) add_worker(instance.worker(id));
+    for (WorkerId id : other_workers) add_worker(instance().worker(id));
 
     if (edges.empty()) return -1;
-    if (trace != nullptr) ++trace->matcher_rebuilds;
+    ++trace_.matcher_rebuilds;
     HopcroftKarp matcher(static_cast<int32_t>(left.size()),
                          static_cast<int32_t>(right.size()));
     matcher.ReserveEdges(edges.size());
@@ -285,9 +344,9 @@ Assignment Tgoa::RunRebuild(const Instance& instance, RunTrace* trace) {
     matcher.Solve();
     const int32_t partner = matcher.MatchOfLeft(0);  // w is left node 0.
     return partner < 0 ? -1 : right[static_cast<size_t>(partner)];
-  };
+  }
 
-  auto optimal_partner_for_task = [&](const Task& r) -> WorkerId {
+  WorkerId OptimalPartnerForTask(const Task& r) {
     std::vector<TaskId> left;
     std::vector<WorkerId> right;
     std::unordered_map<int64_t, int32_t> right_slot;
@@ -303,27 +362,27 @@ Assignment Tgoa::RunRebuild(const Instance& instance, RunTrace* trace) {
     auto add_task = [&](const Task& candidate) {
       const int32_t lid = static_cast<int32_t>(left.size());
       left.push_back(candidate.id);
-      waiting_workers.ForEachInDisk(
-          candidate.location, max_radius,
+      waiting_workers_.ForEachInDisk(
+          candidate.location, max_radius_,
           [&](const IndexedPoint& entry, double) {
             const Worker& w =
-                instance.worker(static_cast<WorkerId>(entry.id));
-            if (greedy_feasible(w, candidate)) {
+                instance().worker(static_cast<WorkerId>(entry.id));
+            if (GreedyFeasible(w, candidate)) {
               edges.emplace_back(lid, right_index(w.id));
             }
           });
     };
     add_task(r);
     std::vector<TaskId> other_tasks;
-    waiting_tasks.ForEachInDisk(
+    waiting_tasks_.ForEachInDisk(
         r.location, std::numeric_limits<double>::max(),
         [&](const IndexedPoint& entry, double) {
           other_tasks.push_back(static_cast<TaskId>(entry.id));
         });
-    for (TaskId id : other_tasks) add_task(instance.task(id));
+    for (TaskId id : other_tasks) add_task(instance().task(id));
 
     if (edges.empty()) return -1;
-    if (trace != nullptr) ++trace->matcher_rebuilds;
+    ++trace_.matcher_rebuilds;
     HopcroftKarp matcher(static_cast<int32_t>(left.size()),
                          static_cast<int32_t>(right.size()));
     matcher.ReserveEdges(edges.size());
@@ -331,71 +390,19 @@ Assignment Tgoa::RunRebuild(const Instance& instance, RunTrace* trace) {
     matcher.Solve();
     const int32_t partner = matcher.MatchOfLeft(0);
     return partner < 0 ? -1 : right[static_cast<size_t>(partner)];
-  };
-
-  for (size_t k = 0; k < events.size(); ++k) {
-    const ArrivalEvent& event = events[k];
-    const bool in_greedy_phase = k < greedy_phase;
-    if (event.kind == ObjectKind::kWorker) {
-      const Worker& w = instance.worker(event.index);
-      TaskId partner = -1;
-      if (in_greedy_phase) {
-        const IndexedPoint hit = waiting_tasks.FindNearest(
-            w.location, max_radius,
-            [&](const IndexedPoint& entry, double) {
-              const Task& r = instance.task(static_cast<TaskId>(entry.id));
-              return greedy_feasible(w, r) && r.Deadline() >= event.time;
-            });
-        partner = hit.id >= 0 ? static_cast<TaskId>(hit.id) : -1;
-      } else {
-        partner = optimal_partner_for_worker(w);
-      }
-      if (partner >= 0) {
-        assignment.Add(w.id, partner, event.time);
-        waiting_tasks.Erase(partner);
-      } else {
-        waiting_workers.Insert(w.id, w.location);
-      }
-    } else {
-      const Task& r = instance.task(event.index);
-      WorkerId partner = -1;
-      if (in_greedy_phase) {
-        const IndexedPoint hit = waiting_workers.FindNearest(
-            r.location, max_radius,
-            [&](const IndexedPoint& entry, double) {
-              const Worker& w =
-                  instance.worker(static_cast<WorkerId>(entry.id));
-              return greedy_feasible(w, r) && w.Deadline() >= event.time;
-            });
-        partner = hit.id >= 0 ? static_cast<WorkerId>(hit.id) : -1;
-      } else {
-        partner = optimal_partner_for_task(r);
-      }
-      if (partner >= 0) {
-        assignment.Add(partner, r.id, event.time);
-        waiting_workers.Erase(partner);
-      } else {
-        waiting_tasks.Insert(r.id, r.location);
-      }
-    }
-    // Periodic lazy expiry keeps the indexes (and the per-arrival matching
-    // graphs) small.
-    if ((k & 1023u) == 0u) {
-      SweepExpired(
-          waiting_workers, instance.spacetime().grid(), event.time,
-          [&](int64_t id) {
-            return instance.worker(static_cast<WorkerId>(id)).Deadline();
-          },
-          [](int64_t) {}, expiry_scratch);
-      SweepExpired(
-          waiting_tasks, instance.spacetime().grid(), event.time,
-          [&](int64_t id) {
-            return instance.task(static_cast<TaskId>(id)).Deadline();
-          },
-          [](int64_t) {}, expiry_scratch);
-    }
   }
-  return assignment;
+};
+
+}  // namespace
+
+Tgoa::Tgoa(TgoaOptions options) : options_(options) {}
+
+std::unique_ptr<AssignmentSession> Tgoa::StartSession(
+    const Instance& instance) {
+  if (options_.incremental_matching) {
+    return std::make_unique<TgoaIncrementalSession>(instance, options_);
+  }
+  return std::make_unique<TgoaRebuildSession>(instance, options_);
 }
 
 }  // namespace ftoa

@@ -44,12 +44,10 @@ class Tgoa : public OnlineAlgorithm {
 
   std::string name() const override { return "TGOA"; }
 
-  Assignment DoRun(const Instance& instance, RunTrace* trace) override;
+  std::unique_ptr<AssignmentSession> StartSession(
+      const Instance& instance) override;
 
  private:
-  Assignment RunIncremental(const Instance& instance, RunTrace* trace);
-  Assignment RunRebuild(const Instance& instance, RunTrace* trace);
-
   TgoaOptions options_;
 };
 

@@ -2,7 +2,6 @@
 
 #include <vector>
 
-#include "model/arrival_stream.h"
 #include "spatial/grid_index.h"
 
 namespace ftoa {
@@ -18,168 +17,189 @@ struct WaitQueue {
   int32_t Pop() { return items[head++]; }
 };
 
+/// One POLAR-OP+G run: POLAR-OP's node queues plus the greedy-fallback
+/// spatial indexes, hoisted into session state.
+class HybridPolarOpSession final : public AssignmentSessionBase {
+ public:
+  HybridPolarOpSession(const Instance& instance,
+                       std::shared_ptr<const OfflineGuide> guide,
+                       PolarOptions options)
+      : AssignmentSessionBase(instance),
+        guide_(std::move(guide)),
+        options_(options),
+        waiting_at_worker_node_(
+            static_cast<size_t>(guide_->num_worker_nodes())),
+        waiting_at_task_node_(static_cast<size_t>(guide_->num_task_nodes())),
+        worker_type_cursor_(
+            static_cast<size_t>(guide_->spacetime().num_types()), 0),
+        task_type_cursor_(
+            static_cast<size_t>(guide_->spacetime().num_types()), 0),
+        // Greedy fallback state: every unmatched waiting object is indexed
+        // at its *initial* location. Entries are erased when matched (via
+        // either path); expired entries are filtered out by the feasibility
+        // predicate.
+        waiting_workers_(guide_->spacetime().grid()),
+        waiting_tasks_(guide_->spacetime().grid()),
+        max_radius_(MaxFeasibleDistance(instance.MaxTaskDuration(),
+                                        instance.MaxWorkerDuration(),
+                                        instance.velocity())) {}
+
+  void OnWorker(WorkerId worker, double time) override {
+    const OfflineGuide& guide = *guide_;
+    const SpacetimeSpec& st = guide.spacetime();
+    const double velocity = instance().velocity();
+    const Worker& w = instance().worker(worker);
+    bool matched = false;
+
+    // --- Primary path: POLAR-OP's guide-based association. ---
+    const TypeId type = st.TypeOf(w.location, w.start);
+    const auto& nodes = guide.WorkerNodesOfType(type);
+    GuideNodeId node = -1;
+    GuideNodeId partner = -1;
+    if (!nodes.empty()) {
+      uint32_t& cursor = worker_type_cursor_[static_cast<size_t>(type)];
+      node = nodes[static_cast<size_t>(cursor++ % nodes.size())];
+      partner = guide.worker_nodes()[static_cast<size_t>(node)].partner;
+    } else {
+      ++trace_.ignored_workers;
+    }
+    if (partner != -1) {
+      WaitQueue& queue = waiting_at_task_node_[static_cast<size_t>(partner)];
+      while (!queue.empty()) {
+        const int32_t task_id = queue.Pop();
+        if (assignment_.IsTaskMatched(task_id)) continue;  // Fallback took it.
+        const Task& r = instance().task(task_id);
+        if (options_.check_liveness &&
+            !CanServe(w, r, velocity,
+                      FeasibilityPolicy::kDispatchAtWorkerStart)) {
+          continue;
+        }
+        assignment_.Add(w.id, r.id, time);
+        waiting_tasks_.Erase(task_id);
+        matched = true;
+        break;
+      }
+    }
+
+    // --- Fallback: nearest waiting feasible task. ---
+    if (!matched) {
+      const IndexedPoint candidate = waiting_tasks_.FindNearest(
+          w.location, max_radius_,
+          [&](const IndexedPoint& entry, double) {
+            if (assignment_.IsTaskMatched(static_cast<TaskId>(entry.id))) {
+              return false;
+            }
+            const Task& r = instance().task(static_cast<TaskId>(entry.id));
+            return CanServe(w, r, velocity,
+                            FeasibilityPolicy::kDispatchAtAssignmentTime);
+          });
+      if (candidate.id >= 0) {
+        assignment_.Add(w.id, static_cast<TaskId>(candidate.id), time);
+        waiting_tasks_.Erase(candidate.id);
+        matched = true;
+      }
+    }
+
+    if (!matched) {
+      if (node != -1 && partner != -1) {
+        waiting_at_worker_node_[static_cast<size_t>(node)].Push(w.id);
+        if (collect_dispatches()) {
+          const TypeId target_type =
+              guide.task_nodes()[static_cast<size_t>(partner)].type;
+          trace_.dispatches.push_back(DispatchRecord{
+              w.id, st.RepresentativeLocation(target_type), time});
+        }
+      }
+      waiting_workers_.Insert(w.id, w.location);
+    }
+  }
+
+  void OnTask(TaskId task, double time) override {
+    const OfflineGuide& guide = *guide_;
+    const SpacetimeSpec& st = guide.spacetime();
+    const double velocity = instance().velocity();
+    const Task& r = instance().task(task);
+    bool matched = false;
+
+    const TypeId type = st.TypeOf(r.location, r.start);
+    const auto& nodes = guide.TaskNodesOfType(type);
+    GuideNodeId node = -1;
+    GuideNodeId partner = -1;
+    if (!nodes.empty()) {
+      uint32_t& cursor = task_type_cursor_[static_cast<size_t>(type)];
+      node = nodes[static_cast<size_t>(cursor++ % nodes.size())];
+      partner = guide.task_nodes()[static_cast<size_t>(node)].partner;
+    } else {
+      ++trace_.ignored_tasks;
+    }
+    if (partner != -1) {
+      WaitQueue& queue =
+          waiting_at_worker_node_[static_cast<size_t>(partner)];
+      while (!queue.empty()) {
+        const int32_t worker_id = queue.Pop();
+        if (assignment_.IsWorkerMatched(worker_id)) continue;
+        const Worker& w = instance().worker(worker_id);
+        if (options_.check_liveness &&
+            !CanServe(w, r, velocity,
+                      FeasibilityPolicy::kDispatchAtWorkerStart)) {
+          continue;
+        }
+        assignment_.Add(w.id, r.id, time);
+        waiting_workers_.Erase(worker_id);
+        matched = true;
+        break;
+      }
+    }
+
+    if (!matched) {
+      const IndexedPoint candidate = waiting_workers_.FindNearest(
+          r.location, max_radius_,
+          [&](const IndexedPoint& entry, double) {
+            if (assignment_.IsWorkerMatched(
+                    static_cast<WorkerId>(entry.id))) {
+              return false;
+            }
+            const Worker& w =
+                instance().worker(static_cast<WorkerId>(entry.id));
+            return CanServe(w, r, velocity,
+                            FeasibilityPolicy::kDispatchAtAssignmentTime);
+          });
+      if (candidate.id >= 0) {
+        assignment_.Add(static_cast<WorkerId>(candidate.id), r.id, time);
+        waiting_workers_.Erase(candidate.id);
+        matched = true;
+      }
+    }
+
+    if (!matched) {
+      if (node != -1 && partner != -1) {
+        waiting_at_task_node_[static_cast<size_t>(node)].Push(r.id);
+      }
+      waiting_tasks_.Insert(r.id, r.location);
+    }
+  }
+
+ private:
+  std::shared_ptr<const OfflineGuide> guide_;
+  PolarOptions options_;
+  std::vector<WaitQueue> waiting_at_worker_node_;
+  std::vector<WaitQueue> waiting_at_task_node_;
+  std::vector<uint32_t> worker_type_cursor_;
+  std::vector<uint32_t> task_type_cursor_;
+  GridIndex waiting_workers_;
+  GridIndex waiting_tasks_;
+  double max_radius_;
+};
+
 }  // namespace
 
 HybridPolarOp::HybridPolarOp(std::shared_ptr<const OfflineGuide> guide,
                              PolarOptions options)
     : guide_(std::move(guide)), options_(options) {}
 
-Assignment HybridPolarOp::DoRun(const Instance& instance, RunTrace* trace) {
-  const OfflineGuide& guide = *guide_;
-  const SpacetimeSpec& st = guide.spacetime();
-  const double velocity = instance.velocity();
-  Assignment assignment(instance.num_workers(), instance.num_tasks());
-
-  std::vector<WaitQueue> waiting_at_worker_node(
-      static_cast<size_t>(guide.num_worker_nodes()));
-  std::vector<WaitQueue> waiting_at_task_node(
-      static_cast<size_t>(guide.num_task_nodes()));
-  std::vector<uint32_t> worker_type_cursor(
-      static_cast<size_t>(st.num_types()), 0);
-  std::vector<uint32_t> task_type_cursor(static_cast<size_t>(st.num_types()),
-                                         0);
-
-  // Greedy fallback state: every unmatched waiting object is indexed at its
-  // *initial* location. Entries are erased when matched (via either path);
-  // expired entries are filtered out by the feasibility predicate.
-  GridIndex waiting_workers(st.grid());
-  GridIndex waiting_tasks(st.grid());
-  const double max_radius = MaxFeasibleDistance(
-      instance.MaxTaskDuration(), instance.MaxWorkerDuration(), velocity);
-
-  for (const ArrivalEvent& event : BuildArrivalStream(instance)) {
-    if (event.kind == ObjectKind::kWorker) {
-      const Worker& w = instance.worker(event.index);
-      bool matched = false;
-
-      // --- Primary path: POLAR-OP's guide-based association. ---
-      const TypeId type = st.TypeOf(w.location, w.start);
-      const auto& nodes = guide.WorkerNodesOfType(type);
-      GuideNodeId node = -1;
-      GuideNodeId partner = -1;
-      if (!nodes.empty()) {
-        uint32_t& cursor = worker_type_cursor[static_cast<size_t>(type)];
-        node = nodes[static_cast<size_t>(cursor++ % nodes.size())];
-        partner = guide.worker_nodes()[static_cast<size_t>(node)].partner;
-      } else if (trace != nullptr) {
-        ++trace->ignored_workers;
-      }
-      if (partner != -1) {
-        WaitQueue& queue =
-            waiting_at_task_node[static_cast<size_t>(partner)];
-        while (!queue.empty()) {
-          const int32_t task_id = queue.Pop();
-          if (assignment.IsTaskMatched(task_id)) continue;  // Fallback took it.
-          const Task& r = instance.task(task_id);
-          if (options_.check_liveness &&
-              !CanServe(w, r, velocity,
-                        FeasibilityPolicy::kDispatchAtWorkerStart)) {
-            continue;
-          }
-          assignment.Add(w.id, r.id, event.time);
-          waiting_tasks.Erase(task_id);
-          matched = true;
-          break;
-        }
-      }
-
-      // --- Fallback: nearest waiting feasible task. ---
-      if (!matched) {
-        const IndexedPoint candidate = waiting_tasks.FindNearest(
-            w.location, max_radius,
-            [&](const IndexedPoint& entry, double) {
-              if (assignment.IsTaskMatched(
-                      static_cast<TaskId>(entry.id))) {
-                return false;
-              }
-              const Task& r = instance.task(static_cast<TaskId>(entry.id));
-              return CanServe(w, r, velocity,
-                              FeasibilityPolicy::kDispatchAtAssignmentTime);
-            });
-        if (candidate.id >= 0) {
-          assignment.Add(w.id, static_cast<TaskId>(candidate.id),
-                         event.time);
-          waiting_tasks.Erase(candidate.id);
-          matched = true;
-        }
-      }
-
-      if (!matched) {
-        if (node != -1 && partner != -1) {
-          waiting_at_worker_node[static_cast<size_t>(node)].Push(w.id);
-          if (trace != nullptr) {
-            const TypeId target_type =
-                guide.task_nodes()[static_cast<size_t>(partner)].type;
-            trace->dispatches.push_back(DispatchRecord{
-                w.id, st.RepresentativeLocation(target_type), event.time});
-          }
-        }
-        waiting_workers.Insert(w.id, w.location);
-      }
-    } else {
-      const Task& r = instance.task(event.index);
-      bool matched = false;
-
-      const TypeId type = st.TypeOf(r.location, r.start);
-      const auto& nodes = guide.TaskNodesOfType(type);
-      GuideNodeId node = -1;
-      GuideNodeId partner = -1;
-      if (!nodes.empty()) {
-        uint32_t& cursor = task_type_cursor[static_cast<size_t>(type)];
-        node = nodes[static_cast<size_t>(cursor++ % nodes.size())];
-        partner = guide.task_nodes()[static_cast<size_t>(node)].partner;
-      } else if (trace != nullptr) {
-        ++trace->ignored_tasks;
-      }
-      if (partner != -1) {
-        WaitQueue& queue =
-            waiting_at_worker_node[static_cast<size_t>(partner)];
-        while (!queue.empty()) {
-          const int32_t worker_id = queue.Pop();
-          if (assignment.IsWorkerMatched(worker_id)) continue;
-          const Worker& w = instance.worker(worker_id);
-          if (options_.check_liveness &&
-              !CanServe(w, r, velocity,
-                        FeasibilityPolicy::kDispatchAtWorkerStart)) {
-            continue;
-          }
-          assignment.Add(w.id, r.id, event.time);
-          waiting_workers.Erase(worker_id);
-          matched = true;
-          break;
-        }
-      }
-
-      if (!matched) {
-        const IndexedPoint candidate = waiting_workers.FindNearest(
-            r.location, max_radius,
-            [&](const IndexedPoint& entry, double) {
-              if (assignment.IsWorkerMatched(
-                      static_cast<WorkerId>(entry.id))) {
-                return false;
-              }
-              const Worker& w =
-                  instance.worker(static_cast<WorkerId>(entry.id));
-              return CanServe(w, r, velocity,
-                              FeasibilityPolicy::kDispatchAtAssignmentTime);
-            });
-        if (candidate.id >= 0) {
-          assignment.Add(static_cast<WorkerId>(candidate.id), r.id,
-                         event.time);
-          waiting_workers.Erase(candidate.id);
-          matched = true;
-        }
-      }
-
-      if (!matched) {
-        if (node != -1 && partner != -1) {
-          waiting_at_task_node[static_cast<size_t>(node)].Push(r.id);
-        }
-        waiting_tasks.Insert(r.id, r.location);
-      }
-    }
-  }
-  return assignment;
+std::unique_ptr<AssignmentSession> HybridPolarOp::StartSession(
+    const Instance& instance) {
+  return std::make_unique<HybridPolarOpSession>(instance, guide_, options_);
 }
 
 }  // namespace ftoa

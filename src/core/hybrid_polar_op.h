@@ -30,7 +30,8 @@ class HybridPolarOp : public OnlineAlgorithm {
 
   std::string name() const override { return "POLAR-OP+G"; }
 
-  Assignment DoRun(const Instance& instance, RunTrace* trace) override;
+  std::unique_ptr<AssignmentSession> StartSession(
+      const Instance& instance) override;
 
  private:
   std::shared_ptr<const OfflineGuide> guide_;

@@ -26,7 +26,7 @@ struct PolarOptions {
   bool check_liveness = false;
 };
 
-/// The POLAR algorithm. The guide must outlive the algorithm object.
+/// The POLAR algorithm. Sessions share the (immutable) guide.
 class Polar : public OnlineAlgorithm {
  public:
   explicit Polar(std::shared_ptr<const OfflineGuide> guide,
@@ -34,7 +34,8 @@ class Polar : public OnlineAlgorithm {
 
   std::string name() const override { return "POLAR"; }
 
-  Assignment DoRun(const Instance& instance, RunTrace* trace) override;
+  std::unique_ptr<AssignmentSession> StartSession(
+      const Instance& instance) override;
 
  private:
   std::shared_ptr<const OfflineGuide> guide_;

@@ -16,7 +16,7 @@
 
 namespace ftoa {
 
-/// The POLAR-OP algorithm. The guide must outlive the algorithm object.
+/// The POLAR-OP algorithm. Sessions share the (immutable) guide.
 class PolarOp : public OnlineAlgorithm {
  public:
   explicit PolarOp(std::shared_ptr<const OfflineGuide> guide,
@@ -24,7 +24,8 @@ class PolarOp : public OnlineAlgorithm {
 
   std::string name() const override { return "POLAR-OP"; }
 
-  Assignment DoRun(const Instance& instance, RunTrace* trace) override;
+  std::unique_ptr<AssignmentSession> StartSession(
+      const Instance& instance) override;
 
  private:
   std::shared_ptr<const OfflineGuide> guide_;

@@ -54,6 +54,15 @@ void DemandFeatures::Extract(const DemandDataset& data, int day, int slot,
   const WeatherSample& weather = data.weather(day, slot);
   out[k++] = weather.temperature;
   out[k++] = weather.precipitation;
+  // Day-lagged precipitation, aligned with the day-lagged counts above: a
+  // rain day inflates that day's counts, so a model seeing only the lagged
+  // count would over-predict the day after rain. Pairing each lagged count
+  // with its day's precipitation lets the trees discount rain-inflated
+  // history on dry target days.
+  for (int lag = 1; lag <= kDayLags; ++lag) {
+    const int past = day - lag;
+    out[k++] = past >= 0 ? data.weather(past, slot).precipitation : 0.0;
+  }
 }
 
 }  // namespace ftoa

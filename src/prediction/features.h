@@ -22,13 +22,15 @@ class DemandFeatures {
   /// Precomputes per-cell base demand over days [0, train_days).
   void Prepare(const DemandDataset& data, int train_days, DemandSide side);
 
-  /// Width of the feature vector: kDayLags day-lagged counts plus the ten
+  /// Width of the feature vector: kDayLags day-lagged counts, the ten
   /// covariates Extract appends (two recent slots, opposite side, cell
   /// mean, sin/cos slot phase, day-of-week, weekend flag, temperature,
-  /// precipitation). Extract writes exactly this many doubles; keep the
-  /// two in lockstep (the old +9 undercounted by one and made every
-  /// caller's feature buffer overflow on the precipitation write).
-  int dim() const { return kDayLags + 10; }
+  /// precipitation), and kDayLags day-lagged precipitation values that let
+  /// the learners discount rain-inflated lagged counts on dry target days.
+  /// Extract writes exactly this many doubles; keep the two in lockstep
+  /// (an old +9 undercounted by one and made every caller's feature buffer
+  /// overflow on the precipitation write).
+  int dim() const { return 2 * kDayLags + 10; }
 
   /// Writes dim() features for the target into `out`.
   void Extract(const DemandDataset& data, int day, int slot, int cell,

@@ -213,7 +213,12 @@ Status GbrtPredictor::Fit(const DemandDataset& data, int train_days,
            cell += static_cast<int>(cell_stride)) {
         features_.Extract(data, day, slot, cell, scratch.data());
         rows.insert(rows.end(), scratch.begin(), scratch.end());
-        targets.push_back(data.count(side, day, slot, cell));
+        // Train in log space: squared loss on log1p(count) is the rmsle
+        // the evaluation scores, and the multiplicative demand modifiers
+        // (rain lift, weekend damping) become additive offsets that
+        // depth-limited trees — and the day-lagged weather covariates —
+        // can capture as constant corrections.
+        targets.push_back(std::log1p(data.count(side, day, slot, cell)));
       }
     }
   }
@@ -227,7 +232,7 @@ std::vector<double> GbrtPredictor::Predict(const DemandDataset& data,
   for (int cell = 0; cell < data.num_cells(); ++cell) {
     features_.Extract(data, day, slot, cell, scratch.data());
     out[static_cast<size_t>(cell)] =
-        std::max(0.0, model_.Predict(scratch.data()));
+        std::max(0.0, std::expm1(model_.Predict(scratch.data())));
   }
   return out;
 }

@@ -68,7 +68,11 @@ class GbrtModel {
   std::vector<std::vector<double>> bin_edges_;  // Per feature.
 };
 
-/// The GBRT entry of Table 5: GbrtModel over DemandFeatures.
+/// The GBRT entry of Table 5: GbrtModel over DemandFeatures, trained on
+/// log1p(count) targets (squared loss in log space = the rmsle the
+/// evaluation scores; multiplicative demand modifiers such as rain lift
+/// and weekend damping become additive offsets the trees capture cleanly).
+/// Predictions are mapped back with expm1 and clamped at zero.
 class GbrtPredictor : public Predictor {
  public:
   explicit GbrtPredictor(GbrtParams params = {}) : model_(params) {}

@@ -1,11 +1,22 @@
 #include "sim/dispatcher.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace ftoa {
 
 Dispatcher::Dispatcher(const Instance& instance, const RunTrace& trace)
     : instance_(&instance),
       plans_(instance.num_workers()) {
   for (const DispatchRecord& record : trace.dispatches) {
+    if (record.worker < 0 ||
+        static_cast<size_t>(record.worker) >= plans_.size()) {
+      std::fprintf(stderr,
+                   "Dispatcher: dispatch record for worker %d outside the "
+                   "instance's %zu workers\n",
+                   record.worker, plans_.size());
+      std::abort();
+    }
     MovementPlan& plan = plans_[static_cast<size_t>(record.worker)];
     plan.active = true;
     plan.origin = instance.worker(record.worker).location;
@@ -14,8 +25,18 @@ Dispatcher::Dispatcher(const Instance& instance, const RunTrace& trace)
   }
 }
 
+const Dispatcher::MovementPlan& Dispatcher::PlanOf(WorkerId worker) const {
+  if (worker < 0 || static_cast<size_t>(worker) >= plans_.size()) {
+    std::fprintf(stderr,
+                 "Dispatcher: worker id %d out of range [0, %zu)\n", worker,
+                 plans_.size());
+    std::abort();
+  }
+  return plans_[static_cast<size_t>(worker)];
+}
+
 Point Dispatcher::PositionAt(WorkerId worker, double t) const {
-  const MovementPlan& plan = plans_[static_cast<size_t>(worker)];
+  const MovementPlan& plan = PlanOf(worker);
   const Worker& w = instance_->worker(worker);
   if (!plan.active || t <= plan.depart_time) return w.location;
   const double total = Distance(plan.origin, plan.target);

@@ -23,12 +23,13 @@ class Dispatcher {
 
   /// Position of `worker` at time `t`: at its origin until its dispatch is
   /// issued, then en route toward the target at the instance velocity, then
-  /// parked at the target.
+  /// parked at the target. Aborts on an out-of-range worker id.
   Point PositionAt(WorkerId worker, double t) const;
 
-  /// True iff the worker was issued a relocation instruction.
+  /// True iff the worker was issued a relocation instruction. Aborts on an
+  /// out-of-range worker id.
   bool WasDispatched(WorkerId worker) const {
-    return plans_[static_cast<size_t>(worker)].active;
+    return PlanOf(worker).active;
   }
 
  private:
@@ -38,6 +39,11 @@ class Dispatcher {
     Point target;
     double depart_time = 0.0;
   };
+
+  /// Bounds-checked plan lookup: a worker id outside the instance's id
+  /// space means the trace and the instance disagree — abort loudly (the
+  /// death-test path) instead of indexing out of bounds.
+  const MovementPlan& PlanOf(WorkerId worker) const;
 
   const Instance* instance_;
   std::vector<MovementPlan> plans_;

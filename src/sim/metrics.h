@@ -23,6 +23,14 @@ struct RunMetrics {
   // Trace extras.
   int64_t dispatched_workers = 0;  ///< Guide-issued relocations.
   int64_t ignored_objects = 0;     ///< Arrivals dropped by POLAR/POLAR-OP.
+
+  // Streaming extras (populated by RunnerOptions::streaming, which drives
+  // the algorithm's AssignmentSession arrival by arrival and measures each
+  // decision — the production dispatcher's latency axis).
+  int64_t decisions = 0;                 ///< Arrivals fed to the session.
+  double decision_latency_p50_ns = 0.0;  ///< Median per-decision latency.
+  double decision_latency_p99_ns = 0.0;  ///< Tail per-decision latency.
+  double decision_latency_max_ns = 0.0;  ///< Worst single decision.
 };
 
 }  // namespace ftoa

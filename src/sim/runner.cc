@@ -1,10 +1,64 @@
 #include "sim/runner.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "model/arrival_stream.h"
 #include "sim/simulator.h"
 #include "util/memory_tracker.h"
 #include "util/stopwatch.h"
 
 namespace ftoa {
+
+namespace {
+
+/// Nearest-rank percentile of an unsorted latency sample (destructive).
+double PercentileNanos(std::vector<int64_t>& latencies, double quantile) {
+  if (latencies.empty()) return 0.0;
+  const size_t rank = std::min(
+      latencies.size() - 1,
+      static_cast<size_t>(quantile * static_cast<double>(latencies.size())));
+  std::nth_element(latencies.begin(), latencies.begin() + rank,
+                   latencies.end());
+  return static_cast<double>(latencies[rank]);
+}
+
+/// Streams the instance's arrival order through one session, timing every
+/// decision. Produces the same assignment/trace as algorithm->Run(): the
+/// driver is the same replay, just instrumented.
+Assignment RunStreaming(OnlineAlgorithm* algorithm, const Instance& instance,
+                        RunTrace* trace, RunMetrics* metrics) {
+  const std::vector<ArrivalEvent> events = BuildArrivalStream(instance);
+  std::vector<int64_t> latencies;
+  latencies.reserve(events.size());
+
+  const std::unique_ptr<AssignmentSession> session =
+      algorithm->StartSession(instance);
+  if (trace == nullptr) session->set_collect_dispatches(false);
+  Stopwatch decision_clock;
+  for (const ArrivalEvent& event : events) {
+    decision_clock.Restart();
+    if (event.kind == ObjectKind::kWorker) {
+      session->OnWorker(event.index, event.time);
+    } else {
+      session->OnTask(event.index, event.time);
+    }
+    latencies.push_back(decision_clock.ElapsedNanos());
+  }
+  SessionResult result = session->Finish();
+  if (trace != nullptr) trace->Absorb(std::move(result.trace));
+
+  metrics->decisions = static_cast<int64_t>(latencies.size());
+  metrics->decision_latency_p50_ns = PercentileNanos(latencies, 0.50);
+  metrics->decision_latency_p99_ns = PercentileNanos(latencies, 0.99);
+  if (!latencies.empty()) {
+    metrics->decision_latency_max_ns = static_cast<double>(
+        *std::max_element(latencies.begin(), latencies.end()));
+  }
+  return std::move(result.assignment);
+}
+
+}  // namespace
 
 Result<RunMetrics> RunAlgorithm(OnlineAlgorithm* algorithm,
                                 const Instance& instance,
@@ -17,7 +71,10 @@ Result<RunMetrics> RunAlgorithm(OnlineAlgorithm* algorithm,
 
   MemoryScope memory_scope;
   Stopwatch stopwatch;
-  Assignment assignment = algorithm->Run(instance, trace_ptr);
+  Assignment assignment =
+      options.streaming
+          ? RunStreaming(algorithm, instance, trace_ptr, &metrics)
+          : algorithm->Run(instance, trace_ptr);
   metrics.elapsed_seconds = stopwatch.ElapsedSeconds();
   metrics.peak_memory_bytes = memory_scope.PeakDelta();
   metrics.matching_size = static_cast<int64_t>(assignment.size());

@@ -23,6 +23,13 @@ struct RunnerOptions {
 
   /// Collect a RunTrace and re-verify pairs against actual movement.
   bool strict_verification = false;
+
+  /// Drive the algorithm's AssignmentSession one arrival at a time instead
+  /// of batch replay, recording per-decision latency percentiles into
+  /// RunMetrics. The assignment (and trace) are bit-identical to the batch
+  /// run — Run() is the same replay — so only the measurement differs:
+  /// elapsed_seconds additionally covers the per-event stopwatch reads.
+  bool streaming = false;
 };
 
 /// Runs `algorithm` on `instance` and collects metrics. Returns an error if

@@ -22,6 +22,16 @@ std::vector<std::string> Split(std::string_view input, char delimiter) {
   return tokens;
 }
 
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string joined;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) joined.append(separator);
+    joined.append(parts[i]);
+  }
+  return joined;
+}
+
 std::string Trim(std::string_view input) {
   size_t begin = 0;
   size_t end = input.size();

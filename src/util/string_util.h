@@ -14,6 +14,10 @@ namespace ftoa {
 /// Splits `input` on `delimiter`; keeps empty tokens.
 std::vector<std::string> Split(std::string_view input, char delimiter);
 
+/// Joins `parts` with `separator` ("a, b, c" for separator ", ").
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
 /// Strips ASCII whitespace from both ends.
 std::string Trim(std::string_view input);
 

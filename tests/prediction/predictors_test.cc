@@ -195,12 +195,14 @@ TEST(GbrtPredictorTest, BeatsHistoricalAverageWithWeatherSignal) {
   // History: until the DemandFeatures::dim() off-by-one was fixed, the
   // precipitation write overflowed every caller's feature buffer and the
   // value never reached the training matrix, so this test used to compare
-  // a weather-blind GBRT on *overall* rmsle. With the signal actually
-  // wired in, GBRT wins decisively where weather matters — the rainy days
-  // HA cannot anticipate — while on dry days its day-lagged count
-  // features, inflated by the preceding rain, cost it accuracy relative
-  // to HA's per-slot averages (a lagged-weather feature would recover
-  // this; the overall bound below keeps that gap from regressing).
+  // a weather-blind GBRT on *overall* rmsle. The dry-day handicap that
+  // remained (~1.9x HA) was then attributed to rain-inflated day-lagged
+  // count features; measurement showed it was mostly the linear-space
+  // squared loss misaligned with the rmsle metric — training on log1p
+  // targets (where rain lift and weekend damping are additive offsets,
+  // correctable via the day-lagged weather covariates) brought the
+  // dry-day ratio down to ~1.6x on this seed. The tightened bound below
+  // locks that in.
   const DemandDataset data =
       MakePeriodicDataset(35, kSlots, kCells, 0.3, 17);
   GbrtPredictor gbrt;
@@ -228,10 +230,11 @@ TEST(GbrtPredictorTest, BeatsHistoricalAverageWithWeatherSignal) {
   // Weather signal: strictly better than HA on every-rainy-day aggregate.
   EXPECT_LT(rmsle_over(gbrt, /*rainy=*/true),
             rmsle_over(ha, /*rainy=*/true));
-  // Dry-day guardrail: the rain-poisoned-lag handicap stays bounded
-  // (measured ~1.9x on this seed; the bound catches gross regressions).
+  // Dry-day guardrail, re-tightened from the pre-log-space 2.2x: measured
+  // ~1.61x on this seed; the bound catches regressions of either the
+  // log-space objective or the lagged-weather features.
   EXPECT_LT(rmsle_over(gbrt, /*rainy=*/false),
-            rmsle_over(ha, /*rainy=*/false) * 2.2);
+            rmsle_over(ha, /*rainy=*/false) * 1.8);
 }
 
 TEST(PaqTest, FollowsRecentLevelShift) {

@@ -55,5 +55,30 @@ TEST(DispatcherTest, ZeroLengthDispatchParksImmediately) {
   EXPECT_EQ(dispatcher.PositionAt(0, 5.0), (Point{0.0, 0.0}));
 }
 
+TEST(DispatcherDeathTest, PositionAtRejectsOutOfRangeWorker) {
+  const Instance instance = MakeSingleWorkerInstance();
+  RunTrace trace;
+  const Dispatcher dispatcher(instance, trace);
+  EXPECT_DEATH(dispatcher.PositionAt(1, 0.0), "out of range");
+  EXPECT_DEATH(dispatcher.PositionAt(-1, 0.0), "out of range");
+}
+
+TEST(DispatcherDeathTest, WasDispatchedRejectsOutOfRangeWorker) {
+  const Instance instance = MakeSingleWorkerInstance();
+  RunTrace trace;
+  const Dispatcher dispatcher(instance, trace);
+  EXPECT_DEATH(dispatcher.WasDispatched(7), "out of range");
+}
+
+TEST(DispatcherDeathTest, RejectsTraceForUnknownWorker) {
+  const Instance instance = MakeSingleWorkerInstance();
+  RunTrace trace;
+  // A dispatch record for a worker the instance does not contain means the
+  // trace and instance disagree; building the dispatcher must abort rather
+  // than index out of bounds.
+  trace.dispatches.push_back(DispatchRecord{3, {1.0, 1.0}, 0.5});
+  EXPECT_DEATH(Dispatcher(instance, trace), "outside the instance");
+}
+
 }  // namespace
 }  // namespace ftoa

@@ -43,6 +43,65 @@ TEST(RunnerTest, ValidationUsesRequestedPolicy) {
   EXPECT_TRUE(RunAlgorithm(&greedy, instance, options).ok());
 }
 
+TEST(RunnerTest, StreamingModeMatchesBatchAndRecordsLatencies) {
+  const Instance instance = MakeExample1Instance();
+  SimpleGreedy greedy;
+  const auto batch = RunAlgorithm(&greedy, instance);
+  ASSERT_TRUE(batch.ok());
+
+  RunnerOptions options;
+  options.streaming = true;
+  options.validate = true;
+  options.validation_policy = FeasibilityPolicy::kDispatchAtAssignmentTime;
+  const auto streamed = RunAlgorithm(&greedy, instance, options);
+  ASSERT_TRUE(streamed.ok());
+  // Same decisions, only the measurement differs.
+  EXPECT_EQ(streamed->matching_size, batch->matching_size);
+  // One decision per arrival of the Example 1 universe (7 workers + 6
+  // tasks), with ordered latency percentiles.
+  EXPECT_EQ(streamed->decisions, 13);
+  EXPECT_GT(streamed->decision_latency_p50_ns, 0.0);
+  EXPECT_LE(streamed->decision_latency_p50_ns,
+            streamed->decision_latency_p99_ns);
+  EXPECT_LE(streamed->decision_latency_p99_ns,
+            streamed->decision_latency_max_ns);
+}
+
+TEST(RunnerTest, BatchModeLeavesStreamingExtrasZero) {
+  const Instance instance = MakeExample1Instance();
+  SimpleGreedy greedy;
+  const auto metrics = RunAlgorithm(&greedy, instance);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->decisions, 0);
+  EXPECT_EQ(metrics->decision_latency_p50_ns, 0.0);
+  EXPECT_EQ(metrics->decision_latency_max_ns, 0.0);
+}
+
+TEST(RunnerTest, StreamingStrictVerificationMatchesBatch) {
+  const Instance instance = MakeExample1Instance();
+  GuideOptions guide_options;
+  guide_options.engine = GuideOptions::Engine::kDinic;
+  guide_options.worker_duration = 30.0;
+  guide_options.task_duration = 2.0;
+  auto guide = std::make_shared<const OfflineGuide>(
+      std::move(GuideGenerator(instance.velocity(), guide_options)
+                    .Generate(PredictionMatrix::FromInstance(instance)))
+          .value());
+  PolarOp polar_op(guide);
+  RunnerOptions options;
+  options.strict_verification = true;
+  const auto batch = RunAlgorithm(&polar_op, instance, options);
+  ASSERT_TRUE(batch.ok());
+  options.streaming = true;
+  const auto streamed = RunAlgorithm(&polar_op, instance, options);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(streamed->matching_size, batch->matching_size);
+  EXPECT_EQ(streamed->strict_feasible_pairs, batch->strict_feasible_pairs);
+  EXPECT_EQ(streamed->strict_violations, batch->strict_violations);
+  EXPECT_EQ(streamed->dispatched_workers, batch->dispatched_workers);
+  EXPECT_EQ(streamed->ignored_objects, batch->ignored_objects);
+}
+
 TEST(RunnerTest, StrictVerificationPopulatesExtras) {
   const Instance instance = MakeExample1Instance();
   GuideOptions guide_options;

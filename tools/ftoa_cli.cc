@@ -3,14 +3,18 @@
 //
 //   ftoa generate synthetic --workers=5000 --tasks=5000 --out=day.csv
 //   ftoa generate city --city=beijing --day=20 --scale=0.1 --out=day.csv
-//   ftoa run --instance=day.csv --algorithm=polar-op [--strict]
+//   ftoa run --instance=day.csv --algorithm=polar-op [--strict] [--stream]
+//   ftoa algos
 //   ftoa inspect --instance=day.csv
 //
 // `run` executes one algorithm over a saved instance and prints matching
 // size, wall time, peak heap, and (with --strict) the physical
-// re-verification breakdown. The guide for POLAR-family algorithms is
-// derived from the instance's own realized counts unless --prediction
-// points at a second instance file whose counts act as the forecast.
+// re-verification breakdown; --stream drives the algorithm's streaming
+// session arrival by arrival and reports per-decision latency percentiles.
+// `algos` lists every algorithm the registry knows. The guide for
+// POLAR-family algorithms is derived from the instance's own realized
+// counts unless --prediction points at a second instance file whose counts
+// act as the forecast.
 
 #include <cstdio>
 #include <cstring>
@@ -19,14 +23,8 @@
 #include <string>
 #include <vector>
 
-#include "baselines/gr_batch.h"
-#include "baselines/offline_opt.h"
-#include "baselines/simple_greedy.h"
-#include "baselines/tgoa.h"
+#include "core/algorithm_registry.h"
 #include "core/guide_generator.h"
-#include "core/hybrid_polar_op.h"
-#include "core/polar.h"
-#include "core/polar_op.h"
 #include "gen/city_trace.h"
 #include "gen/synthetic.h"
 #include "model/io.h"
@@ -96,10 +94,11 @@ int Usage() {
       "  ftoa generate city [--city=beijing|hangzhou] [--day=N]\n"
       "       [--scale=F] --out=FILE\n"
       "  ftoa run --instance=FILE --algorithm=NAME [--prediction=FILE]\n"
-      "       [--strict] [--dr=F] [--dw=F]\n"
-      "       (NAME: simple-greedy | gr | tgoa | polar | polar-op |\n"
-      "              polar-op-g | opt)\n"
-      "  ftoa inspect --instance=FILE\n");
+      "       [--strict] [--stream] [--dr=F] [--dw=F]\n"
+      "       (NAME: %s)\n"
+      "  ftoa algos\n"
+      "  ftoa inspect --instance=FILE\n",
+      Join(AllAlgorithmNames(), " | ").c_str());
   return 2;
 }
 
@@ -169,11 +168,8 @@ int CmdRun(int argc, char** argv) {
   }
 
   // Guide-based algorithms need a prediction.
-  std::shared_ptr<const OfflineGuide> guide;
-  const bool needs_guide = algorithm_name == "polar" ||
-                           algorithm_name == "polar-op" ||
-                           algorithm_name == "polar-op-g";
-  if (needs_guide) {
+  AlgorithmDeps deps;
+  if (AlgorithmNeedsGuide(algorithm_name)) {
     PredictionMatrix prediction = PredictionMatrix::FromInstance(*instance);
     const std::string prediction_path = args.Get("prediction");
     if (!prediction_path.empty()) {
@@ -198,34 +194,21 @@ int CmdRun(int argc, char** argv) {
                    generated.status().ToString().c_str());
       return 1;
     }
-    guide = std::make_shared<const OfflineGuide>(
+    deps.guide = std::make_shared<const OfflineGuide>(
         std::move(generated).value());
   }
 
-  std::unique_ptr<OnlineAlgorithm> algorithm;
-  if (algorithm_name == "simple-greedy") {
-    algorithm = std::make_unique<SimpleGreedy>();
-  } else if (algorithm_name == "gr") {
-    algorithm = std::make_unique<GrBatch>();
-  } else if (algorithm_name == "tgoa") {
-    algorithm = std::make_unique<Tgoa>();
-  } else if (algorithm_name == "polar") {
-    algorithm = std::make_unique<Polar>(guide);
-  } else if (algorithm_name == "polar-op") {
-    algorithm = std::make_unique<PolarOp>(guide);
-  } else if (algorithm_name == "polar-op-g") {
-    algorithm = std::make_unique<HybridPolarOp>(guide);
-  } else if (algorithm_name == "opt") {
-    algorithm = std::make_unique<OfflineOpt>();
-  } else {
-    std::fprintf(stderr, "unknown algorithm: %s\n",
-                 algorithm_name.c_str());
+  auto algorithm = CreateAlgorithm(algorithm_name, deps);
+  if (!algorithm.ok()) {
+    // NotFound carries the valid-name set (AllAlgorithmNames).
+    std::fprintf(stderr, "%s\n", algorithm.status().ToString().c_str());
     return 2;
   }
 
   RunnerOptions options;
   options.strict_verification = args.Has("strict");
-  const auto metrics = RunAlgorithm(algorithm.get(), *instance, options);
+  options.streaming = args.Has("stream");
+  const auto metrics = RunAlgorithm(algorithm->get(), *instance, options);
   if (!metrics.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  metrics.status().ToString().c_str());
@@ -244,6 +227,24 @@ int CmdRun(int argc, char** argv) {
                 static_cast<long long>(metrics->strict_feasible_pairs),
                 static_cast<long long>(metrics->strict_violations),
                 static_cast<long long>(metrics->dispatched_workers));
+  }
+  if (options.streaming) {
+    std::printf("decisions      %lld (streaming session)\n",
+                static_cast<long long>(metrics->decisions));
+    std::printf("latency        p50 %.0f ns / p99 %.0f ns / max %.0f ns "
+                "per decision\n",
+                metrics->decision_latency_p50_ns,
+                metrics->decision_latency_p99_ns,
+                metrics->decision_latency_max_ns);
+  }
+  return 0;
+}
+
+int CmdAlgos() {
+  // One canonical name per line plus the display name benches print.
+  for (const std::string& name : AllAlgorithmNames()) {
+    std::printf("%-14s %s\n", name.c_str(),
+                AlgorithmDisplayName(name).c_str());
   }
   return 0;
 }
@@ -293,6 +294,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "generate") return ftoa::CmdGenerate(argc, argv);
   if (command == "run") return ftoa::CmdRun(argc, argv);
+  if (command == "algos") return ftoa::CmdAlgos();
   if (command == "inspect") return ftoa::CmdInspect(argc, argv);
   return ftoa::Usage();
 }

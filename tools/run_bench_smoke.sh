@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Perf-trajectory smoke: builds Release, runs the flow microbench, the
-# per-object online-algorithm microbench, and the parallel/sharding
-# microbench, and records their JSON next to the repo root
-# (BENCH_flow.json, BENCH_perobject.json, BENCH_parallel.json) so future
-# PRs can diff solver performance against this one.
+# per-object online-algorithm microbench, the parallel/sharding
+# microbench, and the streaming-session microbench, and records their JSON
+# next to the repo root (BENCH_flow.json, BENCH_perobject.json,
+# BENCH_parallel.json, BENCH_streaming.json) so future PRs can diff solver
+# performance against this one.
 #
 # Usage: tools/run_bench_smoke.sh [build-dir]
 set -euo pipefail
@@ -15,6 +16,7 @@ cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DFTOA_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD" \
       --target bench_micro_flow bench_micro_perobject bench_parallel \
+               bench_streaming \
       -j "$(nproc)"
 
 echo "== bench_micro_flow (Dijkstra+potentials vs SPFA, arenas, matcher)"
@@ -34,6 +36,12 @@ echo "== bench_parallel (sharded guide solve + parallel MC trials)"
 "$BUILD/bench_parallel" \
     --benchmark_min_time=0.05 \
     --benchmark_out="$ROOT/BENCH_parallel.json" \
+    --benchmark_out_format=json
+
+echo "== bench_streaming (session vs batch throughput, decision latency)"
+"$BUILD/bench_streaming" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="$ROOT/BENCH_streaming.json" \
     --benchmark_out_format=json
 
 # Headline number: min-cost flow speedup on the dense 2048x2048 instance.
@@ -62,4 +70,23 @@ for base, label in [("BM_GuideCompressed", "guide (sharded)"),
     if serial and parallel:
         print(f"{label}: serial {serial:.1f}ms, 4 threads "
               f"{parallel:.1f}ms, speedup {serial / parallel:.2f}x")
+EOF
+
+# Headline numbers: streaming-session overhead vs batch replay, and the
+# POLAR-OP per-decision latency percentiles a live dispatcher would report.
+python3 - "$ROOT/BENCH_streaming.json" <<'EOF'
+import json, sys
+benches = json.load(open(sys.argv[1]))["benchmarks"]
+runs = {b["name"]: b for b in benches}
+batch = runs.get("BM_BatchRun/polar_op/16000")
+stream = runs.get("BM_StreamRun/polar_op/16000")
+if batch and stream:
+    print(f"polar-op 16k+16k: batch {batch['real_time']:.2f}ms, "
+          f"stream {stream['real_time']:.2f}ms "
+          f"(overhead {stream['real_time'] / batch['real_time'] - 1:+.1%})")
+lat = runs.get("BM_DecisionLatency/polar_op/16000")
+if lat:
+    print(f"polar-op decision latency: p50 {lat.get('p50_ns', 0):.0f}ns, "
+          f"p99 {lat.get('p99_ns', 0):.0f}ns, "
+          f"max {lat.get('max_ns', 0):.0f}ns")
 EOF
