@@ -1,6 +1,7 @@
 #include "baselines/offline_opt.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "flow/hopcroft_karp.h"
@@ -10,9 +11,14 @@ namespace ftoa {
 
 namespace {
 
-/// Maximum-cardinality matching over all feasible pairs of the full
-/// instance (the paper's OPT).
-void SolveOffline(const Instance& instance, Assignment* assignment) {
+/// Maximum-cardinality matching over all feasible pairs among the *fed*
+/// objects (the paper's OPT when the whole stream was fed). Membership is
+/// tested while iterating in instance order, so feeding the full universe
+/// yields exactly the classic full-instance solve, edge order included.
+void SolveOffline(const Instance& instance,
+                  const std::vector<uint8_t>& worker_fed,
+                  const std::vector<uint8_t>& task_fed,
+                  Assignment* assignment) {
   const double velocity = instance.velocity();
   if (instance.num_workers() == 0 || instance.num_tasks() == 0) return;
 
@@ -21,7 +27,9 @@ void SolveOffline(const Instance& instance, Assignment* assignment) {
   // disk of radius (max_dr + Dw) * v.
   GridIndex task_index(instance.spacetime().grid());
   for (const Task& r : instance.tasks()) {
-    task_index.Insert(r.id, r.location);
+    if (task_fed[static_cast<size_t>(r.id)]) {
+      task_index.Insert(r.id, r.location);
+    }
   }
   const double max_dr = instance.MaxTaskDuration();
 
@@ -31,6 +39,7 @@ void SolveOffline(const Instance& instance, Assignment* assignment) {
   std::vector<std::pair<WorkerId, TaskId>> edges;
   edges.reserve(static_cast<size_t>(instance.num_workers()) * 4);
   for (const Worker& w : instance.workers()) {
+    if (!worker_fed[static_cast<size_t>(w.id)]) continue;
     const double radius = (max_dr + w.duration) * velocity;
     task_index.ForEachInDisk(
         w.location, radius, [&](const IndexedPoint& entry, double) {
@@ -57,30 +66,37 @@ void SolveOffline(const Instance& instance, Assignment* assignment) {
   }
 }
 
-/// Buffering session: OPT needs the whole realized instance, which it was
-/// handed at StartSession, so the streamed arrivals carry no extra
-/// information — the session simply waits for the stream to end and solves
-/// the full matching on the first Flush.
+/// Buffering session: OPT records which objects arrived and solves the
+/// maximum matching over exactly that sub-universe on the first Flush.
+/// Run() feeds the whole instance, reproducing the classic full-instance
+/// optimum; a sharded dispatcher feeds each shard session only its routed
+/// objects, so per-shard OPT solves disjoint sub-instances whose union
+/// merges without conflicts.
 class OfflineOptSession final : public AssignmentSessionBase {
  public:
-  using AssignmentSessionBase::AssignmentSessionBase;
+  explicit OfflineOptSession(const Instance& instance)
+      : AssignmentSessionBase(instance),
+        worker_fed_(instance.num_workers(), 0),
+        task_fed_(instance.num_tasks(), 0) {}
 
   void OnWorker(WorkerId worker, double time) override {
-    (void)worker;
     (void)time;
+    worker_fed_[static_cast<size_t>(worker)] = 1;
   }
   void OnTask(TaskId task, double time) override {
-    (void)task;
     (void)time;
+    task_fed_[static_cast<size_t>(task)] = 1;
   }
 
   void Flush() override {
     if (solved_) return;
     solved_ = true;
-    SolveOffline(instance(), &assignment_);
+    SolveOffline(instance(), worker_fed_, task_fed_, &assignment_);
   }
 
  private:
+  std::vector<uint8_t> worker_fed_;
+  std::vector<uint8_t> task_fed_;
   bool solved_ = false;
 };
 

@@ -14,9 +14,11 @@
 namespace ftoa {
 
 /// The offline optimum. (Implemented against the OnlineAlgorithm interface
-/// so benches can sweep it alongside the online algorithms, but it sees the
-/// whole instance at once — its session buffers the stream and solves on
-/// Flush/Finish.)
+/// so benches can sweep it alongside the online algorithms, but it sees its
+/// arrivals all at once — the session buffers the stream and solves the
+/// maximum matching over the *fed* sub-universe on Flush/Finish. Run()
+/// feeds everything, yielding the classic full-instance optimum; under a
+/// sharded dispatcher each shard session solves its own sub-instance.)
 class OfflineOpt : public OnlineAlgorithm {
  public:
   OfflineOpt() = default;

@@ -1,0 +1,57 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+namespace ftoa {
+
+namespace {
+
+/// Nearest-rank percentile of an unsorted latency sample (destructive).
+double PercentileNanos(std::vector<int64_t>& latencies, double quantile) {
+  if (latencies.empty()) return 0.0;
+  const size_t rank = std::min(
+      latencies.size() - 1,
+      static_cast<size_t>(quantile * static_cast<double>(latencies.size())));
+  std::nth_element(latencies.begin(), latencies.begin() + rank,
+                   latencies.end());
+  return static_cast<double>(latencies[rank]);
+}
+
+}  // namespace
+
+void FillDecisionLatencies(std::vector<int64_t>& latency_ns,
+                           RunMetrics* metrics) {
+  metrics->decisions = static_cast<int64_t>(latency_ns.size());
+  metrics->decision_latency_p50_ns = PercentileNanos(latency_ns, 0.50);
+  metrics->decision_latency_p99_ns = PercentileNanos(latency_ns, 0.99);
+  if (!latency_ns.empty()) {
+    metrics->decision_latency_max_ns = static_cast<double>(
+        *std::max_element(latency_ns.begin(), latency_ns.end()));
+  }
+}
+
+RunMetrics MergeShardRunMetrics(const std::vector<RunMetrics>& shards) {
+  RunMetrics merged;
+  if (shards.empty()) return merged;
+  merged.algorithm = shards.front().algorithm;
+  for (const RunMetrics& shard : shards) {
+    merged.matching_size += shard.matching_size;
+    merged.elapsed_seconds =
+        std::max(merged.elapsed_seconds, shard.elapsed_seconds);
+    merged.peak_memory_bytes += shard.peak_memory_bytes;
+    merged.strict_feasible_pairs += shard.strict_feasible_pairs;
+    merged.strict_violations += shard.strict_violations;
+    merged.dispatched_workers += shard.dispatched_workers;
+    merged.ignored_objects += shard.ignored_objects;
+    merged.decisions += shard.decisions;
+    merged.decision_latency_p50_ns = std::max(merged.decision_latency_p50_ns,
+                                              shard.decision_latency_p50_ns);
+    merged.decision_latency_p99_ns = std::max(merged.decision_latency_p99_ns,
+                                              shard.decision_latency_p99_ns);
+    merged.decision_latency_max_ns = std::max(merged.decision_latency_max_ns,
+                                              shard.decision_latency_max_ns);
+  }
+  return merged;
+}
+
+}  // namespace ftoa

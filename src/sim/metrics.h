@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ftoa {
 
@@ -32,6 +33,36 @@ struct RunMetrics {
   double decision_latency_p99_ns = 0.0;  ///< Tail per-decision latency.
   double decision_latency_max_ns = 0.0;  ///< Worst single decision.
 };
+
+/// Fills `decisions` and the decision_latency percentile fields of `metrics`
+/// from a raw per-decision latency sample, using the nearest-rank percentile
+/// definition. Destructive: the sample is reordered in place (nth_element).
+/// An empty sample leaves the percentile fields at 0.
+void FillDecisionLatencies(std::vector<int64_t>& latency_ns,
+                           RunMetrics* metrics);
+
+/// Aggregates per-shard RunMetrics into the merged metrics of one sharded
+/// run (sim/sharded_dispatcher). The chosen merge semantics, field by field:
+///
+///  * Counter fields (matching_size, decisions, strict_*,
+///    dispatched_workers, ignored_objects) and peak_memory_bytes are
+///    *summed*. For concurrently-running shards the summed heap peak is an
+///    upper bound on the true process peak (shard peaks need not coincide).
+///  * elapsed_seconds merges by *max*: shards execute concurrently, so the
+///    critical-path shard bounds the wall clock of the sharded run.
+///  * Percentile fields (decision_latency_{p50,p99,max}_ns) merge by *max*.
+///    This is a conservative upper bound on the pooled percentile: if at
+///    most a (1-q) fraction of each shard's samples exceed that shard's
+///    q-percentile, then at most a (1-q) fraction of the pooled samples
+///    exceed the max of the per-shard q-percentiles, hence pooled
+///    p_q <= max(shard p_q) up to nearest-rank discretization. Averaging
+///    (weighted or not) holds no such guarantee — a lightly-loaded fast
+///    shard would mask a saturated one — so an SLO read off the merged
+///    value is still honored by every shard.
+///
+/// `algorithm` is taken from the first entry (all shards run one
+/// algorithm). An empty input yields a default RunMetrics.
+RunMetrics MergeShardRunMetrics(const std::vector<RunMetrics>& shards);
 
 }  // namespace ftoa
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "model/arrival_stream.h"
+#include "sim/sharded_dispatcher.h"
 #include "sim/simulator.h"
 #include "util/memory_tracker.h"
 #include "util/stopwatch.h"
@@ -11,17 +12,6 @@
 namespace ftoa {
 
 namespace {
-
-/// Nearest-rank percentile of an unsorted latency sample (destructive).
-double PercentileNanos(std::vector<int64_t>& latencies, double quantile) {
-  if (latencies.empty()) return 0.0;
-  const size_t rank = std::min(
-      latencies.size() - 1,
-      static_cast<size_t>(quantile * static_cast<double>(latencies.size())));
-  std::nth_element(latencies.begin(), latencies.begin() + rank,
-                   latencies.end());
-  return static_cast<double>(latencies[rank]);
-}
 
 /// Streams the instance's arrival order through one session, timing every
 /// decision. Produces the same assignment/trace as algorithm->Run(): the
@@ -48,14 +38,46 @@ Assignment RunStreaming(OnlineAlgorithm* algorithm, const Instance& instance,
   SessionResult result = session->Finish();
   if (trace != nullptr) trace->Absorb(std::move(result.trace));
 
-  metrics->decisions = static_cast<int64_t>(latencies.size());
-  metrics->decision_latency_p50_ns = PercentileNanos(latencies, 0.50);
-  metrics->decision_latency_p99_ns = PercentileNanos(latencies, 0.99);
-  if (!latencies.empty()) {
-    metrics->decision_latency_max_ns = static_cast<double>(
-        *std::max_element(latencies.begin(), latencies.end()));
-  }
+  FillDecisionLatencies(latencies, metrics);
   return std::move(result.assignment);
+}
+
+/// The sharded serving path: one ShardedDispatcher wrapping the caller's
+/// algorithm replays the stream through per-shard sessions. Per-decision
+/// latencies and per-shard counters are aggregated by MergeShardRunMetrics;
+/// the wall clock and heap peak are re-measured here so the three paper
+/// axes stay comparable with the single-session paths.
+Result<RunMetrics> RunSharded(OnlineAlgorithm* algorithm,
+                              const Instance& instance,
+                              const RunnerOptions& options) {
+  ShardedOptions sharded;
+  sharded.num_shards = options.num_shards;
+  sharded.num_threads = options.shard_threads;
+  sharded.router = options.shard_router;
+  ShardedDispatcher dispatcher(algorithm, sharded);
+
+  MemoryScope memory_scope;
+  Stopwatch stopwatch;
+  FTOA_ASSIGN_OR_RETURN(
+      ShardedRunResult result,
+      dispatcher.Run(instance,
+                     /*collect_dispatches=*/options.strict_verification));
+  RunMetrics metrics = std::move(result.metrics);
+  metrics.elapsed_seconds = stopwatch.ElapsedSeconds();
+  metrics.peak_memory_bytes = memory_scope.PeakDelta();
+  metrics.matching_size = static_cast<int64_t>(result.assignment.size());
+
+  if (options.validate) {
+    FTOA_RETURN_NOT_OK(
+        result.assignment.Validate(instance, options.validation_policy));
+  }
+  if (options.strict_verification) {
+    const StrictVerification strict =
+        VerifyStrict(instance, result.assignment, result.trace);
+    metrics.strict_feasible_pairs = strict.feasible_pairs;
+    metrics.strict_violations = strict.violations;
+  }
+  return metrics;
 }
 
 }  // namespace
@@ -63,6 +85,8 @@ Assignment RunStreaming(OnlineAlgorithm* algorithm, const Instance& instance,
 Result<RunMetrics> RunAlgorithm(OnlineAlgorithm* algorithm,
                                 const Instance& instance,
                                 const RunnerOptions& options) {
+  if (options.num_shards >= 1) return RunSharded(algorithm, instance, options);
+
   RunMetrics metrics;
   metrics.algorithm = algorithm->name();
 

@@ -9,6 +9,7 @@
 #include "core/online_algorithm.h"
 #include "model/instance.h"
 #include "sim/metrics.h"
+#include "sim/shard_router.h"
 #include "util/result.h"
 
 namespace ftoa {
@@ -30,6 +31,15 @@ struct RunnerOptions {
   /// run — Run() is the same replay — so only the measurement differs:
   /// elapsed_seconds additionally covers the per-event stopwatch reads.
   bool streaming = false;
+
+  /// >= 1: route the run through a sim/sharded_dispatcher with this many
+  /// shards instead of one session (always streaming: per-decision latency
+  /// percentiles are recorded). num_shards == 1 is bit-identical to the
+  /// single-session path; 0 (default) keeps the dispatcher out of the way.
+  int num_shards = 0;
+  /// Worker threads driving the shard sessions (clamped to num_shards).
+  int shard_threads = 1;
+  ShardRouterKind shard_router = ShardRouterKind::kGrid;
 };
 
 /// Runs `algorithm` on `instance` and collects metrics. Returns an error if

@@ -1,0 +1,63 @@
+#include "sim/shard_router.h"
+
+#include <algorithm>
+
+namespace ftoa {
+
+namespace {
+
+/// SplitMix64 finalizer — the bit mixer behind the hash router.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+GridShardRouter::GridShardRouter(const GridSpec& grid, int num_shards)
+    : grid_(grid),
+      num_shards_(std::clamp(num_shards, 1, grid.num_cells())) {}
+
+int GridShardRouter::ShardOfCell(CellId cell) const {
+  // Cells are cut into num_shards_ contiguous row-major bands of
+  // near-equal size.
+  return static_cast<int>(static_cast<int64_t>(cell) * num_shards_ /
+                          grid_.num_cells());
+}
+
+int GridShardRouter::Route(ObjectKind kind, int32_t id,
+                           Point location) const {
+  (void)kind;
+  (void)id;
+  return ShardOfCell(grid_.CellOf(location));
+}
+
+HashShardRouter::HashShardRouter(int num_shards)
+    : num_shards_(std::max(1, num_shards)) {}
+
+int HashShardRouter::Route(ObjectKind kind, int32_t id,
+                           Point location) const {
+  (void)location;
+  const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(id)) << 1) |
+                       static_cast<uint64_t>(kind);
+  return static_cast<int>(Mix64(key) %
+                          static_cast<uint64_t>(num_shards_));
+}
+
+std::unique_ptr<ShardRouter> MakeShardRouter(ShardRouterKind kind,
+                                             const Instance& instance,
+                                             int num_shards) {
+  switch (kind) {
+    case ShardRouterKind::kGrid:
+      return std::make_unique<GridShardRouter>(instance.spacetime().grid(),
+                                               num_shards);
+    case ShardRouterKind::kHash:
+      return std::make_unique<HashShardRouter>(num_shards);
+  }
+  return std::make_unique<GridShardRouter>(instance.spacetime().grid(),
+                                           num_shards);
+}
+
+}  // namespace ftoa

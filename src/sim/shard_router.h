@@ -1,0 +1,85 @@
+// Arrival-to-shard routing for the sharded streaming dispatcher
+// (sim/sharded_dispatcher.h). Split out so light consumers — notably
+// RunnerOptions — can name a router kind without pulling in the
+// dispatcher's thread-pool and registry machinery.
+
+#ifndef FTOA_SIM_SHARD_ROUTER_H_
+#define FTOA_SIM_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "model/arrival_stream.h"
+#include "model/instance.h"
+#include "spatial/grid.h"
+#include "spatial/point.h"
+
+namespace ftoa {
+
+/// Which built-in router partitions the object universe.
+enum class ShardRouterKind {
+  kGrid,  ///< Contiguous bands of grid cells (spatial locality).
+  kHash,  ///< SplitMix64 of (kind, id) (load balance, no locality).
+};
+
+/// Pluggable arrival-to-shard routing. Routers are immutable after
+/// construction and must be deterministic: the same arrival always maps to
+/// the same shard, independent of arrival order or thread count.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_shards() const = 0;
+
+  /// Shard of one arrival, in [0, num_shards()).
+  virtual int Route(ObjectKind kind, int32_t id, Point location) const = 0;
+};
+
+/// Area-based router: the grid's row-major cell id space is cut into
+/// num_shards contiguous bands, so a shard owns a horizontal slab of the
+/// region and objects that are near each other usually share a shard —
+/// which preserves most short matching edges.
+class GridShardRouter final : public ShardRouter {
+ public:
+  /// Shard count is clamped to [1, num_cells] (more shards than cells
+  /// would leave the excess permanently empty).
+  GridShardRouter(const GridSpec& grid, int num_shards);
+
+  std::string name() const override { return "grid"; }
+  int num_shards() const override { return num_shards_; }
+  int Route(ObjectKind kind, int32_t id, Point location) const override;
+
+  /// Shard owning a grid cell (exposed for tests and diagnostics).
+  int ShardOfCell(CellId cell) const;
+
+ private:
+  GridSpec grid_;
+  int num_shards_ = 1;
+};
+
+/// Hash router: SplitMix64 of (kind, id) modulo the shard count. Balances
+/// load evenly but scatters neighborhoods, so it loses more cross-shard
+/// matches than the grid router — the bench quantifies the gap.
+class HashShardRouter final : public ShardRouter {
+ public:
+  explicit HashShardRouter(int num_shards);
+
+  std::string name() const override { return "hash"; }
+  int num_shards() const override { return num_shards_; }
+  int Route(ObjectKind kind, int32_t id, Point location) const override;
+
+ private:
+  int num_shards_ = 1;
+};
+
+/// Builds a built-in router for `instance` (the grid router reads the
+/// instance's spacetime grid).
+std::unique_ptr<ShardRouter> MakeShardRouter(ShardRouterKind kind,
+                                             const Instance& instance,
+                                             int num_shards);
+
+}  // namespace ftoa
+
+#endif  // FTOA_SIM_SHARD_ROUTER_H_

@@ -1,0 +1,272 @@
+#include "sim/sharded_dispatcher.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace ftoa {
+
+// ----------------------------------------------------------------- session --
+
+ShardedSession::ShardedSession(const Instance& instance,
+                               OnlineAlgorithm* algorithm,
+                               std::unique_ptr<ShardRouter> router,
+                               ThreadPool* pool)
+    : instance_(&instance),
+      algorithm_name_(algorithm->name()),
+      router_(std::move(router)),
+      pool_(pool) {
+  shards_.reserve(static_cast<size_t>(router_->num_shards()));
+  for (int i = 0; i < router_->num_shards(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->session = algorithm->StartSession(instance);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedSession::~ShardedSession() {
+  // An abandoned session may still have drain tasks referencing our
+  // shards; wait them out before the sessions are destroyed.
+  Quiesce();
+}
+
+void ShardedSession::set_collect_dispatches(bool collect) {
+  for (auto& shard : shards_) shard->session->set_collect_dispatches(collect);
+}
+
+void ShardedSession::OnWorker(WorkerId worker, double time) {
+  Route(ObjectKind::kWorker, worker, time);
+}
+
+void ShardedSession::OnTask(TaskId task, double time) {
+  Route(ObjectKind::kTask, task, time);
+}
+
+void ShardedSession::Route(ObjectKind kind, int32_t id, double time) {
+  const Point location = kind == ObjectKind::kWorker
+                             ? instance_->worker(id).location
+                             : instance_->task(id).location;
+  const int target = router_->Route(kind, id, location);
+  const Op::Kind op_kind =
+      kind == ObjectKind::kWorker ? Op::Kind::kWorker : Op::Kind::kTask;
+  Submit(*shards_[static_cast<size_t>(target)], Op{op_kind, id, time});
+}
+
+void ShardedSession::AdvanceTo(double time) {
+  for (auto& shard : shards_) {
+    Submit(*shard, Op{Op::Kind::kAdvance, -1, time});
+  }
+}
+
+void ShardedSession::Flush() {
+  for (auto& shard : shards_) {
+    Submit(*shard, Op{Op::Kind::kFlush, -1, 0.0});
+  }
+  Quiesce();
+}
+
+void ShardedSession::Submit(Shard& shard, Op op) {
+  if (pool_ == nullptr) {
+    Apply(shard, op);
+    return;
+  }
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.pending.push_back(op);
+    if (!shard.draining) {
+      shard.draining = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    {
+      std::lock_guard<std::mutex> lock(quiesce_mutex_);
+      ++live_drains_;
+    }
+    pool_->Submit([this, &shard] { Drain(shard); });
+  }
+}
+
+void ShardedSession::Apply(Shard& shard, const Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kWorker: {
+      Stopwatch clock;
+      shard.session->OnWorker(op.id, op.time);
+      shard.latency_ns.push_back(clock.ElapsedNanos());
+      break;
+    }
+    case Op::Kind::kTask: {
+      Stopwatch clock;
+      shard.session->OnTask(op.id, op.time);
+      shard.latency_ns.push_back(clock.ElapsedNanos());
+      break;
+    }
+    case Op::Kind::kAdvance:
+      shard.session->AdvanceTo(op.time);
+      break;
+    case Op::Kind::kFlush:
+      shard.session->Flush();
+      break;
+  }
+}
+
+void ShardedSession::Drain(Shard& shard) {
+  // Actor loop: at most one Drain is live per shard (the `draining` flag),
+  // so session calls for a shard are serialized in arrival order while
+  // distinct shards progress concurrently.
+  try {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.pending.empty()) {
+          shard.draining = false;
+          break;
+        }
+        shard.scratch.swap(shard.pending);
+      }
+      for (const Op& op : shard.scratch) Apply(shard, op);
+      shard.scratch.clear();
+    }
+  } catch (...) {
+    // The pool's future (where packaged_task would resurface this) is
+    // discarded by Submit, so capture the failure for Finish() and keep
+    // the live-drain accounting exact — leaking either would deadlock
+    // Quiesce instead of failing loudly. The shard is dead from here on:
+    // drop its queued and half-applied ops so a later drain (e.g. the
+    // Flush broadcast) cannot replay already-applied events.
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.scratch.clear();
+      shard.pending.clear();
+      shard.draining = false;
+    }
+    std::lock_guard<std::mutex> lock(quiesce_mutex_);
+    if (failure_ == nullptr) failure_ = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(quiesce_mutex_);
+    --live_drains_;
+  }
+  quiesce_cv_.notify_all();
+}
+
+void ShardedSession::Quiesce() {
+  if (pool_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(quiesce_mutex_);
+  quiesce_cv_.wait(lock, [this] { return live_drains_ == 0; });
+}
+
+Result<ShardedRunResult> ShardedSession::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "ShardedSession::Finish called twice");
+  }
+  Flush();  // Parallel deferred work (batch tails, OPT solves) runs here.
+  finished_ = true;
+  std::exception_ptr failure;
+  {
+    std::lock_guard<std::mutex> lock(quiesce_mutex_);
+    failure = failure_;
+  }
+  if (failure != nullptr) {
+    try {
+      std::rethrow_exception(failure);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("shard session failed: ") +
+                              e.what());
+    } catch (...) {
+      return Status::Internal("shard session failed: unknown exception");
+    }
+  }
+
+  ShardedRunResult out;
+  out.assignment =
+      Assignment(instance_->num_workers(), instance_->num_tasks());
+  out.shard_metrics.reserve(shards_.size());
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    SessionResult result = shard.session->Finish();
+    for (const MatchedPair& pair : result.assignment.pairs()) {
+      // A duplicate across shards means the router/session contract broke;
+      // Assignment::Add reports it as FailedPrecondition.
+      FTOA_RETURN_NOT_OK(
+          out.assignment.Add(pair.worker, pair.task, pair.time));
+    }
+    RunMetrics metrics;
+    metrics.algorithm = algorithm_name_;
+    metrics.matching_size = static_cast<int64_t>(result.assignment.size());
+    metrics.dispatched_workers =
+        static_cast<int64_t>(result.trace.dispatches.size());
+    metrics.ignored_objects =
+        result.trace.ignored_workers + result.trace.ignored_tasks;
+    metrics.elapsed_seconds =
+        static_cast<double>(std::accumulate(shard.latency_ns.begin(),
+                                            shard.latency_ns.end(),
+                                            int64_t{0})) *
+        1e-9;  // Busy time; the merged wall clock is the caller's to set.
+    FillDecisionLatencies(shard.latency_ns, &metrics);
+    out.shard_metrics.push_back(std::move(metrics));
+    out.trace.Absorb(std::move(result.trace));
+  }
+  out.metrics = MergeShardRunMetrics(out.shard_metrics);
+  return out;
+}
+
+// -------------------------------------------------------------- dispatcher --
+
+ShardedDispatcher::ShardedDispatcher(OnlineAlgorithm* algorithm,
+                                     const ShardedOptions& options)
+    : options_(options), algorithm_(algorithm) {
+  options_.num_shards = std::max(1, options_.num_shards);
+  options_.num_threads =
+      std::clamp(options_.num_threads, 1, options_.num_shards);
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+Result<std::unique_ptr<ShardedDispatcher>> ShardedDispatcher::Create(
+    const ShardedOptions& options, const AlgorithmDeps& deps) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument(
+        "ShardedOptions::num_shards must be >= 1");
+  }
+  FTOA_ASSIGN_OR_RETURN(std::unique_ptr<OnlineAlgorithm> algorithm,
+                        CreateAlgorithm(options.algorithm, deps));
+  auto dispatcher = std::unique_ptr<ShardedDispatcher>(
+      new ShardedDispatcher(algorithm.get(), options));
+  dispatcher->owned_ = std::move(algorithm);
+  return dispatcher;
+}
+
+std::unique_ptr<ShardedSession> ShardedDispatcher::StartSession(
+    const Instance& instance) {
+  return std::unique_ptr<ShardedSession>(new ShardedSession(
+      instance, algorithm_,
+      MakeShardRouter(options_.router, instance, options_.num_shards),
+      pool_.get()));
+}
+
+Result<ShardedRunResult> ShardedDispatcher::Run(const Instance& instance,
+                                                bool collect_dispatches) {
+  const std::vector<ArrivalEvent> events = BuildArrivalStream(instance);
+  Stopwatch stopwatch;
+  const std::unique_ptr<ShardedSession> session = StartSession(instance);
+  session->set_collect_dispatches(collect_dispatches);
+  for (const ArrivalEvent& event : events) {
+    if (event.kind == ObjectKind::kWorker) {
+      session->OnWorker(event.index, event.time);
+    } else {
+      session->OnTask(event.index, event.time);
+    }
+  }
+  FTOA_ASSIGN_OR_RETURN(ShardedRunResult result, session->Finish());
+  result.metrics.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,215 @@
+// Sharded streaming dispatch: the scale-out layer over the streaming
+// AssignmentSession API. A ShardedDispatcher partitions an instance's
+// object universe across K shards with a pluggable ShardRouter, opens one
+// independent AssignmentSession per shard (all from one configured
+// algorithm — the multi-session independence contract of
+// core/online_algorithm.h), routes every worker/task arrival to its
+// shard's session, and merges the per-shard assignments and traces into a
+// single Assignment + aggregated RunMetrics.
+//
+// Execution model: with num_threads <= 1 every routed arrival is fed
+// inline on the calling thread. With num_threads > 1 each shard is an
+// actor — arrivals are appended to the shard's FIFO queue and a drain task
+// on the shared util/thread_pool feeds them to the shard session, at most
+// one drain task in flight per shard, so a shard's events always apply in
+// arrival order while distinct shards run concurrently.
+//
+// Determinism contract: the merged assignment and trace depend only on the
+// instance, the router, and the shard count — never on num_threads or the
+// thread interleaving (per-shard event order is fixed and the merge walks
+// shards in index order). With num_shards == 1 every arrival reaches the
+// single shard session in exact BuildArrivalStream order, so the merged
+// output is bit-identical to the unsharded streaming/batch path. With
+// num_shards > 1 the output is deterministic but generally *different*
+// from the single-session run: shards cannot match across the partition
+// boundary and guide capacity is consumed per shard, trading matching size
+// for per-decision latency and throughput (see docs/sharded_dispatch.md
+// for the measured tradeoff).
+
+#ifndef FTOA_SIM_SHARDED_DISPATCHER_H_
+#define FTOA_SIM_SHARDED_DISPATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/algorithm_registry.h"
+#include "core/online_algorithm.h"
+#include "model/arrival_stream.h"
+#include "model/instance.h"
+#include "sim/metrics.h"
+#include "sim/shard_router.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace ftoa {
+
+/// Dispatcher configuration.
+struct ShardedOptions {
+  /// Registry name of the algorithm each shard session runs
+  /// (ShardedDispatcher::Create only; the wrapping constructor takes the
+  /// algorithm object directly).
+  std::string algorithm = "polar-op";
+
+  int num_shards = 1;
+
+  /// Worker threads driving the shard sessions; <= 1 feeds every shard
+  /// inline on the calling thread. Clamped to num_shards (extra threads
+  /// could never be busy).
+  int num_threads = 1;
+
+  ShardRouterKind router = ShardRouterKind::kGrid;
+};
+
+/// What a finished sharded run produced.
+struct ShardedRunResult {
+  /// Merged assignment; pairs appear shard by shard in shard index order,
+  /// each shard's pairs in its session decision order.
+  Assignment assignment{0, 0};
+
+  /// Merged trace (RunTrace::Absorb in shard index order).
+  RunTrace trace;
+
+  /// Aggregated metrics (MergeShardRunMetrics over shard_metrics; see
+  /// sim/metrics.h for the field-by-field merge semantics). The
+  /// elapsed_seconds of per-shard entries is the shard's *busy* time (sum
+  /// of its decision latencies); callers measuring wall clock overwrite
+  /// the merged value.
+  RunMetrics metrics;
+
+  /// Per-shard breakdown, indexed by shard.
+  std::vector<RunMetrics> shard_metrics;
+};
+
+/// One live sharded run: the streaming counterpart of AssignmentSession at
+/// the dispatcher level. Arrival contract matches AssignmentSession
+/// (nondecreasing times, each object fed once); calls must come from one
+/// caller thread. Finish() may be called exactly once.
+class ShardedSession {
+ public:
+  ~ShardedSession();
+
+  ShardedSession(const ShardedSession&) = delete;
+  ShardedSession& operator=(const ShardedSession&) = delete;
+
+  /// Forwards the dispatch-record switch to every shard session. Flip only
+  /// before feeding arrivals.
+  void set_collect_dispatches(bool collect);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardRouter& router() const { return *router_; }
+
+  /// Routes the arrival to its shard session (inline, or onto the shard's
+  /// queue in threaded mode). The per-decision latency recorded for the
+  /// arrival is the shard session's decision time, measured on the thread
+  /// that applies it.
+  void OnWorker(WorkerId worker, double time);
+  void OnTask(TaskId task, double time);
+
+  /// Broadcast to every shard session (each shard only ever sees a subset
+  /// of arrivals, so the no-earlier-than promise holds per shard too).
+  void AdvanceTo(double time);
+
+  /// Forces all deferred per-shard work (batch-window tails, OPT's solve)
+  /// and, in threaded mode, blocks until every shard queue has drained.
+  void Flush();
+
+  /// Flushes, finishes every shard session, and merges. Fails with
+  /// FailedPrecondition if two shards committed the same object — which a
+  /// correct router/session pairing makes impossible, since each object is
+  /// routed to exactly one shard.
+  Result<ShardedRunResult> Finish();
+
+ private:
+  friend class ShardedDispatcher;
+
+  /// One queued session call (threaded mode).
+  struct Op {
+    enum class Kind : uint8_t { kWorker, kTask, kAdvance, kFlush };
+    Kind kind = Kind::kWorker;
+    int32_t id = -1;
+    double time = 0.0;
+  };
+
+  struct Shard {
+    std::unique_ptr<AssignmentSession> session;
+    std::vector<int64_t> latency_ns;  // Written only by the applying thread.
+
+    // Actor state (threaded mode), guarded by `mutex`.
+    std::mutex mutex;
+    std::vector<Op> pending;
+    bool draining = false;
+    std::vector<Op> scratch;  // Drain task's swap target; owned by it.
+  };
+
+  ShardedSession(const Instance& instance, OnlineAlgorithm* algorithm,
+                 std::unique_ptr<ShardRouter> router, ThreadPool* pool);
+
+  void Route(ObjectKind kind, int32_t id, double time);
+  void Submit(Shard& shard, Op op);
+  void Apply(Shard& shard, const Op& op);
+  void Drain(Shard& shard);
+  /// Blocks until no drain task is live (threaded mode; no-op inline).
+  void Quiesce();
+
+  const Instance* instance_;
+  std::string algorithm_name_;
+  std::unique_ptr<ShardRouter> router_;
+  ThreadPool* pool_;  // Null = inline mode. Borrowed from the dispatcher.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex quiesce_mutex_;
+  std::condition_variable quiesce_cv_;
+  int live_drains_ = 0;  // Shards with a drain task scheduled or running.
+  /// First exception a drain task died on (guarded by quiesce_mutex_);
+  /// reported by Finish() as an Internal status — the pool future that
+  /// would normally carry it is discarded.
+  std::exception_ptr failure_;
+  bool finished_ = false;
+};
+
+/// Routes arrivals across per-shard AssignmentSessions of one algorithm
+/// and merges the results. Owns the worker pool shard sessions run on;
+/// sessions borrow it, so a session must not outlive its dispatcher.
+class ShardedDispatcher {
+ public:
+  /// Wraps a caller-owned algorithm (`algorithm` must outlive the
+  /// dispatcher). Options' `algorithm` name is ignored on this path.
+  ShardedDispatcher(OnlineAlgorithm* algorithm,
+                    const ShardedOptions& options);
+
+  /// Constructs options.algorithm through the algorithm registry and owns
+  /// it. Fails like CreateAlgorithm (unknown name, missing guide) or on
+  /// num_shards < 1.
+  static Result<std::unique_ptr<ShardedDispatcher>> Create(
+      const ShardedOptions& options, const AlgorithmDeps& deps = {});
+
+  const ShardedOptions& options() const { return options_; }
+  OnlineAlgorithm* algorithm() const { return algorithm_; }
+
+  /// Opens a sharded streaming session over `instance` (which must outlive
+  /// the session).
+  std::unique_ptr<ShardedSession> StartSession(const Instance& instance);
+
+  /// Batch driver: replays the instance's arrival stream through one
+  /// sharded session and merges. Wall time of the whole replay (routing +
+  /// shard work + merge) lands in metrics.elapsed_seconds. Set
+  /// `collect_dispatches` to false for pure measurement loops that discard
+  /// the trace.
+  Result<ShardedRunResult> Run(const Instance& instance,
+                               bool collect_dispatches = true);
+
+ private:
+  ShardedOptions options_;
+  std::unique_ptr<OnlineAlgorithm> owned_;  // Set on the Create path.
+  OnlineAlgorithm* algorithm_ = nullptr;
+  std::unique_ptr<ThreadPool> pool_;  // Null when num_threads <= 1.
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_SIM_SHARDED_DISPATCHER_H_

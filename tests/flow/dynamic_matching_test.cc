@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "flow/hopcroft_karp.h"
+#include "test_util.h"
 #include "util/rng.h"
 
 namespace ftoa {
@@ -177,6 +179,93 @@ TEST_P(DynamicMatchingPropertyTest, RemovalKeepsMaximality) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DynamicMatchingPropertyTest,
                          ::testing::Range<uint64_t>(1, 21));
+
+// Shard-routed usage, as the sharded dispatcher's per-shard batched
+// baselines exercise it: each shard owns one long-lived incremental
+// matcher arena, arrivals are routed to a shard and inserted with one
+// augmenting search, departures are removed with one repair search — and
+// after every batch each shard must agree with a from-scratch
+// Hopcroft-Karp rebuild over its live subgraph. Runs at a small default
+// iteration count; tools/run_stress.sh widens it via FTOA_STRESS_ITERS.
+TEST(DynamicMatchingShardStressTest,
+     PerShardIncrementalMatchesRebuildPerBatchReference) {
+  const int iterations = ::ftoa::testing::StressIterations(5);
+  Rng seeds(0xfeed5eedULL);
+  for (int iter = 0; iter < iterations; ++iter) {
+    Rng rng(seeds.Next());
+    const int num_shards = 2 + static_cast<int>(rng.NextBounded(3));
+    const int num_batches = 4 + static_cast<int>(rng.NextBounded(5));
+    const double edge_prob = 0.1 + rng.NextDouble() * 0.2;
+
+    struct Shard {
+      DynamicBipartiteMatcher incremental;
+      std::vector<std::pair<int32_t, int32_t>> edges;  // Shard-local ids.
+    };
+    std::vector<std::unique_ptr<Shard>> shards;
+    for (int s = 0; s < num_shards; ++s) {
+      shards.push_back(std::make_unique<Shard>());
+    }
+
+    for (int batch = 0; batch < num_batches; ++batch) {
+      // Routed arrivals: every new node lands on one shard and matches
+      // only within it (per-shard sessions never see foreign objects).
+      const int arrivals = 2 + static_cast<int>(rng.NextBounded(9));
+      for (int i = 0; i < arrivals; ++i) {
+        Shard& shard = *shards[rng.NextBounded(shards.size())];
+        DynamicBipartiteMatcher& m = shard.incremental;
+        if (rng.NextBool()) {
+          const int32_t l = m.AddLeft();
+          for (int32_t r = 0; r < m.num_right(); ++r) {
+            if (m.RightActive(r) && rng.NextBool(edge_prob)) {
+              m.AddEdge(l, r);
+              shard.edges.emplace_back(l, r);
+            }
+          }
+          m.TryAugmentLeft(l);
+        } else {
+          const int32_t r = m.AddRight();
+          for (int32_t l = 0; l < m.num_left(); ++l) {
+            if (m.LeftActive(l) && rng.NextBool(edge_prob)) {
+              m.AddEdge(l, r);
+              shard.edges.emplace_back(l, r);
+            }
+          }
+          m.TryAugmentRight(r);
+        }
+      }
+      // Deadline expiry: random actives depart, one repair search each.
+      for (auto& shard_ptr : shards) {
+        DynamicBipartiteMatcher& m = shard_ptr->incremental;
+        for (int32_t l = 0; l < m.num_left(); ++l) {
+          if (m.LeftActive(l) && rng.NextBool(0.1)) m.RemoveLeft(l);
+        }
+        for (int32_t r = 0; r < m.num_right(); ++r) {
+          if (m.RightActive(r) && rng.NextBool(0.1)) m.RemoveRight(r);
+        }
+      }
+      // Rebuild-per-batch reference, per shard, over the live subgraph.
+      for (size_t s = 0; s < shards.size(); ++s) {
+        const Shard& shard = *shards[s];
+        const DynamicBipartiteMatcher& m = shard.incremental;
+        HopcroftKarp reference(m.num_left(), m.num_right());
+        for (const auto& [l, r] : shard.edges) {
+          if (m.LeftActive(l) && m.RightActive(r)) {
+            reference.AddEdge(l, r);
+          }
+        }
+        EXPECT_EQ(m.matching_size(), reference.Solve())
+            << "iter " << iter << " batch " << batch << " shard " << s;
+      }
+    }
+    // The incremental path must have worked augmentation-wise, not by
+    // accident of empty shards.
+    int64_t searches = 0;
+    for (const auto& shard : shards) {
+      searches += shard->incremental.augment_searches();
+    }
+    EXPECT_GT(searches, 0) << "iter " << iter;
+  }
+}
 
 }  // namespace
 }  // namespace ftoa

@@ -4,18 +4,23 @@
 //   ftoa generate synthetic --workers=5000 --tasks=5000 --out=day.csv
 //   ftoa generate city --city=beijing --day=20 --scale=0.1 --out=day.csv
 //   ftoa run --instance=day.csv --algorithm=polar-op [--strict] [--stream]
+//   ftoa run --instance=day.csv --algorithm=polar-op --shards=4
 //   ftoa algos
 //   ftoa inspect --instance=day.csv
 //
 // `run` executes one algorithm over a saved instance and prints matching
 // size, wall time, peak heap, and (with --strict) the physical
 // re-verification breakdown; --stream drives the algorithm's streaming
-// session arrival by arrival and reports per-decision latency percentiles.
+// session arrival by arrival and reports per-decision latency percentiles;
+// --shards=K routes arrivals through the sharded dispatcher (K per-shard
+// sessions, merged assignment — see docs/sharded_dispatch.md) with
+// --shard-threads (default K) and --router=grid|hash.
 // `algos` lists every algorithm the registry knows. The guide for
 // POLAR-family algorithms is derived from the instance's own realized
 // counts unless --prediction points at a second instance file whose counts
 // act as the forecast.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -95,6 +100,7 @@ int Usage() {
       "       [--scale=F] --out=FILE\n"
       "  ftoa run --instance=FILE --algorithm=NAME [--prediction=FILE]\n"
       "       [--strict] [--stream] [--dr=F] [--dw=F]\n"
+      "       [--shards=K] [--shard-threads=N] [--router=grid|hash]\n"
       "       (NAME: %s)\n"
       "  ftoa algos\n"
       "  ftoa inspect --instance=FILE\n",
@@ -208,6 +214,20 @@ int CmdRun(int argc, char** argv) {
   RunnerOptions options;
   options.strict_verification = args.Has("strict");
   options.streaming = args.Has("stream");
+  options.num_shards = static_cast<int>(args.GetInt("shards", 0));
+  // Mirror the dispatcher's clamp so the summary below reports the thread
+  // count actually used, not the raw flag.
+  options.shard_threads = std::clamp(
+      static_cast<int>(args.GetInt("shard-threads", options.num_shards)), 1,
+      std::max(1, options.num_shards));
+  const std::string router = args.Get("router", "grid");
+  if (router == "hash") {
+    options.shard_router = ShardRouterKind::kHash;
+  } else if (router != "grid") {
+    std::fprintf(stderr, "run: unknown --router=%s (grid | hash)\n",
+                 router.c_str());
+    return 2;
+  }
   const auto metrics = RunAlgorithm(algorithm->get(), *instance, options);
   if (!metrics.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
@@ -228,7 +248,12 @@ int CmdRun(int argc, char** argv) {
                 static_cast<long long>(metrics->strict_violations),
                 static_cast<long long>(metrics->dispatched_workers));
   }
-  if (options.streaming) {
+  if (options.num_shards >= 1) {
+    std::printf("shards         %d (%s router, %d threads)\n",
+                options.num_shards, router.c_str(),
+                options.shard_threads);
+  }
+  if (options.streaming || options.num_shards >= 1) {
     std::printf("decisions      %lld (streaming session)\n",
                 static_cast<long long>(metrics->decisions));
     std::printf("latency        p50 %.0f ns / p99 %.0f ns / max %.0f ns "

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Perf-trajectory smoke: builds Release, runs the flow microbench, the
 # per-object online-algorithm microbench, the parallel/sharding
-# microbench, and the streaming-session microbench, and records their JSON
-# next to the repo root (BENCH_flow.json, BENCH_perobject.json,
-# BENCH_parallel.json, BENCH_streaming.json) so future PRs can diff solver
-# performance against this one.
+# microbench, the streaming-session microbench, and the sharded-dispatcher
+# bench, and records their JSON next to the repo root (BENCH_flow.json,
+# BENCH_perobject.json, BENCH_parallel.json, BENCH_streaming.json,
+# BENCH_sharded.json) so future PRs can diff solver performance against
+# this one.
 #
 # Usage: tools/run_bench_smoke.sh [build-dir]
 set -euo pipefail
@@ -16,7 +17,7 @@ cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DFTOA_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD" \
       --target bench_micro_flow bench_micro_perobject bench_parallel \
-               bench_streaming \
+               bench_streaming bench_sharded \
       -j "$(nproc)"
 
 echo "== bench_micro_flow (Dijkstra+potentials vs SPFA, arenas, matcher)"
@@ -42,6 +43,12 @@ echo "== bench_streaming (session vs batch throughput, decision latency)"
 "$BUILD/bench_streaming" \
     --benchmark_min_time=0.05 \
     --benchmark_out="$ROOT/BENCH_streaming.json" \
+    --benchmark_out_format=json
+
+echo "== bench_sharded (sharded dispatcher vs single session)"
+"$BUILD/bench_sharded" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="$ROOT/BENCH_sharded.json" \
     --benchmark_out_format=json
 
 # Headline number: min-cost flow speedup on the dense 2048x2048 instance.
@@ -89,4 +96,24 @@ if lat:
     print(f"polar-op decision latency: p50 {lat.get('p50_ns', 0):.0f}ns, "
           f"p99 {lat.get('p99_ns', 0):.0f}ns, "
           f"max {lat.get('max_ns', 0):.0f}ns")
+EOF
+
+# Headline numbers: sharded-dispatcher throughput and the utility cost of
+# partitioning (matched counter) vs the single-session baseline.
+python3 - "$ROOT/BENCH_sharded.json" <<'EOF'
+import json, sys
+benches = json.load(open(sys.argv[1]))["benchmarks"]
+runs = {b["name"]: b for b in benches}
+single = runs.get("BM_SingleSession/polar_op_16k")
+for shards in (1, 4, 8):
+    sharded = runs.get(f"BM_ShardedGrid/polar_op_16k/{shards}")
+    if single and sharded:
+        print(f"polar-op 16k+16k, {shards} grid shard(s): "
+              f"{sharded['real_time']:.2f}ms vs single "
+              f"{single['real_time']:.2f}ms "
+              f"(speedup {single['real_time'] / sharded['real_time']:.2f}x), "
+              f"matched {sharded['matched']:.0f} vs "
+              f"{single['matched']:.0f}, "
+              f"p99 {sharded.get('p99_ns', 0):.0f}ns vs "
+              f"{single.get('p99_ns', 0):.0f}ns")
 EOF

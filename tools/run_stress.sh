@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Stress gate: builds the test suite and runs the randomized property/
+# stress suites (ctest label `stress` — the *Stress* gtest suites: sharded
+# dispatcher shard-session equivalence, per-shard dynamic-matching vs
+# rebuild reference) at a much higher iteration count than the default
+# ctest run. The iteration knob is the FTOA_STRESS_ITERS environment
+# variable, read by tests/test_util.h's StressIterations().
+#
+# Usage: [FTOA_STRESS_ITERS=N] tools/run_stress.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+ITERS="${FTOA_STRESS_ITERS:-40}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" --target ftoa_tests -j "$(nproc)"
+
+echo "== ctest -L stress (FTOA_STRESS_ITERS=$ITERS)"
+FTOA_STRESS_ITERS="$ITERS" \
+    ctest --test-dir "$BUILD" -L stress --output-on-failure
+echo "stress suites passed at $ITERS iterations"
