@@ -1,10 +1,11 @@
 // Sharded-dispatcher benchmark: throughput and per-decision latency of the
 // ShardedDispatcher serving path versus the single-session streaming
-// baseline, across shard counts and both routers. The `matched` counter
-// exposes the utility side of the tradeoff — shards cannot match across
-// the partition boundary, so matching size degrades as the shard count
-// grows (grid routing loses less than hash routing) while the decision
-// tail shortens with parallel shard execution.
+// baseline, across shard counts, queue-handoff modes (per-event vs
+// batched), and the three routers. The `matched` counter exposes the
+// utility side of the tradeoff — shards cannot match across the partition
+// boundary, so matching size degrades as the shard count grows — and the
+// `reconciled` counter shows how much of that loss the post-merge
+// boundary-reconciliation pass wins back per router.
 
 #include <benchmark/benchmark.h>
 
@@ -88,16 +89,22 @@ void RunSingleSession(benchmark::State& state,
   state.counters["p99_ns"] = last.decision_latency_p99_ns;
 }
 
-/// The sharded serving path; state.range(0) is the shard count and the
-/// dispatcher runs one thread per shard.
+/// The sharded serving path; state.range(0) is the shard count.
+/// `thread_per_shard` pins one actor thread per shard (the handoff-mode
+/// comparison needs the cross-thread path even on small hosts); false is
+/// the serving default, auto = min(shards, cores). handoff_batch <= 0
+/// keeps the dispatcher default (batched); 1 is the per-event reference.
 void RunSharded(benchmark::State& state, const std::string& algorithm_name,
-                ShardRouterKind router, int64_t objects) {
+                ShardRouterKind router, int64_t objects, int handoff_batch,
+                bool reconcile, bool thread_per_shard = false) {
   const Workload workload = MakeWorkload(objects);
   ShardedOptions options;
   options.algorithm = algorithm_name;
   options.num_shards = static_cast<int>(state.range(0));
-  options.num_threads = options.num_shards;
+  options.num_threads = thread_per_shard ? options.num_shards : 0;
   options.router = router;
+  if (handoff_batch > 0) options.handoff_batch = handoff_batch;
+  options.reconcile = reconcile;
   const auto dispatcher =
       DieUnless(ShardedDispatcher::Create(options, workload.deps));
   int64_t decisions = 0;
@@ -110,6 +117,7 @@ void RunSharded(benchmark::State& state, const std::string& algorithm_name,
   }
   state.SetItemsProcessed(decisions);
   state.counters["matched"] = static_cast<double>(last.matching_size);
+  state.counters["reconciled"] = static_cast<double>(last.reconciled_pairs);
   state.counters["p50_ns"] = last.decision_latency_p50_ns;
   state.counters["p99_ns"] = last.decision_latency_p99_ns;
 }
@@ -120,13 +128,49 @@ void BM_SingleSession(benchmark::State& state, const std::string& name,
 }
 void BM_ShardedGrid(benchmark::State& state, const std::string& name,
                     int64_t objects) {
-  RunSharded(state, name, ShardRouterKind::kGrid, objects);
+  RunSharded(state, name, ShardRouterKind::kGrid, objects,
+             /*handoff_batch=*/0, /*reconcile=*/false);
+}
+void BM_ShardedGridPerEvent(benchmark::State& state, const std::string& name,
+                            int64_t objects) {
+  RunSharded(state, name, ShardRouterKind::kGrid, objects,
+             /*handoff_batch=*/1, /*reconcile=*/false,
+             /*thread_per_shard=*/true);
+}
+void BM_ShardedGridThreaded(benchmark::State& state, const std::string& name,
+                            int64_t objects) {
+  RunSharded(state, name, ShardRouterKind::kGrid, objects,
+             /*handoff_batch=*/0, /*reconcile=*/false,
+             /*thread_per_shard=*/true);
 }
 void BM_ShardedHash(benchmark::State& state, const std::string& name,
                     int64_t objects) {
-  RunSharded(state, name, ShardRouterKind::kHash, objects);
+  RunSharded(state, name, ShardRouterKind::kHash, objects,
+             /*handoff_batch=*/0, /*reconcile=*/false);
+}
+void BM_ShardedLoad(benchmark::State& state, const std::string& name,
+                    int64_t objects) {
+  RunSharded(state, name, ShardRouterKind::kLoad, objects,
+             /*handoff_batch=*/0, /*reconcile=*/false);
+}
+void BM_ShardedGridReconciled(benchmark::State& state,
+                              const std::string& name, int64_t objects) {
+  RunSharded(state, name, ShardRouterKind::kGrid, objects,
+             /*handoff_batch=*/0, /*reconcile=*/true);
+}
+void BM_ShardedHashReconciled(benchmark::State& state,
+                              const std::string& name, int64_t objects) {
+  RunSharded(state, name, ShardRouterKind::kHash, objects,
+             /*handoff_batch=*/0, /*reconcile=*/true);
+}
+void BM_ShardedLoadReconciled(benchmark::State& state,
+                              const std::string& name, int64_t objects) {
+  RunSharded(state, name, ShardRouterKind::kLoad, objects,
+             /*handoff_batch=*/0, /*reconcile=*/true);
 }
 
+// Handoff-mode sweep: per-event vs batched on the latency-bound workload
+// (~100ns POLAR-OP decisions, where the per-event mutex dominated).
 BENCHMARK_CAPTURE(BM_SingleSession, polar_op_16k, "polar-op", 16000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_ShardedGrid, polar_op_16k, "polar-op", 16000)
@@ -135,7 +179,29 @@ BENCHMARK_CAPTURE(BM_ShardedGrid, polar_op_16k, "polar-op", 16000)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ShardedGridPerEvent, polar_op_16k, "polar-op", 16000)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ShardedGridThreaded, polar_op_16k, "polar-op", 16000)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Router sweep on the Table-4 displacement workload (supply mean 0.25 vs
+// demand 0.5): matched-size per router, with and without the
+// boundary-reconciliation pass.
 BENCHMARK_CAPTURE(BM_ShardedHash, polar_op_16k, "polar-op", 16000)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ShardedLoad, polar_op_16k, "polar-op", 16000)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ShardedGridReconciled, polar_op_16k, "polar-op", 16000)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ShardedHashReconciled, polar_op_16k, "polar-op", 16000)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ShardedLoadReconciled, polar_op_16k, "polar-op", 16000)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 

@@ -42,6 +42,9 @@ class GrBatch : public OnlineAlgorithm {
   explicit GrBatch(GrBatchOptions options = {});
 
   std::string name() const override { return "GR"; }
+  FeasibilityPolicy feasibility_policy() const override {
+    return options_.policy;
+  }
 
   std::unique_ptr<AssignmentSession> StartSession(
       const Instance& instance) override;

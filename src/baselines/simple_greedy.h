@@ -39,6 +39,9 @@ class SimpleGreedy : public OnlineAlgorithm {
   std::string name() const override {
     return options_.use_spatial_index ? "SimpleGreedy-Idx" : "SimpleGreedy";
   }
+  FeasibilityPolicy feasibility_policy() const override {
+    return options_.policy;
+  }
 
   std::unique_ptr<AssignmentSession> StartSession(
       const Instance& instance) override;

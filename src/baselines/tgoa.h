@@ -43,6 +43,9 @@ class Tgoa : public OnlineAlgorithm {
   explicit Tgoa(TgoaOptions options = {});
 
   std::string name() const override { return "TGOA"; }
+  FeasibilityPolicy feasibility_policy() const override {
+    return options_.policy;
+  }
 
   std::unique_ptr<AssignmentSession> StartSession(
       const Instance& instance) override;

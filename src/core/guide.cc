@@ -50,6 +50,19 @@ Status OfflineGuide::MatchNodes(GuideNodeId worker_node,
   return Status::OK();
 }
 
+std::unordered_map<int64_t, int32_t>
+OfflineGuide::MatchedPairCountsByTypePair() const {
+  std::unordered_map<int64_t, int32_t> counts;
+  counts.reserve(static_cast<size_t>(matched_pairs_));
+  for (const GuideNode& node : worker_nodes_) {
+    if (node.partner == -1) continue;
+    const TypeId task_type =
+        task_nodes_[static_cast<size_t>(node.partner)].type;
+    ++counts[TypePairKey(node.type, task_type)];
+  }
+  return counts;
+}
+
 Status OfflineGuide::Validate() const {
   for (size_t w = 0; w < worker_nodes_.size(); ++w) {
     const GuideNode& node = worker_nodes_[w];

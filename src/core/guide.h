@@ -8,6 +8,7 @@
 #define FTOA_CORE_GUIDE_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "model/feasibility.h"
@@ -67,6 +68,21 @@ class OfflineGuide {
 
   /// |E*|: the number of matched node pairs (the flow value of Algorithm 1).
   int64_t matched_pairs() const { return matched_pairs_; }
+
+  /// Dense key of a (worker type, task type) pair in the capacity
+  /// accounting below.
+  int64_t TypePairKey(TypeId worker_type, TypeId task_type) const {
+    return static_cast<int64_t>(worker_type) * spacetime_.num_types() +
+           task_type;
+  }
+
+  /// Capacity accounting of Ĝf: how many matched node pairs connect each
+  /// (worker type, task type), keyed by TypePairKey. This is the per-flow
+  /// multiplicity the POLAR family realizes along — a pass adding pairs on
+  /// a guided algorithm's behalf (boundary reconciliation) bounds its
+  /// per-type-pair additions by these counts, mirroring how each shard's
+  /// session consumes the guide. O(matched_pairs()); build once per pass.
+  std::unordered_map<int64_t, int32_t> MatchedPairCountsByTypePair() const;
 
   /// m: the number of predicted worker nodes.
   int64_t num_worker_nodes() const {

@@ -29,6 +29,7 @@ class HybridPolarOp : public OnlineAlgorithm {
                          PolarOptions options = {});
 
   std::string name() const override { return "POLAR-OP+G"; }
+  const OfflineGuide* guide() const override { return guide_.get(); }
 
   std::unique_ptr<AssignmentSession> StartSession(
       const Instance& instance) override;

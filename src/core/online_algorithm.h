@@ -20,10 +20,13 @@
 #include <utility>
 
 #include "model/assignment.h"
+#include "model/feasibility.h"
 #include "model/instance.h"
 #include "spatial/point.h"
 
 namespace ftoa {
+
+class OfflineGuide;
 
 /// A "go to this area" instruction issued to an idle worker (Algorithm 2/3
 /// line "dispatch o to go to the area of r").
@@ -143,6 +146,23 @@ class OnlineAlgorithm {
 
   /// Display name used by benches and EXPERIMENTS.md ("POLAR-OP", ...).
   virtual std::string name() const = 0;
+
+  /// Object-level deadline policy this algorithm's committed pairs honor —
+  /// the predicate any *external* pass adding pairs on the algorithm's
+  /// behalf (the sharded dispatcher's boundary reconciliation,
+  /// sim/boundary_reconciler) must also satisfy. The default is the
+  /// paper's written predicate (kDispatchAtWorkerStart, used by the POLAR
+  /// family and OPT); the wait-in-place baselines override with their
+  /// configured policy.
+  virtual FeasibilityPolicy feasibility_policy() const {
+    return FeasibilityPolicy::kDispatchAtWorkerStart;
+  }
+
+  /// The offline guide the algorithm matches along, or nullptr for the
+  /// guide-free baselines. External passes use it to stay within the
+  /// guide's per-type-pair capacity (OfflineGuide's matched-pair
+  /// accounting) when adding pairs for a guided algorithm.
+  virtual const OfflineGuide* guide() const { return nullptr; }
 
   /// Opens a streaming session over `instance`'s object universe. The
   /// instance must outlive the session. Sessions are independent; starting

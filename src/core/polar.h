@@ -33,6 +33,7 @@ class Polar : public OnlineAlgorithm {
                  PolarOptions options = {});
 
   std::string name() const override { return "POLAR"; }
+  const OfflineGuide* guide() const override { return guide_.get(); }
 
   std::unique_ptr<AssignmentSession> StartSession(
       const Instance& instance) override;

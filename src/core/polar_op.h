@@ -23,6 +23,7 @@ class PolarOp : public OnlineAlgorithm {
                    PolarOptions options = {});
 
   std::string name() const override { return "POLAR-OP"; }
+  const OfflineGuide* guide() const override { return guide_.get(); }
 
   std::unique_ptr<AssignmentSession> StartSession(
       const Instance& instance) override;

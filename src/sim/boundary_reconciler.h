@@ -1,0 +1,74 @@
+// Post-merge boundary reconciliation for the sharded streaming pipeline
+// (sim/sharded_dispatcher.h). A partitioned run forfeits every match whose
+// endpoints the router put into different shards; after the shard merge,
+// this pass collects the objects left unmatched within a feasibility-radius
+// band of the shard borders and runs one deterministic cross-shard matching
+// over them — recovering boundary matches without ever disturbing a pair a
+// shard committed.
+//
+// Contract (property-tested in tests/sim/boundary_reconciler_test.cc):
+//  - Pairs are only *added*, never removed or rewired: the merged
+//    assignment's existing pairs are a prefix of the reconciled one.
+//  - Every added pair joins two previously-unmatched objects routed to
+//    *different* shards (same-shard leftovers stay untouched — those are
+//    the per-shard algorithm's own decisions) and satisfies the
+//    algorithm's object-level deadline policy.
+//  - For guided algorithms the additions are guide-capacity-aware: at most
+//    guide.MatchedPairCountsByTypePair() pairs per (worker type, task
+//    type), mirroring how each shard realizes matches along Ĝf's edges.
+//  - The pass is a pure function of (instance, router, merged assignment):
+//    bit-identical across reruns and thread counts, and a no-op with one
+//    shard (no border exists).
+
+#ifndef FTOA_SIM_BOUNDARY_RECONCILER_H_
+#define FTOA_SIM_BOUNDARY_RECONCILER_H_
+
+#include <cstdint>
+
+#include "core/guide.h"
+#include "model/assignment.h"
+#include "model/instance.h"
+#include "sim/shard_router.h"
+#include "util/result.h"
+
+namespace ftoa {
+
+/// Reconciliation pass configuration.
+struct ReconcileOptions {
+  /// Object-level deadline predicate every added pair must satisfy —
+  /// the algorithm's own policy (OnlineAlgorithm::feasibility_policy).
+  FeasibilityPolicy policy = FeasibilityPolicy::kDispatchAtWorkerStart;
+
+  /// Non-null for guided algorithms (OnlineAlgorithm::guide): additions
+  /// are capped per (worker type, task type) by the guide's matched-pair
+  /// multiplicities.
+  const OfflineGuide* guide = nullptr;
+
+  /// Candidate edges kept per boundary worker (nearest-first). Bounds the
+  /// matcher's memory and the augmentation work; the recovered matching is
+  /// maximum over the kept edges.
+  int max_candidates_per_worker = 8;
+};
+
+/// What one reconciliation pass did.
+struct ReconcileStats {
+  int64_t boundary_workers = 0;  ///< Unmatched workers near a border.
+  int64_t boundary_tasks = 0;    ///< Unmatched tasks near a border.
+  int64_t recovered_pairs = 0;   ///< Pairs appended to the assignment.
+  int64_t capacity_dropped = 0;  ///< Matches dropped by guide capacity.
+};
+
+/// Appends recovered cross-shard pairs to `assignment` (decision time
+/// max(Sw, Sr) — the earliest moment a platform seeing both shards could
+/// have committed the pair). Candidate discovery uses a GridIndex over the
+/// boundary tasks with an expanding search disk; the matching itself is a
+/// DynamicBipartiteMatcher augmented in worker id order, so the result is
+/// deterministic and maximum over the kept candidate edges.
+Result<ReconcileStats> ReconcileShardBoundary(const Instance& instance,
+                                              const ShardRouter& router,
+                                              const ReconcileOptions& options,
+                                              Assignment* assignment);
+
+}  // namespace ftoa
+
+#endif  // FTOA_SIM_BOUNDARY_RECONCILER_H_

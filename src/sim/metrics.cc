@@ -1,6 +1,7 @@
 #include "sim/metrics.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace ftoa {
 
@@ -22,6 +23,10 @@ double PercentileNanos(std::vector<int64_t>& latencies, double quantile) {
 void FillDecisionLatencies(std::vector<int64_t>& latency_ns,
                            RunMetrics* metrics) {
   metrics->decisions = static_cast<int64_t>(latency_ns.size());
+  metrics->busy_seconds =
+      static_cast<double>(std::accumulate(latency_ns.begin(),
+                                          latency_ns.end(), int64_t{0})) *
+      1e-9;
   metrics->decision_latency_p50_ns = PercentileNanos(latency_ns, 0.50);
   metrics->decision_latency_p99_ns = PercentileNanos(latency_ns, 0.99);
   if (!latency_ns.empty()) {
@@ -38,12 +43,14 @@ RunMetrics MergeShardRunMetrics(const std::vector<RunMetrics>& shards) {
     merged.matching_size += shard.matching_size;
     merged.elapsed_seconds =
         std::max(merged.elapsed_seconds, shard.elapsed_seconds);
+    merged.busy_seconds += shard.busy_seconds;
     merged.peak_memory_bytes += shard.peak_memory_bytes;
     merged.strict_feasible_pairs += shard.strict_feasible_pairs;
     merged.strict_violations += shard.strict_violations;
     merged.dispatched_workers += shard.dispatched_workers;
     merged.ignored_objects += shard.ignored_objects;
     merged.decisions += shard.decisions;
+    merged.reconciled_pairs += shard.reconciled_pairs;
     merged.decision_latency_p50_ns = std::max(merged.decision_latency_p50_ns,
                                               shard.decision_latency_p50_ns);
     merged.decision_latency_p99_ns = std::max(merged.decision_latency_p99_ns,

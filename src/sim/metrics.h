@@ -15,6 +15,12 @@ struct RunMetrics {
   std::string algorithm;        ///< Display name.
   int64_t matching_size = 0;    ///< MaxSum(M).
   double elapsed_seconds = 0.0; ///< Wall time of the online phase.
+  /// CPU time spent inside session decisions (the sum of the per-decision
+  /// latencies). 0 when decisions are not individually timed (plain batch
+  /// replay). For a sharded run this is the *summed* busy time of all
+  /// shards, which can exceed elapsed_seconds when shards run concurrently
+  /// — elapsed is the critical path, busy is the work.
+  double busy_seconds = 0.0;
   uint64_t peak_memory_bytes = 0; ///< Peak heap growth during the run.
 
   // Strict-simulation extras (0 when strict verification is disabled).
@@ -32,12 +38,16 @@ struct RunMetrics {
   double decision_latency_p50_ns = 0.0;  ///< Median per-decision latency.
   double decision_latency_p99_ns = 0.0;  ///< Tail per-decision latency.
   double decision_latency_max_ns = 0.0;  ///< Worst single decision.
+
+  /// Pairs recovered by the post-merge boundary reconciliation pass of a
+  /// sharded run (sim/boundary_reconciler); included in matching_size.
+  int64_t reconciled_pairs = 0;
 };
 
-/// Fills `decisions` and the decision_latency percentile fields of `metrics`
-/// from a raw per-decision latency sample, using the nearest-rank percentile
-/// definition. Destructive: the sample is reordered in place (nth_element).
-/// An empty sample leaves the percentile fields at 0.
+/// Fills `decisions`, `busy_seconds`, and the decision_latency percentile
+/// fields of `metrics` from a raw per-decision latency sample, using the
+/// nearest-rank percentile definition. Destructive: the sample is reordered
+/// in place (nth_element). An empty sample leaves the fields at 0.
 void FillDecisionLatencies(std::vector<int64_t>& latency_ns,
                            RunMetrics* metrics);
 
@@ -45,11 +55,17 @@ void FillDecisionLatencies(std::vector<int64_t>& latency_ns,
 /// run (sim/sharded_dispatcher). The chosen merge semantics, field by field:
 ///
 ///  * Counter fields (matching_size, decisions, strict_*,
-///    dispatched_workers, ignored_objects) and peak_memory_bytes are
-///    *summed*. For concurrently-running shards the summed heap peak is an
-///    upper bound on the true process peak (shard peaks need not coincide).
+///    dispatched_workers, ignored_objects, reconciled_pairs) and
+///    peak_memory_bytes are *summed*. For concurrently-running shards the
+///    summed heap peak is an upper bound on the true process peak (shard
+///    peaks need not coincide).
+///  * busy_seconds is *summed*: it is work, and shard work adds up
+///    regardless of the schedule.
 ///  * elapsed_seconds merges by *max*: shards execute concurrently, so the
 ///    critical-path shard bounds the wall clock of the sharded run.
+///    Callers that measure the true wall clock of the whole sharded replay
+///    (dispatcher Run, sim/runner) overwrite the merged value — the
+///    per-shard work remains visible in busy_seconds.
 ///  * Percentile fields (decision_latency_{p50,p99,max}_ns) merge by *max*.
 ///    This is a conservative upper bound on the pooled percentile: if at
 ///    most a (1-q) fraction of each shard's samples exceed that shard's

@@ -54,6 +54,10 @@ Result<RunMetrics> RunSharded(OnlineAlgorithm* algorithm,
   sharded.num_shards = options.num_shards;
   sharded.num_threads = options.shard_threads;
   sharded.router = options.shard_router;
+  if (options.shard_handoff_batch > 0) {
+    sharded.handoff_batch = options.shard_handoff_batch;
+  }
+  sharded.reconcile = options.shard_reconcile;
   ShardedDispatcher dispatcher(algorithm, sharded);
 
   MemoryScope memory_scope;

@@ -40,6 +40,13 @@ struct RunnerOptions {
   /// Worker threads driving the shard sessions (clamped to num_shards).
   int shard_threads = 1;
   ShardRouterKind shard_router = ShardRouterKind::kGrid;
+  /// Events staged per shard before one batched queue handoff; 0 keeps the
+  /// dispatcher's default, 1 is the per-event reference
+  /// (ShardedOptions::handoff_batch).
+  int shard_handoff_batch = 0;
+  /// Post-merge boundary reconciliation (sim/boundary_reconciler): recover
+  /// cross-shard matches the partition forfeited. No-op at 1 shard.
+  bool shard_reconcile = false;
 };
 
 /// Runs `algorithm` on `instance` and collects metrics. Returns an error if

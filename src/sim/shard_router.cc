@@ -1,6 +1,10 @@
 #include "sim/shard_router.h"
 
 #include <algorithm>
+#include <cassert>
+
+#include "core/prediction_matrix.h"
+#include "util/string_util.h"
 
 namespace ftoa {
 
@@ -14,25 +18,204 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-}  // namespace
-
-GridShardRouter::GridShardRouter(const GridSpec& grid, int num_shards)
-    : grid_(grid),
-      num_shards_(std::clamp(num_shards, 1, grid.num_cells())) {}
-
-int GridShardRouter::ShardOfCell(CellId cell) const {
-  // Cells are cut into num_shards_ contiguous row-major bands of
-  // near-equal size.
-  return static_cast<int>(static_cast<int64_t>(cell) * num_shards_ /
-                          grid_.num_cells());
+/// Band assignment of near-equal cumulative weight: cell c goes to the
+/// shard its cumulative weight *midpoint* falls into, which is monotone
+/// non-decreasing in c and puts the cuts where the weight prefix crosses
+/// k * total / num_shards. All-zero totals fall back to the area split.
+std::vector<int32_t> WeightedBands(const GridSpec& grid,
+                                   const std::vector<int64_t>& weights,
+                                   int num_shards) {
+  const int num_cells = grid.num_cells();
+  std::vector<int32_t> shard_of_cell(static_cast<size_t>(num_cells), 0);
+  int64_t total = 0;
+  for (const int64_t w : weights) total += w;
+  int64_t before = 0;
+  for (int c = 0; c < num_cells; ++c) {
+    const int64_t w = weights[static_cast<size_t>(c)];
+    const int32_t shard =
+        total == 0
+            ? static_cast<int32_t>(static_cast<int64_t>(c) * num_shards /
+                                   num_cells)
+            : static_cast<int32_t>(
+                  std::min<int64_t>(num_shards - 1, (2 * before + w) *
+                                                        num_shards /
+                                                        (2 * total)));
+    shard_of_cell[static_cast<size_t>(c)] = shard;
+    before += w;
+  }
+  return shard_of_cell;
 }
 
-int GridShardRouter::Route(ObjectKind kind, int32_t id,
+}  // namespace
+
+std::vector<std::string> AllShardRouterNames() {
+  return {"grid", "hash", "load"};
+}
+
+std::string ShardRouterKindName(ShardRouterKind kind) {
+  switch (kind) {
+    case ShardRouterKind::kGrid: return "grid";
+    case ShardRouterKind::kHash: return "hash";
+    case ShardRouterKind::kLoad: return "load";
+  }
+  return "grid";
+}
+
+Result<ShardRouterKind> ParseShardRouterKind(const std::string& name) {
+  if (name == "grid") return ShardRouterKind::kGrid;
+  if (name == "hash") return ShardRouterKind::kHash;
+  if (name == "load") return ShardRouterKind::kLoad;
+  return Status::NotFound("unknown shard router: " + name + " (valid: " +
+                          Join(AllShardRouterNames(), ", ") + ")");
+}
+
+// ------------------------------------------------------------ band routers --
+
+BandShardRouter::BandShardRouter(const GridSpec& grid,
+                                 std::vector<int32_t> shard_of_cell,
+                                 int num_shards)
+    : grid_(grid),
+      num_shards_(num_shards),
+      shard_of_cell_(std::move(shard_of_cell)) {
+  assert(static_cast<int>(shard_of_cell_.size()) == grid_.num_cells());
+  band_starts_.assign(static_cast<size_t>(num_shards_) + 1,
+                      grid_.num_cells());
+  band_starts_[0] = 0;
+  // shard_of_cell_ is non-decreasing; band_starts_[s] ends up the first
+  // cell whose shard is >= s (empty bands inherit the next band's start,
+  // empty trailing bands stay at num_cells).
+  for (int c = grid_.num_cells() - 1; c >= 0; --c) {
+    const int32_t s = shard_of_cell_[static_cast<size_t>(c)];
+    assert(s >= 0 && s < num_shards_);
+    assert(c == 0 || shard_of_cell_[static_cast<size_t>(c - 1)] <= s);
+    for (int b = s; b > 0 && band_starts_[static_cast<size_t>(b)] > c; --b) {
+      band_starts_[static_cast<size_t>(b)] = c;
+    }
+  }
+}
+
+int BandShardRouter::Route(ObjectKind kind, int32_t id,
                            Point location) const {
   (void)kind;
   (void)id;
   return ShardOfCell(grid_.CellOf(location));
 }
+
+bool BandShardRouter::NearShardBoundary(Point location, double radius) const {
+  if (num_shards_ <= 1 || radius < 0.0) return false;
+  const Point p = grid_.Clamp(location);
+  const int own = ShardOfCell(grid_.CellOf(p));
+  // Own band: cells [lo, hi). Everything outside is foreign.
+  const int64_t lo = band_start(own);
+  const int64_t hi = band_start(own + 1);
+  const int cells_x = grid_.cells_x();
+  const int cells_y = grid_.cells_y();
+  const double cw = grid_.cell_width();
+  const double ch = grid_.cell_height();
+  const double radius_sq = radius * radius;
+  const int own_row = grid_.CellY(grid_.CellOf(p));
+
+  // Distance from p to the foreign cells of row y: within one row the
+  // foreign cells are a prefix (ids < lo) and/or suffix (ids >= hi) of the
+  // row's id range, i.e. one or two axis-aligned rectangles.
+  const auto row_reaches = [&](int y) {
+    const double slab_lo = y * ch;
+    const double slab_hi = (y + 1) * ch;
+    const double dy =
+        p.y < slab_lo ? slab_lo - p.y : (p.y > slab_hi ? p.y - slab_hi : 0.0);
+    if (dy * dy > radius_sq) return false;
+    const int64_t row_first = static_cast<int64_t>(y) * cells_x;
+    const int64_t row_last = row_first + cells_x - 1;
+    if (row_first < lo) {  // Prefix rectangle: columns [0, prefix_end).
+      const int64_t prefix_end = std::min<int64_t>(lo, row_last + 1);
+      const double seg_hi = static_cast<double>(prefix_end - row_first) * cw;
+      const double dx = p.x > seg_hi ? p.x - seg_hi : 0.0;
+      if (dx * dx + dy * dy <= radius_sq) return true;
+    }
+    if (row_last >= hi) {  // Suffix rectangle: columns [suffix_begin, W).
+      const int64_t suffix_begin = std::max<int64_t>(hi, row_first);
+      const double seg_lo = static_cast<double>(suffix_begin - row_first) * cw;
+      const double dx = p.x < seg_lo ? seg_lo - p.x : 0.0;
+      if (dx * dx + dy * dy <= radius_sq) return true;
+    }
+    return false;
+  };
+
+  // Walk rows outward from p's row so the vertical early-exit kicks in as
+  // soon as both directions leave the radius.
+  const int max_dy = cells_y;  // Upper bound; the vertical check prunes.
+  for (int dy = 0; dy < max_dy; ++dy) {
+    bool any_in_vertical_range = false;
+    // dy == 0 contributes only the own row; beyond it, one row per side.
+    const int rows_at_dy[2] = {own_row - dy, own_row + dy};
+    const int sides = dy == 0 ? 1 : 2;
+    for (int side = 0; side < sides; ++side) {
+      const int y = rows_at_dy[side];
+      if (y < 0 || y >= cells_y) continue;
+      const double slab_lo = y * ch;
+      const double slab_hi = (y + 1) * ch;
+      const double vertical =
+          p.y < slab_lo ? slab_lo - p.y
+                        : (p.y > slab_hi ? p.y - slab_hi : 0.0);
+      if (vertical > radius) continue;
+      any_in_vertical_range = true;
+      if (row_reaches(y)) return true;
+    }
+    if (!any_in_vertical_range) break;
+  }
+  return false;
+}
+
+GridShardRouter::GridShardRouter(const GridSpec& grid, int num_shards)
+    : BandShardRouter(
+          grid,
+          [&] {
+            const int shards = std::clamp(num_shards, 1, grid.num_cells());
+            std::vector<int32_t> cells(
+                static_cast<size_t>(grid.num_cells()));
+            // Contiguous row-major bands of near-equal size.
+            for (int c = 0; c < grid.num_cells(); ++c) {
+              cells[static_cast<size_t>(c)] = static_cast<int32_t>(
+                  static_cast<int64_t>(c) * shards / grid.num_cells());
+            }
+            return cells;
+          }(),
+          std::clamp(num_shards, 1, grid.num_cells())) {}
+
+LoadShardRouter::LoadShardRouter(const GridSpec& grid,
+                                 const std::vector<int64_t>& cell_weights,
+                                 int num_shards)
+    : BandShardRouter(
+          grid,
+          WeightedBands(grid, cell_weights,
+                        std::clamp(num_shards, 1, grid.num_cells())),
+          std::clamp(num_shards, 1, grid.num_cells())) {}
+
+std::unique_ptr<LoadShardRouter> LoadShardRouter::FromInstance(
+    const Instance& instance, int num_shards) {
+  const GridSpec& grid = instance.spacetime().grid();
+  std::vector<int64_t> weights(static_cast<size_t>(grid.num_cells()), 0);
+  for (const Worker& w : instance.workers()) {
+    ++weights[static_cast<size_t>(grid.CellOf(w.location))];
+  }
+  for (const Task& r : instance.tasks()) {
+    ++weights[static_cast<size_t>(grid.CellOf(r.location))];
+  }
+  return std::make_unique<LoadShardRouter>(grid, weights, num_shards);
+}
+
+std::unique_ptr<LoadShardRouter> LoadShardRouter::FromPrediction(
+    const PredictionMatrix& prediction, int num_shards) {
+  const SpacetimeSpec& st = prediction.spacetime();
+  std::vector<int64_t> weights(static_cast<size_t>(st.num_areas()), 0);
+  for (TypeId type = 0; type < st.num_types(); ++type) {
+    weights[static_cast<size_t>(st.AreaOfType(type))] +=
+        prediction.workers_at(type) + prediction.tasks_at(type);
+  }
+  return std::make_unique<LoadShardRouter>(st.grid(), weights, num_shards);
+}
+
+// ------------------------------------------------------------- hash router --
 
 HashShardRouter::HashShardRouter(int num_shards)
     : num_shards_(std::max(1, num_shards)) {}
@@ -55,6 +238,8 @@ std::unique_ptr<ShardRouter> MakeShardRouter(ShardRouterKind kind,
                                                num_shards);
     case ShardRouterKind::kHash:
       return std::make_unique<HashShardRouter>(num_shards);
+    case ShardRouterKind::kLoad:
+      return LoadShardRouter::FromInstance(instance, num_shards);
   }
   return std::make_unique<GridShardRouter>(instance.spacetime().grid(),
                                            num_shards);

@@ -9,19 +9,36 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "model/arrival_stream.h"
 #include "model/instance.h"
 #include "spatial/grid.h"
 #include "spatial/point.h"
+#include "util/result.h"
 
 namespace ftoa {
+
+class PredictionMatrix;
 
 /// Which built-in router partitions the object universe.
 enum class ShardRouterKind {
   kGrid,  ///< Contiguous bands of grid cells (spatial locality).
   kHash,  ///< SplitMix64 of (kind, id) (load balance, no locality).
+  kLoad,  ///< Cell bands weighted by per-cell object counts (balanced
+          ///< supply+demand instead of balanced area).
 };
+
+/// Canonical CLI spellings of the router kinds, in declaration order —
+/// the single source front ends list in usage strings and errors.
+std::vector<std::string> AllShardRouterNames();
+
+/// Canonical name of one kind ("grid", "hash", "load").
+std::string ShardRouterKindName(ShardRouterKind kind);
+
+/// Parses a canonical router name; NotFound lists the valid set (the
+/// algos-style unknown-name error).
+Result<ShardRouterKind> ParseShardRouterKind(const std::string& name);
 
 /// Pluggable arrival-to-shard routing. Routers are immutable after
 /// construction and must be deterministic: the same arrival always maps to
@@ -35,33 +52,101 @@ class ShardRouter {
 
   /// Shard of one arrival, in [0, num_shards()).
   virtual int Route(ObjectKind kind, int32_t id, Point location) const = 0;
+
+  /// True iff a point within `radius` of `location` can belong to a
+  /// different shard than `location` itself — the "near a shard border"
+  /// predicate of the post-merge boundary reconciliation pass
+  /// (sim/boundary_reconciler.h). The default is the conservative answer
+  /// for routers with no spatial structure: every point is border-adjacent
+  /// as soon as a second shard exists.
+  virtual bool NearShardBoundary(Point location, double radius) const {
+    (void)location;
+    (void)radius;
+    return num_shards() > 1;
+  }
 };
 
-/// Area-based router: the grid's row-major cell id space is cut into
-/// num_shards contiguous bands, so a shard owns a horizontal slab of the
-/// region and objects that are near each other usually share a shard —
-/// which preserves most short matching edges.
-class GridShardRouter final : public ShardRouter {
+/// Common machinery of the cell-band routers: the grid's row-major cell id
+/// space is cut into num_shards contiguous bands (each shard owns the cells
+/// in [band_start(s), band_start(s+1))), so objects that are near each
+/// other usually share a shard and most short matching edges survive.
+/// Subclasses only decide where the cuts fall. The shard count is clamped
+/// to [1, num_cells] (more shards than cells would leave the excess
+/// permanently empty).
+class BandShardRouter : public ShardRouter {
  public:
-  /// Shard count is clamped to [1, num_cells] (more shards than cells
-  /// would leave the excess permanently empty).
-  GridShardRouter(const GridSpec& grid, int num_shards);
-
-  std::string name() const override { return "grid"; }
   int num_shards() const override { return num_shards_; }
   int Route(ObjectKind kind, int32_t id, Point location) const override;
 
+  /// Exact band geometry: walks grid rows outward from `location`; within a
+  /// row the foreign cells form a prefix and/or suffix of the row's cell
+  /// range, so the distance test is a point-to-rectangle check per row.
+  bool NearShardBoundary(Point location, double radius) const override;
+
   /// Shard owning a grid cell (exposed for tests and diagnostics).
-  int ShardOfCell(CellId cell) const;
+  int ShardOfCell(CellId cell) const {
+    return shard_of_cell_[static_cast<size_t>(cell)];
+  }
+
+  /// First cell id of shard `s`; band_start(num_shards()) == num_cells.
+  /// Empty bands are possible (band_start(s) == band_start(s+1)) when one
+  /// cell carries most of the weight.
+  CellId band_start(int s) const {
+    return band_starts_[static_cast<size_t>(s)];
+  }
+
+  const GridSpec& grid() const { return grid_; }
+
+ protected:
+  /// `shard_of_cell` must have one entry per grid cell, non-decreasing,
+  /// with values in [0, num_shards).
+  BandShardRouter(const GridSpec& grid, std::vector<int32_t> shard_of_cell,
+                  int num_shards);
 
  private:
   GridSpec grid_;
   int num_shards_ = 1;
+  std::vector<int32_t> shard_of_cell_;  // Per cell, non-decreasing.
+  std::vector<CellId> band_starts_;     // num_shards + 1 cut points.
+};
+
+/// Area-based band router: cells are cut into bands of near-equal *count*,
+/// so a shard owns a horizontal slab of the region regardless of where the
+/// objects are.
+class GridShardRouter final : public BandShardRouter {
+ public:
+  GridShardRouter(const GridSpec& grid, int num_shards);
+
+  std::string name() const override { return "grid"; }
+};
+
+/// Load-aware band router: cells are cut into bands of near-equal *weight*,
+/// where a cell's weight is its (predicted or realized) object count — so
+/// shards carry balanced supply+demand instead of balanced area, and a
+/// dense downtown no longer lands in one shard while empty suburbs fill the
+/// rest. With all-zero weights it degenerates to the area split.
+class LoadShardRouter final : public BandShardRouter {
+ public:
+  /// `cell_weights` must have one non-negative entry per grid cell.
+  LoadShardRouter(const GridSpec& grid,
+                  const std::vector<int64_t>& cell_weights, int num_shards);
+
+  /// Weights = realized worker+task counts per cell of `instance`.
+  static std::unique_ptr<LoadShardRouter> FromInstance(
+      const Instance& instance, int num_shards);
+
+  /// Weights = predicted worker+task counts per cell (`prediction` summed
+  /// over time slots) — the router a production deployment builds before
+  /// the day starts, from the same matrix that feeds guide generation.
+  static std::unique_ptr<LoadShardRouter> FromPrediction(
+      const PredictionMatrix& prediction, int num_shards);
+
+  std::string name() const override { return "load"; }
 };
 
 /// Hash router: SplitMix64 of (kind, id) modulo the shard count. Balances
 /// load evenly but scatters neighborhoods, so it loses more cross-shard
-/// matches than the grid router — the bench quantifies the gap.
+/// matches than the band routers — the bench quantifies the gap.
 class HashShardRouter final : public ShardRouter {
  public:
   explicit HashShardRouter(int num_shards);
@@ -74,8 +159,10 @@ class HashShardRouter final : public ShardRouter {
   int num_shards_ = 1;
 };
 
-/// Builds a built-in router for `instance` (the grid router reads the
-/// instance's spacetime grid).
+/// Builds a built-in router for `instance` (the band routers read the
+/// instance's spacetime grid; the load router weighs cells by the
+/// instance's realized object counts — use LoadShardRouter::FromPrediction
+/// to weigh by a forecast instead).
 std::unique_ptr<ShardRouter> MakeShardRouter(ShardRouterKind kind,
                                              const Instance& instance,
                                              int num_shards);

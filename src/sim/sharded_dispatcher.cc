@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <numeric>
+#include <thread>
 #include <utility>
 
 #include "util/stopwatch.h"
@@ -14,22 +14,30 @@ namespace ftoa {
 ShardedSession::ShardedSession(const Instance& instance,
                                OnlineAlgorithm* algorithm,
                                std::unique_ptr<ShardRouter> router,
-                               ThreadPool* pool)
+                               ThreadPool* pool,
+                               const ShardedOptions& options)
     : instance_(&instance),
-      algorithm_name_(algorithm->name()),
+      algorithm_(algorithm),
       router_(std::move(router)),
-      pool_(pool) {
+      pool_(pool),
+      handoff_batch_(std::max(1, options.handoff_batch)),
+      reconcile_(options.reconcile),
+      latency_sample_period_(std::max(1, options.latency_sample_period)) {
   shards_.reserve(static_cast<size_t>(router_->num_shards()));
   for (int i = 0; i < router_->num_shards(); ++i) {
     auto shard = std::make_unique<Shard>();
     shard->session = algorithm->StartSession(instance);
+    if (pool_ != nullptr) {
+      shard->staging.reserve(static_cast<size_t>(handoff_batch_));
+    }
     shards_.push_back(std::move(shard));
   }
 }
 
 ShardedSession::~ShardedSession() {
   // An abandoned session may still have drain tasks referencing our
-  // shards; wait them out before the sessions are destroyed.
+  // shards; wait them out before the sessions are destroyed. (Staged but
+  // never flushed events die with the abandoned session.)
   Quiesce();
 }
 
@@ -52,31 +60,51 @@ void ShardedSession::Route(ObjectKind kind, int32_t id, double time) {
   const int target = router_->Route(kind, id, location);
   const Op::Kind op_kind =
       kind == ObjectKind::kWorker ? Op::Kind::kWorker : Op::Kind::kTask;
-  Submit(*shards_[static_cast<size_t>(target)], Op{op_kind, id, time});
+  Stage(*shards_[static_cast<size_t>(target)], Op{op_kind, id, time});
 }
 
 void ShardedSession::AdvanceTo(double time) {
+  // A declared time boundary: stage the advance behind each shard's
+  // already-staged events (order preserved) and release every batch.
   for (auto& shard : shards_) {
-    Submit(*shard, Op{Op::Kind::kAdvance, -1, time});
+    Stage(*shard, Op{Op::Kind::kAdvance, -1, time});
+    FlushStaging(*shard);
   }
 }
 
 void ShardedSession::Flush() {
   for (auto& shard : shards_) {
-    Submit(*shard, Op{Op::Kind::kFlush, -1, 0.0});
+    Stage(*shard, Op{Op::Kind::kFlush, -1, 0.0});
+    FlushStaging(*shard);
   }
   Quiesce();
 }
 
-void ShardedSession::Submit(Shard& shard, Op op) {
+void ShardedSession::Stage(Shard& shard, Op op) {
   if (pool_ == nullptr) {
     Apply(shard, op);
     return;
   }
+  shard.staging.push_back(op);
+  if (static_cast<int>(shard.staging.size()) >= handoff_batch_) {
+    FlushStaging(shard);
+  }
+}
+
+void ShardedSession::FlushStaging(Shard& shard) {
+  if (pool_ == nullptr || shard.staging.empty()) return;
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.pending.push_back(op);
+    if (shard.pending.empty()) {
+      // Double-buffer swap: the drained-out pending vector becomes the
+      // next staging buffer, so the two ping-pong with no copying.
+      shard.pending.swap(shard.staging);
+    } else {
+      shard.pending.insert(shard.pending.end(), shard.staging.begin(),
+                           shard.staging.end());
+      shard.staging.clear();
+    }
     if (!shard.draining) {
       shard.draining = true;
       schedule = true;
@@ -93,16 +121,26 @@ void ShardedSession::Submit(Shard& shard, Op op) {
 
 void ShardedSession::Apply(Shard& shard, const Op& op) {
   switch (op.kind) {
-    case Op::Kind::kWorker: {
-      Stopwatch clock;
-      shard.session->OnWorker(op.id, op.time);
-      shard.latency_ns.push_back(clock.ElapsedNanos());
-      break;
-    }
+    case Op::Kind::kWorker:
     case Op::Kind::kTask: {
-      Stopwatch clock;
-      shard.session->OnTask(op.id, op.time);
-      shard.latency_ns.push_back(clock.ElapsedNanos());
+      // Systematic latency sampling by per-shard decision ordinal: the
+      // sampled set depends only on the shard's event order, never on
+      // threads or batching. Period 1 times everything.
+      const bool sampled =
+          (shard.decisions++ % latency_sample_period_) == 0;
+      if (sampled) {
+        Stopwatch clock;
+        if (op.kind == Op::Kind::kWorker) {
+          shard.session->OnWorker(op.id, op.time);
+        } else {
+          shard.session->OnTask(op.id, op.time);
+        }
+        shard.latency_ns.push_back(clock.ElapsedNanos());
+      } else if (op.kind == Op::Kind::kWorker) {
+        shard.session->OnWorker(op.id, op.time);
+      } else {
+        shard.session->OnTask(op.id, op.time);
+      }
       break;
     }
     case Op::Kind::kAdvance:
@@ -133,8 +171,8 @@ void ShardedSession::Drain(Shard& shard) {
     }
   } catch (...) {
     // The pool's future (where packaged_task would resurface this) is
-    // discarded by Submit, so capture the failure for Finish() and keep
-    // the live-drain accounting exact — leaking either would deadlock
+    // discarded by FlushStaging, so capture the failure for Finish() and
+    // keep the live-drain accounting exact — leaking either would deadlock
     // Quiesce instead of failing loudly. The shard is dead from here on:
     // drop its queued and half-applied ops so a later drain (e.g. the
     // Flush broadcast) cannot replay already-applied events.
@@ -197,22 +235,40 @@ Result<ShardedRunResult> ShardedSession::Finish() {
           out.assignment.Add(pair.worker, pair.task, pair.time));
     }
     RunMetrics metrics;
-    metrics.algorithm = algorithm_name_;
+    metrics.algorithm = algorithm_->name();
     metrics.matching_size = static_cast<int64_t>(result.assignment.size());
     metrics.dispatched_workers =
         static_cast<int64_t>(result.trace.dispatches.size());
     metrics.ignored_objects =
         result.trace.ignored_workers + result.trace.ignored_tasks;
-    metrics.elapsed_seconds =
-        static_cast<double>(std::accumulate(shard.latency_ns.begin(),
-                                            shard.latency_ns.end(),
-                                            int64_t{0})) *
-        1e-9;  // Busy time; the merged wall clock is the caller's to set.
     FillDecisionLatencies(shard.latency_ns, &metrics);
+    // The latency trace is a 1-in-N systematic sample: the decision count
+    // stays exact and the busy time extrapolates from the sampled share.
+    if (!shard.latency_ns.empty()) {
+      metrics.busy_seconds *= static_cast<double>(shard.decisions) /
+                              static_cast<double>(shard.latency_ns.size());
+    }
+    metrics.decisions = shard.decisions;
+    // A shard has no wall clock of its own; its busy time is the best
+    // per-shard estimate, and the max-merge below yields the critical-path
+    // bound callers may overwrite with a measured wall clock.
+    metrics.elapsed_seconds = metrics.busy_seconds;
     out.shard_metrics.push_back(std::move(metrics));
     out.trace.Absorb(std::move(result.trace));
   }
   out.metrics = MergeShardRunMetrics(out.shard_metrics);
+
+  if (reconcile_) {
+    ReconcileOptions reconcile_options;
+    reconcile_options.policy = algorithm_->feasibility_policy();
+    reconcile_options.guide = algorithm_->guide();
+    FTOA_ASSIGN_OR_RETURN(
+        out.reconcile,
+        ReconcileShardBoundary(*instance_, *router_, reconcile_options,
+                               &out.assignment));
+    out.metrics.matching_size += out.reconcile.recovered_pairs;
+    out.metrics.reconciled_pairs = out.reconcile.recovered_pairs;
+  }
   return out;
 }
 
@@ -223,10 +279,24 @@ ShardedDispatcher::ShardedDispatcher(OnlineAlgorithm* algorithm,
     : options_(options), algorithm_(algorithm) {
   options_.num_shards = std::max(1, options_.num_shards);
   options_.num_threads =
-      std::clamp(options_.num_threads, 1, options_.num_shards);
+      ResolveNumThreads(options_.num_threads, options_.num_shards);
+  options_.handoff_batch = std::max(1, options_.handoff_batch);
+  options_.latency_sample_period =
+      std::max(1, options_.latency_sample_period);
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+}
+
+int ShardedDispatcher::ResolveNumThreads(int requested, int num_shards) {
+  if (requested <= 0) {
+    // Auto: one thread per shard up to the core count — more actor
+    // threads than cores is pure scheduling overhead, so a single-core
+    // host degrades to the inline path.
+    requested = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  return std::clamp(requested, 1, std::max(1, num_shards));
 }
 
 Result<std::unique_ptr<ShardedDispatcher>> ShardedDispatcher::Create(
@@ -248,7 +318,7 @@ std::unique_ptr<ShardedSession> ShardedDispatcher::StartSession(
   return std::unique_ptr<ShardedSession>(new ShardedSession(
       instance, algorithm_,
       MakeShardRouter(options_.router, instance, options_.num_shards),
-      pool_.get()));
+      pool_.get(), options_));
 }
 
 Result<ShardedRunResult> ShardedDispatcher::Run(const Instance& instance,

@@ -193,6 +193,36 @@ TEST_P(ShardedDispatcherTest, ThreadCountDoesNotChangeTheMergedOutput) {
   }
 }
 
+TEST_P(ShardedDispatcherTest, HandoffBatchSizeDoesNotChangeTheMergedOutput) {
+  // Batching only changes *when* events cross the thread boundary, never
+  // their per-shard order: every batch size — per-event (1), tiny, odd,
+  // larger than the whole stream — must reproduce the inline reference.
+  const Universe universe = MakeFuzzUniverse(733, ArrivalPattern::kBursty);
+  ShardedOptions options;
+  options.algorithm = GetParam();
+  options.num_shards = 4;
+  options.num_threads = 1;  // Inline reference: staging is bypassed.
+  auto reference_dispatcher =
+      ShardedDispatcher::Create(options, universe.deps);
+  ASSERT_TRUE(reference_dispatcher.ok())
+      << reference_dispatcher.status().ToString();
+  auto reference = (*reference_dispatcher)->Run(universe.instance);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (const int handoff_batch : {1, 2, 7, 1 << 20}) {
+    options.num_threads = 4;
+    options.handoff_batch = handoff_batch;
+    auto dispatcher = ShardedDispatcher::Create(options, universe.deps);
+    ASSERT_TRUE(dispatcher.ok()) << dispatcher.status().ToString();
+    auto result = (*dispatcher)->Run(universe.instance);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectIdenticalRun(reference->assignment, reference->trace,
+                    result->assignment, result->trace,
+                    std::string(GetParam()) + " handoff_batch=" +
+                        std::to_string(handoff_batch));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ShardedDispatcherTest,
                          ::testing::Values("simple-greedy", "gr", "tgoa",
                                            "polar", "polar-op", "polar-op-g",
@@ -332,6 +362,127 @@ TEST(GridShardRouterTest, CutsCellsIntoContiguousBands) {
   EXPECT_EQ(clamped.num_shards(), grid.num_cells());
 }
 
+TEST(ShardRouterRegistryTest, NamesParseAndRoundTrip) {
+  EXPECT_EQ(AllShardRouterNames(),
+            (std::vector<std::string>{"grid", "hash", "load"}));
+  for (const ShardRouterKind kind :
+       {ShardRouterKind::kGrid, ShardRouterKind::kHash,
+        ShardRouterKind::kLoad}) {
+    const std::string name = ShardRouterKindName(kind);
+    const auto parsed = ParseShardRouterKind(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, kind) << name;
+
+    // The built router reports the same canonical name.
+    const Universe universe = MakeFuzzUniverse(3, ArrivalPattern::kBursty);
+    EXPECT_EQ(MakeShardRouter(kind, universe.instance, 3)->name(), name);
+  }
+  // The algos-style unknown-name error carries the whole valid set.
+  const auto unknown = ParseShardRouterKind("bogus");
+  ASSERT_FALSE(unknown.ok());
+  for (const std::string& name : AllShardRouterNames()) {
+    EXPECT_NE(unknown.status().ToString().find(name), std::string::npos)
+        << name;
+  }
+}
+
+TEST(LoadShardRouterTest, BandsBalanceWeightNotArea) {
+  // All weight in the last row: the load router gives the final shard just
+  // that row's weighted cells, where the area split would hand it a
+  // quarter of the region regardless.
+  const GridSpec grid(10.0, 10.0, 4, 4);
+  std::vector<int64_t> weights(static_cast<size_t>(grid.num_cells()), 0);
+  for (CellId c = 12; c < 16; ++c) weights[static_cast<size_t>(c)] = 10;
+  const LoadShardRouter router(grid, weights, 2);
+  EXPECT_EQ(router.num_shards(), 2);
+  int previous = 0;
+  for (CellId cell = 0; cell < grid.num_cells(); ++cell) {
+    const int shard = router.ShardOfCell(cell);
+    EXPECT_GE(shard, previous) << "bands must be contiguous in cell order";
+    previous = shard;
+  }
+  // The weighted cells split 2/2 across the shards (20 weight each); all
+  // zero-weight cells land in the first band.
+  EXPECT_EQ(router.ShardOfCell(11), 0);
+  EXPECT_EQ(router.ShardOfCell(12), 0);
+  EXPECT_EQ(router.ShardOfCell(13), 0);
+  EXPECT_EQ(router.ShardOfCell(14), 1);
+  EXPECT_EQ(router.ShardOfCell(15), 1);
+
+  int64_t per_shard[2] = {0, 0};
+  for (CellId c = 0; c < grid.num_cells(); ++c) {
+    per_shard[router.ShardOfCell(c)] += weights[static_cast<size_t>(c)];
+  }
+  EXPECT_EQ(per_shard[0], per_shard[1]);
+}
+
+TEST(LoadShardRouterTest, ZeroWeightsFallBackToTheAreaSplit) {
+  const GridSpec grid(10.0, 10.0, 4, 4);
+  const std::vector<int64_t> zeros(static_cast<size_t>(grid.num_cells()), 0);
+  const LoadShardRouter load(grid, zeros, 3);
+  const GridShardRouter area(grid, 3);
+  for (CellId c = 0; c < grid.num_cells(); ++c) {
+    EXPECT_EQ(load.ShardOfCell(c), area.ShardOfCell(c)) << "cell " << c;
+  }
+  // More shards than cells clamps, like the area router.
+  const LoadShardRouter clamped(grid, zeros, 64);
+  EXPECT_EQ(clamped.num_shards(), grid.num_cells());
+}
+
+TEST(LoadShardRouterTest, InstanceAndPerfectPredictionWeightsAgree) {
+  // FromInstance counts realized objects per cell; FromPrediction sums the
+  // per-type matrix over slots. On a perfect prediction these are the same
+  // weights, so the two routers must route identically.
+  const Universe universe = MakeFuzzUniverse(17, ArrivalPattern::kShuffledIds);
+  const auto from_instance =
+      LoadShardRouter::FromInstance(universe.instance, 3);
+  const auto from_prediction = LoadShardRouter::FromPrediction(
+      PredictionMatrix::FromInstance(universe.instance), 3);
+  for (CellId c = 0;
+       c < universe.instance.spacetime().grid().num_cells(); ++c) {
+    EXPECT_EQ(from_instance->ShardOfCell(c), from_prediction->ShardOfCell(c))
+        << "cell " << c;
+  }
+  // MakeShardRouter's kLoad path is the instance-weight router.
+  const auto made =
+      MakeShardRouter(ShardRouterKind::kLoad, universe.instance, 3);
+  for (const Worker& w : universe.instance.workers()) {
+    EXPECT_EQ(made->Route(ObjectKind::kWorker, w.id, w.location),
+              from_instance->Route(ObjectKind::kWorker, w.id, w.location));
+  }
+}
+
+TEST(BandShardRouterTest, NearShardBoundaryMatchesTheBandGeometry) {
+  // 4x4 cells over 10x10: with 2 shards the cut is at y = 5. A point's
+  // boundary band is exactly its distance to the foreign half.
+  const GridSpec grid(10.0, 10.0, 4, 4);
+  const GridShardRouter router(grid, 2);
+  EXPECT_FALSE(router.NearShardBoundary({5.0, 0.5}, 4.4));
+  EXPECT_TRUE(router.NearShardBoundary({5.0, 0.5}, 4.6));
+  EXPECT_TRUE(router.NearShardBoundary({5.0, 4.9}, 0.2));
+  EXPECT_TRUE(router.NearShardBoundary({5.0, 5.1}, 0.2));  // Other side.
+  EXPECT_FALSE(router.NearShardBoundary({5.0, 9.5}, 4.4));
+
+  // With 3 shards on 16 cells the cuts land mid-row (cells 0-5 | 6-10 |
+  // 11-15): from cell 4's center the nearest foreign cell is the row
+  // above (distance 1.25), not the suffix of its own row (3.75).
+  const GridShardRouter thirds(grid, 3);
+  ASSERT_EQ(thirds.ShardOfCell(4), 0);
+  ASSERT_EQ(thirds.ShardOfCell(5), 0);
+  ASSERT_EQ(thirds.ShardOfCell(6), 1);
+  EXPECT_FALSE(thirds.NearShardBoundary({1.25, 3.75}, 1.0));
+  EXPECT_TRUE(thirds.NearShardBoundary({1.25, 3.75}, 1.3));
+
+  // One shard: no border exists anywhere.
+  const GridShardRouter single(grid, 1);
+  EXPECT_FALSE(single.NearShardBoundary({5.0, 5.0}, 100.0));
+
+  // The hash router has no spatial structure: every point is
+  // border-adjacent once a second shard exists.
+  EXPECT_TRUE(HashShardRouter(2).NearShardBoundary({5.0, 5.0}, 0.0));
+  EXPECT_FALSE(HashShardRouter(1).NearShardBoundary({5.0, 5.0}, 100.0));
+}
+
 TEST(HashShardRouterTest, DeterministicInRangeAndKindSensitive) {
   const HashShardRouter router(5);
   bool worker_task_differ_somewhere = false;
@@ -353,18 +504,22 @@ TEST(MergeShardRunMetricsTest, DocumentedFieldSemantics) {
   a.algorithm = "POLAR-OP";
   a.matching_size = 10;
   a.elapsed_seconds = 0.5;
+  a.busy_seconds = 0.4;
   a.peak_memory_bytes = 100;
   a.decisions = 40;
   a.dispatched_workers = 4;
   a.ignored_objects = 1;
+  a.reconciled_pairs = 2;
   a.decision_latency_p50_ns = 100.0;
   a.decision_latency_p99_ns = 900.0;
   a.decision_latency_max_ns = 1500.0;
   RunMetrics b = a;
   b.matching_size = 5;
   b.elapsed_seconds = 0.75;
+  b.busy_seconds = 0.7;
   b.peak_memory_bytes = 50;
   b.decisions = 25;
+  b.reconciled_pairs = 3;
   b.decision_latency_p50_ns = 200.0;
   b.decision_latency_p99_ns = 400.0;
   b.decision_latency_max_ns = 2500.0;
@@ -377,8 +532,10 @@ TEST(MergeShardRunMetricsTest, DocumentedFieldSemantics) {
   EXPECT_EQ(merged.peak_memory_bytes, 150u);
   EXPECT_EQ(merged.dispatched_workers, 8);
   EXPECT_EQ(merged.ignored_objects, 2);
-  // Wall clock is the critical path: max.
+  EXPECT_EQ(merged.reconciled_pairs, 5);
+  // Wall clock is the critical path: max. Busy time is work: sum.
   EXPECT_DOUBLE_EQ(merged.elapsed_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(merged.busy_seconds, 1.1);
   // Percentiles merge by max — the conservative pooled upper bound; a
   // weighted average would report p50 < a's p50, hiding the slow shard.
   EXPECT_DOUBLE_EQ(merged.decision_latency_p50_ns, 200.0);
@@ -386,6 +543,35 @@ TEST(MergeShardRunMetricsTest, DocumentedFieldSemantics) {
   EXPECT_DOUBLE_EQ(merged.decision_latency_max_ns, 2500.0);
 
   EXPECT_EQ(MergeShardRunMetrics({}).decisions, 0);
+}
+
+TEST(MergeShardRunMetricsTest, BusyTimeIsSummedWorkNotWallClock) {
+  // FillDecisionLatencies derives busy time from the raw sample ...
+  std::vector<int64_t> latencies = {100, 200, 300};
+  RunMetrics filled;
+  FillDecisionLatencies(latencies, &filled);
+  EXPECT_DOUBLE_EQ(filled.busy_seconds, 600.0 * 1e-9);
+
+  // ... and a real sharded run reports per-shard elapsed == busy (a shard
+  // has no wall clock of its own) with the merged busy being their sum.
+  const Universe universe = MakeFuzzUniverse(5, ArrivalPattern::kBursty);
+  ShardedOptions options;
+  options.algorithm = "polar-op";
+  options.num_shards = 3;
+  auto dispatcher = ShardedDispatcher::Create(options, universe.deps);
+  ASSERT_TRUE(dispatcher.ok()) << dispatcher.status().ToString();
+  auto result = (*dispatcher)->Run(universe.instance);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  double busy_sum = 0.0;
+  for (const RunMetrics& shard : result->shard_metrics) {
+    EXPECT_DOUBLE_EQ(shard.elapsed_seconds, shard.busy_seconds);
+    EXPECT_GT(shard.busy_seconds, 0.0);
+    busy_sum += shard.busy_seconds;
+  }
+  EXPECT_DOUBLE_EQ(result->metrics.busy_seconds, busy_sum);
+  // Run() measures the replay's wall clock, which covers the busy time of
+  // the critical-path shard at least.
+  EXPECT_GT(result->metrics.elapsed_seconds, 0.0);
 }
 
 TEST(MergeShardRunMetricsTest, MaxMergeUpperBoundsThePooledPercentile) {

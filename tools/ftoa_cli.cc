@@ -14,7 +14,10 @@
 // session arrival by arrival and reports per-decision latency percentiles;
 // --shards=K routes arrivals through the sharded dispatcher (K per-shard
 // sessions, merged assignment — see docs/sharded_dispatch.md) with
-// --shard-threads (default K) and --router=grid|hash.
+// --shard-threads (default auto: min(K, cores)), --router=NAME (the registered shard
+// routers: grid | hash | load), --handoff-batch=N (events staged per
+// batched queue handoff; 1 = per-event), and --reconcile (post-merge
+// boundary reconciliation recovering cross-shard matches).
 // `algos` lists every algorithm the registry knows. The guide for
 // POLAR-family algorithms is derived from the instance's own realized
 // counts unless --prediction points at a second instance file whose counts
@@ -34,6 +37,7 @@
 #include "gen/synthetic.h"
 #include "model/io.h"
 #include "sim/runner.h"
+#include "sim/sharded_dispatcher.h"
 #include "util/string_util.h"
 
 namespace ftoa {
@@ -100,10 +104,12 @@ int Usage() {
       "       [--scale=F] --out=FILE\n"
       "  ftoa run --instance=FILE --algorithm=NAME [--prediction=FILE]\n"
       "       [--strict] [--stream] [--dr=F] [--dw=F]\n"
-      "       [--shards=K] [--shard-threads=N] [--router=grid|hash]\n"
+      "       [--shards=K] [--shard-threads=N] [--router=%s]\n"
+      "       [--handoff-batch=N] [--reconcile]\n"
       "       (NAME: %s)\n"
       "  ftoa algos\n"
       "  ftoa inspect --instance=FILE\n",
+      Join(AllShardRouterNames(), "|").c_str(),
       Join(AllAlgorithmNames(), " | ").c_str());
   return 2;
 }
@@ -215,19 +221,23 @@ int CmdRun(int argc, char** argv) {
   options.strict_verification = args.Has("strict");
   options.streaming = args.Has("stream");
   options.num_shards = static_cast<int>(args.GetInt("shards", 0));
-  // Mirror the dispatcher's clamp so the summary below reports the thread
-  // count actually used, not the raw flag.
-  options.shard_threads = std::clamp(
-      static_cast<int>(args.GetInt("shard-threads", options.num_shards)), 1,
-      std::max(1, options.num_shards));
+  // Resolve 0 = auto exactly like the dispatcher will, so the summary
+  // below reports the thread count actually used.
+  options.shard_threads = ShardedDispatcher::ResolveNumThreads(
+      static_cast<int>(args.GetInt("shard-threads", 0)),
+      options.num_shards);
   const std::string router = args.Get("router", "grid");
-  if (router == "hash") {
-    options.shard_router = ShardRouterKind::kHash;
-  } else if (router != "grid") {
-    std::fprintf(stderr, "run: unknown --router=%s (grid | hash)\n",
-                 router.c_str());
+  const auto router_kind = ParseShardRouterKind(router);
+  if (!router_kind.ok()) {
+    // NotFound carries the valid-name set (AllShardRouterNames).
+    std::fprintf(stderr, "run: %s\n",
+                 router_kind.status().ToString().c_str());
     return 2;
   }
+  options.shard_router = *router_kind;
+  options.shard_handoff_batch =
+      static_cast<int>(args.GetInt("handoff-batch", 0));
+  options.shard_reconcile = args.Has("reconcile");
   const auto metrics = RunAlgorithm(algorithm->get(), *instance, options);
   if (!metrics.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
@@ -249,11 +259,20 @@ int CmdRun(int argc, char** argv) {
                 static_cast<long long>(metrics->dispatched_workers));
   }
   if (options.num_shards >= 1) {
-    std::printf("shards         %d (%s router, %d threads)\n",
-                options.num_shards, router.c_str(),
-                options.shard_threads);
+    std::printf("shards         %d (%s router, %d threads, handoff batch "
+                "%s)\n",
+                options.num_shards, router.c_str(), options.shard_threads,
+                options.shard_handoff_batch > 0
+                    ? std::to_string(options.shard_handoff_batch).c_str()
+                    : "default");
+    if (options.shard_reconcile) {
+      std::printf("reconciled     %lld cross-shard pairs recovered\n",
+                  static_cast<long long>(metrics->reconciled_pairs));
+    }
   }
   if (options.streaming || options.num_shards >= 1) {
+    std::printf("busy time      %.4f s in session decisions\n",
+                metrics->busy_seconds);
     std::printf("decisions      %lld (streaming session)\n",
                 static_cast<long long>(metrics->decisions));
     std::printf("latency        p50 %.0f ns / p99 %.0f ns / max %.0f ns "

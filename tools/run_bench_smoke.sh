@@ -98,8 +98,9 @@ if lat:
           f"max {lat.get('max_ns', 0):.0f}ns")
 EOF
 
-# Headline numbers: sharded-dispatcher throughput and the utility cost of
-# partitioning (matched counter) vs the single-session baseline.
+# Headline numbers: sharded-dispatcher throughput (per-event vs batched
+# queue handoff) and the utility cost of partitioning per router (matched
+# + reconciled counters) vs the single-session baseline.
 python3 - "$ROOT/BENCH_sharded.json" <<'EOF'
 import json, sys
 benches = json.load(open(sys.argv[1]))["benchmarks"]
@@ -108,12 +109,27 @@ single = runs.get("BM_SingleSession/polar_op_16k")
 for shards in (1, 4, 8):
     sharded = runs.get(f"BM_ShardedGrid/polar_op_16k/{shards}")
     if single and sharded:
-        print(f"polar-op 16k+16k, {shards} grid shard(s): "
+        print(f"polar-op 16k+16k, {shards} grid shard(s), batched handoff: "
               f"{sharded['real_time']:.2f}ms vs single "
               f"{single['real_time']:.2f}ms "
               f"(speedup {single['real_time'] / sharded['real_time']:.2f}x), "
               f"matched {sharded['matched']:.0f} vs "
               f"{single['matched']:.0f}, "
-              f"p99 {sharded.get('p99_ns', 0):.0f}ns vs "
-              f"{single.get('p99_ns', 0):.0f}ns")
+              f"p99 {sharded.get('p99_ns', 0):.0f}ns (1-in-8 sampled) vs "
+              f"{single.get('p99_ns', 0):.0f}ns (exact)")
+per_event = runs.get("BM_ShardedGridPerEvent/polar_op_16k/4")
+threaded = runs.get("BM_ShardedGridThreaded/polar_op_16k/4")
+if per_event and threaded:
+    print(f"handoff mode, 4 grid shards x 4 threads: per-event "
+          f"{per_event['real_time']:.2f}ms, batched "
+          f"{threaded['real_time']:.2f}ms "
+          f"(batching {per_event['real_time'] / threaded['real_time']:.2f}x)")
+for router in ("Grid", "Hash", "Load"):
+    plain = runs.get(f"BM_Sharded{router}/polar_op_16k/4")
+    rec = runs.get(f"BM_Sharded{router}Reconciled/polar_op_16k/4")
+    if plain and rec:
+        print(f"router {router.lower():4s}, 4 shards: matched "
+              f"{plain['matched']:.0f} -> {rec['matched']:.0f} reconciled "
+              f"(+{rec['reconciled']:.0f} recovered, pass "
+              f"{rec['real_time'] - plain['real_time']:.0f}ms)")
 EOF
