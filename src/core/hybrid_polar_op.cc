@@ -1,5 +1,8 @@
 #include "core/hybrid_polar_op.h"
 
+#include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "spatial/grid_index.h"
@@ -177,6 +180,25 @@ class HybridPolarOpSession final : public AssignmentSessionBase {
       }
       waiting_tasks_.Insert(r.id, r.location);
     }
+  }
+
+  bool SwapGuide(std::shared_ptr<const OfflineGuide> guide) override {
+    if (guide == nullptr || guide->spacetime().num_types() !=
+                                guide_->spacetime().num_types()) {
+      return false;
+    }
+    guide_ = std::move(guide);
+    // Node queues and cursors follow the guide and restart empty. The
+    // greedy-fallback grid indexes are guide-independent (keyed by object
+    // id and initial location), so objects dropped from a node queue stay
+    // reachable through the fallback path.
+    waiting_at_worker_node_.assign(
+        static_cast<size_t>(guide_->num_worker_nodes()), WaitQueue{});
+    waiting_at_task_node_.assign(
+        static_cast<size_t>(guide_->num_task_nodes()), WaitQueue{});
+    std::fill(worker_type_cursor_.begin(), worker_type_cursor_.end(), 0u);
+    std::fill(task_type_cursor_.begin(), task_type_cursor_.end(), 0u);
+    return true;
   }
 
  private:

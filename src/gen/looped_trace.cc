@@ -1,0 +1,94 @@
+#include "gen/looped_trace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ftoa {
+
+namespace {
+
+CityProfile ScaledProfile(CityProfile profile, double scale) {
+  if (scale > 0.0 && scale != 1.0) {
+    profile.workers_per_day *= scale;
+    profile.tasks_per_day *= scale;
+  }
+  return profile;
+}
+
+}  // namespace
+
+LoopedTraceSource::LoopedTraceSource(CityProfile profile)
+    : LoopedTraceSource(std::move(profile), Options()) {}
+
+LoopedTraceSource::LoopedTraceSource(CityProfile profile, Options options)
+    : generator_(ScaledProfile(std::move(profile), options.scale)) {
+  const int history = generator_.profile().history_days;
+  loop_days_ = options.loop_days <= 0 ? history
+                                      : std::min(options.loop_days, history);
+  loop_days_ = std::max(1, loop_days_);
+}
+
+double LoopedTraceSource::day_horizon() const {
+  return static_cast<double>(generator_.profile().slots_per_day);
+}
+
+Result<std::vector<StreamArrival>> LoopedTraceSource::ArrivalsForDay(
+    int64_t day) const {
+  if (day < 0) {
+    return Status::OutOfRange("LoopedTraceSource: negative stream day");
+  }
+  const int source_day = static_cast<int>(day % loop_days_);
+  FTOA_ASSIGN_OR_RETURN(const Instance instance,
+                        generator_.GenerateInstanceForDay(source_day));
+  const double offset = static_cast<double>(day) * day_horizon();
+
+  std::vector<StreamArrival> arrivals;
+  arrivals.reserve(instance.num_workers() + instance.num_tasks());
+  for (const Worker& w : instance.workers()) {
+    arrivals.push_back(StreamArrival{ObjectKind::kWorker, offset + w.start,
+                                     w.location, w.duration, w.id, day});
+  }
+  for (const Task& r : instance.tasks()) {
+    arrivals.push_back(StreamArrival{ObjectKind::kTask, offset + r.start,
+                                     r.location, r.duration, r.id, day});
+  }
+  // The session arrival contract: nondecreasing time, workers before tasks
+  // at equal times, lower ids first (BuildArrivalStream's order).
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const StreamArrival& a, const StreamArrival& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.kind != b.kind) return a.kind == ObjectKind::kWorker;
+              return a.source_id < b.source_id;
+            });
+  return arrivals;
+}
+
+Result<Instance> LoopedTraceSource::FiniteInstance(int num_days) const {
+  if (num_days < 1) {
+    return Status::InvalidArgument(
+        "LoopedTraceSource::FiniteInstance: num_days must be >= 1");
+  }
+  const CityProfile& profile = generator_.profile();
+  std::vector<Worker> workers;
+  std::vector<Task> tasks;
+  for (int day = 0; day < num_days; ++day) {
+    FTOA_ASSIGN_OR_RETURN(const std::vector<StreamArrival> arrivals,
+                          ArrivalsForDay(day));
+    for (const StreamArrival& arrival : arrivals) {
+      if (arrival.kind == ObjectKind::kWorker) {
+        workers.push_back(Worker{-1, arrival.location, arrival.time,
+                                 arrival.duration});
+      } else {
+        tasks.push_back(Task{-1, arrival.location, arrival.time,
+                             arrival.duration});
+      }
+    }
+  }
+  const SpacetimeSpec day_spec = DaySpacetime();
+  const SlotSpec slots(day_horizon() * num_days,
+                       profile.slots_per_day * num_days);
+  return Instance(SpacetimeSpec(slots, day_spec.grid()), profile.velocity,
+                  std::move(workers), std::move(tasks));
+}
+
+}  // namespace ftoa

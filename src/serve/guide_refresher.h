@@ -1,0 +1,172 @@
+// Live guide refresh for the serving harness: GuideSlot holds the current
+// epoch-stamped OfflineGuide behind a mutex (published once, then shared
+// immutably via shared_ptr — the reader side is one pointer copy), and
+// GuideRefresher regenerates guides from a live PredictionMatrix with
+// retry, backoff, a wall-clock deadline, and pluggable fault injection.
+//
+// Two refresh modes:
+//  * RefreshNow — synchronous, on the calling thread. Deterministic: used
+//    by tests and by deterministic replays where the refresh must land at
+//    an exact window boundary.
+//  * StartBackground/Poll — the solve runs on the refresher's own
+//    single-thread pool under a SubmitWithDeadline deadline; the harness
+//    polls at window boundaries and publishes a completed result. A solve
+//    that misses its deadline is *discarded* (DeadlineTask's contract:
+//    joined, never abandoned, reported as DeadlineExceeded) — a stale
+//    guide is never replaced by a late one out of order.
+//
+// Failure semantics (the degradation ladder's input): a refresh cycle that
+// exhausts its attempts leaves the slot untouched and reports the error.
+// The harness then continues on the stale guide, and drops to guide-free
+// greedy only when staleness exceeds its own bound. An injected
+// "guide-fail" fault fails the whole cycle (every attempt), which is what
+// lets a soak force the ladder to engage deterministically.
+
+#ifndef FTOA_SERVE_GUIDE_REFRESHER_H_
+#define FTOA_SERVE_GUIDE_REFRESHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "core/guide.h"
+#include "core/guide_generator.h"
+#include "core/prediction_matrix.h"
+#include "serve/fault_injector.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace ftoa {
+
+/// Epoch-stamped holder of the current guide. Thread-safe; Get() is a
+/// shared_ptr copy, so readers never block publishers for long.
+class GuideSlot {
+ public:
+  struct Snapshot {
+    std::shared_ptr<const OfflineGuide> guide;  ///< Null before 1st publish.
+    int64_t epoch = 0;             ///< Increments per publish.
+    int64_t published_window = -1; ///< Window the guide was published at.
+  };
+
+  Snapshot Get() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+  }
+
+  int64_t epoch() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_.epoch;
+  }
+
+  /// Installs `guide` as the new epoch. Returns the published snapshot.
+  Snapshot Publish(std::shared_ptr<const OfflineGuide> guide,
+                   int64_t window) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_.guide = std::move(guide);
+    ++current_.epoch;
+    current_.published_window = window;
+    return current_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot current_;
+};
+
+/// Regenerates guides from live predictions, with retry/backoff/deadline.
+class GuideRefresher {
+ public:
+  struct Options {
+    /// Attempts per refresh cycle before the cycle is reported failed.
+    int max_attempts = 3;
+    /// Base backoff between attempts, doubling per retry. 0 (the
+    /// deterministic-test default) retries immediately.
+    double backoff_ms = 0.0;
+    /// Wall-clock deadline of one background solve (StartBackground).
+    double timeout_ms = 5000.0;
+  };
+
+  /// `faults` may be null (no injection) and is only ever consulted on the
+  /// caller's thread; it must outlive the refresher.
+  GuideRefresher(double velocity, GuideOptions guide_options, Options options,
+                 FaultInjector* faults = nullptr);
+  ~GuideRefresher();
+
+  /// Synchronous refresh cycle: generate (with retries), publish into
+  /// `slot` on success. On failure the slot is untouched and the last
+  /// attempt's error is returned.
+  Result<GuideSlot::Snapshot> RefreshNow(const PredictionMatrix& prediction,
+                                         int64_t window, GuideSlot* slot);
+
+  /// Starts a background refresh cycle for `window`, publishing into
+  /// `slot` when Poll observes completion in time. Returns false (and does
+  /// nothing) when a cycle is already in flight. The prediction is copied.
+  bool StartBackground(PredictionMatrix prediction, int64_t window,
+                       GuideSlot* slot);
+
+  /// What Poll observed about the background cycle.
+  enum class PollResult {
+    kIdle,       ///< Nothing in flight.
+    kRunning,    ///< Still solving (within its deadline, or late but not
+                 ///< yet reported as timed out).
+    kPublished,  ///< Completed in time; the slot now holds the new guide.
+    kFailed,     ///< Cycle failed (all attempts failed, or the deadline
+                 ///< passed — a late result will be silently discarded).
+  };
+
+  /// Non-blocking progress check; publishes a completed in-time result.
+  /// A deadline miss is reported as kFailed and the cycle is abandoned
+  /// immediately (the late solve finishes on the pool thread and its
+  /// result dies with the discarded future) so a new cycle can start.
+  PollResult Poll();
+
+  /// True while a background cycle is in flight.
+  bool busy() const { return inflight_.has_value(); }
+
+  struct Stats {
+    int64_t attempts = 0;       ///< Individual generate attempts.
+    int64_t failed_cycles = 0;  ///< Cycles that published nothing.
+    int64_t publishes = 0;
+    int64_t timeouts = 0;       ///< Background cycles past their deadline.
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    DeadlineTask<Result<OfflineGuide>> task;
+    int64_t window = 0;
+    GuideSlot* slot = nullptr;
+    /// Written by the background lambda once, read at harvest (atomic: the
+    /// write races with a Poll that reports a timeout first — those
+    /// attempts are then simply not merged into stats).
+    std::shared_ptr<std::atomic<int64_t>> attempts;
+  };
+
+  Result<OfflineGuide> GenerateWithRetries(const PredictionMatrix& prediction,
+                                           bool injected_fail,
+                                           GuideGenerator* generator,
+                                           const CancellationToken* token,
+                                           int64_t* attempts);
+
+  double velocity_;
+  GuideOptions guide_options_;
+  Options options_;
+  FaultInjector* faults_;  // Borrowed; may be null.
+
+  /// Caller-thread generator (RefreshNow) and pool-thread generator
+  /// (background lambda) — GuideGenerator is not thread-safe, so each
+  /// thread keeps its own (solver-arena reuse stays effective per mode).
+  GuideGenerator inline_generator_;
+  GuideGenerator background_generator_;
+
+  std::unique_ptr<ThreadPool> pool_;  ///< Lazily created, 1 thread.
+  std::optional<InFlight> inflight_;
+  Stats stats_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_SERVE_GUIDE_REFRESHER_H_

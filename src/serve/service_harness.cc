@@ -1,0 +1,530 @@
+#include "serve/service_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/algorithm_registry.h"
+#include "prediction/dataset.h"
+#include "sim/sharded_dispatcher.h"
+#include "util/memory_tracker.h"
+#include "util/stopwatch.h"
+
+namespace ftoa {
+
+namespace {
+
+/// Nearest-rank percentile of an unsorted nanosecond sample, in ms.
+double PercentileMs(std::vector<int64_t>* sample, double pct) {
+  if (sample->empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(sample->size())));
+  const size_t index = (rank == 0 ? 0 : rank - 1);
+  std::nth_element(sample->begin(),
+                   sample->begin() + static_cast<ptrdiff_t>(index),
+                   sample->end());
+  return static_cast<double>((*sample)[index]) / 1e6;
+}
+
+}  // namespace
+
+ServiceHarness::ServiceHarness(LoopedTraceSource source,
+                               ServiceOptions options, FaultInjector faults)
+    : source_(std::move(source)),
+      options_(std::move(options)),
+      faults_(std::move(faults)) {
+  spd_ = source_.generator().profile().slots_per_day;
+  refresher_ = std::make_unique<GuideRefresher>(
+      source_.generator().profile().velocity, options_.guide,
+      options_.refresh, faults_.empty() ? nullptr : &faults_);
+  const int num_types = source_.DaySpacetime().num_types();
+  day_workers_.assign(num_types, 0);
+  day_tasks_.assign(num_types, 0);
+}
+
+Result<std::unique_ptr<ServiceHarness>> ServiceHarness::Create(
+    const CityProfile& profile, const LoopedTraceSource::Options& trace,
+    const ServiceOptions& options) {
+  ServiceOptions resolved = options;
+  const std::vector<std::string> names = AllAlgorithmNames();
+  if (std::find(names.begin(), names.end(), resolved.algorithm) ==
+      names.end()) {
+    std::string valid;
+    for (const std::string& name : names) {
+      if (!valid.empty()) valid += ", ";
+      valid += name;
+    }
+    return Status::NotFound("ServiceHarness: unknown algorithm '" +
+                            resolved.algorithm + "' (valid: " + valid + ")");
+  }
+  FTOA_ASSIGN_OR_RETURN(
+      FaultInjector faults,
+      FaultInjector::Parse(resolved.faults, resolved.fault_seed));
+
+  resolved.windows_per_segment =
+      resolved.windows_per_segment <= 0
+          ? profile.slots_per_day
+          : std::min(resolved.windows_per_segment, profile.slots_per_day);
+  resolved.refresh_period_windows = resolved.refresh_period_windows <= 0
+                                        ? profile.slots_per_day
+                                        : resolved.refresh_period_windows;
+  resolved.num_shards = std::max(1, resolved.num_shards);
+  resolved.overload_shed_fraction =
+      std::min(1.0, std::max(0.0, resolved.overload_shed_fraction));
+  // The guide's type-level deadline test must use the durations the trace
+  // actually realizes, not GuideOptions' free-standing defaults.
+  resolved.guide.worker_duration = profile.worker_duration;
+  resolved.guide.task_duration = profile.task_duration;
+
+  return std::unique_ptr<ServiceHarness>(
+      new ServiceHarness(LoopedTraceSource(profile, trace),
+                         std::move(resolved), std::move(faults)));
+}
+
+Status ServiceHarness::StartDay(int64_t day) {
+  FTOA_ASSIGN_OR_RETURN(day_arrivals_, source_.ArrivalsForDay(day));
+  day_cursor_ = 0;
+  if (day > 0) {
+    prev_workers_ = day_workers_;
+    prev_tasks_ = day_tasks_;
+    have_prev_day_ = true;
+  }
+  std::fill(day_workers_.begin(), day_workers_.end(), 0);
+  std::fill(day_tasks_.begin(), day_tasks_.end(), 0);
+  return Status::OK();
+}
+
+void ServiceHarness::ExpireUpTo(double time, WindowMetrics* metrics) {
+  expired_up_to_ = time;
+  while (!deadline_heap_.empty() && deadline_heap_.top().first <= time) {
+    const int64_t stream_id = deadline_heap_.top().second;
+    deadline_heap_.pop();
+    auto it = store_.find(stream_id);
+    if (it == store_.end()) continue;  // Freed at match time.
+    if (!it->second.matched) {
+      --live_;
+      ++totals_.evictions;
+      if (metrics != nullptr) ++metrics->evicted;
+      // The safety invariant the property tests pin: a record freed here
+      // is never live (its deadline has passed).
+      if (it->second.Deadline() > time) ++totals_.evicted_live;
+    }
+    // The open segment's universe still references the record (an object
+    // expiring mid-segment can legitimately match during the replay — it
+    // was live at its arrival); free it at rotation instead.
+    if (options_.evict_expired) {
+      if (segment_.open) {
+        deferred_free_.push_back(stream_id);
+      } else {
+        store_.erase(it);
+      }
+    }
+  }
+}
+
+PredictionMatrix ServiceHarness::PredictionFor(int64_t window) const {
+  const SpacetimeSpec spacetime = source_.DaySpacetime();
+  PredictionMatrix prediction(spacetime);
+  if (have_prev_day_) {
+    // Yesterday's realized admissions — the live platform's freshest
+    // history.
+    for (int type = 0; type < spacetime.num_types(); ++type) {
+      prediction.set_workers_at(type, prev_workers_[static_cast<size_t>(type)]);
+      prediction.set_tasks_at(type, prev_tasks_[static_cast<size_t>(type)]);
+    }
+    return prediction;
+  }
+  // Bootstrap before any completed day: the generator's history for the
+  // source day this stream day replays — the paper's offline prediction.
+  const int source_day =
+      static_cast<int>((window / spd_) % source_.loop_days());
+  const std::vector<int> workers =
+      source_.generator().SampleDayCounts(DemandSide::kWorkers, source_day);
+  const std::vector<int> tasks =
+      source_.generator().SampleDayCounts(DemandSide::kTasks, source_day);
+  for (int type = 0; type < spacetime.num_types(); ++type) {
+    prediction.set_workers_at(type, workers[static_cast<size_t>(type)]);
+    prediction.set_tasks_at(type, tasks[static_cast<size_t>(type)]);
+  }
+  return prediction;
+}
+
+Status ServiceHarness::HandleRefresh(int64_t window) {
+  const bool due = (window % options_.refresh_period_windows) == 0;
+  if (options_.background_refresh) {
+    const GuideRefresher::PollResult poll = refresher_->Poll();
+    if (poll == GuideRefresher::PollResult::kPublished && segment_.open) {
+      segment_.swaps.emplace_back(window, slot_.Get().guide);
+    }
+    if (due && !refresher_->busy()) {
+      refresher_->StartBackground(PredictionFor(window), window, &slot_);
+    }
+    return Status::OK();
+  }
+  if (!due) return Status::OK();
+  const Result<GuideSlot::Snapshot> refreshed =
+      refresher_->RefreshNow(PredictionFor(window), window, &slot_);
+  // A failed cycle is the degradation ladder's input, not the harness's
+  // failure: the stale slot (or greedy) carries the stream.
+  if (refreshed.ok() && segment_.open) {
+    segment_.swaps.emplace_back(window, refreshed.value().guide);
+  }
+  return Status::OK();
+}
+
+void ServiceHarness::StartSegment(int64_t window) {
+  segment_ = Segment{};
+  segment_.open = true;
+  segment_.begin = window;
+  segment_.day = window / spd_;
+  segment_.end = std::min(window + options_.windows_per_segment,
+                          (segment_.day + 1) * spd_);
+  segment_.admitted.resize(static_cast<size_t>(segment_.end - window));
+  segment_.start_guide = slot_.Get();
+
+  const bool needs_guide = AlgorithmNeedsGuide(options_.algorithm);
+  const bool no_guide = segment_.start_guide.guide == nullptr;
+  const bool too_stale =
+      options_.max_guide_age_windows > 0 && !no_guide &&
+      window - segment_.start_guide.published_window >
+          options_.max_guide_age_windows;
+  segment_.degraded = needs_guide && (no_guide || too_stale);
+
+  // The carryover: every still-live unmatched object from earlier
+  // segments, re-offered in stream-id order (deterministic regardless of
+  // the store's hash order or eviction mode).
+  const double now = static_cast<double>(window);
+  for (const auto& entry : store_) {
+    if (!entry.second.matched && entry.second.Deadline() > now) {
+      segment_.carryover.push_back(entry.first);
+    }
+  }
+  std::sort(segment_.carryover.begin(), segment_.carryover.end());
+}
+
+void ServiceHarness::AdmitWindow(int64_t window) {
+  WindowMetrics metrics;
+  metrics.window = window;
+  metrics.day = window / spd_;
+  ExpireUpTo(static_cast<double>(window), &metrics);
+
+  const double window_end = static_cast<double>(window) + 1.0;
+  std::vector<StreamArrival> batch;
+  while (day_cursor_ < day_arrivals_.size() &&
+         day_arrivals_[day_cursor_].time < window_end) {
+    batch.push_back(day_arrivals_[day_cursor_]);
+    ++day_cursor_;
+  }
+
+  // Injected flash crowd: clone the window's batch up to factor * base,
+  // cycling over the base arrivals (a crowd bursts where demand already
+  // is, so clones keep their template's location and deadline).
+  const size_t base = batch.size();
+  const double factor = faults_.FlashCrowdFactor(window);
+  if (factor > 1.0 && base > 0) {
+    const size_t target = static_cast<size_t>(
+        std::llround(static_cast<double>(base) * factor));
+    for (size_t i = base; i < target; ++i) {
+      batch.push_back(batch[i % base]);
+      metrics.flash_clones++;
+    }
+    std::sort(batch.begin(), batch.end(),
+              [](const StreamArrival& a, const StreamArrival& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.kind != b.kind) return a.kind == ObjectKind::kWorker;
+                return a.source_id < b.source_id;
+              });
+  }
+  metrics.offered = static_cast<int64_t>(batch.size());
+
+  // Admission control: the tightest cap wins; the overflow is shed
+  // oldest-deadline-first (the objects closest to expiring buy the least
+  // service anyway).
+  int64_t allowed = static_cast<int64_t>(batch.size());
+  const bool slo_tripped =
+      options_.slo_p99_ms > 0.0 && last_known_p99_ms_ > options_.slo_p99_ms;
+  if (options_.max_queue_depth > 0) {
+    allowed = std::min(allowed, options_.max_queue_depth);
+  }
+  if (slo_tripped) {
+    allowed = std::min(
+        allowed, static_cast<int64_t>(std::floor(
+                     static_cast<double>(batch.size()) *
+                     (1.0 - options_.overload_shed_fraction))));
+  }
+  if (options_.max_live_objects > 0) {
+    allowed = std::min(allowed,
+                       std::max<int64_t>(0, options_.max_live_objects - live_));
+  }
+
+  std::vector<char> shed_flag(batch.size(), 0);
+  const int64_t shed_count = static_cast<int64_t>(batch.size()) - allowed;
+  if (shed_count > 0) {
+    std::vector<size_t> order(batch.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&batch](size_t a, size_t b) {
+      if (batch[a].Deadline() != batch[b].Deadline()) {
+        return batch[a].Deadline() < batch[b].Deadline();
+      }
+      return a < b;
+    });
+    for (int64_t i = 0; i < shed_count; ++i) shed_flag[order[i]] = 1;
+  }
+
+  const SpacetimeSpec day_spacetime = source_.DaySpacetime();
+  const double day_start =
+      static_cast<double>(metrics.day) * source_.day_horizon();
+  std::vector<int64_t>& admitted =
+      segment_.admitted[static_cast<size_t>(window - segment_.begin)];
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (shed_flag[i]) {
+      ++metrics.shed;
+      continue;
+    }
+    const StreamArrival& arrival = batch[i];
+    const int64_t stream_id = next_stream_id_++;
+    store_.emplace(stream_id,
+                   ObjectRecord{arrival.kind, arrival.location, arrival.time,
+                                arrival.duration, false});
+    deadline_heap_.emplace(arrival.Deadline(), stream_id);
+    ++live_;
+    admitted.push_back(stream_id);
+    ++metrics.admitted;
+    const TypeId type =
+        day_spacetime.TypeOf(arrival.location, arrival.time - day_start);
+    if (arrival.kind == ObjectKind::kWorker) {
+      ++day_workers_[static_cast<size_t>(type)];
+    } else {
+      ++day_tasks_[static_cast<size_t>(type)];
+    }
+  }
+
+  metrics.overloaded = slo_tripped || metrics.shed > 0;
+  metrics.live_objects = live_;
+  metrics.live_bytes = memory_tracker::LiveBytes();
+  const GuideSlot::Snapshot snapshot = slot_.Get();
+  metrics.guide_epoch = snapshot.epoch;
+  metrics.guide_age_windows =
+      snapshot.guide == nullptr ? -1 : window - snapshot.published_window;
+  metrics.refresh_failures = refresher_->stats().failed_cycles;
+  metrics.degraded_greedy = segment_.degraded;
+
+  totals_.windows++;
+  totals_.offered += metrics.offered;
+  totals_.admitted += metrics.admitted;
+  totals_.shed += metrics.shed;
+  totals_.store_peak =
+      std::max(totals_.store_peak, static_cast<int64_t>(store_.size()));
+  windows_.push_back(metrics);
+}
+
+Status ServiceHarness::ReplaySegment() {
+  Segment segment = std::move(segment_);
+  segment_ = Segment{};
+  ++totals_.segments;
+  const double day_start =
+      static_cast<double>(segment.day) * source_.day_horizon();
+
+  // The segment universe: carryover first, then this segment's admissions,
+  // all on the day-relative axis the guide's spacetime discretizes.
+  struct SegmentObject {
+    int64_t stream_id = 0;
+    ObjectKind kind = ObjectKind::kWorker;
+    double rel_time = 0.0;
+    double duration = 0.0;
+    Point location;
+    int64_t window = 0;  ///< Window its feed latency is attributed to.
+  };
+  std::vector<SegmentObject> objects;
+  for (const int64_t stream_id : segment.carryover) {
+    const ObjectRecord& record = store_.at(stream_id);
+    // A previous-day survivor re-enters at the day boundary with its
+    // remaining patience; same-day carryover keeps its true start.
+    double rel_start = record.abs_start - day_start;
+    double duration = record.duration;
+    if (rel_start < 0.0) {
+      duration = (record.Deadline() - day_start);
+      rel_start = 0.0;
+    }
+    if (duration <= 0.0) continue;
+    objects.push_back(SegmentObject{stream_id, record.kind, rel_start,
+                                    duration, record.location,
+                                    segment.begin});
+  }
+  for (size_t offset = 0; offset < segment.admitted.size(); ++offset) {
+    for (const int64_t stream_id : segment.admitted[offset]) {
+      const ObjectRecord& record = store_.at(stream_id);
+      objects.push_back(SegmentObject{
+          stream_id, record.kind, record.abs_start - day_start,
+          record.duration, record.location,
+          segment.begin + static_cast<int64_t>(offset)});
+    }
+  }
+  // The session arrival contract (nondecreasing time, workers before tasks
+  // at ties, lower ids first). Local ids are assigned in this order, so
+  // the id tie-break and the stream-id tie-break agree.
+  std::sort(objects.begin(), objects.end(),
+            [](const SegmentObject& a, const SegmentObject& b) {
+              if (a.rel_time != b.rel_time) return a.rel_time < b.rel_time;
+              if (a.kind != b.kind) return a.kind == ObjectKind::kWorker;
+              return a.stream_id < b.stream_id;
+            });
+
+  std::vector<Worker> workers;
+  std::vector<Task> tasks;
+  std::vector<int64_t> worker_stream, task_stream;
+  std::vector<int32_t> local_id(objects.size(), -1);
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const SegmentObject& object = objects[i];
+    if (object.kind == ObjectKind::kWorker) {
+      local_id[i] = static_cast<int32_t>(workers.size());
+      workers.push_back(Worker{-1, object.location, object.rel_time,
+                               object.duration});
+      worker_stream.push_back(object.stream_id);
+    } else {
+      local_id[i] = static_cast<int32_t>(tasks.size());
+      tasks.push_back(
+          Task{-1, object.location, object.rel_time, object.duration});
+      task_stream.push_back(object.stream_id);
+    }
+  }
+  const Instance instance(source_.DaySpacetime(),
+                          source_.generator().profile().velocity,
+                          std::move(workers), std::move(tasks));
+
+  // Ladder rung for this segment, fixed at its start: fresh/stale guide,
+  // or guide-free greedy.
+  AlgorithmDeps deps;
+  deps.guide = segment.start_guide.guide;
+  const std::string name =
+      segment.degraded ? "simple-greedy" : options_.algorithm;
+  FTOA_ASSIGN_OR_RETURN(std::unique_ptr<OnlineAlgorithm> algorithm,
+                        CreateAlgorithm(name, deps));
+  ShardedOptions sharded;
+  sharded.num_shards = options_.num_shards;
+  sharded.num_threads = options_.shard_threads;
+  sharded.reconcile = options_.reconcile;
+  ShardedDispatcher dispatcher(algorithm.get(), sharded);
+  std::unique_ptr<ShardedSession> session = dispatcher.StartSession(instance);
+  session->set_collect_dispatches(false);
+
+  // Replay with AdvanceTo at every window boundary; mid-segment guide
+  // publishes hot-swap at their boundary; injected handoff drops skip
+  // whole (window, lane) batches; latency is measured per fed event.
+  size_t cursor = 0;
+  size_t swap_cursor = 0;
+  std::vector<char> lane_dropped(static_cast<size_t>(options_.num_shards), 0);
+  std::vector<std::vector<int64_t>> latency_ns(
+      static_cast<size_t>(segment.end - segment.begin));
+  Stopwatch stopwatch;
+  const auto feed_until = [&](double rel_bound, int64_t window) {
+    const size_t metrics_index = static_cast<size_t>(window - segment.begin);
+    for (; cursor < objects.size() && objects[cursor].rel_time < rel_bound;
+         ++cursor) {
+      const SegmentObject& object = objects[cursor];
+      const int lane =
+          static_cast<int>(object.stream_id %
+                           static_cast<int64_t>(options_.num_shards));
+      if (lane_dropped[static_cast<size_t>(lane)]) {
+        ++windows_[static_cast<size_t>(window)].dropped_arrivals;
+        ++totals_.dropped_arrivals;
+        continue;
+      }
+      stopwatch.Restart();
+      if (object.kind == ObjectKind::kWorker) {
+        session->OnWorker(local_id[cursor], object.rel_time);
+      } else {
+        session->OnTask(local_id[cursor], object.rel_time);
+      }
+      const double stall_ms = faults_.SlowShardStallMs(window, lane);
+      latency_ns[metrics_index].push_back(
+          stopwatch.ElapsedNanos() +
+          static_cast<int64_t>(stall_ms * 1e6));
+    }
+  };
+
+  for (int64_t window = segment.begin; window < segment.end; ++window) {
+    const double rel_start = static_cast<double>(window % spd_);
+    if (window == segment.begin) feed_until(rel_start, window);
+    session->AdvanceTo(rel_start);
+    while (swap_cursor < segment.swaps.size() &&
+           segment.swaps[swap_cursor].first <= window) {
+      session->SwapGuide(segment.swaps[swap_cursor].second);
+      ++swap_cursor;
+    }
+    for (int lane = 0; lane < options_.num_shards; ++lane) {
+      lane_dropped[static_cast<size_t>(lane)] =
+          faults_.ShouldDropHandoffBatch(window, lane) ? 1 : 0;
+    }
+    feed_until(rel_start + 1.0, window);
+  }
+
+  FTOA_ASSIGN_OR_RETURN(ShardedRunResult result, session->Finish());
+  totals_.guide_swaps += result.metrics.guide_swaps;
+
+  // Fold the segment's outcome back: committed pairs to stream ids, the
+  // store's matched flags (with live accounting against the expiry
+  // horizon), and the per-window latency report.
+  const int64_t rotation_window = segment.end - 1;
+  for (const MatchedPair& pair : result.assignment.pairs()) {
+    const int64_t worker_id = worker_stream[static_cast<size_t>(pair.worker)];
+    const int64_t task_id = task_stream[static_cast<size_t>(pair.task)];
+    matched_pairs_.emplace_back(worker_id, task_id);
+    for (const int64_t stream_id : {worker_id, task_id}) {
+      auto it = store_.find(stream_id);
+      if (it == store_.end() || it->second.matched) continue;
+      it->second.matched = true;
+      if (it->second.Deadline() > expired_up_to_) --live_;
+      if (options_.evict_expired) store_.erase(it);
+    }
+  }
+  totals_.matched += static_cast<int64_t>(result.assignment.size());
+  windows_[static_cast<size_t>(rotation_window)].matched +=
+      static_cast<int64_t>(result.assignment.size());
+
+  for (int64_t window = segment.begin; window < segment.end; ++window) {
+    WindowMetrics& metrics = windows_[static_cast<size_t>(window)];
+    std::vector<int64_t>& sample =
+        latency_ns[static_cast<size_t>(window - segment.begin)];
+    metrics.decisions = static_cast<int64_t>(sample.size());
+    metrics.p50_ms = PercentileMs(&sample, 50.0);
+    metrics.p99_ms = PercentileMs(&sample, 99.0);
+    if (!sample.empty()) {
+      metrics.max_ms = static_cast<double>(
+                           *std::max_element(sample.begin(), sample.end())) /
+                       1e6;
+    }
+    last_known_p99_ms_ = metrics.p99_ms;
+  }
+
+  // Rotation is the eviction point: free the records that expired during
+  // the segment (those the fold matched are already gone).
+  if (options_.evict_expired) {
+    for (const int64_t stream_id : deferred_free_) store_.erase(stream_id);
+  }
+  deferred_free_.clear();
+  return Status::OK();
+}
+
+Status ServiceHarness::RunWindows(int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t window = next_window_;
+    ++next_window_;
+    if (window % spd_ == 0) FTOA_RETURN_NOT_OK(StartDay(window / spd_));
+    FTOA_RETURN_NOT_OK(HandleRefresh(window));
+    if (!segment_.open) StartSegment(window);
+    AdmitWindow(window);
+    if (window + 1 == segment_.end) FTOA_RETURN_NOT_OK(ReplaySegment());
+  }
+  if (segment_.open) {
+    // Rotate the partial segment so every emitted window reports complete
+    // metrics (the next RunWindows starts a fresh segment).
+    segment_.end = next_window_;
+    segment_.admitted.resize(static_cast<size_t>(segment_.end -
+                                                 segment_.begin));
+    FTOA_RETURN_NOT_OK(ReplaySegment());
+  }
+  return Status::OK();
+}
+
+}  // namespace ftoa

@@ -1,0 +1,299 @@
+// ServiceHarness: the long-running serving loop over the streaming
+// assignment stack — the robustness tentpole tying together the unbounded
+// trace replay (gen/looped_trace), the sharded streaming sessions
+// (sim/sharded_dispatcher), live guide refresh with a degradation ladder
+// (serve/guide_refresher), fault injection (serve/fault_injector),
+// admission control, and rolling-window eviction that keeps memory
+// O(live objects).
+//
+// Time model: one *window* == one day slot == one time unit, on the
+// absolute stream axis of LoopedTraceSource (window w covers [w, w+1)).
+// The harness processes windows in order; every window emits one
+// WindowMetrics row — the soak's observability surface.
+//
+// Session model: sessions run over fixed object universes, so the
+// unbounded stream is cut into *segments* of windows_per_segment windows
+// (never crossing a day boundary — the guide's type space is one day).
+// Arrivals admitted during a segment plus the previous segments' still-live
+// unmatched objects (the carryover) form the segment's instance; the
+// segment is replayed through one ShardedSession with AdvanceTo at every
+// window boundary, then finished and its matches folded back into the
+// store. Objects an injected fault drops on the harness→session handoff
+// stay unmatched and are redelivered with the next carryover.
+//
+// Guide lifecycle: a GuideRefresher re-solves the guide from realized
+// per-type counts (previous completed day; the generator's history before
+// any day completed) every refresh_period_windows, inline or on a
+// background thread. A publish landing inside a running segment is
+// hot-swapped into the live sessions at the next window boundary
+// (ShardedSession::SwapGuide — epoch swap at an AdvanceTo boundary, so the
+// replay stays deterministic). The degradation ladder at segment start:
+// fresh guide -> stale guide (refresh failed, slot kept) -> guide-free
+// greedy (no guide yet, or staleness beyond max_guide_age_windows).
+//
+// Memory model: every admitted object lives in an id-keyed store plus a
+// deadline-ordered min-heap. At each window boundary objects whose
+// deadline has passed are popped; with evict_expired on (the serving
+// default) their records are freed — the store never holds more than the
+// live set plus the current segment. Eviction is *observationally
+// inert by construction*: the heap, the live counter, and the carryover
+// filter run identically with eviction on or off, so the committed
+// assignments are bit-identical (the eviction property tests pin this).
+//
+// Admission control: per window the harness sheds deterministically,
+// oldest deadline first, whenever the offered batch exceeds
+// max_queue_depth, the last completed window's p99 exceeded slo_p99_ms
+// (backpressure; the signal lags by up to one segment because latency is
+// measured at replay), or admitting would exceed max_live_objects.
+
+#ifndef FTOA_SERVE_SERVICE_HARNESS_H_
+#define FTOA_SERVE_SERVICE_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/guide_generator.h"
+#include "gen/config.h"
+#include "gen/looped_trace.h"
+#include "serve/fault_injector.h"
+#include "serve/guide_refresher.h"
+#include "util/result.h"
+
+namespace ftoa {
+
+/// Serving-loop configuration.
+struct ServiceOptions {
+  /// Registry name of the guided serving algorithm (the ladder drops to
+  /// "simple-greedy" when no usable guide exists).
+  std::string algorithm = "polar-op";
+
+  /// Sharding of each segment's session (sim/sharded_dispatcher).
+  int num_shards = 1;
+  int shard_threads = 1;
+  bool reconcile = false;
+
+  /// Windows per session segment; 0 = a full day (slots_per_day). Clamped
+  /// to [1, slots_per_day] — segments never cross a day boundary.
+  int windows_per_segment = 0;
+
+  /// Windows between guide refresh cycles; 0 = once per day. The first
+  /// cycle runs at window 0 (the bootstrap, from the generator's history).
+  int refresh_period_windows = 0;
+
+  /// Refresh on the refresher's background thread (poll at every window
+  /// boundary) instead of inline at the due window.
+  bool background_refresh = false;
+
+  /// Backpressure SLO on the per-window p99 decision latency; <= 0
+  /// disables the latency trigger (keeps replays deterministic in tests).
+  double slo_p99_ms = 0.0;
+
+  /// When the latency SLO trips, this fraction of the next window's
+  /// offered batch is shed (oldest deadline first).
+  double overload_shed_fraction = 0.5;
+
+  /// Per-window admission cap on the offered batch; 0 = unlimited.
+  int64_t max_queue_depth = 0;
+
+  /// Cap on simultaneously live (admitted, unexpired, unmatched) objects;
+  /// admission beyond it sheds. 0 = unlimited.
+  int64_t max_live_objects = 0;
+
+  /// Guide staleness (windows since publish) beyond which a segment runs
+  /// guide-free greedy instead; 0 = never degrade on age alone.
+  int64_t max_guide_age_windows = 0;
+
+  /// Free expired-object records (the serving default). Off = the
+  /// unbounded reference the eviction property tests compare against.
+  bool evict_expired = true;
+
+  /// Fault plan (serve/fault_injector spec grammar; empty = none) and its
+  /// RNG seed.
+  std::string faults;
+  uint64_t fault_seed = 1;
+
+  /// Guide solve configuration. worker_duration/task_duration are derived
+  /// from the city profile at Create; other fields are honored as given.
+  GuideOptions guide;
+  GuideRefresher::Options refresh;
+};
+
+/// One window's report — every processed window emits exactly one.
+struct WindowMetrics {
+  int64_t window = 0;
+  int64_t day = 0;
+
+  int64_t offered = 0;       ///< Base arrivals + flash clones.
+  int64_t flash_clones = 0;  ///< Injected flash-crowd extras within offered.
+  int64_t admitted = 0;
+  int64_t shed = 0;
+  /// Arrivals lost to an injected handoff drop this window (they are
+  /// redelivered with the next segment's carryover).
+  int64_t dropped_arrivals = 0;
+  /// Pairs committed by the segment that rotated at this window (0 for
+  /// non-rotation windows).
+  int64_t matched = 0;
+
+  /// Harness-side per-decision latency over the window's fed events
+  /// (includes injected slow-lane stalls). Nearest-rank percentiles.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  int64_t decisions = 0;
+
+  int64_t live_objects = 0;  ///< Live gauge at the end of admission.
+  int64_t evicted = 0;       ///< Expired-unmatched objects popped this window.
+  uint64_t live_bytes = 0;   ///< util/memory_tracker gauge.
+
+  int64_t guide_epoch = 0;
+  int64_t guide_age_windows = -1;  ///< -1 = no guide published yet.
+  int64_t refresh_failures = 0;    ///< Cumulative failed refresh cycles.
+
+  bool degraded_greedy = false;  ///< Segment ran the ladder's greedy rung.
+  bool overloaded = false;       ///< Any shed trigger fired this window.
+};
+
+/// Lifetime aggregates across all processed windows.
+struct ServiceTotals {
+  int64_t windows = 0;
+  int64_t segments = 0;
+  int64_t offered = 0;
+  int64_t admitted = 0;
+  int64_t shed = 0;
+  int64_t matched = 0;
+  int64_t evictions = 0;
+  int64_t dropped_arrivals = 0;
+  /// Guide hot-swaps adopted by running shard sessions (mid-segment).
+  int64_t guide_swaps = 0;
+  /// Records freed while still live — the eviction safety invariant; any
+  /// nonzero value is a harness bug (pinned by the property tests).
+  int64_t evicted_live = 0;
+  /// High-water mark of the object store (records held simultaneously).
+  int64_t store_peak = 0;
+};
+
+/// The long-running serving loop. Not thread-safe; drive from one thread.
+class ServiceHarness {
+ public:
+  /// Builds a harness over the looped replay of `profile`. Fails on an
+  /// unknown algorithm name or a malformed fault spec.
+  static Result<std::unique_ptr<ServiceHarness>> Create(
+      const CityProfile& profile, const LoopedTraceSource::Options& trace,
+      const ServiceOptions& options);
+
+  /// Processes the next `count` windows (admission, eviction, refresh,
+  /// replay). A segment still open when the count is reached is rotated
+  /// early, so every emitted window has complete metrics on return.
+  Status RunWindows(int64_t count);
+
+  const ServiceOptions& options() const { return options_; }
+  const std::vector<WindowMetrics>& windows() const { return windows_; }
+  const ServiceTotals& totals() const { return totals_; }
+  const GuideRefresher::Stats& refresher_stats() const {
+    return refresher_->stats();
+  }
+  const FaultInjector::Counters& fault_counters() const {
+    return faults_.counters();
+  }
+
+  int64_t live_objects() const { return live_; }
+  /// Records currently held (== admitted-ever with eviction off).
+  int64_t store_size() const { return static_cast<int64_t>(store_.size()); }
+  int64_t guide_epoch() const { return slot_.epoch(); }
+
+  /// Every committed pair as (worker stream id, task stream id), in
+  /// segment rotation order — deterministic, and independent of
+  /// evict_expired (the bit-identity contract).
+  const std::vector<std::pair<int64_t, int64_t>>& matched_pairs() const {
+    return matched_pairs_;
+  }
+
+ private:
+  /// One admitted (or carried-over) object, keyed by its stream id.
+  struct ObjectRecord {
+    ObjectKind kind = ObjectKind::kWorker;
+    Point location;
+    double abs_start = 0.0;
+    double duration = 0.0;
+    bool matched = false;
+
+    double Deadline() const { return abs_start + duration; }
+  };
+
+  /// The segment currently accepting windows.
+  struct Segment {
+    bool open = false;
+    int64_t begin = 0;
+    int64_t end = 0;  ///< One past the last window (may shrink on flush).
+    int64_t day = 0;
+    GuideSlot::Snapshot start_guide;
+    bool degraded = false;
+    std::vector<int64_t> carryover;  ///< Stream ids, sorted ascending.
+    std::vector<std::vector<int64_t>> admitted;  ///< Per window, in order.
+    /// Publishes that landed mid-segment: applied at their window's
+    /// AdvanceTo boundary during replay.
+    std::vector<std::pair<int64_t, std::shared_ptr<const OfflineGuide>>>
+        swaps;
+  };
+
+  ServiceHarness(LoopedTraceSource source, ServiceOptions options,
+                 FaultInjector faults);
+
+  Status StartDay(int64_t day);
+  void ExpireUpTo(double time, WindowMetrics* metrics);
+  Status HandleRefresh(int64_t window);
+  PredictionMatrix PredictionFor(int64_t window) const;
+  void StartSegment(int64_t window);
+  void AdmitWindow(int64_t window);
+  Status ReplaySegment();
+
+  LoopedTraceSource source_;
+  ServiceOptions options_;
+  FaultInjector faults_;
+  GuideSlot slot_;
+  std::unique_ptr<GuideRefresher> refresher_;
+
+  int64_t spd_ = 1;  ///< Slots (== windows) per day.
+  int64_t next_window_ = 0;
+  int64_t next_stream_id_ = 0;
+
+  /// Current day's arrival cache and consumption cursor.
+  std::vector<StreamArrival> day_arrivals_;
+  size_t day_cursor_ = 0;
+
+  /// Realized per-type counts: the running day and the last completed one
+  /// (the refresh prediction source).
+  std::vector<int32_t> day_workers_, day_tasks_;
+  std::vector<int32_t> prev_workers_, prev_tasks_;
+  bool have_prev_day_ = false;
+
+  std::unordered_map<int64_t, ObjectRecord> store_;
+  /// (deadline, stream id) min-heap driving window-boundary expiry.
+  std::priority_queue<std::pair<double, int64_t>,
+                      std::vector<std::pair<double, int64_t>>,
+                      std::greater<std::pair<double, int64_t>>>
+      deadline_heap_;
+  int64_t live_ = 0;
+  /// Expired records awaiting their free at rotation (the open segment's
+  /// replay may still match them; evict_expired mode only).
+  std::vector<int64_t> deferred_free_;
+  /// Deadline bound of the last ExpireUpTo — "already popped" horizon the
+  /// match-marking live accounting keys off.
+  double expired_up_to_ = 0.0;
+
+  Segment segment_;
+  double last_known_p99_ms_ = 0.0;  ///< From the last replayed window.
+
+  std::vector<WindowMetrics> windows_;
+  ServiceTotals totals_;
+  std::vector<std::pair<int64_t, int64_t>> matched_pairs_;
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_SERVE_SERVICE_HARNESS_H_

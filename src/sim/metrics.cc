@@ -43,6 +43,12 @@ RunMetrics MergeShardRunMetrics(const std::vector<RunMetrics>& shards) {
     merged.matching_size += shard.matching_size;
     merged.elapsed_seconds =
         std::max(merged.elapsed_seconds, shard.elapsed_seconds);
+    // The critical-path bound survives later wall-clock overwrites of
+    // elapsed_seconds (SetWallClock); nested merges keep the largest bound
+    // seen anywhere below.
+    merged.critical_path_seconds =
+        std::max({merged.critical_path_seconds, shard.critical_path_seconds,
+                  shard.elapsed_seconds});
     merged.busy_seconds += shard.busy_seconds;
     merged.peak_memory_bytes += shard.peak_memory_bytes;
     merged.strict_feasible_pairs += shard.strict_feasible_pairs;
@@ -51,6 +57,7 @@ RunMetrics MergeShardRunMetrics(const std::vector<RunMetrics>& shards) {
     merged.ignored_objects += shard.ignored_objects;
     merged.decisions += shard.decisions;
     merged.reconciled_pairs += shard.reconciled_pairs;
+    merged.guide_swaps += shard.guide_swaps;
     merged.decision_latency_p50_ns = std::max(merged.decision_latency_p50_ns,
                                               shard.decision_latency_p50_ns);
     merged.decision_latency_p99_ns = std::max(merged.decision_latency_p99_ns,

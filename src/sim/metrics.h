@@ -21,6 +21,13 @@ struct RunMetrics {
   /// shards, which can exceed elapsed_seconds when shards run concurrently
   /// — elapsed is the critical path, busy is the work.
   double busy_seconds = 0.0;
+  /// Critical-path bound of a sharded run: the largest per-shard busy time
+  /// (MergeShardRunMetrics' max). Unlike elapsed_seconds — which callers
+  /// overwrite with the measured wall clock of the whole replay — this
+  /// field survives the overwrite, so the merged-max semantics are never
+  /// clobbered (the PR-5 data-loss noted in sim/sharded_dispatcher.h).
+  /// 0 for unsharded runs.
+  double critical_path_seconds = 0.0;
   uint64_t peak_memory_bytes = 0; ///< Peak heap growth during the run.
 
   // Strict-simulation extras (0 when strict verification is disabled).
@@ -42,6 +49,22 @@ struct RunMetrics {
   /// Pairs recovered by the post-merge boundary reconciliation pass of a
   /// sharded run (sim/boundary_reconciler); included in matching_size.
   int64_t reconciled_pairs = 0;
+
+  /// Guide hot-swaps adopted by the run's sessions
+  /// (AssignmentSession::SwapGuide; serve/service_harness's live refresh).
+  int64_t guide_swaps = 0;
+
+  /// Replaces elapsed_seconds with a measured wall clock without losing the
+  /// previous value's information: when the previous elapsed was the
+  /// merged critical-path bound of a sharded run, it is preserved in
+  /// critical_path_seconds. All callers that re-measure the wall clock of a
+  /// whole replay (dispatcher Run, sim/runner) go through this.
+  void SetWallClock(double wall_seconds) {
+    if (critical_path_seconds == 0.0) {
+      critical_path_seconds = elapsed_seconds;
+    }
+    elapsed_seconds = wall_seconds;
+  }
 };
 
 /// Fills `decisions`, `busy_seconds`, and the decision_latency percentile
@@ -62,10 +85,12 @@ void FillDecisionLatencies(std::vector<int64_t>& latency_ns,
 ///  * busy_seconds is *summed*: it is work, and shard work adds up
 ///    regardless of the schedule.
 ///  * elapsed_seconds merges by *max*: shards execute concurrently, so the
-///    critical-path shard bounds the wall clock of the sharded run.
-///    Callers that measure the true wall clock of the whole sharded replay
-///    (dispatcher Run, sim/runner) overwrite the merged value — the
-///    per-shard work remains visible in busy_seconds.
+///    critical-path shard bounds the wall clock of the sharded run. The
+///    same max also lands in critical_path_seconds, which is where it
+///    survives: callers that measure the true wall clock of the whole
+///    sharded replay (dispatcher Run, sim/runner) overwrite
+///    elapsed_seconds via RunMetrics::SetWallClock — the merged-max and
+///    the per-shard work (busy_seconds) are never clobbered.
 ///  * Percentile fields (decision_latency_{p50,p99,max}_ns) merge by *max*.
 ///    This is a conservative upper bound on the pooled percentile: if at
 ///    most a (1-q) fraction of each shard's samples exceed that shard's

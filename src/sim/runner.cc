@@ -67,7 +67,7 @@ Result<RunMetrics> RunSharded(OnlineAlgorithm* algorithm,
       dispatcher.Run(instance,
                      /*collect_dispatches=*/options.strict_verification));
   RunMetrics metrics = std::move(result.metrics);
-  metrics.elapsed_seconds = stopwatch.ElapsedSeconds();
+  metrics.SetWallClock(stopwatch.ElapsedSeconds());
   metrics.peak_memory_bytes = memory_scope.PeakDelta();
   metrics.matching_size = static_cast<int64_t>(result.assignment.size());
 

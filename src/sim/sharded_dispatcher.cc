@@ -60,21 +60,34 @@ void ShardedSession::Route(ObjectKind kind, int32_t id, double time) {
   const int target = router_->Route(kind, id, location);
   const Op::Kind op_kind =
       kind == ObjectKind::kWorker ? Op::Kind::kWorker : Op::Kind::kTask;
-  Stage(*shards_[static_cast<size_t>(target)], Op{op_kind, id, time});
+  Stage(*shards_[static_cast<size_t>(target)], Op{op_kind, id, time, {}});
 }
 
 void ShardedSession::AdvanceTo(double time) {
   // A declared time boundary: stage the advance behind each shard's
   // already-staged events (order preserved) and release every batch.
   for (auto& shard : shards_) {
-    Stage(*shard, Op{Op::Kind::kAdvance, -1, time});
+    Stage(*shard, Op{Op::Kind::kAdvance, -1, time, {}});
+    FlushStaging(*shard);
+  }
+}
+
+void ShardedSession::SwapGuide(std::shared_ptr<const OfflineGuide> guide) {
+  // Broadcast like AdvanceTo: the swap is ordered behind each shard's
+  // staged events and the batches are released, so every shard adopts the
+  // guide at the same point of its event order.
+  for (auto& shard : shards_) {
+    Op op;
+    op.kind = Op::Kind::kSwapGuide;
+    op.guide = guide;
+    Stage(*shard, std::move(op));
     FlushStaging(*shard);
   }
 }
 
 void ShardedSession::Flush() {
   for (auto& shard : shards_) {
-    Stage(*shard, Op{Op::Kind::kFlush, -1, 0.0});
+    Stage(*shard, Op{Op::Kind::kFlush, -1, 0.0, {}});
     FlushStaging(*shard);
   }
   Quiesce();
@@ -149,6 +162,9 @@ void ShardedSession::Apply(Shard& shard, const Op& op) {
     case Op::Kind::kFlush:
       shard.session->Flush();
       break;
+    case Op::Kind::kSwapGuide:
+      if (shard.session->SwapGuide(op.guide)) ++shard.guide_swaps;
+      break;
   }
 }
 
@@ -186,10 +202,13 @@ void ShardedSession::Drain(Shard& shard) {
     if (failure_ == nullptr) failure_ = std::current_exception();
   }
   {
+    // Notify under the lock: Quiesce() may be the destructor, and an
+    // unlocked notify races the condition variable's destruction once the
+    // waiter observes live_drains_ == 0 and returns.
     std::lock_guard<std::mutex> lock(quiesce_mutex_);
     --live_drains_;
+    quiesce_cv_.notify_all();
   }
-  quiesce_cv_.notify_all();
 }
 
 void ShardedSession::Quiesce() {
@@ -249,6 +268,7 @@ Result<ShardedRunResult> ShardedSession::Finish() {
                               static_cast<double>(shard.latency_ns.size());
     }
     metrics.decisions = shard.decisions;
+    metrics.guide_swaps = shard.guide_swaps;
     // A shard has no wall clock of its own; its busy time is the best
     // per-shard estimate, and the max-merge below yields the critical-path
     // bound callers may overwrite with a measured wall clock.
@@ -335,7 +355,7 @@ Result<ShardedRunResult> ShardedDispatcher::Run(const Instance& instance,
     }
   }
   FTOA_ASSIGN_OR_RETURN(ShardedRunResult result, session->Finish());
-  result.metrics.elapsed_seconds = stopwatch.ElapsedSeconds();
+  result.metrics.SetWallClock(stopwatch.ElapsedSeconds());
   return result;
 }
 

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   kInternal = 7,
   kIoError = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "InvalidArgument"...).
@@ -47,6 +48,8 @@ inline const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -86,6 +89,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -100,6 +106,9 @@ class Status {
   }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const {

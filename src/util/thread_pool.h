@@ -17,16 +17,122 @@
 #ifndef FTOA_UTIL_THREAD_POOL_H_
 #define FTOA_UTIL_THREAD_POOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "util/result.h"
+
 namespace ftoa {
+
+/// Cooperative cancellation signal shared between a task and its submitter.
+/// Copies alias one flag; RequestCancel is sticky. A task that may outlive
+/// its caller's patience polls IsCancelled at its natural checkpoints and
+/// returns (or throws) promptly — the pool never kills a thread.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void RequestCancel() const { flag_->store(true, std::memory_order_relaxed); }
+  bool IsCancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Handle of a task submitted with ThreadPool::SubmitWithDeadline. The task
+/// runs on the pool like any other; the handle adds a wall-clock deadline
+/// and the cancellation token the task was given.
+///
+/// The contract that makes timeouts loss-free: a timed-out task is
+/// *cancelled*, never abandoned. Await() (and a Poll() that observed the
+/// deadline pass) requests cancellation and still joins the task, so an
+/// exception the task throws — before or after it noticed the cancellation
+/// — is surfaced in the returned status instead of dying silently with a
+/// discarded future.
+template <typename R>
+class DeadlineTask {
+ public:
+  DeadlineTask() = default;
+  /// The future carries a Result, not a bare value: an exception the task
+  /// throws is converted to a Status *on the worker thread* (see
+  /// SubmitWithDeadline), so no live exception object — whose message
+  /// buffer the worker's shared-state teardown would free concurrently
+  /// with the caller reading what() — ever crosses threads.
+  DeadlineTask(std::future<Result<R>> future, CancellationToken token,
+               std::chrono::steady_clock::time_point deadline)
+      : future_(std::move(future)),
+        token_(std::move(token)),
+        deadline_(deadline) {}
+
+  const CancellationToken& token() const { return token_; }
+  bool valid() const { return future_.valid(); }
+
+  /// True once the task has finished (normally or by exception). Past the
+  /// deadline a still-running task is asked to cancel, but Poll never
+  /// blocks — keep polling (or Await) to collect the result.
+  bool Poll() {
+    if (!future_.valid()) return false;
+    if (future_.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      timed_out_ = true;
+      token_.RequestCancel();
+    }
+    return false;
+  }
+
+  /// Blocks until the deadline, then — if the task is still running —
+  /// requests cancellation and keeps waiting for it to acknowledge (tasks
+  /// honoring the token exit promptly; one that cannot check simply runs to
+  /// completion). Returns the task's value when it finished in time,
+  /// DeadlineExceeded when it did not, and Internal carrying the exception
+  /// message when it threw — in every case the task has fully finished when
+  /// Await returns, so no outcome is ever lost. Call at most once.
+  Result<R> Await() {
+    // The clock check matters: wait_until on an already-ready future
+    // returns ready even when the deadline has long passed, and a result
+    // only observed after the deadline must be reported late.
+    const bool in_time =
+        !timed_out_ &&
+        future_.wait_until(deadline_) == std::future_status::ready &&
+        std::chrono::steady_clock::now() <= deadline_;
+    if (!in_time) {
+      timed_out_ = true;
+      token_.RequestCancel();
+      future_.wait();
+    }
+    Result<R> result = future_.get();
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    std::string(in_time ? "task failed: "
+                                        : "task failed after deadline: ")
+                        .append(result.status().message()));
+    }
+    if (!in_time) {
+      return Status::DeadlineExceeded(
+          "task missed its deadline (completed after cancellation)");
+    }
+    return result;
+  }
+
+ private:
+  std::future<Result<R>> future_;
+  CancellationToken token_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool timed_out_ = false;  ///< Sticky: a Poll observed the deadline pass.
+};
 
 /// Fixed set of worker threads draining a FIFO task queue. Thread-safe:
 /// any thread may Submit. Destruction drains the queue (all submitted
@@ -54,6 +160,39 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     Enqueue([task]() { (*task)(); });
     return result;
+  }
+
+  /// Enqueues `fn(token)` with a wall-clock completion deadline measured
+  /// from now. `fn` receives a CancellationToken it should poll at its
+  /// checkpoints; the returned handle cancels the token when the deadline
+  /// passes and — unlike a discarded future — always joins the task, so its
+  /// exception or result is surfaced by DeadlineTask::Await/Poll instead of
+  /// being lost (the guide-refresh timeout of serve/guide_refresher).
+  template <typename F>
+  auto SubmitWithDeadline(F&& fn, std::chrono::nanoseconds deadline)
+      -> DeadlineTask<
+          std::invoke_result_t<std::decay_t<F>, const CancellationToken&>> {
+    using R = std::invoke_result_t<std::decay_t<F>, const CancellationToken&>;
+    CancellationToken token;
+    // The exception-to-Status conversion happens here, on the worker: the
+    // Status's message is a fresh string, and the future's value handoff
+    // orders it before the caller's read. Rethrowing the exception object
+    // itself in Await would share its (CoW) message buffer across threads
+    // and race the worker's shared-state teardown.
+    auto task = std::make_shared<std::packaged_task<Result<R>()>>(
+        [fn = std::forward<F>(fn), token]() mutable -> Result<R> {
+          try {
+            return fn(token);
+          } catch (const std::exception& e) {
+            return Status::Internal(e.what());
+          } catch (...) {
+            return Status::Internal("unknown exception");
+          }
+        });
+    std::future<Result<R>> result = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return DeadlineTask<R>(std::move(result), std::move(token),
+                           std::chrono::steady_clock::now() + deadline);
   }
 
  private:

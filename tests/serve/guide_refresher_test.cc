@@ -1,0 +1,166 @@
+#include "serve/guide_refresher.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "test_util.h"
+
+namespace ftoa {
+namespace {
+
+using ftoa::testing::MakeExample1Instance;
+
+GuideOptions SmallGuideOptions() {
+  GuideOptions options;
+  options.worker_duration = 30.0;
+  options.task_duration = 2.0;
+  return options;
+}
+
+TEST(GuideSlotTest, PublishAdvancesEpochAndSnapshotIsConsistent) {
+  GuideSlot slot;
+  EXPECT_EQ(slot.epoch(), 0);
+  EXPECT_EQ(slot.Get().guide, nullptr);
+
+  const Instance instance = MakeExample1Instance();
+  auto guide = std::make_shared<const OfflineGuide>(
+      OfflineGuide(instance.spacetime(), 1.0, 30.0, 2.0));
+  const GuideSlot::Snapshot published = slot.Publish(guide, 4);
+  EXPECT_EQ(published.epoch, 1);
+  EXPECT_EQ(published.published_window, 4);
+  EXPECT_EQ(slot.Get().guide.get(), guide.get());
+
+  slot.Publish(guide, 9);
+  EXPECT_EQ(slot.epoch(), 2);
+  EXPECT_EQ(slot.Get().published_window, 9);
+}
+
+TEST(GuideRefresherTest, RefreshNowPublishes) {
+  const Instance instance = MakeExample1Instance();
+  GuideRefresher refresher(instance.velocity(), SmallGuideOptions(),
+                           GuideRefresher::Options{});
+  GuideSlot slot;
+  const auto snapshot = refresher.RefreshNow(
+      PredictionMatrix::FromInstance(instance), /*window=*/3, &slot);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_EQ(snapshot.value().epoch, 1);
+  EXPECT_NE(snapshot.value().guide, nullptr);
+  EXPECT_GT(snapshot.value().guide->matched_pairs(), 0);
+  EXPECT_EQ(refresher.stats().publishes, 1);
+  EXPECT_EQ(refresher.stats().attempts, 1);
+  EXPECT_EQ(refresher.stats().failed_cycles, 0);
+}
+
+TEST(GuideRefresherTest, InjectedFailureFailsWholeCycleAndKeepsSlot) {
+  const Instance instance = MakeExample1Instance();
+  auto faults = FaultInjector::Parse("guide-fail@5-5:count=1").value();
+  GuideRefresher::Options options;
+  options.max_attempts = 3;
+  GuideRefresher refresher(instance.velocity(), SmallGuideOptions(), options,
+                           &faults);
+  GuideSlot slot;
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(instance);
+
+  // Window 5 is poisoned: all 3 attempts fail, slot untouched.
+  const auto failed = refresher.RefreshNow(prediction, 5, &slot);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsInternal());
+  EXPECT_NE(failed.status().message().find("injected"), std::string::npos);
+  EXPECT_EQ(slot.epoch(), 0);
+  EXPECT_EQ(refresher.stats().attempts, 3);
+  EXPECT_EQ(refresher.stats().failed_cycles, 1);
+
+  // The fault count is consumed: the next cycle succeeds (degradation
+  // recovers once the injected outage ends).
+  const auto recovered = refresher.RefreshNow(prediction, 6, &slot);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(slot.epoch(), 1);
+}
+
+TEST(GuideRefresherTest, BackgroundCyclePublishesThroughPoll) {
+  const Instance instance = MakeExample1Instance();
+  GuideRefresher::Options options;
+  options.timeout_ms = 30000.0;
+  GuideRefresher refresher(instance.velocity(), SmallGuideOptions(), options);
+  GuideSlot slot;
+
+  EXPECT_EQ(refresher.Poll(), GuideRefresher::PollResult::kIdle);
+  ASSERT_TRUE(refresher.StartBackground(
+      PredictionMatrix::FromInstance(instance), /*window=*/7, &slot));
+  // A second start while in flight is refused.
+  EXPECT_FALSE(refresher.StartBackground(
+      PredictionMatrix::FromInstance(instance), 8, &slot));
+
+  GuideRefresher::PollResult result = refresher.Poll();
+  while (result == GuideRefresher::PollResult::kRunning) {
+    std::this_thread::yield();
+    result = refresher.Poll();
+  }
+  EXPECT_EQ(result, GuideRefresher::PollResult::kPublished);
+  EXPECT_EQ(slot.epoch(), 1);
+  EXPECT_EQ(slot.Get().published_window, 7);
+  EXPECT_FALSE(refresher.busy());
+  EXPECT_EQ(refresher.stats().publishes, 1);
+  EXPECT_GE(refresher.stats().attempts, 1);
+}
+
+TEST(GuideRefresherTest, BackgroundInjectedFailureReportsFailed) {
+  const Instance instance = MakeExample1Instance();
+  auto faults = FaultInjector::Parse("guide-fail@0-100:count=1").value();
+  GuideRefresher::Options options;
+  options.timeout_ms = 30000.0;
+  GuideRefresher refresher(instance.velocity(), SmallGuideOptions(), options,
+                           &faults);
+  GuideSlot slot;
+  ASSERT_TRUE(refresher.StartBackground(
+      PredictionMatrix::FromInstance(instance), 2, &slot));
+  GuideRefresher::PollResult result = refresher.Poll();
+  while (result == GuideRefresher::PollResult::kRunning) {
+    std::this_thread::yield();
+    result = refresher.Poll();
+  }
+  EXPECT_EQ(result, GuideRefresher::PollResult::kFailed);
+  EXPECT_EQ(slot.epoch(), 0);  // Stale slot kept — the ladder's input.
+  EXPECT_EQ(refresher.stats().failed_cycles, 1);
+
+  // The refresher is reusable after a failed cycle.
+  ASSERT_TRUE(refresher.StartBackground(
+      PredictionMatrix::FromInstance(instance), 3, &slot));
+  result = refresher.Poll();
+  while (result == GuideRefresher::PollResult::kRunning) {
+    std::this_thread::yield();
+    result = refresher.Poll();
+  }
+  EXPECT_EQ(result, GuideRefresher::PollResult::kPublished);
+  EXPECT_EQ(slot.epoch(), 1);
+}
+
+TEST(GuideRefresherTest, ZeroTimeoutIsReportedAsTimeoutNotPublished) {
+  // With an immediate deadline the cycle can never publish: either Poll
+  // observes the miss while the solve runs, or the solve finishes first
+  // and Await discards it as late. Either way the slot stays stale and a
+  // timeout is counted — a late guide is never installed.
+  const Instance instance = MakeExample1Instance();
+  GuideRefresher::Options options;
+  options.timeout_ms = 0.0;
+  GuideRefresher refresher(instance.velocity(), SmallGuideOptions(), options);
+  GuideSlot slot;
+  ASSERT_TRUE(refresher.StartBackground(
+      PredictionMatrix::FromInstance(instance), 1, &slot));
+  GuideRefresher::PollResult result = refresher.Poll();
+  while (result == GuideRefresher::PollResult::kRunning) {
+    std::this_thread::yield();
+    result = refresher.Poll();
+  }
+  EXPECT_EQ(result, GuideRefresher::PollResult::kFailed);
+  EXPECT_EQ(slot.epoch(), 0);
+  EXPECT_EQ(refresher.stats().timeouts, 1);
+  EXPECT_EQ(refresher.stats().publishes, 0);
+  EXPECT_FALSE(refresher.busy());
+}
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,238 @@
+#include "serve/service_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ftoa {
+namespace {
+
+CityProfile SmallCity() {
+  CityProfile profile;
+  profile.name = "test-city";
+  profile.grid_x = 6;
+  profile.grid_y = 4;
+  profile.slots_per_day = 6;
+  profile.history_days = 4;
+  profile.workers_per_day = 60;
+  profile.tasks_per_day = 70;
+  profile.velocity = 3.0;
+  profile.task_duration = 1.0;
+  profile.worker_duration = 2.0;
+  profile.seed = 99;
+  return profile;
+}
+
+std::unique_ptr<ServiceHarness> MakeHarness(const ServiceOptions& options) {
+  auto harness = ServiceHarness::Create(SmallCity(),
+                                        LoopedTraceSource::Options{}, options);
+  EXPECT_TRUE(harness.ok()) << harness.status();
+  return std::move(harness).value();
+}
+
+TEST(ServiceHarnessTest, EveryWindowReportsMetrics) {
+  auto harness = MakeHarness(ServiceOptions{});
+  ASSERT_TRUE(harness->RunWindows(12).ok());
+
+  ASSERT_EQ(harness->windows().size(), 12u);
+  int64_t admitted = 0;
+  for (size_t i = 0; i < harness->windows().size(); ++i) {
+    const WindowMetrics& window = harness->windows()[i];
+    EXPECT_EQ(window.window, static_cast<int64_t>(i));
+    EXPECT_EQ(window.day, static_cast<int64_t>(i) / 6);
+    EXPECT_GE(window.live_objects, 0);
+    EXPECT_GE(window.guide_epoch, 1);  // Bootstrap refresh at window 0.
+    admitted += window.admitted;
+  }
+  EXPECT_GT(admitted, 0);
+  EXPECT_EQ(admitted, harness->totals().admitted);
+  EXPECT_GT(harness->totals().matched, 0);
+  EXPECT_EQ(harness->totals().segments, 2);  // One per day by default.
+  EXPECT_EQ(harness->totals().shed, 0);      // No caps, no faults.
+}
+
+TEST(ServiceHarnessTest, EvictionKeepsMemoryBoundedAndNeverFreesLive) {
+  ServiceOptions options;
+  options.evict_expired = true;
+  auto harness = MakeHarness(options);
+  // Step window by window so the live/evicted invariants are checked at
+  // every boundary, not just at the end.
+  for (int i = 0; i < 24; ++i) {
+    ASSERT_TRUE(harness->RunWindows(1).ok());
+    EXPECT_EQ(harness->totals().evicted_live, 0);
+    EXPECT_LE(harness->live_objects(), harness->store_size());
+  }
+  EXPECT_GT(harness->totals().evictions, 0);
+  // The store holds only the live tail, not the whole history.
+  EXPECT_LT(harness->store_size(), harness->totals().admitted / 2);
+  EXPECT_LT(harness->totals().store_peak, harness->totals().admitted);
+}
+
+TEST(ServiceHarnessTest, EvictionIsAssignmentInert) {
+  // The bit-identity property: the evicting harness commits exactly the
+  // pairs of the unbounded-memory reference on the same finite stream.
+  ServiceOptions evicting;
+  evicting.evict_expired = true;
+  ServiceOptions unbounded;
+  unbounded.evict_expired = false;
+
+  auto a = MakeHarness(evicting);
+  auto b = MakeHarness(unbounded);
+  ASSERT_TRUE(a->RunWindows(18).ok());
+  ASSERT_TRUE(b->RunWindows(18).ok());
+
+  EXPECT_EQ(a->totals().matched, b->totals().matched);
+  EXPECT_EQ(a->totals().admitted, b->totals().admitted);
+  EXPECT_EQ(a->totals().evictions, b->totals().evictions);
+  ASSERT_EQ(a->matched_pairs().size(), b->matched_pairs().size());
+  for (size_t i = 0; i < a->matched_pairs().size(); ++i) {
+    EXPECT_EQ(a->matched_pairs()[i], b->matched_pairs()[i]) << "pair " << i;
+  }
+  // Only the memory footprint differs: the reference keeps every record.
+  EXPECT_EQ(b->store_size(), b->totals().admitted);
+  EXPECT_LT(a->store_size(), b->store_size());
+}
+
+TEST(ServiceHarnessTest, ShedsOnlyUnderInjectedOverload) {
+  ServiceOptions options;
+  options.max_queue_depth = 80;  // Far above the base per-window load.
+  options.faults = "flash@7-8:factor=6";
+  auto harness = MakeHarness(options);
+  ASSERT_TRUE(harness->RunWindows(12).ok());
+
+  for (const WindowMetrics& window : harness->windows()) {
+    const bool in_flash = window.window >= 7 && window.window <= 8;
+    if (!in_flash) {
+      EXPECT_EQ(window.shed, 0) << "window " << window.window;
+      EXPECT_FALSE(window.overloaded) << "window " << window.window;
+      EXPECT_EQ(window.flash_clones, 0);
+    } else {
+      EXPECT_GT(window.flash_clones, 0);
+    }
+  }
+  EXPECT_GT(harness->totals().shed, 0);  // The flash crowd overflowed.
+}
+
+TEST(ServiceHarnessTest, MaxLiveObjectsCapsAdmission) {
+  ServiceOptions options;
+  options.max_live_objects = 25;
+  auto harness = MakeHarness(options);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(harness->RunWindows(1).ok());
+    EXPECT_LE(harness->live_objects(), 25);
+  }
+  EXPECT_GT(harness->totals().shed, 0);
+}
+
+TEST(ServiceHarnessTest, GuideHotSwapLandsMidSegment) {
+  ServiceOptions options;
+  options.refresh_period_windows = 3;  // Publishes inside each day segment.
+  auto harness = MakeHarness(options);
+  ASSERT_TRUE(harness->RunWindows(12).ok());
+
+  // Refreshes at windows 0, 3, 6, 9: two land mid-segment and are adopted
+  // by the running sessions.
+  EXPECT_GE(harness->guide_epoch(), 4);
+  EXPECT_GT(harness->totals().guide_swaps, 0);
+  EXPECT_GT(harness->totals().matched, 0);
+}
+
+TEST(ServiceHarnessTest, DegradationLadderFallsBackToGreedyAndRecovers) {
+  ServiceOptions options;
+  options.faults = "guide-fail@0-0:count=1";  // Bootstrap refresh fails.
+  auto harness = MakeHarness(options);
+  ASSERT_TRUE(harness->RunWindows(12).ok());
+
+  // Day 0 ran the ladder's greedy rung (no guide ever published); the
+  // window-6 refresh succeeded and day 1 ran guided.
+  for (const WindowMetrics& window : harness->windows()) {
+    if (window.window < 6) {
+      EXPECT_TRUE(window.degraded_greedy) << "window " << window.window;
+      EXPECT_EQ(window.guide_age_windows, -1);
+    } else {
+      EXPECT_FALSE(window.degraded_greedy) << "window " << window.window;
+      EXPECT_GE(window.guide_epoch, 1);
+    }
+  }
+  EXPECT_GE(harness->windows().back().refresh_failures, 1);
+  EXPECT_GT(harness->totals().matched, 0);  // Service never stopped.
+}
+
+TEST(ServiceHarnessTest, DroppedHandoffBatchesAreRedeliveredNextSegment) {
+  ServiceOptions options;
+  options.windows_per_segment = 3;
+  options.faults = "drop-batch@1-1";  // Window 1's handoff is lost.
+  auto harness = MakeHarness(options);
+  ASSERT_TRUE(harness->RunWindows(6).ok());
+
+  EXPECT_GT(harness->windows()[1].dropped_arrivals, 0);
+  EXPECT_EQ(harness->windows()[0].dropped_arrivals, 0);
+  EXPECT_GT(harness->fault_counters().dropped_batches, 0);
+
+  // The same stream without the fault commits at least as many pairs; the
+  // dropped objects were only delayed (redelivered via carryover), not
+  // silently discarded, so the faulted run still matches.
+  ServiceOptions clean = options;
+  clean.faults.clear();
+  auto reference = MakeHarness(clean);
+  ASSERT_TRUE(reference->RunWindows(6).ok());
+  EXPECT_GT(harness->totals().matched, 0);
+  EXPECT_LE(harness->totals().matched, reference->totals().matched);
+}
+
+TEST(ServiceHarnessTest, ShardedServiceIsDeterministicAcrossThreadCounts) {
+  ServiceOptions base;
+  base.num_shards = 3;
+  base.shard_threads = 1;
+  ServiceOptions threaded = base;
+  threaded.shard_threads = 3;
+
+  auto a = MakeHarness(base);
+  auto b = MakeHarness(threaded);
+  ASSERT_TRUE(a->RunWindows(12).ok());
+  ASSERT_TRUE(b->RunWindows(12).ok());
+  EXPECT_EQ(a->totals().matched, b->totals().matched);
+  ASSERT_EQ(a->matched_pairs().size(), b->matched_pairs().size());
+  for (size_t i = 0; i < a->matched_pairs().size(); ++i) {
+    EXPECT_EQ(a->matched_pairs()[i], b->matched_pairs()[i]) << "pair " << i;
+  }
+}
+
+TEST(ServiceHarnessTest, BackgroundRefreshEventuallyPublishes) {
+  ServiceOptions options;
+  options.background_refresh = true;
+  options.refresh.timeout_ms = 30000.0;
+  auto harness = MakeHarness(options);
+  // The solve races the window loop; keep feeding days (each boundary
+  // polls) with a little wall time in between until it lands.
+  for (int i = 0; i < 1000 && harness->guide_epoch() == 0; ++i) {
+    ASSERT_TRUE(harness->RunWindows(6).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(harness->guide_epoch(), 1);
+  EXPECT_GE(harness->refresher_stats().publishes, 1);
+}
+
+TEST(ServiceHarnessTest, RejectsUnknownAlgorithmAndBadFaultSpec) {
+  ServiceOptions options;
+  options.algorithm = "quantum-dispatch";
+  const auto unknown = ServiceHarness::Create(
+      SmallCity(), LoopedTraceSource::Options{}, options);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_TRUE(unknown.status().IsNotFound());
+  EXPECT_NE(unknown.status().message().find("polar-op"), std::string::npos);
+
+  ServiceOptions bad_faults;
+  bad_faults.faults = "meteor-strike@0-1";
+  const auto malformed = ServiceHarness::Create(
+      SmallCity(), LoopedTraceSource::Options{}, bad_faults);
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_TRUE(malformed.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ftoa

@@ -1,0 +1,93 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftoa {
+namespace {
+
+RunMetrics ShardMetrics(double busy, int64_t decisions, int64_t matches) {
+  RunMetrics m;
+  m.algorithm = "polar";
+  m.busy_seconds = busy;
+  m.elapsed_seconds = busy;  // A shard's elapsed is its busy time.
+  m.decisions = decisions;
+  m.matching_size = matches;
+  return m;
+}
+
+TEST(MergeShardRunMetricsTest, CriticalPathIsMaxShardTime) {
+  const std::vector<RunMetrics> shards = {
+      ShardMetrics(0.5, 100, 10), ShardMetrics(2.0, 400, 40),
+      ShardMetrics(1.25, 250, 25)};
+  const RunMetrics merged = MergeShardRunMetrics(shards);
+  EXPECT_DOUBLE_EQ(merged.elapsed_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(merged.critical_path_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(merged.busy_seconds, 3.75);
+  EXPECT_EQ(merged.decisions, 750);
+  EXPECT_EQ(merged.matching_size, 75);
+}
+
+TEST(MergeShardRunMetricsTest, GuideSwapsSumAcrossShards) {
+  std::vector<RunMetrics> shards = {ShardMetrics(0.1, 1, 1),
+                                    ShardMetrics(0.1, 1, 1)};
+  shards[0].guide_swaps = 2;
+  shards[1].guide_swaps = 3;
+  EXPECT_EQ(MergeShardRunMetrics(shards).guide_swaps, 5);
+}
+
+// The PR-5 regression: dispatcher Run / sim runner re-measure the wall clock
+// of the whole sharded replay and used to assign it straight into
+// elapsed_seconds, destroying the merged critical-path max. SetWallClock
+// must preserve that bound (and never touch busy_seconds).
+TEST(MergeShardRunMetricsTest, WallClockOverwriteKeepsMergedMax) {
+  const std::vector<RunMetrics> shards = {ShardMetrics(0.5, 100, 10),
+                                          ShardMetrics(2.0, 400, 40)};
+  RunMetrics merged = MergeShardRunMetrics(shards);
+  ASSERT_DOUBLE_EQ(merged.elapsed_seconds, 2.0);
+
+  merged.SetWallClock(2.75);  // Measured wall clock of the whole replay.
+  EXPECT_DOUBLE_EQ(merged.elapsed_seconds, 2.75);
+  EXPECT_DOUBLE_EQ(merged.critical_path_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(merged.busy_seconds, 2.5);
+
+  // A second overwrite (e.g. runner re-timing around dispatcher Run) still
+  // keeps the original critical path, not the intermediate wall clock.
+  merged.SetWallClock(3.5);
+  EXPECT_DOUBLE_EQ(merged.elapsed_seconds, 3.5);
+  EXPECT_DOUBLE_EQ(merged.critical_path_seconds, 2.0);
+}
+
+TEST(MergeShardRunMetricsTest, UnshardedWallClockLeavesCriticalPathZero) {
+  RunMetrics metrics;  // Fresh unsharded run: elapsed starts at 0.
+  metrics.SetWallClock(1.5);
+  EXPECT_DOUBLE_EQ(metrics.elapsed_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(metrics.critical_path_seconds, 0.0);
+}
+
+TEST(MergeShardRunMetricsTest, NestedMergePropagatesCriticalPath) {
+  // A merged result whose elapsed was overwritten by a wall clock can be
+  // merged again (multi-segment serving); the critical path must survive.
+  std::vector<RunMetrics> shards = {ShardMetrics(0.5, 100, 10),
+                                    ShardMetrics(2.0, 400, 40)};
+  RunMetrics segment = MergeShardRunMetrics(shards);
+  segment.SetWallClock(0.1);  // Wall clock smaller than the shard max.
+  const RunMetrics total = MergeShardRunMetrics({segment});
+  EXPECT_DOUBLE_EQ(total.critical_path_seconds, 2.0);
+}
+
+TEST(MergeShardRunMetricsTest, LatencyPercentilesMergeByMax) {
+  std::vector<RunMetrics> shards = {ShardMetrics(0.5, 100, 10),
+                                    ShardMetrics(1.0, 100, 10)};
+  shards[0].decision_latency_p50_ns = 100.0;
+  shards[0].decision_latency_p99_ns = 900.0;
+  shards[1].decision_latency_p50_ns = 300.0;
+  shards[1].decision_latency_p99_ns = 500.0;
+  const RunMetrics merged = MergeShardRunMetrics(shards);
+  EXPECT_DOUBLE_EQ(merged.decision_latency_p50_ns, 300.0);
+  EXPECT_DOUBLE_EQ(merged.decision_latency_p99_ns, 900.0);
+}
+
+}  // namespace
+}  // namespace ftoa

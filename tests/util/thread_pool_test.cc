@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <stdexcept>
 #include <thread>
@@ -88,6 +89,96 @@ TEST(ThreadPoolTest, ManySubmittersOneQueue) {
     for (int k = 0; k < 32; ++k) expected += i * 100 + k;
   }
   EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolDeadlineTest, CompletesWithinDeadline) {
+  ThreadPool pool(2);
+  auto task = pool.SubmitWithDeadline(
+      [](const CancellationToken& token) {
+        EXPECT_FALSE(token.IsCancelled());
+        return 41 + 1;
+      },
+      std::chrono::seconds(30));
+  const Result<int> result = task.Await();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(ThreadPoolDeadlineTest, TimeoutCancelsAndReportsDeadlineExceeded) {
+  ThreadPool pool(1);
+  std::atomic<bool> saw_cancel{false};
+  auto task = pool.SubmitWithDeadline(
+      [&saw_cancel](const CancellationToken& token) {
+        // A cooperative long-running task: spins until cancelled.
+        while (!token.IsCancelled()) std::this_thread::yield();
+        saw_cancel.store(true);
+        return 7;
+      },
+      std::chrono::milliseconds(20));
+  const Result<int> result = task.Await();
+  // Await joined the task after cancelling it: its late result is reported
+  // as DeadlineExceeded, never silently dropped mid-flight.
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status();
+  EXPECT_TRUE(saw_cancel.load());
+}
+
+TEST(ThreadPoolDeadlineTest, TimedOutTaskExceptionIsSurfacedNotLost) {
+  // The satellite regression: a task that times out and *then* dies must
+  // surface its exception through Await — no std::terminate (death-free),
+  // no exception marooned in an abandoned future.
+  ThreadPool pool(1);
+  auto task = pool.SubmitWithDeadline(
+      [](const CancellationToken& token) -> int {
+        while (!token.IsCancelled()) std::this_thread::yield();
+        throw std::runtime_error("refresh solver blew up");
+      },
+      std::chrono::milliseconds(20));
+  const Result<int> result = task.Await();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal()) << result.status();
+  EXPECT_NE(result.status().message().find("refresh solver blew up"),
+            std::string::npos)
+      << result.status();
+  // The worker that ran the throwing task survives for later submissions.
+  EXPECT_EQ(pool.Submit([]() { return 3; }).get(), 3);
+}
+
+TEST(ThreadPoolDeadlineTest, ExceptionBeforeDeadlineIsInternal) {
+  ThreadPool pool(1);
+  auto task = pool.SubmitWithDeadline(
+      [](const CancellationToken&) -> int {
+        throw std::runtime_error("immediate failure");
+      },
+      std::chrono::seconds(30));
+  const Result<int> result = task.Await();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  EXPECT_NE(result.status().message().find("immediate failure"),
+            std::string::npos);
+}
+
+TEST(ThreadPoolDeadlineTest, PollObservesCompletionAndCancelsPastDeadline) {
+  ThreadPool pool(1);
+  auto quick = pool.SubmitWithDeadline(
+      [](const CancellationToken&) { return 5; }, std::chrono::seconds(30));
+  while (!quick.Poll()) std::this_thread::yield();
+  const Result<int> got = quick.Await();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), 5);
+
+  auto slow = pool.SubmitWithDeadline(
+      [](const CancellationToken& token) {
+        while (!token.IsCancelled()) std::this_thread::yield();
+        return 0;
+      },
+      std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Poll past the deadline requests cancellation; the task then finishes
+  // and a later Poll reports readiness.
+  while (!slow.Poll()) std::this_thread::yield();
+  EXPECT_TRUE(slow.token().IsCancelled());
+  EXPECT_TRUE(slow.Await().status().IsDeadlineExceeded());
 }
 
 }  // namespace

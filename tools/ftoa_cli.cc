@@ -5,6 +5,8 @@
 //   ftoa generate city --city=beijing --day=20 --scale=0.1 --out=day.csv
 //   ftoa run --instance=day.csv --algorithm=polar-op [--strict] [--stream]
 //   ftoa run --instance=day.csv --algorithm=polar-op --shards=4
+//   ftoa serve --city=beijing --scale=0.05 --windows=36 \
+//        --faults=flash@8-9:factor=4 --slo-p99-ms=5
 //   ftoa algos
 //   ftoa inspect --instance=day.csv
 //
@@ -18,6 +20,12 @@
 // routers: grid | hash | load), --handoff-batch=N (events staged per
 // batched queue handoff; 1 = per-event), and --reconcile (post-merge
 // boundary reconciliation recovering cross-shard matches).
+// `serve` runs the long-running serving harness (serve/service_harness)
+// over the looped city trace: rolling eviction, live guide refresh with
+// hot-swap and a degradation ladder, fault injection (--faults, the
+// serve/fault_injector spec grammar), and SLO-driven admission control —
+// printing one metrics line per window plus lifetime totals. Unknown
+// serve flags are rejected listing the valid set.
 // `algos` lists every algorithm the registry knows. The guide for
 // POLAR-family algorithms is derived from the instance's own realized
 // counts unless --prediction points at a second instance file whose counts
@@ -36,6 +44,7 @@
 #include "gen/city_trace.h"
 #include "gen/synthetic.h"
 #include "model/io.h"
+#include "serve/service_harness.h"
 #include "sim/runner.h"
 #include "sim/sharded_dispatcher.h"
 #include "util/string_util.h"
@@ -90,6 +99,12 @@ class ArgMap {
   }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
+  std::vector<std::string> Keys() const {
+    std::vector<std::string> keys;
+    for (const auto& entry : values_) keys.push_back(entry.first);
+    return keys;
+  }
+
  private:
   std::map<std::string, std::string> values_;
 };
@@ -107,6 +122,13 @@ int Usage() {
       "       [--shards=K] [--shard-threads=N] [--router=%s]\n"
       "       [--handoff-batch=N] [--reconcile]\n"
       "       (NAME: %s)\n"
+      "  ftoa serve [--city=beijing|hangzhou] [--scale=F] [--windows=N]\n"
+      "       [--algorithm=NAME] [--shards=K] [--shard-threads=N]\n"
+      "       [--windows-per-segment=N] [--refresh-period=N]\n"
+      "       [--background-refresh] [--slo-p99-ms=F]\n"
+      "       [--max-queue-depth=N] [--max-live-objects=N]\n"
+      "       [--max-guide-age=N] [--faults=SPEC] [--fault-seed=N]\n"
+      "       [--loop-days=N] [--no-evict] [--reconcile]\n"
       "  ftoa algos\n"
       "  ftoa inspect --instance=FILE\n",
       Join(AllShardRouterNames(), "|").c_str(),
@@ -284,6 +306,118 @@ int CmdRun(int argc, char** argv) {
   return 0;
 }
 
+int CmdServe(int argc, char** argv) {
+  const ArgMap args(argc, argv, 2);
+  // Serve is the long-running mode: a typo'd SLO flag silently ignored
+  // would change production behavior, so unknown flags are hard errors.
+  static const std::vector<std::string> kServeFlags = {
+      "city",       "scale",          "loop-days",
+      "windows",    "algorithm",      "shards",
+      "shard-threads", "windows-per-segment", "refresh-period",
+      "background-refresh", "slo-p99-ms", "max-queue-depth",
+      "max-live-objects", "max-guide-age", "faults",
+      "fault-seed", "no-evict",       "reconcile"};
+  for (const std::string& key : args.Keys()) {
+    if (std::find(kServeFlags.begin(), kServeFlags.end(), key) ==
+        kServeFlags.end()) {
+      std::string valid;
+      for (const std::string& flag : kServeFlags) {
+        if (!valid.empty()) valid += ", ";
+        valid += "--" + flag;
+      }
+      std::fprintf(stderr, "serve: unknown flag --%s (valid: %s)\n",
+                   key.c_str(), valid.c_str());
+      return 2;
+    }
+  }
+
+  CityProfile profile = args.Get("city", "beijing") == "hangzhou"
+                            ? HangzhouProfile()
+                            : BeijingProfile();
+  LoopedTraceSource::Options trace;
+  trace.scale = args.GetDouble("scale", 0.05);
+  trace.loop_days = static_cast<int>(args.GetInt("loop-days", 0));
+
+  ServiceOptions options;
+  options.algorithm = args.Get("algorithm", "polar-op");
+  options.num_shards = static_cast<int>(args.GetInt("shards", 1));
+  options.shard_threads =
+      static_cast<int>(args.GetInt("shard-threads", 1));
+  options.windows_per_segment =
+      static_cast<int>(args.GetInt("windows-per-segment", 0));
+  options.refresh_period_windows =
+      static_cast<int>(args.GetInt("refresh-period", 0));
+  options.background_refresh = args.Has("background-refresh");
+  options.slo_p99_ms = args.GetDouble("slo-p99-ms", 0.0);
+  options.max_queue_depth = args.GetInt("max-queue-depth", 0);
+  options.max_live_objects = args.GetInt("max-live-objects", 0);
+  options.max_guide_age_windows = args.GetInt("max-guide-age", 0);
+  options.faults = args.Get("faults");
+  options.fault_seed = static_cast<uint64_t>(args.GetInt("fault-seed", 1));
+  options.evict_expired = !args.Has("no-evict");
+  options.reconcile = args.Has("reconcile");
+
+  auto harness = ServiceHarness::Create(profile, trace, options);
+  if (!harness.ok()) {
+    // NotFound/InvalidArgument carry the valid algorithm / fault sets.
+    std::fprintf(stderr, "serve: %s\n",
+                 harness.status().ToString().c_str());
+    return 2;
+  }
+  const int64_t windows =
+      args.GetInt("windows", 3 * profile.slots_per_day);
+  const Status run = (*harness)->RunWindows(windows);
+  if (!run.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", run.ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "window day  offered admitted shed drop match  p99 ms   live "
+      "evict epoch age flags\n");
+  for (const WindowMetrics& w : (*harness)->windows()) {
+    std::printf(
+        "%6lld %3lld  %7lld %8lld %4lld %4lld %5lld %7.3f %6lld %5lld "
+        "%5lld %3lld %s%s\n",
+        static_cast<long long>(w.window), static_cast<long long>(w.day),
+        static_cast<long long>(w.offered),
+        static_cast<long long>(w.admitted), static_cast<long long>(w.shed),
+        static_cast<long long>(w.dropped_arrivals),
+        static_cast<long long>(w.matched), w.p99_ms,
+        static_cast<long long>(w.live_objects),
+        static_cast<long long>(w.evicted),
+        static_cast<long long>(w.guide_epoch),
+        static_cast<long long>(w.guide_age_windows),
+        w.degraded_greedy ? "D" : "", w.overloaded ? "O" : "");
+  }
+  const ServiceTotals& totals = (*harness)->totals();
+  std::printf("served         %lld windows (%lld segments)\n",
+              static_cast<long long>(totals.windows),
+              static_cast<long long>(totals.segments));
+  std::printf("admitted       %lld of %lld offered (%lld shed, %lld "
+              "dropped in handoff)\n",
+              static_cast<long long>(totals.admitted),
+              static_cast<long long>(totals.offered),
+              static_cast<long long>(totals.shed),
+              static_cast<long long>(totals.dropped_arrivals));
+  std::printf("matched        %lld pairs\n",
+              static_cast<long long>(totals.matched));
+  std::printf("evicted        %lld expired (store peak %lld, now %lld; "
+              "%lld live)\n",
+              static_cast<long long>(totals.evictions),
+              static_cast<long long>(totals.store_peak),
+              static_cast<long long>((*harness)->store_size()),
+              static_cast<long long>((*harness)->live_objects()));
+  const GuideRefresher::Stats& refresher = (*harness)->refresher_stats();
+  std::printf("guide          epoch %lld, %lld publishes, %lld failed "
+              "cycles, %lld hot-swaps adopted\n",
+              static_cast<long long>((*harness)->guide_epoch()),
+              static_cast<long long>(refresher.publishes),
+              static_cast<long long>(refresher.failed_cycles),
+              static_cast<long long>(totals.guide_swaps));
+  return 0;
+}
+
 int CmdAlgos() {
   // One canonical name per line plus the display name benches print.
   for (const std::string& name : AllAlgorithmNames()) {
@@ -338,6 +472,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "generate") return ftoa::CmdGenerate(argc, argv);
   if (command == "run") return ftoa::CmdRun(argc, argv);
+  if (command == "serve") return ftoa::CmdServe(argc, argv);
   if (command == "algos") return ftoa::CmdAlgos();
   if (command == "inspect") return ftoa::CmdInspect(argc, argv);
   return ftoa::Usage();

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The real serving soak: builds the test suite and runs exactly the `soak`
+# ctest label (the time-boxed ServiceSoakTest aggregate) with a full time
+# box — the default ctest run executes the same test as a short smoke.
+#
+# The time box is FTOA_SOAK_SECONDS (default 60). To soak the sanitizer
+# builds instead, point the build dir at a tree configured with
+# -DFTOA_SANITIZE=ON or -DFTOA_TSAN=ON (tools/run_sanitizers.sh creates
+# build-asan/ and build-tsan/) — the soak acceptance bar is a clean run
+# under both.
+#
+# Usage: tools/run_service_soak.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+SOAK_SECONDS="${FTOA_SOAK_SECONDS:-60}"
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" --target ftoa_tests -j "$(nproc)"
+
+echo "== ctest -L soak (FTOA_SOAK_SECONDS=${SOAK_SECONDS})"
+FTOA_SOAK_SECONDS="$SOAK_SECONDS" \
+    ctest --test-dir "$BUILD" -L soak --output-on-failure
+echo "service soak passed"
