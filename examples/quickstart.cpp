@@ -69,8 +69,7 @@ int main() {
   // instance through one streaming session.
   AlgorithmDeps deps;
   deps.guide = guide;
-  for (const std::string& name :
-       {"simple-greedy", "polar", "polar-op", "opt"}) {
+  for (const char* name : {"simple-greedy", "polar", "polar-op", "opt"}) {
     auto algorithm = CreateAlgorithm(name, deps);
     if (!algorithm.ok()) {
       std::fprintf(stderr, "%s\n", algorithm.status().ToString().c_str());

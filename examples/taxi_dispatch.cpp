@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
 
   AlgorithmDeps deps;
   deps.guide = guide;
-  for (const std::string& name : {"simple-greedy", "polar-op", "opt"}) {
+  for (const char* name : {"simple-greedy", "polar-op", "opt"}) {
     auto algorithm = CreateAlgorithm(name, deps);
     if (!algorithm.ok()) continue;
     RunnerOptions options;

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <future>
 #include <numeric>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 

@@ -1,7 +1,6 @@
 #include "prediction/arima.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "util/linalg.h"
 

@@ -6,6 +6,13 @@
 
 namespace ftoa {
 
+int64_t TrainingCellStride(int64_t full_rows, int max_rows,
+                           int64_t num_cells) {
+  const int64_t stride =
+      std::max<int64_t>(1, full_rows / std::max(1, max_rows));
+  return std::min(stride, std::max<int64_t>(1, num_cells));
+}
+
 namespace {
 
 /// Quantile bin edges (ascending, deduplicated) for one feature column.
@@ -201,8 +208,8 @@ Status GbrtPredictor::Fit(const DemandDataset& data, int train_days,
   const int dim = features_.dim();
   const int64_t full_rows = static_cast<int64_t>(train_days - first_day) *
                             data.slots_per_day() * data.num_cells();
-  const int cell_stride = std::max<int64_t>(
-      1, full_rows / std::max(1, GbrtParams{}.max_rows));
+  const int64_t cell_stride = TrainingCellStride(
+      full_rows, GbrtParams{}.max_rows, data.num_cells());
 
   std::vector<double> rows;
   std::vector<double> targets;

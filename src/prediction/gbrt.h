@@ -29,6 +29,16 @@ struct GbrtParams {
   int max_rows = 200000;
 };
 
+/// The cell stride Fit uses to honor GbrtParams::max_rows: ceil-free
+/// full_rows / max_rows, at least 1, clamped to num_cells (a stride past
+/// the cell range degenerates to one sampled cell per (day, slot), which
+/// is the largest meaningful stride). Computed and clamped in 64-bit:
+/// full_rows is days*slots*cells and overflows int at city scale, and a
+/// negative truncated stride would never terminate the training scan
+/// (found by the -Wconversion gate; pinned in predictors_test.cc).
+int64_t TrainingCellStride(int64_t full_rows, int max_rows,
+                           int64_t num_cells);
+
 /// A fitted regression-tree ensemble over generic feature vectors. Exposed
 /// separately from the Predictor wrapper so HP-MSI can reuse it on
 /// cluster-level series.

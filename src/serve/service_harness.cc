@@ -194,6 +194,7 @@ void ServiceHarness::StartSegment(int64_t window) {
   // segments, re-offered in stream-id order (deterministic regardless of
   // the store's hash order or eviction mode).
   const double now = static_cast<double>(window);
+  // ftoa-lint: ok(no-unordered-iteration): hash order never escapes — the collected ids are sorted below before any consumer sees them
   for (const auto& entry : store_) {
     if (!entry.second.matched && entry.second.Deadline() > now) {
       segment_.carryover.push_back(entry.first);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
 #include <limits>
 
 namespace ftoa {
@@ -44,7 +43,8 @@ DiscreteDistribution::DiscreteDistribution(const std::vector<double>& weights) {
   normalized_.assign(n, 0.0);
   if (total <= 0.0) {
     // Degenerate input: uniform.
-    std::fill(normalized_.begin(), normalized_.end(), 1.0 / n);
+    std::fill(normalized_.begin(), normalized_.end(),
+              1.0 / static_cast<double>(n));
   } else {
     for (size_t i = 0; i < weights.size(); ++i) {
       normalized_[i] = std::max(0.0, weights[i]) / total;

@@ -71,11 +71,13 @@ TEST(GuideSwapTest, PolarSwapResetsNodeOccupancy) {
   const Instance instance = MakeExample1Instance();
   Polar polar(BuildGuide(instance));
   auto session = polar.StartSession(instance);
-  for (WorkerId w = 0; w < instance.num_workers(); ++w) {
+  for (WorkerId w = 0; w < static_cast<WorkerId>(instance.num_workers());
+       ++w) {
     session->OnWorker(w, instance.worker(w).start);
   }
   EXPECT_TRUE(session->SwapGuide(BuildGuide(instance)));
-  for (TaskId r = 0; r < instance.num_tasks(); ++r) {
+  for (TaskId r = 0; r < static_cast<TaskId>(instance.num_tasks());
+       ++r) {
     session->OnTask(r, instance.task(r).start);
   }
   EXPECT_EQ(session->Finish().assignment.size(), 0u);
@@ -85,11 +87,13 @@ TEST(GuideSwapTest, PolarOpSwapReleasesWaitQueues) {
   const Instance instance = MakeExample1Instance();
   PolarOp polar_op(BuildGuide(instance));
   auto session = polar_op.StartSession(instance);
-  for (WorkerId w = 0; w < instance.num_workers(); ++w) {
+  for (WorkerId w = 0; w < static_cast<WorkerId>(instance.num_workers());
+       ++w) {
     session->OnWorker(w, instance.worker(w).start);
   }
   EXPECT_TRUE(session->SwapGuide(BuildGuide(instance)));
-  for (TaskId r = 0; r < instance.num_tasks(); ++r) {
+  for (TaskId r = 0; r < static_cast<TaskId>(instance.num_tasks());
+       ++r) {
     session->OnTask(r, instance.task(r).start);
   }
   // The queued workers were released by the swap; nothing is waiting.
@@ -103,11 +107,13 @@ TEST(GuideSwapTest, HybridKeepsGreedyFallbackAcrossSwap) {
   const Instance instance = MakeExample1Instance();
   HybridPolarOp hybrid(BuildGuide(instance));
   auto session = hybrid.StartSession(instance);
-  for (WorkerId w = 0; w < instance.num_workers(); ++w) {
+  for (WorkerId w = 0; w < static_cast<WorkerId>(instance.num_workers());
+       ++w) {
     session->OnWorker(w, instance.worker(w).start);
   }
   EXPECT_TRUE(session->SwapGuide(BuildGuide(instance)));
-  for (TaskId r = 0; r < instance.num_tasks(); ++r) {
+  for (TaskId r = 0; r < static_cast<TaskId>(instance.num_tasks());
+       ++r) {
     session->OnTask(r, instance.task(r).start);
   }
   EXPECT_GT(session->Finish().assignment.size(), 0u);

@@ -75,8 +75,8 @@ TEST(SyntheticTest, TemporalMeansFollowTable4Parameters) {
   double task_mean = 0.0;
   for (const Worker& w : instance->workers()) worker_mean += w.start;
   for (const Task& r : instance->tasks()) task_mean += r.start;
-  worker_mean /= instance->num_workers();
-  task_mean /= instance->num_tasks();
+  worker_mean /= static_cast<double>(instance->num_workers());
+  task_mean /= static_cast<double>(instance->num_tasks());
   EXPECT_NEAR(worker_mean, 0.25 * 16.0, 0.2);
   EXPECT_NEAR(task_mean, 0.5 * 16.0, 0.2);
 }
@@ -93,8 +93,8 @@ TEST(SyntheticTest, SpatialMeansFollowTable4Parameters) {
     mean_x += w.location.x;
     mean_y += w.location.y;
   }
-  mean_x /= instance->num_workers();
-  mean_y /= instance->num_workers();
+  mean_x /= static_cast<double>(instance->num_workers());
+  mean_y /= static_cast<double>(instance->num_workers());
   EXPECT_NEAR(mean_x, 0.25 * 20.0, 0.3);
   EXPECT_NEAR(mean_y, 0.25 * 20.0, 0.3);
 }

@@ -1,0 +1,12 @@
+// lint-fixture: path=src/core/fixture_bad_annot.cc
+// Unknown check names and reason-less annotations are findings
+// themselves: a silenced check must say which check and why.
+namespace ftoa {
+
+// ftoa-lint: ok(no-such-check): whatever  // lint-expect: bad-annotation
+int A() { return 1; }
+
+// ftoa-lint: ok(seeded-rng-only)  // lint-expect: bad-annotation
+int B() { return 2; }
+
+}  // namespace ftoa

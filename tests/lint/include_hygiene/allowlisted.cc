@@ -1,0 +1,11 @@
+// lint-fixture: path=src/util/fixture_allow.cc
+// <chrono> is consumed by a macro body the token map cannot see.
+// ftoa-lint: ok(include-hygiene): consumed inside FIXTURE_TIMED macro expansion
+#include <chrono>
+#include <vector>
+
+#define FIXTURE_TIMED(x) (x)
+
+namespace ftoa {
+std::vector<int> V() { return {FIXTURE_TIMED(1)}; }
+}  // namespace ftoa

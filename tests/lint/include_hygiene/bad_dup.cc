@@ -1,0 +1,7 @@
+// lint-fixture: path=src/core/fixture_bad_dup.cc
+#include <vector>
+#include <vector>  // lint-expect: include-hygiene
+
+namespace ftoa {
+std::vector<int> V() { return {}; }
+}  // namespace ftoa

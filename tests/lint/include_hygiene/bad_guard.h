@@ -1,0 +1,11 @@
+// lint-fixture: path=src/core/fixture_bad_guard.h  lint-expect: include-hygiene
+// The guard exists but is not the canonical FTOA_CORE_FIXTURE_BAD_GUARD_H_
+// (guard findings anchor to line 1; the expect marker there pins that).
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+namespace ftoa {
+struct Empty {};
+}  // namespace ftoa
+
+#endif  // WRONG_GUARD_H

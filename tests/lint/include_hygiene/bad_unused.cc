@@ -1,0 +1,7 @@
+// lint-fixture: path=src/util/fixture_bad_unused.cc
+#include <unordered_set>  // lint-expect: include-hygiene
+#include <vector>
+
+namespace ftoa {
+std::vector<int> V() { return {1, 2, 3}; }
+}  // namespace ftoa

@@ -1,0 +1,11 @@
+// lint-fixture: path=src/core/fixture_good.h
+#ifndef FTOA_CORE_FIXTURE_GOOD_H_
+#define FTOA_CORE_FIXTURE_GOOD_H_
+
+#include <vector>
+
+namespace ftoa {
+std::vector<int> Values();
+}  // namespace ftoa
+
+#endif  // FTOA_CORE_FIXTURE_GOOD_H_

@@ -1,0 +1,9 @@
+// lint-fixture: path=src/spatial/fixture_allow.cc
+#include <functional>
+
+namespace ftoa {
+
+// ftoa-lint: ok(no-std-function-hot-path): one-shot setup callback, not called per candidate
+void Configure(const std::function<void()>& once) { once(); }
+
+}  // namespace ftoa

@@ -1,0 +1,11 @@
+// lint-fixture: path=src/flow/fixture_bad.cc
+// A type-erased per-edge callback in a hot path.
+#include <functional>
+
+namespace ftoa {
+
+void ForEachEdge(int n, const std::function<void(int)>& fn) {  // lint-expect: no-std-function-hot-path
+  for (int i = 0; i < n; ++i) fn(i);
+}
+
+}  // namespace ftoa

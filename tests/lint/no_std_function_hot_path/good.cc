@@ -1,0 +1,10 @@
+// lint-fixture: path=src/flow/fixture_good.cc
+// The required shape: a templated callback, inlined per edge.
+namespace ftoa {
+
+template <typename Fn>
+void ForEachEdge(int n, Fn&& fn) {
+  for (int i = 0; i < n; ++i) fn(i);
+}
+
+}  // namespace ftoa

@@ -1,0 +1,12 @@
+// lint-fixture: path=src/sim/fixture_scope.cc
+// std::function outside src/flow and src/spatial is allowed (e.g. the
+// competitive-ratio trial factory): scope must not leak.
+#include <functional>
+
+namespace ftoa {
+
+void RunTrials(int n, const std::function<void(int)>& factory) {
+  for (int i = 0; i < n; ++i) factory(i);
+}
+
+}  // namespace ftoa

@@ -1,0 +1,31 @@
+// lint-fixture: path=src/sim/fixture_bad.cc
+// Every lexical form of unordered iteration the check must catch.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ftoa {
+
+std::unordered_map<int, int> MakeCounts();
+
+struct Holder {
+  std::unordered_set<long> ids_;
+  std::unordered_map<int, double> weights_;
+};
+
+int Sum(const Holder& h) {
+  int total = 0;
+  for (long id : h.ids_) {  // lint-expect: no-unordered-iteration
+    total += static_cast<int>(id);
+  }
+  for (const auto& kv : h.weights_) {  // lint-expect: no-unordered-iteration
+    total += kv.first;
+  }
+  for (const auto& kv : MakeCounts()) {  // lint-expect: no-unordered-iteration
+    total += kv.second;
+  }
+  auto it = h.weights_.begin();  // lint-expect: no-unordered-iteration
+  (void)it;
+  return total;
+}
+
+}  // namespace ftoa

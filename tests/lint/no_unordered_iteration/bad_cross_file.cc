@@ -1,0 +1,17 @@
+// lint-fixture: path=src/sim/fixture_cross.cc
+// The iterated member is declared in the included header, not in this
+// file: the check must resolve project includes to know live_'s type
+// (this is how the real serve/service_harness.cc store_ case is caught).
+#include "fixture_store.h"
+
+namespace ftoa {
+
+long SumLive(const FixtureStore& store) {
+  long total = 0;
+  for (const auto& kv : store.live_) {  // lint-expect: no-unordered-iteration
+    total += kv.first;
+  }
+  return total;
+}
+
+}  // namespace ftoa

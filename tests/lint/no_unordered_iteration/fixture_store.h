@@ -1,0 +1,21 @@
+// lint-fixture: path=src/sim/fixture_store.h
+// Clean on its own: declaring an unordered member is fine; iterating it
+// (see bad_cross_file.cc, which includes this header) is not.
+#ifndef FTOA_SIM_FIXTURE_STORE_H_
+#define FTOA_SIM_FIXTURE_STORE_H_
+
+#include <unordered_map>
+
+namespace ftoa {
+
+struct FixtureStore {
+  std::unordered_map<long, int> live_;
+  int Lookup(long id) const {
+    auto it = live_.find(id);
+    return it == live_.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace ftoa
+
+#endif  // FTOA_SIM_FIXTURE_STORE_H_

@@ -1,0 +1,25 @@
+// lint-fixture: path=src/core/fixture_good.cc
+// Lookups into unordered containers and iteration over ordered ones are
+// both fine; so is iterating a sorted snapshot of the keys.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace ftoa {
+
+int Fine(const std::unordered_map<int, int>& counts,
+         const std::map<int, int>& ordered) {
+  int total = 0;
+  auto it = counts.find(3);
+  if (it != counts.end()) total += it->second;
+  for (const auto& kv : ordered) total += kv.second;
+  std::vector<int> keys;
+  keys.reserve(counts.size());
+  total += static_cast<int>(counts.count(7));
+  std::sort(keys.begin(), keys.end());
+  for (int k : keys) total += k;
+  return total;
+}
+
+}  // namespace ftoa

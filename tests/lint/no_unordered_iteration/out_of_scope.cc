@@ -1,0 +1,14 @@
+// lint-fixture: path=src/prediction/fixture_scope.cc
+// src/prediction is outside the determinism-contract paths: identical
+// code to bad.cc must stay quiet here.
+#include <unordered_map>
+
+namespace ftoa {
+
+int Sum(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  return total;
+}
+
+}  // namespace ftoa

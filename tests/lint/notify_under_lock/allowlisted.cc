@@ -1,0 +1,22 @@
+// lint-fixture: path=src/util/fixture_allow.cc
+#include <condition_variable>
+#include <mutex>
+
+namespace ftoa {
+
+struct Chan {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+
+  void Signal() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ready = true;
+    }
+    // ftoa-lint: ok(notify-under-lock): cv outlives all signalers by contract; unlocked notify avoids wakeup contention
+    cv.notify_all();
+  }
+};
+
+}  // namespace ftoa

@@ -1,0 +1,35 @@
+// lint-fixture: path=src/util/fixture_bad.cc
+// The three unlocked-notify shapes: after the guard's scope closed (the
+// exact PR 6 TSan bug), with no lock at all, and after an explicit
+// unlock().
+#include <condition_variable>
+#include <mutex>
+
+namespace ftoa {
+
+struct Chan {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+
+  void SignalAfterScope() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ready = true;
+    }
+    cv.notify_all();  // lint-expect: notify-under-lock
+  }
+
+  void SignalNoLock() {
+    cv.notify_one();  // lint-expect: notify-under-lock
+  }
+
+  void SignalAfterUnlock() {
+    std::unique_lock<std::mutex> lk(mu);
+    ready = true;
+    lk.unlock();
+    cv.notify_one();  // lint-expect: notify-under-lock
+  }
+};
+
+}  // namespace ftoa

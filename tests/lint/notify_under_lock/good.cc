@@ -1,0 +1,29 @@
+// lint-fixture: path=src/util/fixture_good.cc
+// Notifies lexically inside the guarding lock's scope, including from a
+// nested block and under a unique_lock that was never unlocked.
+#include <condition_variable>
+#include <mutex>
+
+namespace ftoa {
+
+struct Chan {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+
+  void Signal() {
+    std::lock_guard<std::mutex> lock(mu);
+    ready = true;
+    cv.notify_all();
+  }
+
+  void SignalNested(bool flag) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (flag) {
+      ready = true;
+      cv.notify_one();
+    }
+  }
+};
+
+}  // namespace ftoa

@@ -1,0 +1,12 @@
+// lint-fixture: path=src/serve/fixture_allow.cc
+#include <random>
+
+namespace ftoa {
+
+unsigned HardwareSeed() {
+  // ftoa-lint: ok(seeded-rng-only): operator-requested nondeterministic seed, logged so the run can be replayed
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace ftoa

@@ -1,0 +1,22 @@
+// lint-fixture: path=src/core/fixture_bad.cc
+// Every banned randomness / wall-clock source the check must catch.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace ftoa {
+
+unsigned Entropy() {
+  std::random_device rd;  // lint-expect: seeded-rng-only
+  unsigned x = rd();
+  x += static_cast<unsigned>(rand());  // lint-expect: seeded-rng-only
+  std::mt19937 gen(x);  // lint-expect: seeded-rng-only
+  x += static_cast<unsigned>(gen());
+  x += static_cast<unsigned>(std::time(nullptr));  // lint-expect: seeded-rng-only
+  auto t = std::chrono::steady_clock::now();  // lint-expect: seeded-rng-only
+  (void)t;
+  return x;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,11 @@
+// lint-fixture: path=src/util/fixture_exempt.cc
+// src/util is the sanctioned wrapper layer: clocks are allowed here.
+#include <chrono>
+
+namespace ftoa {
+
+long NowNs() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace ftoa

@@ -1,0 +1,16 @@
+// lint-fixture: path=src/core/fixture_good.cc
+// The sanctioned route: explicit seeds through util/rng, timing through
+// util/stopwatch. Identifiers that merely contain banned substrings
+// (operand, brand) must not trip the word-boundary matchers.
+namespace ftoa {
+
+class Rng;
+
+double Draw(Rng& rng, double operand);
+
+double Sample(Rng& rng) {
+  double brand = 1.0;
+  return Draw(rng, brand);
+}
+
+}  // namespace ftoa

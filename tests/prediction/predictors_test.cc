@@ -188,6 +188,28 @@ TEST(GbrtModelTest, RejectsDegenerateInputs) {
   EXPECT_FALSE(model.Train({1.0, 2.0}, 1, {1.0}).ok());  // Size mismatch.
 }
 
+TEST(GbrtModelTest, TrainingCellStrideSurvivesCityScaleRowCounts) {
+  // Regression for a -Wconversion finding that was a real latent bug: the
+  // stride was computed in int64 but stored in int, so a city-scale
+  // full_rows (> max_rows * INT_MAX) truncated — potentially to a
+  // *negative* stride, and `cell += stride` in Fit's assembly scan would
+  // never terminate. The stride is now computed, clamped, and carried in
+  // 64-bit.
+  const int64_t huge_rows = 3000000000LL * 200000;  // raw stride = 3e9.
+  const int64_t stride = TrainingCellStride(huge_rows, 200000, 1000000);
+  EXPECT_GT(stride, 0);
+  EXPECT_EQ(stride, 1000000);  // Clamped to num_cells: one cell per slot.
+
+  // The pre-fix behavior, reproduced arithmetically: the same stride
+  // narrowed to int is negative — the loop increment that used to hang.
+  EXPECT_LT(static_cast<int32_t>(huge_rows / 200000), 0);
+
+  // Ordinary scales keep their exact historical stride.
+  EXPECT_EQ(TrainingCellStride(100, 200000, 50), 1);
+  EXPECT_EQ(TrainingCellStride(400000, 200000, 50), 2);
+  EXPECT_EQ(TrainingCellStride(0, 0, 0), 1);  // Degenerate floors.
+}
+
 TEST(GbrtPredictorTest, BeatsHistoricalAverageWithWeatherSignal) {
   // Rain multiplies demand: HA (which ignores weather) must do worse than
   // GBRT (which sees precipitation as a feature) on the rainy test days.

@@ -135,9 +135,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{6, 800, 1.5, 16, 12},
                       SweepCase{7, 200, 2.5, 6, 4},
                       SweepCase{8, 1000, 2.0, 20, 16}),
-    [](const ::testing::TestParamInfo<SweepCase>& info) {
-      return "seed" + std::to_string(info.param.seed) + "_n" +
-             std::to_string(info.param.objects);
+    [](const ::testing::TestParamInfo<SweepCase>& tpi) {
+      return "seed" + std::to_string(tpi.param.seed) + "_n" +
+             std::to_string(tpi.param.objects);
     });
 
 }  // namespace

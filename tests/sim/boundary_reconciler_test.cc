@@ -204,8 +204,8 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, BoundaryReconcilerTest,
                          ::testing::Values("simple-greedy", "gr", "tgoa",
                                            "polar", "polar-op", "polar-op-g",
                                            "opt"),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& tpi) {
+                           std::string name = tpi.param;
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

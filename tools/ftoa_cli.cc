@@ -5,8 +5,8 @@
 //   ftoa generate city --city=beijing --day=20 --scale=0.1 --out=day.csv
 //   ftoa run --instance=day.csv --algorithm=polar-op [--strict] [--stream]
 //   ftoa run --instance=day.csv --algorithm=polar-op --shards=4
-//   ftoa serve --city=beijing --scale=0.05 --windows=36 \
-//        --faults=flash@8-9:factor=4 --slo-p99-ms=5
+//   ftoa serve --city=beijing --scale=0.05 --windows=36
+//        ... --faults=flash@8-9:factor=4 --slo-p99-ms=5
 //   ftoa algos
 //   ftoa inspect --instance=day.csv
 //

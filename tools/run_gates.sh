@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The documented pre-PR gate: every standing check, in dependency order,
+# fail-fast. This is the one command to run before pushing:
+#
+#   format-check   -> tools/run_format.sh --check        (.clang-format)
+#   static analysis-> tools/run_static_analysis.sh       (clang-tidy when
+#                     installed + ftoa-lint selftest + tree; always gates)
+#   build          -> warnings-as-errors (-DFTOA_WERROR=ON) in a dedicated
+#                     tree so the default build dir keeps its cache
+#   ctest          -> the full suite (unit + property + stress + soak
+#                     smoke + lint labels)
+#
+# The sanitizer gate (tools/run_sanitizers.sh: ASan/UBSan + TSan) is not
+# chained here because it rebuilds two more trees; run it separately for
+# concurrency-touching changes.
+#
+# Usage: tools/run_gates.sh [gate-build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-gate}"
+
+echo "==== gate 1/4: format check"
+"$ROOT/tools/run_format.sh" --check
+
+echo "==== gate 2/4: static analysis (clang-tidy + ftoa-lint)"
+"$ROOT/tools/run_static_analysis.sh" "$BUILD"
+
+echo "==== gate 3/4: build, warnings as errors"
+cmake -B "$BUILD" -S "$ROOT" -DFTOA_WERROR=ON >/dev/null
+cmake --build "$BUILD" -j "$(nproc)"
+
+echo "==== gate 4/4: ctest"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo "all gates passed"
