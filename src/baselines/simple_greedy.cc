@@ -3,62 +3,79 @@
 #include <limits>
 #include <vector>
 
-#include "spatial/grid_index.h"
+#include "retrieval/waiting_pool.h"
 
 namespace ftoa {
 
 namespace {
 
-/// Indexed variant: candidate search via grid-index ring expansion.
-class IndexedGreedySession final : public AssignmentSessionBase {
+/// Pool-backed variant: candidate search through a waiting-pool backend
+/// (GridWaitingPool = historical grid-index ring expansion;
+/// EngineWaitingPool = the shared retrieval engine with deadline/window
+/// pruning and per-query stats). Nearest answers are canonical
+/// (distance, id) under both backends, so the assignment is bit-identical
+/// to the linear reference either way.
+template <typename Pool>
+class PooledGreedySession final : public AssignmentSessionBase {
  public:
-  IndexedGreedySession(const Instance& instance, SimpleGreedyOptions options)
+  PooledGreedySession(const Instance& instance, SimpleGreedyOptions options)
       : AssignmentSessionBase(instance),
         options_(options),
-        waiting_workers_(instance.spacetime().grid()),
-        waiting_tasks_(instance.spacetime().grid()),
+        waiting_workers_(instance.spacetime().grid(), &trace_.retrieval),
+        waiting_tasks_(instance.spacetime().grid(), &trace_.retrieval),
         max_radius_(MaxFeasibleDistance(instance.MaxTaskDuration(),
                                         instance.MaxWorkerDuration(),
-                                        instance.velocity())) {}
+                                        instance.velocity())),
+        max_task_duration_(instance.MaxTaskDuration()),
+        max_worker_duration_(instance.MaxWorkerDuration()) {}
 
   void OnWorker(WorkerId worker, double time) override {
     const double velocity = instance().velocity();
     const Worker& w = instance().worker(worker);
-    const IndexedPoint hit = waiting_tasks_.FindNearest(
-        w.location, max_radius_, [&](const IndexedPoint& entry, double) {
-          const Task& r = instance().task(static_cast<TaskId>(entry.id));
+    // Feasible tasks must have started within MaxTaskDuration of now
+    // (their deadline constraint cannot reach further back); a superset
+    // window — CanServe stays the authority.
+    const int64_t hit = waiting_tasks_.Nearest(
+        w.location, max_radius_, time,
+        StartWindow{time - max_task_duration_, time},
+        [&](int64_t id, double) {
+          const Task& r = instance().task(static_cast<TaskId>(id));
           return CanServe(w, r, velocity, options_.policy);
         });
-    if (hit.id >= 0) {
-      assignment_.Add(w.id, static_cast<TaskId>(hit.id), time);
-      waiting_tasks_.Erase(hit.id);
+    if (hit >= 0) {
+      assignment_.Add(w.id, static_cast<TaskId>(hit), time);
+      waiting_tasks_.Erase(hit);
     } else {
-      waiting_workers_.Insert(w.id, w.location);
+      waiting_workers_.Insert(w.id, w.location, w.start, w.Deadline());
     }
   }
 
   void OnTask(TaskId task, double time) override {
     const double velocity = instance().velocity();
     const Task& r = instance().task(task);
-    const IndexedPoint hit = waiting_workers_.FindNearest(
-        r.location, max_radius_, [&](const IndexedPoint& entry, double) {
-          const Worker& w =
-              instance().worker(static_cast<WorkerId>(entry.id));
+    // Sr < Sw + Dw forces Sw > Sr - Dw >= Sr - MaxWorkerDuration.
+    const int64_t hit = waiting_workers_.Nearest(
+        r.location, max_radius_, time,
+        StartWindow{time - max_worker_duration_, time},
+        [&](int64_t id, double) {
+          const Worker& w = instance().worker(static_cast<WorkerId>(id));
           return CanServe(w, r, velocity, options_.policy);
         });
-    if (hit.id >= 0) {
-      assignment_.Add(static_cast<WorkerId>(hit.id), r.id, time);
-      waiting_workers_.Erase(hit.id);
+    if (hit >= 0) {
+      assignment_.Add(static_cast<WorkerId>(hit), r.id, time);
+      waiting_workers_.Erase(hit);
     } else {
-      waiting_tasks_.Insert(r.id, r.location);
+      waiting_tasks_.Insert(r.id, r.location, r.start, r.Deadline());
     }
   }
 
  private:
   SimpleGreedyOptions options_;
-  GridIndex waiting_workers_;
-  GridIndex waiting_tasks_;
+  Pool waiting_workers_;
+  Pool waiting_tasks_;
   double max_radius_;
+  double max_task_duration_;
+  double max_worker_duration_;
 };
 
 /// Faithful variant: linear scan over all waiting counterparts. Expired or
@@ -147,8 +164,13 @@ SimpleGreedy::SimpleGreedy(SimpleGreedyOptions options) : options_(options) {}
 
 std::unique_ptr<AssignmentSession> SimpleGreedy::StartSession(
     const Instance& instance) {
+  if (options_.retrieval == RetrievalMode::kEngine) {
+    return std::make_unique<PooledGreedySession<EngineWaitingPool>>(
+        instance, options_);
+  }
   if (options_.use_spatial_index) {
-    return std::make_unique<IndexedGreedySession>(instance, options_);
+    return std::make_unique<PooledGreedySession<GridWaitingPool>>(instance,
+                                                                  options_);
   }
   return std::make_unique<LinearGreedySession>(instance, options_);
 }

@@ -14,6 +14,7 @@
 #define FTOA_BASELINES_SIMPLE_GREEDY_H_
 
 #include "core/online_algorithm.h"
+#include "retrieval/mode.h"
 
 namespace ftoa {
 
@@ -23,6 +24,13 @@ struct SimpleGreedyOptions {
   /// instead of the paper's linear scan. Output is identical; only the
   /// running time differs.
   bool use_spatial_index = false;
+
+  /// kEngine routes candidate search through the shared retrieval engine
+  /// (retrieval/candidate_engine.h: deadline/time-window pruning plus
+  /// per-query stats in the RunTrace), overriding use_spatial_index.
+  /// Output is identical across all three paths — only running time and
+  /// instrumentation differ.
+  RetrievalMode retrieval = RetrievalMode::kLinear;
 
   /// Pair feasibility. The default models wait-in-place literally (workers
   /// start moving only when assigned); kDispatchAtWorkerStart applies
@@ -37,6 +45,9 @@ class SimpleGreedy : public OnlineAlgorithm {
   explicit SimpleGreedy(SimpleGreedyOptions options = {});
 
   std::string name() const override {
+    if (options_.retrieval == RetrievalMode::kEngine) {
+      return "SimpleGreedy-Eng";
+    }
     return options_.use_spatial_index ? "SimpleGreedy-Idx" : "SimpleGreedy";
   }
   FeasibilityPolicy feasibility_policy() const override {

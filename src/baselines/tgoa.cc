@@ -1,43 +1,28 @@
 #include "baselines/tgoa.h"
 
+#include <algorithm>
 #include <limits>
 #include <unordered_map>
 #include <vector>
 
 #include "flow/dynamic_matching.h"
 #include "flow/hopcroft_karp.h"
-#include "spatial/grid_index.h"
+#include "retrieval/waiting_pool.h"
 
 namespace ftoa {
 
 namespace {
 
-/// Erases every index entry whose deadline (per `deadline_of`) precedes
-/// `now`, reporting each removed id through `on_erase`. One whole-region
-/// disk query stands in for "iterate everything"; `scratch` is reused
-/// across sweeps to avoid per-sweep allocations.
-template <typename DeadlineFn, typename OnEraseFn>
-void SweepExpired(GridIndex& index, const GridSpec& grid, double now,
-                  DeadlineFn&& deadline_of, OnEraseFn&& on_erase,
-                  std::vector<int64_t>& scratch) {
-  scratch.clear();
-  index.ForEachInDisk({grid.width() / 2, grid.height() / 2},
-                      std::numeric_limits<double>::max(),
-                      [&](const IndexedPoint& entry, double) {
-                        if (deadline_of(entry.id) < now) {
-                          scratch.push_back(entry.id);
-                        }
-                      });
-  for (const int64_t id : scratch) {
-    index.Erase(id);
-    on_erase(id);
-  }
-}
-
 /// Shared per-run state of both TGOA modes: the greedy-phase split (fixed
 /// by the instance's total object count — the arrival stream is exactly
-/// every object once), the waiting-pool indexes, and the event counter that
-/// paces the lazy expiry sweeps.
+/// every object once), the waiting-pool backends, and the event counter
+/// that paces the lazy expiry sweeps.
+///
+/// Everything order-sensitive is canonicalized (candidate ids sorted
+/// before matcher edges are added, expiry sweeps erase in id order), so
+/// the run is bit-identical across waiting-pool backends — the
+/// engine-vs-reference contract of tests/retrieval/retrieval_mode_test.cc.
+template <typename Pool>
 class TgoaSessionBase : public AssignmentSessionBase {
  public:
   TgoaSessionBase(const Instance& instance, const TgoaOptions& options)
@@ -47,11 +32,13 @@ class TgoaSessionBase : public AssignmentSessionBase {
             static_cast<double>(instance.num_workers() +
                                 instance.num_tasks()) *
             options.greedy_fraction)),
-        waiting_workers_(instance.spacetime().grid()),
-        waiting_tasks_(instance.spacetime().grid()),
+        waiting_workers_(instance.spacetime().grid(), &trace_.retrieval),
+        waiting_tasks_(instance.spacetime().grid(), &trace_.retrieval),
         max_radius_(MaxFeasibleDistance(instance.MaxTaskDuration(),
                                         instance.MaxWorkerDuration(),
-                                        instance.velocity())) {}
+                                        instance.velocity())),
+        max_task_duration_(instance.MaxTaskDuration()),
+        max_worker_duration_(instance.MaxWorkerDuration()) {}
 
  protected:
   bool GreedyFeasible(const Worker& w, const Task& r) const {
@@ -59,24 +46,35 @@ class TgoaSessionBase : public AssignmentSessionBase {
   }
   bool InGreedyPhase() const { return event_index_ < greedy_phase_; }
 
+  /// Superset arrival-time window of any task feasible for a query at
+  /// `time` (CanServe stays the authority; see simple_greedy.cc).
+  StartWindow TaskWindow(double time) const {
+    return StartWindow{time - max_task_duration_, time};
+  }
+  StartWindow WorkerWindow(double time) const {
+    return StartWindow{time - max_worker_duration_, time};
+  }
+
   /// Call after each arrival: runs the periodic lazy expiry that keeps the
-  /// indexes (and the matching pools) small, then advances the counter.
+  /// pools (and the matching pools) small, then advances the counter.
+  /// Expired ids are erased in ascending id order — canonical across
+  /// backends.
   template <typename OnWorkerGone, typename OnTaskGone>
   void FinishEvent(double now, OnWorkerGone&& worker_gone,
                    OnTaskGone&& task_gone) {
     if ((event_index_ & 1023u) == 0u) {
       SweepExpired(
-          waiting_workers_, instance().spacetime().grid(), now,
+          waiting_workers_, now,
           [&](int64_t id) {
             return instance().worker(static_cast<WorkerId>(id)).Deadline();
           },
-          worker_gone, expiry_scratch_);
+          worker_gone);
       SweepExpired(
-          waiting_tasks_, instance().spacetime().grid(), now,
+          waiting_tasks_, now,
           [&](int64_t id) {
             return instance().task(static_cast<TaskId>(id)).Deadline();
           },
-          task_gone, expiry_scratch_);
+          task_gone);
     }
     ++event_index_;
   }
@@ -84,10 +82,27 @@ class TgoaSessionBase : public AssignmentSessionBase {
   TgoaOptions options_;
   size_t greedy_phase_;
   size_t event_index_ = 0;
-  GridIndex waiting_workers_;
-  GridIndex waiting_tasks_;
+  Pool waiting_workers_;
+  Pool waiting_tasks_;
   double max_radius_;
-  std::vector<int64_t> expiry_scratch_;
+  double max_task_duration_;
+  double max_worker_duration_;
+  std::vector<int64_t> scratch_ids_;
+
+ private:
+  template <typename DeadlineFn, typename OnEraseFn>
+  void SweepExpired(Pool& pool, double now, DeadlineFn&& deadline_of,
+                    OnEraseFn&& on_erase) {
+    scratch_ids_.clear();
+    pool.ForEachId([&](int64_t id) {
+      if (deadline_of(id) < now) scratch_ids_.push_back(id);
+    });
+    std::sort(scratch_ids_.begin(), scratch_ids_.end());
+    for (const int64_t id : scratch_ids_) {
+      pool.Erase(id);
+      on_erase(id);
+    }
+  }
 };
 
 // Incremental mode: one DynamicBipartiteMatcher holds a maximum matching
@@ -99,10 +114,20 @@ class TgoaSessionBase : public AssignmentSessionBase {
 // maximum matching of the revealed pool?" answered without rebuilding
 // anything. Committed pairs and expired objects are deactivated in place,
 // with the one-path repair restoring maximality.
-class TgoaIncrementalSession final : public TgoaSessionBase {
+template <typename Pool>
+class TgoaIncrementalSession final : public TgoaSessionBase<Pool> {
+  using Base = TgoaSessionBase<Pool>;
+  using Base::assignment_;
+  using Base::instance;
+  using Base::max_radius_;
+  using Base::scratch_ids_;
+  using Base::trace_;
+  using Base::waiting_tasks_;
+  using Base::waiting_workers_;
+
  public:
   TgoaIncrementalSession(const Instance& instance, const TgoaOptions& options)
-      : TgoaSessionBase(instance, options),
+      : Base(instance, options),
         worker_slot_(static_cast<size_t>(instance.num_workers()), -1),
         task_slot_(static_cast<size_t>(instance.num_tasks()), -1) {
     matcher_.ReserveNodes(static_cast<size_t>(instance.num_workers()),
@@ -117,19 +142,20 @@ class TgoaIncrementalSession final : public TgoaSessionBase {
 
   void OnWorker(WorkerId worker, double time) override {
     const Worker& w = instance().worker(worker);
-    if (InGreedyPhase()) {
-      const IndexedPoint hit = waiting_tasks_.FindNearest(
-          w.location, max_radius_, [&](const IndexedPoint& entry, double) {
-            const Task& r = instance().task(static_cast<TaskId>(entry.id));
-            return GreedyFeasible(w, r) && r.Deadline() >= time;
+    if (this->InGreedyPhase()) {
+      const int64_t hit = waiting_tasks_.Nearest(
+          w.location, max_radius_, time, this->TaskWindow(time),
+          [&](int64_t id, double) {
+            const Task& r = instance().task(static_cast<TaskId>(id));
+            return this->GreedyFeasible(w, r) && r.Deadline() >= time;
           });
-      if (hit.id >= 0) {
-        assignment_.Add(w.id, static_cast<TaskId>(hit.id), time);
-        waiting_tasks_.Erase(hit.id);
-        matcher_.RemoveRight(task_slot_[static_cast<size_t>(hit.id)]);
+      if (hit >= 0) {
+        assignment_.Add(w.id, static_cast<TaskId>(hit), time);
+        waiting_tasks_.Erase(hit);
+        matcher_.RemoveRight(task_slot_[static_cast<size_t>(hit)]);
       } else {
         EnterWorker(w);
-        waiting_workers_.Insert(w.id, w.location);
+        waiting_workers_.Insert(w.id, w.location, w.start, w.Deadline());
       }
     } else {
       const int32_t lslot = EnterWorker(w);
@@ -140,7 +166,7 @@ class TgoaIncrementalSession final : public TgoaSessionBase {
         matcher_.RemovePair(lslot, rslot);
         waiting_tasks_.Erase(partner);
       } else {
-        waiting_workers_.Insert(w.id, w.location);
+        waiting_workers_.Insert(w.id, w.location, w.start, w.Deadline());
       }
     }
     SweepAndCount(time);
@@ -148,20 +174,20 @@ class TgoaIncrementalSession final : public TgoaSessionBase {
 
   void OnTask(TaskId task, double time) override {
     const Task& r = instance().task(task);
-    if (InGreedyPhase()) {
-      const IndexedPoint hit = waiting_workers_.FindNearest(
-          r.location, max_radius_, [&](const IndexedPoint& entry, double) {
-            const Worker& w =
-                instance().worker(static_cast<WorkerId>(entry.id));
-            return GreedyFeasible(w, r) && w.Deadline() >= time;
+    if (this->InGreedyPhase()) {
+      const int64_t hit = waiting_workers_.Nearest(
+          r.location, max_radius_, time, this->WorkerWindow(time),
+          [&](int64_t id, double) {
+            const Worker& w = instance().worker(static_cast<WorkerId>(id));
+            return this->GreedyFeasible(w, r) && w.Deadline() >= time;
           });
-      if (hit.id >= 0) {
-        assignment_.Add(static_cast<WorkerId>(hit.id), r.id, time);
-        waiting_workers_.Erase(hit.id);
-        matcher_.RemoveLeft(worker_slot_[static_cast<size_t>(hit.id)]);
+      if (hit >= 0) {
+        assignment_.Add(static_cast<WorkerId>(hit), r.id, time);
+        waiting_workers_.Erase(hit);
+        matcher_.RemoveLeft(worker_slot_[static_cast<size_t>(hit)]);
       } else {
         EnterTask(r);
-        waiting_tasks_.Insert(r.id, r.location);
+        waiting_tasks_.Insert(r.id, r.location, r.start, r.Deadline());
       }
     } else {
       const int32_t rslot = EnterTask(r);
@@ -172,7 +198,7 @@ class TgoaIncrementalSession final : public TgoaSessionBase {
         matcher_.RemovePair(lslot, rslot);
         waiting_workers_.Erase(partner);
       } else {
-        waiting_tasks_.Insert(r.id, r.location);
+        waiting_tasks_.Insert(r.id, r.location, r.start, r.Deadline());
       }
     }
     SweepAndCount(time);
@@ -190,36 +216,45 @@ class TgoaIncrementalSession final : public TgoaSessionBase {
  private:
   /// Joins the waiting pool: node slot plus candidate edges against the
   /// opposite waiting side (computed once; feasibility never changes).
+  /// Edges are added in ascending counterpart id — a canonical order,
+  /// independent of the pool backend's enumeration.
   int32_t EnterWorker(const Worker& w) {
     const int32_t lslot = matcher_.AddLeft();
     worker_slot_[static_cast<size_t>(w.id)] = lslot;
     slot_worker_.push_back(w.id);
+    scratch_ids_.clear();
     waiting_tasks_.ForEachInDisk(
-        w.location, max_radius_, [&](const IndexedPoint& entry, double) {
-          const Task& r = instance().task(static_cast<TaskId>(entry.id));
-          if (GreedyFeasible(w, r)) {
-            matcher_.AddEdge(lslot, task_slot_[static_cast<size_t>(r.id)]);
-          }
+        w.location, max_radius_, w.start, this->TaskWindow(w.start),
+        [&](int64_t id, double) {
+          const Task& r = instance().task(static_cast<TaskId>(id));
+          if (this->GreedyFeasible(w, r)) scratch_ids_.push_back(id);
         });
+    std::sort(scratch_ids_.begin(), scratch_ids_.end());
+    for (const int64_t id : scratch_ids_) {
+      matcher_.AddEdge(lslot, task_slot_[static_cast<size_t>(id)]);
+    }
     return lslot;
   }
   int32_t EnterTask(const Task& r) {
     const int32_t rslot = matcher_.AddRight();
     task_slot_[static_cast<size_t>(r.id)] = rslot;
     slot_task_.push_back(r.id);
+    scratch_ids_.clear();
     waiting_workers_.ForEachInDisk(
-        r.location, max_radius_, [&](const IndexedPoint& entry, double) {
-          const Worker& w =
-              instance().worker(static_cast<WorkerId>(entry.id));
-          if (GreedyFeasible(w, r)) {
-            matcher_.AddEdge(worker_slot_[static_cast<size_t>(w.id)], rslot);
-          }
+        r.location, max_radius_, r.start, this->WorkerWindow(r.start),
+        [&](int64_t id, double) {
+          const Worker& w = instance().worker(static_cast<WorkerId>(id));
+          if (this->GreedyFeasible(w, r)) scratch_ids_.push_back(id);
         });
+    std::sort(scratch_ids_.begin(), scratch_ids_.end());
+    for (const int64_t id : scratch_ids_) {
+      matcher_.AddEdge(worker_slot_[static_cast<size_t>(id)], rslot);
+    }
     return rslot;
   }
 
   void SweepAndCount(double now) {
-    FinishEvent(
+    this->FinishEvent(
         now,
         [&](int64_t id) {
           matcher_.RemoveLeft(worker_slot_[static_cast<size_t>(id)]);
@@ -243,20 +278,30 @@ class TgoaIncrementalSession final : public TgoaSessionBase {
 // O(E sqrt(V))-per-arrival scalability weakness of [26] that POLAR's O(1)
 // removes. Kept for the incremental-equivalence tests and as the baseline
 // leg of the flow microbenches.
-class TgoaRebuildSession final : public TgoaSessionBase {
+template <typename Pool>
+class TgoaRebuildSession final : public TgoaSessionBase<Pool> {
+  using Base = TgoaSessionBase<Pool>;
+  using Base::assignment_;
+  using Base::instance;
+  using Base::max_radius_;
+  using Base::trace_;
+  using Base::waiting_tasks_;
+  using Base::waiting_workers_;
+
  public:
-  using TgoaSessionBase::TgoaSessionBase;
+  using Base::Base;
 
   void OnWorker(WorkerId worker, double time) override {
     const Worker& w = instance().worker(worker);
     TaskId partner = -1;
-    if (InGreedyPhase()) {
-      const IndexedPoint hit = waiting_tasks_.FindNearest(
-          w.location, max_radius_, [&](const IndexedPoint& entry, double) {
-            const Task& r = instance().task(static_cast<TaskId>(entry.id));
-            return GreedyFeasible(w, r) && r.Deadline() >= time;
+    if (this->InGreedyPhase()) {
+      const int64_t hit = waiting_tasks_.Nearest(
+          w.location, max_radius_, time, this->TaskWindow(time),
+          [&](int64_t id, double) {
+            const Task& r = instance().task(static_cast<TaskId>(id));
+            return this->GreedyFeasible(w, r) && r.Deadline() >= time;
           });
-      partner = hit.id >= 0 ? static_cast<TaskId>(hit.id) : -1;
+      partner = hit >= 0 ? static_cast<TaskId>(hit) : -1;
     } else {
       partner = OptimalPartnerForWorker(w);
     }
@@ -264,22 +309,22 @@ class TgoaRebuildSession final : public TgoaSessionBase {
       assignment_.Add(w.id, partner, time);
       waiting_tasks_.Erase(partner);
     } else {
-      waiting_workers_.Insert(w.id, w.location);
+      waiting_workers_.Insert(w.id, w.location, w.start, w.Deadline());
     }
-    FinishEvent(time, [](int64_t) {}, [](int64_t) {});
+    this->FinishEvent(time, [](int64_t) {}, [](int64_t) {});
   }
 
   void OnTask(TaskId task, double time) override {
     const Task& r = instance().task(task);
     WorkerId partner = -1;
-    if (InGreedyPhase()) {
-      const IndexedPoint hit = waiting_workers_.FindNearest(
-          r.location, max_radius_, [&](const IndexedPoint& entry, double) {
-            const Worker& w =
-                instance().worker(static_cast<WorkerId>(entry.id));
-            return GreedyFeasible(w, r) && w.Deadline() >= time;
+    if (this->InGreedyPhase()) {
+      const int64_t hit = waiting_workers_.Nearest(
+          r.location, max_radius_, time, this->WorkerWindow(time),
+          [&](int64_t id, double) {
+            const Worker& w = instance().worker(static_cast<WorkerId>(id));
+            return this->GreedyFeasible(w, r) && w.Deadline() >= time;
           });
-      partner = hit.id >= 0 ? static_cast<WorkerId>(hit.id) : -1;
+      partner = hit >= 0 ? static_cast<WorkerId>(hit) : -1;
     } else {
       partner = OptimalPartnerForTask(r);
     }
@@ -287,22 +332,38 @@ class TgoaRebuildSession final : public TgoaSessionBase {
       assignment_.Add(partner, r.id, time);
       waiting_workers_.Erase(partner);
     } else {
-      waiting_tasks_.Insert(r.id, r.location);
+      waiting_tasks_.Insert(r.id, r.location, r.start, r.Deadline());
     }
-    FinishEvent(time, [](int64_t) {}, [](int64_t) {});
+    this->FinishEvent(time, [](int64_t) {}, [](int64_t) {});
   }
 
  private:
+  /// Feasible counterpart ids of `origin` in the given pool, ascending —
+  /// the canonical edge enumeration shared by both pool backends.
+  template <typename OtherPool, typename FeasibleFn>
+  std::vector<int64_t> SortedCandidates(OtherPool& pool, Point origin,
+                                        double query_time,
+                                        StartWindow window,
+                                        FeasibleFn&& feasible) {
+    std::vector<int64_t> ids;
+    pool.ForEachInDisk(origin, max_radius_, query_time, window,
+                       [&](int64_t id, double) {
+                         if (feasible(id)) ids.push_back(id);
+                       });
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
   // Optimal-matching guardrail for the second phase: the new object is
   // committed only when it is matched in a maximum matching of all
-  // currently waiting (unmatched, alive) objects plus itself.
+  // currently waiting (unmatched, alive) objects plus itself. All
+  // enumerations are id-sorted, so slot numbering — and hence the solved
+  // matching — is canonical across pool backends.
   TaskId OptimalPartnerForWorker(const Worker& w) {
-    // Collect alive waiting workers + the new one, and waiting tasks.
-    std::vector<WorkerId> left;
-    std::unordered_map<int64_t, int32_t> left_slot;
     std::vector<TaskId> right;
     std::unordered_map<int64_t, int32_t> right_slot;
     std::vector<std::pair<int32_t, int32_t>> edges;
+    int32_t num_left = 0;
 
     auto right_index = [&](TaskId id) {
       const auto it = right_slot.find(id);
@@ -314,31 +375,29 @@ class TgoaRebuildSession final : public TgoaSessionBase {
     };
     // Edges from every waiting worker (including w) to feasible tasks.
     auto add_worker = [&](const Worker& candidate) {
-      const int32_t lid = static_cast<int32_t>(left.size());
-      left.push_back(candidate.id);
-      left_slot[candidate.id] = lid;
-      waiting_tasks_.ForEachInDisk(
-          candidate.location, max_radius_,
-          [&](const IndexedPoint& entry, double) {
-            const Task& r = instance().task(static_cast<TaskId>(entry.id));
-            if (GreedyFeasible(candidate, r)) {
-              edges.emplace_back(lid, right_index(r.id));
-            }
-          });
+      const int32_t lid = num_left++;
+      for (const int64_t id : SortedCandidates(
+               waiting_tasks_, candidate.location, candidate.start,
+               this->TaskWindow(candidate.start), [&](int64_t task_id) {
+                 return this->GreedyFeasible(
+                     candidate,
+                     instance().task(static_cast<TaskId>(task_id)));
+               })) {
+        edges.emplace_back(lid, right_index(static_cast<TaskId>(id)));
+      }
     };
     add_worker(w);
-    std::vector<WorkerId> other_workers;
-    waiting_workers_.ForEachInDisk(
-        w.location, std::numeric_limits<double>::max(),
-        [&](const IndexedPoint& entry, double) {
-          other_workers.push_back(static_cast<WorkerId>(entry.id));
-        });
-    for (WorkerId id : other_workers) add_worker(instance().worker(id));
+    std::vector<int64_t> other_workers;
+    waiting_workers_.ForEachId(
+        [&](int64_t id) { other_workers.push_back(id); });
+    std::sort(other_workers.begin(), other_workers.end());
+    for (const int64_t id : other_workers) {
+      add_worker(instance().worker(static_cast<WorkerId>(id)));
+    }
 
     if (edges.empty()) return -1;
     ++trace_.matcher_rebuilds;
-    HopcroftKarp matcher(static_cast<int32_t>(left.size()),
-                         static_cast<int32_t>(right.size()));
+    HopcroftKarp matcher(num_left, static_cast<int32_t>(right.size()));
     matcher.ReserveEdges(edges.size());
     for (const auto& [l, r] : edges) matcher.AddEdge(l, r);
     matcher.Solve();
@@ -347,10 +406,11 @@ class TgoaRebuildSession final : public TgoaSessionBase {
   }
 
   WorkerId OptimalPartnerForTask(const Task& r) {
-    std::vector<TaskId> left;
     std::vector<WorkerId> right;
     std::unordered_map<int64_t, int32_t> right_slot;
     std::vector<std::pair<int32_t, int32_t>> edges;
+    int32_t num_left = 0;
+
     auto right_index = [&](WorkerId id) {
       const auto it = right_slot.find(id);
       if (it != right_slot.end()) return it->second;
@@ -360,33 +420,31 @@ class TgoaRebuildSession final : public TgoaSessionBase {
       return slot;
     };
     auto add_task = [&](const Task& candidate) {
-      const int32_t lid = static_cast<int32_t>(left.size());
-      left.push_back(candidate.id);
-      waiting_workers_.ForEachInDisk(
-          candidate.location, max_radius_,
-          [&](const IndexedPoint& entry, double) {
-            const Worker& w =
-                instance().worker(static_cast<WorkerId>(entry.id));
-            if (GreedyFeasible(w, candidate)) {
-              edges.emplace_back(lid, right_index(w.id));
-            }
-          });
+      const int32_t lid = num_left++;
+      for (const int64_t id : SortedCandidates(
+               waiting_workers_, candidate.location, candidate.start,
+               this->WorkerWindow(candidate.start), [&](int64_t worker_id) {
+                 return this->GreedyFeasible(
+                     instance().worker(static_cast<WorkerId>(worker_id)),
+                     candidate);
+               })) {
+        edges.emplace_back(lid, right_index(static_cast<WorkerId>(id)));
+      }
     };
     add_task(r);
-    std::vector<TaskId> other_tasks;
-    waiting_tasks_.ForEachInDisk(
-        r.location, std::numeric_limits<double>::max(),
-        [&](const IndexedPoint& entry, double) {
-          other_tasks.push_back(static_cast<TaskId>(entry.id));
-        });
-    for (TaskId id : other_tasks) add_task(instance().task(id));
+    std::vector<int64_t> other_tasks;
+    waiting_tasks_.ForEachId(
+        [&](int64_t id) { other_tasks.push_back(id); });
+    std::sort(other_tasks.begin(), other_tasks.end());
+    for (const int64_t id : other_tasks) {
+      add_task(instance().task(static_cast<TaskId>(id)));
+    }
 
     if (edges.empty()) return -1;
     ++trace_.matcher_rebuilds;
-    HopcroftKarp matcher(static_cast<int32_t>(left.size()),
-                         static_cast<int32_t>(right.size()));
+    HopcroftKarp matcher(num_left, static_cast<int32_t>(right.size()));
     matcher.ReserveEdges(edges.size());
-    for (const auto& [l, w] : edges) matcher.AddEdge(l, w);
+    for (const auto& [l, wkr] : edges) matcher.AddEdge(l, wkr);
     matcher.Solve();
     const int32_t partner = matcher.MatchOfLeft(0);
     return partner < 0 ? -1 : right[static_cast<size_t>(partner)];
@@ -400,9 +458,19 @@ Tgoa::Tgoa(TgoaOptions options) : options_(options) {}
 std::unique_ptr<AssignmentSession> Tgoa::StartSession(
     const Instance& instance) {
   if (options_.incremental_matching) {
-    return std::make_unique<TgoaIncrementalSession>(instance, options_);
+    if (options_.retrieval == RetrievalMode::kEngine) {
+      return std::make_unique<TgoaIncrementalSession<EngineWaitingPool>>(
+          instance, options_);
+    }
+    return std::make_unique<TgoaIncrementalSession<GridWaitingPool>>(
+        instance, options_);
   }
-  return std::make_unique<TgoaRebuildSession>(instance, options_);
+  if (options_.retrieval == RetrievalMode::kEngine) {
+    return std::make_unique<TgoaRebuildSession<EngineWaitingPool>>(instance,
+                                                                   options_);
+  }
+  return std::make_unique<TgoaRebuildSession<GridWaitingPool>>(instance,
+                                                               options_);
 }
 
 }  // namespace ftoa

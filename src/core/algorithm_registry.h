@@ -33,6 +33,12 @@ struct AlgorithmDeps {
   SimpleGreedyOptions simple_greedy_options;
   TgoaOptions tgoa_options;
   GrBatchOptions gr_options;
+
+  /// Master candidate-retrieval switch (the CLI's --retrieval flag). When
+  /// set to kEngine it overrides the per-algorithm option structs above for
+  /// every algorithm that scans candidates spatially (simple-greedy, tgoa,
+  /// polar-op-g); kLinear (the default) leaves the structs untouched.
+  RetrievalMode retrieval = RetrievalMode::kLinear;
 };
 
 /// Canonical names of all registered algorithms, in the paper's evaluation

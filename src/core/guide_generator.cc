@@ -11,6 +11,7 @@
 #include "flow/ford_fulkerson.h"
 #include "flow/min_cost_flow.h"
 #include "model/feasibility.h"
+#include "util/rng.h"
 
 namespace ftoa {
 
@@ -236,30 +237,54 @@ Result<OfflineGuide> GuideGenerator::GenerateCompressed(
   const SpacetimeSpec& st = prediction.spacetime();
   const int num_types = st.num_types();
 
-  // Dense type id -> compact network node id, assigned on first use.
-  std::vector<int32_t> worker_node_of_type(static_cast<size_t>(num_types),
-                                           -1);
-  std::vector<int32_t> task_node_of_type(static_cast<size_t>(num_types), -1);
-  std::vector<TypeId> worker_types;
-  std::vector<TypeId> task_types;
+  // Feasible type pairs in the deterministic enumeration order, thinned by
+  // the approximate-mode Bernoulli sample *before* component decomposition
+  // — the sampled pair list is what defines the components, so the
+  // thread-count invariance of the solve below is untouched by sampling.
   struct TypePairEdge {
     TypeId worker_type;
     TypeId task_type;
   };
   std::vector<TypePairEdge> pairs;
-  ForEachFeasibleTypePair(prediction, [&](TypeId wt, TypeId tt) {
-    if (worker_node_of_type[static_cast<size_t>(wt)] < 0) {
-      worker_node_of_type[static_cast<size_t>(wt)] =
+  ApproxGuideReport report;
+  {
+    const double rate = options_.approx_sample_rate;
+    Rng sampler(options_.approx_seed);
+    ForEachFeasibleTypePair(prediction, [&](TypeId wt, TypeId tt) {
+      ++report.feasible_pairs;
+      if (rate < 1.0 && !sampler.NextBool(rate)) {
+        // A dropped pair can carry at most min(supply, demand) flow — the
+        // per-pair capacity of the exact network.
+        report.utility_loss_bound +=
+            std::min<int64_t>(prediction.workers_at(wt),
+                              prediction.tasks_at(tt));
+        return;
+      }
+      ++report.sampled_pairs;
+      pairs.push_back(TypePairEdge{wt, tt});
+    });
+  }
+  last_approx_report_ = report;
+
+  // Dense type id -> compact network node id, assigned on first use over
+  // the (sampled) pair list.
+  std::vector<int32_t> worker_node_of_type(static_cast<size_t>(num_types),
+                                           -1);
+  std::vector<int32_t> task_node_of_type(static_cast<size_t>(num_types), -1);
+  std::vector<TypeId> worker_types;
+  std::vector<TypeId> task_types;
+  for (const TypePairEdge& pair : pairs) {
+    if (worker_node_of_type[static_cast<size_t>(pair.worker_type)] < 0) {
+      worker_node_of_type[static_cast<size_t>(pair.worker_type)] =
           static_cast<int32_t>(worker_types.size());
-      worker_types.push_back(wt);
+      worker_types.push_back(pair.worker_type);
     }
-    if (task_node_of_type[static_cast<size_t>(tt)] < 0) {
-      task_node_of_type[static_cast<size_t>(tt)] =
+    if (task_node_of_type[static_cast<size_t>(pair.task_type)] < 0) {
+      task_node_of_type[static_cast<size_t>(pair.task_type)] =
           static_cast<int32_t>(task_types.size());
-      task_types.push_back(tt);
+      task_types.push_back(pair.task_type);
     }
-    pairs.push_back(TypePairEdge{wt, tt});
-  });
+  }
 
   const int32_t wcount = static_cast<int32_t>(worker_types.size());
   const int32_t tcount = static_cast<int32_t>(task_types.size());
@@ -518,16 +543,32 @@ Result<OfflineGuide> GuideGenerator::GenerateCompressed(
 
 Result<OfflineGuide> GuideGenerator::Generate(
     const PredictionMatrix& prediction) const {
+  const double rate = options_.approx_sample_rate;
+  if (!(rate > 0.0 && rate <= 1.0)) {
+    return Status::InvalidArgument(
+        "GuideOptions::approx_sample_rate must be in (0, 1]");
+  }
+  const bool approx = rate < 1.0;
   switch (options_.engine) {
     case GuideOptions::Engine::kFordFulkerson:
-      return GenerateNodeLevel(prediction, /*use_dinic=*/false);
     case GuideOptions::Engine::kDinic:
-      return GenerateNodeLevel(prediction, /*use_dinic=*/true);
+      if (approx) {
+        return Status::InvalidArgument(
+            "GuideGenerator: approx_sample_rate < 1 requires a compressed "
+            "engine (kCompressed, kCompressedMinCost, or kAuto)");
+      }
+      return GenerateNodeLevel(
+          prediction,
+          /*use_dinic=*/options_.engine == GuideOptions::Engine::kDinic);
     case GuideOptions::Engine::kCompressed:
       return GenerateCompressed(prediction, /*minimize_cost=*/false);
     case GuideOptions::Engine::kCompressedMinCost:
       return GenerateCompressed(prediction, /*minimize_cost=*/true);
     case GuideOptions::Engine::kAuto: {
+      if (approx) {
+        // The sampled network is the compressed engines' pair list.
+        return GenerateCompressed(prediction, /*minimize_cost=*/false);
+      }
       const int64_t edges = EstimateNodeLevelEdges(prediction);
       if (edges <= options_.node_level_edge_limit) {
         return GenerateNodeLevel(prediction, /*use_dinic=*/true);

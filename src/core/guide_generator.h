@@ -87,6 +87,32 @@ struct GuideOptions {
   /// bit-identical for every value. Only the compressed engines shard;
   /// the node-level network is one component by construction.
   int num_threads = 1;
+
+  /// Approximate-guide mode: keep each feasible type pair in the network
+  /// with this probability (seeded Bernoulli per pair, drawn in the
+  /// deterministic pair-enumeration order — so the sample, like the exact
+  /// solve, is bit-identical across thread counts). 1.0 (the default) is
+  /// the exact network. Dropping pairs only removes edges, so the
+  /// approximate guide's matched utility is a lower bound of the exact
+  /// one; the measured gap bound is reported via last_approx_report().
+  /// Must lie in (0, 1]. Values < 1 require a compressed engine (kAuto
+  /// routes there automatically).
+  double approx_sample_rate = 1.0;
+
+  /// Seed of the pair-sampling stream (only used when
+  /// approx_sample_rate < 1).
+  uint64_t approx_seed = 0x5eedULL;
+};
+
+/// What approximate sampling did to the last generated guide. Each dropped
+/// pair (wt, tt) can carry at most min(workers_at(wt), tasks_at(tt)) units
+/// of flow, so utility_loss_bound — the sum of those capacities — is a
+/// measured upper bound on the matched-pair count the sampled network can
+/// lose against the exact one.
+struct ApproxGuideReport {
+  int64_t feasible_pairs = 0;      ///< Pairs the exact network would hold.
+  int64_t sampled_pairs = 0;       ///< Pairs kept by the Bernoulli sample.
+  int64_t utility_loss_bound = 0;  ///< Max matched pairs lost (measured).
 };
 
 /// Builds OfflineGuide instances from prediction matrices.
@@ -122,6 +148,13 @@ class GuideGenerator {
   /// (instrumentation for tests and benches; 0 before any compressed run).
   int32_t last_num_components() const { return last_num_components_; }
 
+  /// Sampling outcome of the last compressed Generate. With
+  /// approx_sample_rate == 1 it reports the exact network (sampled ==
+  /// feasible, loss bound 0).
+  const ApproxGuideReport& last_approx_report() const {
+    return last_approx_report_;
+  }
+
  private:
   /// One shard's reusable solver state. Each chunk of components is solved
   /// entirely on one arena, so arenas never cross threads within a call.
@@ -149,6 +182,7 @@ class GuideGenerator {
   mutable std::vector<std::unique_ptr<ShardArena>> shards_;
   mutable std::unique_ptr<ThreadPool> pool_;
   mutable int32_t last_num_components_ = 0;
+  mutable ApproxGuideReport last_approx_report_;
 };
 
 }  // namespace ftoa

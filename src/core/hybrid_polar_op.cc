@@ -5,7 +5,7 @@
 #include <utility>
 #include <vector>
 
-#include "spatial/grid_index.h"
+#include "retrieval/waiting_pool.h"
 
 namespace ftoa {
 
@@ -21,7 +21,11 @@ struct WaitQueue {
 };
 
 /// One POLAR-OP+G run: POLAR-OP's node queues plus the greedy-fallback
-/// spatial indexes, hoisted into session state.
+/// waiting pools, hoisted into session state. The pool backend is a
+/// template knob (GridWaitingPool = historical grid index;
+/// EngineWaitingPool = shared retrieval engine with pruning + stats);
+/// Nearest answers are canonical either way, so runs are bit-identical.
+template <typename Pool>
 class HybridPolarOpSession final : public AssignmentSessionBase {
  public:
   HybridPolarOpSession(const Instance& instance,
@@ -37,15 +41,17 @@ class HybridPolarOpSession final : public AssignmentSessionBase {
             static_cast<size_t>(guide_->spacetime().num_types()), 0),
         task_type_cursor_(
             static_cast<size_t>(guide_->spacetime().num_types()), 0),
-        // Greedy fallback state: every unmatched waiting object is indexed
+        // Greedy fallback state: every unmatched waiting object is pooled
         // at its *initial* location. Entries are erased when matched (via
         // either path); expired entries are filtered out by the feasibility
-        // predicate.
-        waiting_workers_(guide_->spacetime().grid()),
-        waiting_tasks_(guide_->spacetime().grid()),
+        // predicate (and pruned up front by the engine backend).
+        waiting_workers_(guide_->spacetime().grid(), &trace_.retrieval),
+        waiting_tasks_(guide_->spacetime().grid(), &trace_.retrieval),
         max_radius_(MaxFeasibleDistance(instance.MaxTaskDuration(),
                                         instance.MaxWorkerDuration(),
-                                        instance.velocity())) {}
+                                        instance.velocity())),
+        max_task_duration_(instance.MaxTaskDuration()),
+        max_worker_duration_(instance.MaxWorkerDuration()) {}
 
   void OnWorker(WorkerId worker, double time) override {
     const OfflineGuide& guide = *guide_;
@@ -84,21 +90,24 @@ class HybridPolarOpSession final : public AssignmentSessionBase {
       }
     }
 
-    // --- Fallback: nearest waiting feasible task. ---
+    // --- Fallback: nearest waiting feasible task. Feasible tasks started
+    // within MaxTaskDuration of now (superset window; CanServe stays the
+    // authority, as in simple_greedy.cc). ---
     if (!matched) {
-      const IndexedPoint candidate = waiting_tasks_.FindNearest(
-          w.location, max_radius_,
-          [&](const IndexedPoint& entry, double) {
-            if (assignment_.IsTaskMatched(static_cast<TaskId>(entry.id))) {
+      const int64_t candidate = waiting_tasks_.Nearest(
+          w.location, max_radius_, time,
+          StartWindow{time - max_task_duration_, time},
+          [&](int64_t id, double) {
+            if (assignment_.IsTaskMatched(static_cast<TaskId>(id))) {
               return false;
             }
-            const Task& r = instance().task(static_cast<TaskId>(entry.id));
+            const Task& r = instance().task(static_cast<TaskId>(id));
             return CanServe(w, r, velocity,
                             FeasibilityPolicy::kDispatchAtAssignmentTime);
           });
-      if (candidate.id >= 0) {
-        assignment_.Add(w.id, static_cast<TaskId>(candidate.id), time);
-        waiting_tasks_.Erase(candidate.id);
+      if (candidate >= 0) {
+        assignment_.Add(w.id, static_cast<TaskId>(candidate), time);
+        waiting_tasks_.Erase(candidate);
         matched = true;
       }
     }
@@ -113,7 +122,7 @@ class HybridPolarOpSession final : public AssignmentSessionBase {
               w.id, st.RepresentativeLocation(target_type), time});
         }
       }
-      waiting_workers_.Insert(w.id, w.location);
+      waiting_workers_.Insert(w.id, w.location, w.start, w.Deadline());
     }
   }
 
@@ -155,21 +164,20 @@ class HybridPolarOpSession final : public AssignmentSessionBase {
     }
 
     if (!matched) {
-      const IndexedPoint candidate = waiting_workers_.FindNearest(
-          r.location, max_radius_,
-          [&](const IndexedPoint& entry, double) {
-            if (assignment_.IsWorkerMatched(
-                    static_cast<WorkerId>(entry.id))) {
+      const int64_t candidate = waiting_workers_.Nearest(
+          r.location, max_radius_, time,
+          StartWindow{time - max_worker_duration_, time},
+          [&](int64_t id, double) {
+            if (assignment_.IsWorkerMatched(static_cast<WorkerId>(id))) {
               return false;
             }
-            const Worker& w =
-                instance().worker(static_cast<WorkerId>(entry.id));
+            const Worker& w = instance().worker(static_cast<WorkerId>(id));
             return CanServe(w, r, velocity,
                             FeasibilityPolicy::kDispatchAtAssignmentTime);
           });
-      if (candidate.id >= 0) {
-        assignment_.Add(static_cast<WorkerId>(candidate.id), r.id, time);
-        waiting_workers_.Erase(candidate.id);
+      if (candidate >= 0) {
+        assignment_.Add(static_cast<WorkerId>(candidate), r.id, time);
+        waiting_workers_.Erase(candidate);
         matched = true;
       }
     }
@@ -178,7 +186,7 @@ class HybridPolarOpSession final : public AssignmentSessionBase {
       if (node != -1 && partner != -1) {
         waiting_at_task_node_[static_cast<size_t>(node)].Push(r.id);
       }
-      waiting_tasks_.Insert(r.id, r.location);
+      waiting_tasks_.Insert(r.id, r.location, r.start, r.Deadline());
     }
   }
 
@@ -189,7 +197,7 @@ class HybridPolarOpSession final : public AssignmentSessionBase {
     }
     guide_ = std::move(guide);
     // Node queues and cursors follow the guide and restart empty. The
-    // greedy-fallback grid indexes are guide-independent (keyed by object
+    // greedy-fallback waiting pools are guide-independent (keyed by object
     // id and initial location), so objects dropped from a node queue stay
     // reachable through the fallback path.
     waiting_at_worker_node_.assign(
@@ -208,9 +216,11 @@ class HybridPolarOpSession final : public AssignmentSessionBase {
   std::vector<WaitQueue> waiting_at_task_node_;
   std::vector<uint32_t> worker_type_cursor_;
   std::vector<uint32_t> task_type_cursor_;
-  GridIndex waiting_workers_;
-  GridIndex waiting_tasks_;
+  Pool waiting_workers_;
+  Pool waiting_tasks_;
   double max_radius_;
+  double max_task_duration_;
+  double max_worker_duration_;
 };
 
 }  // namespace
@@ -221,7 +231,12 @@ HybridPolarOp::HybridPolarOp(std::shared_ptr<const OfflineGuide> guide,
 
 std::unique_ptr<AssignmentSession> HybridPolarOp::StartSession(
     const Instance& instance) {
-  return std::make_unique<HybridPolarOpSession>(instance, guide_, options_);
+  if (options_.retrieval == RetrievalMode::kEngine) {
+    return std::make_unique<HybridPolarOpSession<EngineWaitingPool>>(
+        instance, guide_, options_);
+  }
+  return std::make_unique<HybridPolarOpSession<GridWaitingPool>>(
+      instance, guide_, options_);
 }
 
 }  // namespace ftoa

@@ -15,6 +15,7 @@ void RunTrace::Absorb(RunTrace&& other) {
   ignored_tasks += other.ignored_tasks;
   matcher_rebuilds += other.matcher_rebuilds;
   matcher_augment_searches += other.matcher_augment_searches;
+  retrieval.Absorb(other.retrieval);
 }
 
 Assignment OnlineAlgorithm::Run(const Instance& instance, RunTrace* trace) {

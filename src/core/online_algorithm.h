@@ -22,6 +22,7 @@
 #include "model/assignment.h"
 #include "model/feasibility.h"
 #include "model/instance.h"
+#include "retrieval/stats.h"
 #include "spatial/point.h"
 
 namespace ftoa {
@@ -52,6 +53,11 @@ struct RunTrace {
   int64_t matcher_rebuilds = 0;
   /// Augmenting-path searches run by the incremental matcher.
   int64_t matcher_augment_searches = 0;
+
+  /// Candidate-retrieval instrumentation, populated by sessions running
+  /// with RetrievalMode::kEngine (their cursors write straight into this
+  /// sink). All-zero for the reference scan paths.
+  RetrievalStats retrieval;
 
   /// Accumulates `other` into this trace (dispatches appended, counters
   /// added) — the aggregation Run() applies to a caller-supplied trace.

@@ -1,0 +1,26 @@
+#include "retrieval/mode.h"
+
+#include "util/string_util.h"
+
+namespace ftoa {
+
+std::vector<std::string> AllRetrievalModeNames() {
+  return {"linear", "engine"};
+}
+
+std::string RetrievalModeName(RetrievalMode mode) {
+  switch (mode) {
+    case RetrievalMode::kLinear: return "linear";
+    case RetrievalMode::kEngine: return "engine";
+  }
+  return "linear";
+}
+
+Result<RetrievalMode> ParseRetrievalMode(const std::string& name) {
+  if (name == "linear") return RetrievalMode::kLinear;
+  if (name == "engine") return RetrievalMode::kEngine;
+  return Status::NotFound("unknown retrieval mode: " + name + " (valid: " +
+                          Join(AllRetrievalModeNames(), ", ") + ")");
+}
+
+}  // namespace ftoa

@@ -397,6 +397,7 @@ Status ServiceHarness::ReplaySegment() {
   // or guide-free greedy.
   AlgorithmDeps deps;
   deps.guide = segment.start_guide.guide;
+  deps.retrieval = options_.retrieval;
   const std::string name =
       segment.degraded ? "simple-greedy" : options_.algorithm;
   FTOA_ASSIGN_OR_RETURN(std::unique_ptr<OnlineAlgorithm> algorithm,
@@ -482,6 +483,16 @@ Status ServiceHarness::ReplaySegment() {
   totals_.matched += static_cast<int64_t>(result.assignment.size());
   windows_[static_cast<size_t>(rotation_window)].matched +=
       static_cast<int64_t>(result.assignment.size());
+  {
+    // Retrieval instrumentation of the rotated segment (merged across its
+    // shard sessions by the dispatcher's trace fold).
+    const RetrievalStats& retrieval = result.trace.retrieval;
+    WindowMetrics& rotated = windows_[static_cast<size_t>(rotation_window)];
+    rotated.retrieval_queries += retrieval.queries;
+    rotated.candidates_examined += retrieval.candidates_examined;
+    rotated.cells_visited_p50 = retrieval.CellsVisitedPercentile(0.50);
+    rotated.cells_visited_p99 = retrieval.CellsVisitedPercentile(0.99);
+  }
 
   for (int64_t window = segment.begin; window < segment.end; ++window) {
     WindowMetrics& metrics = windows_[static_cast<size_t>(window)];

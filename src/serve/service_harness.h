@@ -60,6 +60,7 @@
 #include "core/guide_generator.h"
 #include "gen/config.h"
 #include "gen/looped_trace.h"
+#include "retrieval/mode.h"
 #include "serve/fault_injector.h"
 #include "serve/guide_refresher.h"
 #include "util/result.h"
@@ -76,6 +77,13 @@ struct ServiceOptions {
   int num_shards = 1;
   int shard_threads = 1;
   bool reconcile = false;
+
+  /// Candidate-retrieval backend of the served algorithms (the CLI's
+  /// --retrieval flag). kEngine routes every spatial candidate scan —
+  /// including the degraded-greedy rung's — through the shared retrieval
+  /// engine and surfaces its per-query stats in the rotation window's
+  /// WindowMetrics. Assignments are bit-identical across modes.
+  RetrievalMode retrieval = RetrievalMode::kLinear;
 
   /// Windows per session segment; 0 = a full day (slots_per_day). Clamped
   /// to [1, slots_per_day] — segments never cross a day boundary.
@@ -138,6 +146,14 @@ struct WindowMetrics {
   /// Pairs committed by the segment that rotated at this window (0 for
   /// non-rotation windows).
   int64_t matched = 0;
+
+  /// Candidate-retrieval stats of the rotated segment (attributed to the
+  /// rotation window, like `matched`). All-zero in linear mode and for
+  /// non-rotation windows.
+  int64_t retrieval_queries = 0;
+  int64_t candidates_examined = 0;
+  int64_t cells_visited_p50 = 0;
+  int64_t cells_visited_p99 = 0;
 
   /// Harness-side per-decision latency over the window's fed events
   /// (includes injected slow-lane stalls). Nearest-rank percentiles.

@@ -1,69 +1,15 @@
 #include "sim/boundary_reconciler.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "flow/dynamic_matching.h"
 #include "model/feasibility.h"
+#include "retrieval/candidate_engine.h"
 
 namespace ftoa {
-
-namespace {
-
-/// One candidate cross-shard partner of a boundary worker.
-struct Candidate {
-  double distance = 0.0;
-  TaskId task = -1;
-};
-
-/// Keeps the k best candidates by (distance, task id) — the deterministic
-/// nearest-first order, independent of scan order.
-class TopK {
- public:
-  explicit TopK(size_t k) : k_(k) { items_.reserve(k + 1); }
-
-  void Offer(Candidate c) {
-    const auto less = [](const Candidate& a, const Candidate& b) {
-      return a.distance < b.distance ||
-             (a.distance == b.distance && a.task < b.task);
-    };
-    if (items_.size() == k_ && !less(c, items_.back())) return;
-    items_.insert(std::upper_bound(items_.begin(), items_.end(), c, less),
-                  c);
-    if (items_.size() > k_) items_.pop_back();
-  }
-
-  void Clear() { items_.clear(); }
-  bool full() const { return items_.size() == k_; }
-  double worst_distance() const { return items_.back().distance; }
-  const std::vector<Candidate>& items() const { return items_; }
-
- private:
-  size_t k_;
-  std::vector<Candidate> items_;
-};
-
-/// Smallest distance between any two points of cells `a` and `b`
-/// (rectangle-to-rectangle). A valid lower bound on the distance from any
-/// object in `a` to any object in `b`, which makes the best-first cell
-/// walk below terminate without missing a nearer candidate.
-double CellRectDistance(const GridSpec& grid, CellId a, CellId b) {
-  const double cw = grid.cell_width();
-  const double ch = grid.cell_height();
-  const double ax = grid.CellX(a) * cw;
-  const double ay = grid.CellY(a) * ch;
-  const double bx = grid.CellX(b) * cw;
-  const double by = grid.CellY(b) * ch;
-  const double dx = std::max({0.0, bx - (ax + cw), ax - (bx + cw)});
-  const double dy = std::max({0.0, by - (ay + ch), ay - (by + ch)});
-  return std::sqrt(dx * dx + dy * dy);
-}
-
-}  // namespace
 
 Result<ReconcileStats> ReconcileShardBoundary(const Instance& instance,
                                               const ShardRouter& router,
@@ -92,28 +38,24 @@ Result<ReconcileStats> ReconcileShardBoundary(const Instance& instance,
     worker_shard.push_back(
         router.Route(ObjectKind::kWorker, w.id, w.location));
   }
-  const GridSpec& grid = instance.spacetime().grid();
-  // Boundary tasks bucketed per grid cell and sorted by (start, id): the
-  // candidate scan walks cells nearest-first and binary-searches each
-  // cell's arrival-time window, so a worker only ever touches tasks that
-  // could pass the deadline predicate.
-  std::vector<std::vector<std::pair<double, TaskId>>> cell_tasks(
-      static_cast<size_t>(grid.num_cells()));
+  // Boundary tasks in a CandidateStore: the engine's top-k query walks
+  // cells nearest-first and binary-searches each bucket's arrival-time
+  // window, so a worker only ever touches tasks that could pass the
+  // deadline predicate — the same cell walk every per-arrival scan uses.
+  CandidateStore store(instance.spacetime().grid());
   std::vector<int> task_shard_of_id(instance.num_tasks(), -1);
   std::vector<int32_t> right_of_task(instance.num_tasks(), -1);
   int64_t num_tasks = 0;
   for (const Task& r : instance.tasks()) {
     if (assignment->IsTaskMatched(r.id)) continue;
     if (!router.NearShardBoundary(r.location, radius)) continue;
-    cell_tasks[static_cast<size_t>(grid.CellOf(r.location))].emplace_back(
-        r.start, r.id);
+    store.Insert(RetrievalCandidate{r.id, r.location, r.start, r.Deadline()});
     task_shard_of_id[static_cast<size_t>(r.id)] =
         router.Route(ObjectKind::kTask, r.id, r.location);
     right_of_task[static_cast<size_t>(r.id)] =
         static_cast<int32_t>(num_tasks);
     ++num_tasks;
   }
-  for (auto& bucket : cell_tasks) std::sort(bucket.begin(), bucket.end());
   stats.boundary_workers = static_cast<int64_t>(workers.size());
   stats.boundary_tasks = num_tasks;
   if (workers.empty() || num_tasks == 0) return stats;
@@ -134,31 +76,6 @@ Result<ReconcileStats> ReconcileShardBoundary(const Instance& instance,
   const SpacetimeSpec* guide_st =
       options.guide != nullptr ? &options.guide->spacetime() : nullptr;
 
-  // Cell visit order for the best-first walk, per origin cell and built
-  // lazily: cells holding at least one boundary task, within the
-  // feasibility radius, sorted by (rectangle distance, id). Workers in one
-  // cell share the order (which may legitimately be empty — the built flag
-  // keeps that case cached too).
-  std::vector<std::vector<std::pair<double, CellId>>> visit_orders(
-      static_cast<size_t>(grid.num_cells()));
-  std::vector<uint8_t> visit_order_built(
-      static_cast<size_t>(grid.num_cells()), 0);
-  const auto visit_order_of =
-      [&](CellId origin) -> const std::vector<std::pair<double, CellId>>& {
-    auto& order = visit_orders[static_cast<size_t>(origin)];
-    if (!visit_order_built[static_cast<size_t>(origin)]) {
-      visit_order_built[static_cast<size_t>(origin)] = 1;
-      for (CellId c = 0; c < grid.num_cells(); ++c) {
-        if (cell_tasks[static_cast<size_t>(c)].empty()) continue;
-        const double bound = CellRectDistance(grid, origin, c);
-        if (bound > radius) continue;
-        order.emplace_back(bound, c);
-      }
-      std::sort(order.begin(), order.end());
-    }
-    return order;
-  };
-
   DynamicBipartiteMatcher matcher;
   matcher.ReserveNodes(workers.size(), static_cast<size_t>(num_tasks));
   matcher.ReserveEdges(workers.size() *
@@ -167,10 +84,10 @@ Result<ReconcileStats> ReconcileShardBoundary(const Instance& instance,
   for (int64_t j = 0; j < num_tasks; ++j) matcher.AddRight();
 
   // One augmentation per boundary worker, in worker id order, over the
-  // worker's nearest feasible cross-shard candidates. The cell walk stops
-  // as soon as no unvisited cell can hold a better candidate than the k
-  // already found.
-  TopK candidates(static_cast<size_t>(options.max_candidates_per_worker));
+  // worker's nearest feasible cross-shard candidates. The engine's TopK is
+  // canonical (distance, id), so the kept edges — and hence the recovered
+  // matching — are independent of scan order.
+  CandidateCursor cursor(&store, &stats.retrieval);
   for (size_t i = 0; i < workers.size(); ++i) {
     const Worker& w = instance.worker(workers[i]);
     const int shard = worker_shard[i];
@@ -179,36 +96,30 @@ Result<ReconcileStats> ReconcileShardBoundary(const Instance& instance,
     // Arrival-time window implied by the deadline predicate (either
     // policy): Sr < Sw + Dw, and the travel-time condition forces
     // Sr >= Sw - Dr. A superset window; CanServe stays the authority.
-    const double window_lo = w.start - max_task_duration;
-    const double window_hi = w.start + w.duration;
-    candidates.Clear();
-    for (const auto& [bound, cell] : visit_order_of(grid.CellOf(w.location))) {
-      if (candidates.full() && bound > candidates.worst_distance()) break;
-      const auto& bucket = cell_tasks[static_cast<size_t>(cell)];
-      for (auto it = std::lower_bound(
-               bucket.begin(), bucket.end(),
-               std::make_pair(window_lo,
-                              std::numeric_limits<TaskId>::min()));
-           it != bucket.end() && it->first <= window_hi; ++it) {
-        const TaskId task_id = it->second;
-        if (task_shard_of_id[static_cast<size_t>(task_id)] == shard) {
-          continue;
-        }
-        const Task& r = instance.task(task_id);
-        if (!CanServe(w, r, velocity, options.policy)) continue;
-        if (guide_st != nullptr) {
-          const TypeId task_type = guide_st->TypeOf(r.location, r.start);
-          const auto cap = capacity.find(
-              options.guide->TypePairKey(worker_type, task_type));
-          if (cap == capacity.end() || cap->second <= 0) continue;
-        }
-        candidates.Offer(
-            Candidate{Distance(w.location, r.location), task_id});
-      }
-    }
-    for (const Candidate& c : candidates.items()) {
-      matcher.AddEdge(static_cast<int32_t>(i),
-                      right_of_task[static_cast<size_t>(c.task)]);
+    // Querying at w.start is safe: a task gone before the worker even
+    // starts cannot be served under either policy.
+    const auto& candidates = cursor.TopK(
+        w.location, radius,
+        static_cast<size_t>(options.max_candidates_per_worker), w.start,
+        StartWindow{w.start - max_task_duration, w.start + w.duration},
+        [&](const RetrievalCandidate& entry, double) {
+          if (task_shard_of_id[static_cast<size_t>(entry.id)] == shard) {
+            return false;
+          }
+          const Task& r = instance.task(static_cast<TaskId>(entry.id));
+          if (!CanServe(w, r, velocity, options.policy)) return false;
+          if (guide_st != nullptr) {
+            const TypeId task_type = guide_st->TypeOf(r.location, r.start);
+            const auto cap = capacity.find(
+                options.guide->TypePairKey(worker_type, task_type));
+            if (cap == capacity.end() || cap->second <= 0) return false;
+          }
+          return true;
+        });
+    for (const ScoredCandidate& c : candidates) {
+      matcher.AddEdge(
+          static_cast<int32_t>(i),
+          right_of_task[static_cast<size_t>(c.candidate.id)]);
     }
     matcher.TryAugmentLeft(static_cast<int32_t>(i));
   }

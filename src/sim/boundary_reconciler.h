@@ -28,6 +28,7 @@
 #include "core/guide.h"
 #include "model/assignment.h"
 #include "model/instance.h"
+#include "retrieval/stats.h"
 #include "sim/shard_router.h"
 #include "util/result.h"
 
@@ -56,14 +57,19 @@ struct ReconcileStats {
   int64_t boundary_tasks = 0;    ///< Unmatched tasks near a border.
   int64_t recovered_pairs = 0;   ///< Pairs appended to the assignment.
   int64_t capacity_dropped = 0;  ///< Matches dropped by guide capacity.
+  /// Per-worker candidate-scan instrumentation (one retrieval query per
+  /// boundary worker).
+  RetrievalStats retrieval;
 };
 
 /// Appends recovered cross-shard pairs to `assignment` (decision time
 /// max(Sw, Sr) — the earliest moment a platform seeing both shards could
-/// have committed the pair). Candidate discovery uses a GridIndex over the
-/// boundary tasks with an expanding search disk; the matching itself is a
-/// DynamicBipartiteMatcher augmented in worker id order, so the result is
-/// deterministic and maximum over the kept candidate edges.
+/// have committed the pair). Candidate discovery runs the shared retrieval
+/// engine's top-k query over a CandidateStore of the boundary tasks
+/// (best-first cell walk, arrival-time binary search per bucket); the
+/// matching itself is a DynamicBipartiteMatcher augmented in worker id
+/// order, so the result is deterministic and maximum over the kept
+/// candidate edges.
 Result<ReconcileStats> ReconcileShardBoundary(const Instance& instance,
                                               const ShardRouter& router,
                                               const ReconcileOptions& options,

@@ -288,6 +288,9 @@ Result<ShardedRunResult> ShardedSession::Finish() {
                                &out.assignment));
     out.metrics.matching_size += out.reconcile.recovered_pairs;
     out.metrics.reconciled_pairs = out.reconcile.recovered_pairs;
+    // The reconciler's candidate scans always run on the engine; fold them
+    // into the merged trace so the serving stats see the whole picture.
+    out.trace.retrieval.Absorb(out.reconcile.retrieval);
   }
   return out;
 }

@@ -48,6 +48,9 @@ class GridIndex {
   /// Number of live entries.
   size_t size() const { return locator_.size(); }
 
+  /// The grid this index buckets over.
+  const GridSpec& grid() const { return grid_; }
+
   /// Returns the nearest entry within `max_distance` of `origin` passing
   /// `filter` — any callable `bool(const IndexedPoint&, double distance)`
   /// deciding whether a candidate may be matched — or an IndexedPoint with

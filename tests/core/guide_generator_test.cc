@@ -424,5 +424,139 @@ TEST(GuideGeneratorTest, RepeatedGenerateReusesArenasDeterministically) {
   }
 }
 
+// --- Approximate-guide mode (GuideOptions::approx_sample_rate) ---
+
+PredictionMatrix ApproxTestPrediction(Instance* instance_out = nullptr) {
+  SyntheticConfig config;
+  config.num_workers = 300;
+  config.num_tasks = 300;
+  config.grid_x = 8;
+  config.grid_y = 8;
+  config.num_slots = 6;
+  config.seed = 1234;
+  auto instance = GenerateSyntheticInstance(config);
+  EXPECT_TRUE(instance.ok());
+  if (instance_out != nullptr) *instance_out = *instance;
+  return PredictionMatrix::FromInstance(*instance);
+}
+
+GuideOptions ApproxTestOptions(double rate) {
+  GuideOptions options;
+  options.engine = GuideOptions::Engine::kCompressed;
+  options.worker_duration = 3.0;
+  options.task_duration = 2.0;
+  options.approx_sample_rate = rate;
+  return options;
+}
+
+TEST(GuideGeneratorTest, ApproxRateOneIsTheExactGuide) {
+  const PredictionMatrix prediction = ApproxTestPrediction();
+  const GuideGenerator exact(2.0, ApproxTestOptions(1.0));
+  const auto exact_guide = exact.Generate(prediction);
+  ASSERT_TRUE(exact_guide.ok());
+  // Rate 1.0 keeps every feasible pair and reports a zero loss bound.
+  EXPECT_EQ(exact.last_approx_report().sampled_pairs,
+            exact.last_approx_report().feasible_pairs);
+  EXPECT_GT(exact.last_approx_report().feasible_pairs, 0);
+  EXPECT_EQ(exact.last_approx_report().utility_loss_bound, 0);
+
+  GuideOptions default_options = ApproxTestOptions(1.0);
+  default_options.approx_sample_rate = 1.0;
+  const GuideGenerator reference(2.0, default_options);
+  const auto reference_guide = reference.Generate(prediction);
+  ASSERT_TRUE(reference_guide.ok());
+  EXPECT_EQ(exact_guide->matched_pairs(), reference_guide->matched_pairs());
+  ASSERT_EQ(exact_guide->worker_nodes().size(),
+            reference_guide->worker_nodes().size());
+  for (size_t node = 0; node < exact_guide->worker_nodes().size(); ++node) {
+    EXPECT_EQ(exact_guide->worker_nodes()[node].partner,
+              reference_guide->worker_nodes()[node].partner);
+  }
+}
+
+TEST(GuideGeneratorTest, ApproxRejectsInvalidRatesAndNodeLevelEngines) {
+  const PredictionMatrix prediction = ApproxTestPrediction();
+  for (const double rate : {0.0, -0.5, 1.5}) {
+    const GuideGenerator generator(2.0, ApproxTestOptions(rate));
+    const auto guide = generator.Generate(prediction);
+    EXPECT_FALSE(guide.ok()) << "rate " << rate;
+  }
+  // The node-level flow engines build the full bipartite graph; sampling
+  // type pairs there has no capacity interpretation, so it is an error.
+  for (const auto engine : {GuideOptions::Engine::kFordFulkerson,
+                            GuideOptions::Engine::kDinic}) {
+    GuideOptions options = ApproxTestOptions(0.5);
+    options.engine = engine;
+    const GuideGenerator generator(2.0, options);
+    const auto guide = generator.Generate(prediction);
+    EXPECT_FALSE(guide.ok()) << "engine " << static_cast<int>(engine);
+  }
+}
+
+TEST(GuideGeneratorTest, ApproxCardinalityLossStaysWithinTheReportedBound) {
+  // The certificate the bench reports: the approximate guide's matched
+  // utility can trail the exact guide's by at most the summed capacity of
+  // the dropped type pairs. Dropping edges can never *grow* a matching,
+  // so the gap is also nonnegative.
+  const PredictionMatrix prediction = ApproxTestPrediction();
+  const GuideGenerator exact(2.0, ApproxTestOptions(1.0));
+  const auto exact_guide = exact.Generate(prediction);
+  ASSERT_TRUE(exact_guide.ok());
+  for (const double rate : {0.25, 0.5, 0.8}) {
+    const GuideGenerator approx(2.0, ApproxTestOptions(rate));
+    const auto approx_guide = approx.Generate(prediction);
+    ASSERT_TRUE(approx_guide.ok()) << "rate " << rate;
+    const ApproxGuideReport& report = approx.last_approx_report();
+    EXPECT_LT(report.sampled_pairs, report.feasible_pairs) << rate;
+    EXPECT_GT(report.utility_loss_bound, 0) << rate;
+    const int64_t gap =
+        exact_guide->matched_pairs() - approx_guide->matched_pairs();
+    EXPECT_GE(gap, 0) << "rate " << rate;
+    EXPECT_LE(gap, report.utility_loss_bound) << "rate " << rate;
+    EXPECT_TRUE(approx_guide->Validate().ok()) << "rate " << rate;
+  }
+}
+
+TEST(GuideGeneratorTest, ApproxGuideIsThreadCountInvariant) {
+  // Sampling happens in deterministic pair-enumeration order before the
+  // component decomposition, so the parallel solve must stay invisible
+  // under approximation too.
+  const PredictionMatrix prediction = ApproxTestPrediction();
+  GuideOptions options = ApproxTestOptions(0.5);
+  options.num_threads = 1;
+  const GuideGenerator serial(2.0, options);
+  const auto serial_guide = serial.Generate(prediction);
+  ASSERT_TRUE(serial_guide.ok());
+  options.num_threads = 4;
+  const GuideGenerator parallel(2.0, options);
+  const auto parallel_guide = parallel.Generate(prediction);
+  ASSERT_TRUE(parallel_guide.ok());
+  EXPECT_EQ(parallel.last_approx_report().sampled_pairs,
+            serial.last_approx_report().sampled_pairs);
+  EXPECT_EQ(parallel.last_approx_report().utility_loss_bound,
+            serial.last_approx_report().utility_loss_bound);
+  EXPECT_EQ(parallel_guide->matched_pairs(), serial_guide->matched_pairs());
+  ASSERT_EQ(parallel_guide->worker_nodes().size(),
+            serial_guide->worker_nodes().size());
+  for (size_t node = 0; node < serial_guide->worker_nodes().size();
+       ++node) {
+    EXPECT_EQ(parallel_guide->worker_nodes()[node].partner,
+              serial_guide->worker_nodes()[node].partner)
+        << "node " << node;
+  }
+}
+
+TEST(GuideGeneratorTest, ApproxAutoEngineRoutesToCompressed) {
+  const PredictionMatrix prediction = ApproxTestPrediction();
+  GuideOptions options = ApproxTestOptions(0.5);
+  options.engine = GuideOptions::Engine::kAuto;
+  const GuideGenerator generator(2.0, options);
+  const auto guide = generator.Generate(prediction);
+  ASSERT_TRUE(guide.ok()) << guide.status().ToString();
+  EXPECT_GT(generator.last_approx_report().feasible_pairs, 0);
+  EXPECT_LT(generator.last_approx_report().sampled_pairs,
+            generator.last_approx_report().feasible_pairs);
+}
+
 }  // namespace
 }  // namespace ftoa

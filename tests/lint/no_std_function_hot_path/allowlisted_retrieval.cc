@@ -1,0 +1,9 @@
+// lint-fixture: path=src/retrieval/fixture_allow.cc
+#include <functional>
+
+namespace ftoa {
+
+// ftoa-lint: ok(no-std-function-hot-path): store-rebuild hook, invoked once per epoch
+void OnRebuild(const std::function<void()>& hook) { hook(); }
+
+}  // namespace ftoa

@@ -1,0 +1,15 @@
+// lint-fixture: path=src/retrieval/fixture_bad.cc
+// A type-erased per-candidate filter in the retrieval engine's scope.
+#include <functional>
+
+namespace ftoa {
+
+int CountMatching(int n, const std::function<bool(int)>& filter) {  // lint-expect: no-std-function-hot-path
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    if (filter(i)) ++count;
+  }
+  return count;
+}
+
+}  // namespace ftoa

@@ -1,0 +1,358 @@
+// Unit + randomized oracle tests for the shared candidate-retrieval
+// engine. The load-bearing property is canonical-output equivalence: for
+// any insert/erase history and any query, TopK must return exactly the
+// (distance, id)-sorted prefix a linear scan over the live entries would —
+// the contract every ported algorithm's bit-identity rests on. The
+// *Stress* suite re-runs under `ctest -L stress` with FTOA_STRESS_ITERS.
+
+#include "retrieval/candidate_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "retrieval/stats.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ftoa {
+namespace {
+
+using ftoa::testing::StressIterations;
+
+GridSpec MakeGrid() { return GridSpec(100.0, 100.0, 10, 10); }
+
+RetrievalCandidate Entry(int64_t id, double x, double y, double start,
+                         double deadline) {
+  return RetrievalCandidate{id, {x, y}, start, deadline};
+}
+
+/// The linear-scan oracle: every live entry, every predicate applied
+/// directly, sorted canonically, truncated to k. Any divergence from this
+/// is an engine bug.
+template <typename FilterFn>
+std::vector<ScoredCandidate> OracleTopK(const CandidateStore& store,
+                                        Point origin, double max_distance,
+                                        size_t k, double query_time,
+                                        StartWindow window,
+                                        FilterFn&& filter) {
+  std::vector<ScoredCandidate> hits;
+  store.ForEach([&](const RetrievalCandidate& e) {
+    if (e.start < window.lo || e.start > window.hi) return;
+    if (e.deadline < query_time) return;
+    const double d = Distance(origin, e.location);
+    if (d > max_distance) return;
+    if (!filter(e, d)) return;
+    hits.push_back(ScoredCandidate{d, e});
+  });
+  std::sort(hits.begin(), hits.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              return a.distance < b.distance ||
+                     (a.distance == b.distance &&
+                      a.candidate.id < b.candidate.id);
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+bool AcceptAll(const RetrievalCandidate&, double) { return true; }
+
+void ExpectSameHits(const std::vector<ScoredCandidate>& got,
+                    const std::vector<ScoredCandidate>& want,
+                    const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].candidate.id, want[i].candidate.id)
+        << label << " hit " << i;
+    EXPECT_DOUBLE_EQ(got[i].distance, want[i].distance)
+        << label << " hit " << i;
+  }
+}
+
+TEST(CandidateStoreTest, InsertEraseContains) {
+  CandidateStore store(MakeGrid());
+  EXPECT_EQ(store.size(), 0u);
+  store.Insert(Entry(1, 5.0, 5.0, 0.0, 10.0));
+  store.Insert(Entry(2, 50.0, 50.0, 1.0, 10.0));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains(1));
+  EXPECT_TRUE(store.Erase(1));
+  EXPECT_FALSE(store.Contains(1));
+  EXPECT_FALSE(store.Erase(1));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(CandidateStoreTest, InsertOverwritesSameId) {
+  CandidateStore store(MakeGrid());
+  store.Insert(Entry(7, 5.0, 5.0, 0.0, 10.0));
+  store.Insert(Entry(7, 95.0, 95.0, 2.0, 12.0));
+  EXPECT_EQ(store.size(), 1u);
+  CandidateCursor cursor(&store, nullptr);
+  const RetrievalCandidate hit =
+      cursor.Nearest({95.0, 95.0}, 1.0, 0.0, StartWindow{}, AcceptAll);
+  EXPECT_EQ(hit.id, 7);
+  EXPECT_EQ(hit.start, 2.0);
+}
+
+TEST(CandidateStoreTest, OutOfOrderInsertKeepsBucketSorted) {
+  // All four land in one cell with descending starts — the sorted-insert
+  // slow path. The window binary search only works if the invariant held.
+  CandidateStore store(MakeGrid());
+  store.Insert(Entry(1, 5.0, 5.0, 8.0, 20.0));
+  store.Insert(Entry(2, 6.0, 5.0, 4.0, 20.0));
+  store.Insert(Entry(3, 5.0, 6.0, 2.0, 20.0));
+  store.Insert(Entry(4, 6.0, 6.0, 6.0, 20.0));
+  const auto& bucket = store.bucket(store.grid().CellOf({5.0, 5.0}));
+  for (size_t i = 1; i < bucket.size(); ++i) {
+    EXPECT_LE(bucket[i - 1].start, bucket[i].start);
+  }
+  CandidateCursor cursor(&store, nullptr);
+  const auto& hits = cursor.TopK({5.0, 5.0}, 50.0, 4, 0.0,
+                                 StartWindow{3.0, 7.0}, AcceptAll);
+  ASSERT_EQ(hits.size(), 2u);  // Only starts 4 and 6 are in-window.
+  EXPECT_EQ(hits[0].candidate.id, 2);
+  EXPECT_EQ(hits[1].candidate.id, 4);
+}
+
+TEST(CandidateCursorTest, EmptyStoreAndZeroKReturnNothing) {
+  CandidateStore store(MakeGrid());
+  RetrievalStats stats;
+  CandidateCursor cursor(&store, &stats);
+  EXPECT_TRUE(cursor.TopK({1.0, 1.0}, 100.0, 3, 0.0, StartWindow{},
+                          AcceptAll)
+                  .empty());
+  store.Insert(Entry(1, 5.0, 5.0, 0.0, 10.0));
+  EXPECT_TRUE(cursor.TopK({1.0, 1.0}, 100.0, 0, 0.0, StartWindow{},
+                          AcceptAll)
+                  .empty());
+  EXPECT_EQ(cursor.Nearest({1.0, 1.0}, 100.0, 99.0, StartWindow{},
+                           AcceptAll)
+                .id,
+            -1);  // Everything expired.
+  EXPECT_EQ(stats.queries, 3);
+}
+
+TEST(CandidateCursorTest, TopKOrdersByDistanceThenId) {
+  CandidateStore store(MakeGrid());
+  // Two entries equidistant from the origin; the lower id must win.
+  store.Insert(Entry(9, 10.0, 14.0, 0.0, 10.0));
+  store.Insert(Entry(4, 10.0, 6.0, 0.0, 10.0));
+  store.Insert(Entry(2, 10.0, 11.0, 0.0, 10.0));
+  CandidateCursor cursor(&store, nullptr);
+  const auto& hits =
+      cursor.TopK({10.0, 10.0}, 100.0, 2, 0.0, StartWindow{}, AcceptAll);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].candidate.id, 2);
+  EXPECT_EQ(hits[1].candidate.id, 4);  // Tie at distance 4 vs id 9.
+}
+
+TEST(CandidateCursorTest, DeadlineAtQueryTimeIsStillFeasible) {
+  CandidateStore store(MakeGrid());
+  store.Insert(Entry(1, 5.0, 5.0, 0.0, 3.0));
+  store.Insert(Entry(2, 6.0, 5.0, 0.0, 2.999));
+  CandidateCursor cursor(&store, nullptr);
+  const auto& hits =
+      cursor.TopK({5.0, 5.0}, 100.0, 2, 3.0, StartWindow{}, AcceptAll);
+  ASSERT_EQ(hits.size(), 1u);  // The strict `< query_time` prune.
+  EXPECT_EQ(hits[0].candidate.id, 1);
+}
+
+TEST(CandidateCursorTest, ErasedEntriesStayInvisibleThroughCompaction) {
+  CandidateStore store(MakeGrid());
+  // 20 entries in one cell; erasing 16 forces CompactBucket (dead >= 8 and
+  // half the bucket). Survivors must still be found, in order.
+  for (int64_t id = 0; id < 20; ++id) {
+    store.Insert(Entry(id, 5.0, 5.0 + 0.1 * static_cast<double>(id),
+                       static_cast<double>(id), 100.0));
+  }
+  for (int64_t id = 0; id < 16; ++id) EXPECT_TRUE(store.Erase(id));
+  EXPECT_EQ(store.size(), 4u);
+  CandidateCursor cursor(&store, nullptr);
+  const auto& hits =
+      cursor.TopK({5.0, 5.0}, 100.0, 10, 0.0, StartWindow{}, AcceptAll);
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0].candidate.id, 16);
+  EXPECT_EQ(hits[3].candidate.id, 19);
+}
+
+TEST(CandidateCursorTest, FilterRunsAfterEnginePruning) {
+  CandidateStore store(MakeGrid());
+  store.Insert(Entry(1, 5.0, 5.0, 0.0, 10.0));
+  store.Insert(Entry(2, 6.0, 5.0, 0.0, 10.0));
+  CandidateCursor cursor(&store, nullptr);
+  const auto& hits =
+      cursor.TopK({5.0, 5.0}, 100.0, 2, 0.0, StartWindow{},
+                  [](const RetrievalCandidate& e, double) {
+                    return e.id != 1;
+                  });
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].candidate.id, 2);
+}
+
+TEST(CandidateCursorTest, CursorIsReusableAcrossQueriesAndRebinds) {
+  CandidateStore a(MakeGrid());
+  CandidateStore b(MakeGrid());
+  a.Insert(Entry(1, 5.0, 5.0, 0.0, 10.0));
+  b.Insert(Entry(2, 5.0, 5.0, 0.0, 10.0));
+  RetrievalStats stats;
+  CandidateCursor cursor(&a, &stats);
+  EXPECT_EQ(cursor.Nearest({5.0, 5.0}, 10.0, 0.0, StartWindow{}, AcceptAll)
+                .id,
+            1);
+  cursor.Bind(&b);
+  EXPECT_EQ(cursor.Nearest({5.0, 5.0}, 10.0, 0.0, StartWindow{}, AcceptAll)
+                .id,
+            2);
+  EXPECT_EQ(stats.queries, 2);
+}
+
+TEST(RetrievalStatsTest, RecordQueryFeedsHistogramAndPercentiles) {
+  RetrievalStats stats;
+  stats.RecordQuery(/*cells=*/1, /*examined=*/3, /*pruned=*/1);
+  stats.RecordQuery(/*cells=*/1, /*examined=*/2, /*pruned=*/0);
+  stats.RecordQuery(/*cells=*/40, /*examined=*/100, /*pruned=*/50);
+  EXPECT_EQ(stats.queries, 3);
+  EXPECT_EQ(stats.cells_visited, 42);
+  EXPECT_EQ(stats.candidates_examined, 105);
+  EXPECT_EQ(stats.candidates_pruned, 51);
+  EXPECT_EQ(stats.max_cells_visited, 40);
+  // Nearest-rank percentiles over bucket upper bounds: the median query
+  // visited <= 1 cell; the p99 lands in the 40-cell query's bucket, whose
+  // bound (64) is clamped to the exact witness.
+  EXPECT_EQ(stats.CellsVisitedPercentile(0.50), 1);
+  EXPECT_EQ(stats.CellsVisitedPercentile(0.99), 40);
+  EXPECT_EQ(stats.CellsVisitedPercentile(1.0), 40);
+
+  RetrievalStats other;
+  other.RecordQuery(/*cells=*/2, /*examined=*/1, /*pruned=*/0);
+  other.Absorb(stats);
+  EXPECT_EQ(other.queries, 4);
+  EXPECT_EQ(other.cells_visited, 44);
+  EXPECT_EQ(other.max_cells_visited, 40);
+}
+
+TEST(CandidateCursorTest, StatsCountOnlyVisitedCells) {
+  // One far-away entry: a tight nearest query around a distant origin must
+  // not touch the occupied cell (radius lower bound) once the grid walk is
+  // exhausted; examined stays 0.
+  CandidateStore store(MakeGrid());
+  store.Insert(Entry(1, 95.0, 95.0, 0.0, 10.0));
+  RetrievalStats stats;
+  CandidateCursor cursor(&store, &stats);
+  EXPECT_EQ(cursor.Nearest({5.0, 5.0}, 3.0, 0.0, StartWindow{}, AcceptAll)
+                .id,
+            -1);
+  EXPECT_EQ(stats.queries, 1);
+  EXPECT_EQ(stats.candidates_examined, 0);
+  EXPECT_EQ(stats.cells_visited, 0);
+}
+
+TEST(CandidateCursorTest, ForEachInDiskMatchesOracleAsASet) {
+  Rng rng(2024);
+  CandidateStore store(MakeGrid());
+  for (int64_t id = 0; id < 200; ++id) {
+    store.Insert(Entry(id, rng.NextDouble(0.0, 100.0),
+                       rng.NextDouble(0.0, 100.0),
+                       rng.NextDouble(0.0, 10.0),
+                       rng.NextDouble(5.0, 20.0)));
+  }
+  const Point origin{33.0, 61.0};
+  const double radius = 25.0;
+  const double query_time = 8.0;
+  const StartWindow window{2.0, 9.0};
+  CandidateCursor cursor(&store, nullptr);
+  std::vector<int64_t> got;
+  cursor.ForEachInDisk(origin, radius, query_time, window,
+                       [&](const RetrievalCandidate& e, double) {
+                         got.push_back(e.id);
+                       });
+  std::sort(got.begin(), got.end());
+  std::vector<int64_t> want;
+  store.ForEach([&](const RetrievalCandidate& e) {
+    if (e.start < window.lo || e.start > window.hi) return;
+    if (e.deadline < query_time) return;
+    if (Distance(origin, e.location) > radius) return;
+    want.push_back(e.id);
+  });
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+  EXPECT_FALSE(want.empty());  // The sweep actually exercised something.
+}
+
+// Randomized oracle equivalence over adversarial histories: interleaved
+// inserts/erases/overwrites, boundary-sitting points, degenerate windows,
+// and every k from 1 to a dozen. Runs once in the main suite and at
+// FTOA_STRESS_ITERS scale under `ctest -L stress`.
+TEST(CandidateEngineStress, TopKMatchesLinearOracle) {
+  const int iterations = StressIterations(30);
+  for (int iter = 0; iter < iterations; ++iter) {
+    Rng rng(static_cast<uint64_t>(iter) * 0x9e3779b97f4a7c15ULL + 11);
+    const GridSpec grid(100.0, 100.0,
+                        2 + static_cast<int>(rng.NextBounded(12)),
+                        2 + static_cast<int>(rng.NextBounded(12)));
+    CandidateStore store(grid);
+    RetrievalStats stats;
+    CandidateCursor cursor(&store, &stats);
+    int64_t next_id = 0;
+    std::vector<int64_t> live;
+    const int ops = 300 + static_cast<int>(rng.NextBounded(300));
+    for (int op = 0; op < ops; ++op) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.55 || live.empty()) {
+        // Insert; a tenth of the points sit exactly on cell boundaries.
+        double x = rng.NextDouble(0.0, 100.0);
+        double y = rng.NextDouble(0.0, 100.0);
+        if (rng.NextBool(0.1)) {
+          x = grid.cell_width() * std::floor(x / grid.cell_width());
+        }
+        const double start = rng.NextDouble(0.0, 20.0);
+        store.Insert(Entry(next_id, x, y, start,
+                           start + rng.NextDouble(0.0, 10.0)));
+        live.push_back(next_id);
+        ++next_id;
+      } else if (roll < 0.75) {
+        const size_t pick = rng.NextBounded(live.size());
+        store.Erase(live[pick]);
+        live[pick] = live.back();
+        live.pop_back();
+      } else if (roll < 0.85) {
+        // Overwrite a live id at a new location/time.
+        const int64_t id = live[rng.NextBounded(live.size())];
+        const double start = rng.NextDouble(0.0, 20.0);
+        store.Insert(Entry(id, rng.NextDouble(0.0, 100.0),
+                           rng.NextDouble(0.0, 100.0), start,
+                           start + rng.NextDouble(0.0, 10.0)));
+      } else {
+        const Point origin{rng.NextDouble(-5.0, 105.0),
+                           rng.NextDouble(-5.0, 105.0)};
+        const double max_distance = rng.NextDouble(0.0, 60.0);
+        const size_t k = 1 + rng.NextBounded(12);
+        const double query_time = rng.NextDouble(0.0, 25.0);
+        StartWindow window;
+        if (rng.NextBool(0.7)) {
+          window.lo = rng.NextDouble(0.0, 20.0);
+          window.hi = window.lo + rng.NextDouble(0.0, 10.0);
+        }
+        const int64_t parity = static_cast<int64_t>(rng.NextBounded(2));
+        const auto filter = [parity](const RetrievalCandidate& e, double) {
+          return (e.id % 2) == parity;
+        };
+        const auto& got = cursor.TopK(origin, max_distance, k, query_time,
+                                      window, filter);
+        const auto want = OracleTopK(store, origin, max_distance, k,
+                                     query_time, window, filter);
+        ExpectSameHits(got, want,
+                       "iter " + std::to_string(iter) + " op " +
+                           std::to_string(op));
+      }
+    }
+    EXPECT_EQ(store.size(), live.size());
+    EXPECT_GT(stats.queries, 0);
+  }
+}
+
+}  // namespace
+}  // namespace ftoa

@@ -234,5 +234,42 @@ TEST(ServiceHarnessTest, RejectsUnknownAlgorithmAndBadFaultSpec) {
   EXPECT_TRUE(malformed.status().IsInvalidArgument());
 }
 
+TEST(ServiceHarnessTest, RetrievalStatsSurfaceOnRotationWindowsOnly) {
+  // The engine's per-query stats are attributed to the window that
+  // rotated the segment (like `matched`), and switching backends must not
+  // change what got matched — only the counters.
+  ServiceOptions engine_options;
+  engine_options.algorithm = "tgoa";
+  engine_options.windows_per_segment = 3;
+  engine_options.retrieval = RetrievalMode::kEngine;
+  auto engine = MakeHarness(engine_options);
+  ASSERT_TRUE(engine->RunWindows(12).ok());
+
+  ServiceOptions linear_options = engine_options;
+  linear_options.retrieval = RetrievalMode::kLinear;
+  auto linear = MakeHarness(linear_options);
+  ASSERT_TRUE(linear->RunWindows(12).ok());
+
+  EXPECT_EQ(engine->totals().matched, linear->totals().matched);
+  int64_t engine_queries = 0;
+  for (size_t i = 0; i < engine->windows().size(); ++i) {
+    const WindowMetrics& w = engine->windows()[i];
+    engine_queries += w.retrieval_queries;
+    if (w.retrieval_queries > 0) {
+      EXPECT_GE(w.cells_visited_p99, w.cells_visited_p50) << "window " << i;
+    } else {
+      // Non-rotation windows carry no retrieval activity.
+      EXPECT_EQ(w.candidates_examined, 0) << "window " << i;
+    }
+  }
+  EXPECT_GT(engine_queries, 0);
+  for (const WindowMetrics& w : linear->windows()) {
+    EXPECT_EQ(w.retrieval_queries, 0);
+    EXPECT_EQ(w.candidates_examined, 0);
+    EXPECT_EQ(w.cells_visited_p50, 0);
+    EXPECT_EQ(w.cells_visited_p99, 0);
+  }
+}
+
 }  // namespace
 }  // namespace ftoa

@@ -103,6 +103,79 @@ TEST(GridIndexTest, ForEachInCell) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(GridIndexTest, EmptyIndexDiskQueryVisitsNothing) {
+  GridIndex index(MakeGrid());
+  int count = 0;
+  index.ForEachInDisk({50.0, 50.0}, 100.0,
+                      [&](const IndexedPoint&, double) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(GridIndexTest, ZeroRadiusDiskHitsOnlyExactlyCoincidentPoints) {
+  GridIndex index(MakeGrid());
+  index.Insert(1, {50.0, 50.0});
+  index.Insert(2, {50.0, 50.0 + 1e-9});
+  std::vector<int64_t> found;
+  index.ForEachInDisk({50.0, 50.0}, 0.0,
+                      [&](const IndexedPoint& entry, double d) {
+                        EXPECT_EQ(d, 0.0);
+                        found.push_back(entry.id);
+                      });
+  EXPECT_EQ(found, (std::vector<int64_t>{1}));
+  // Nearest with max_distance 0 behaves the same way.
+  EXPECT_EQ(index.FindNearest({50.0, 50.0}, 0.0).id, 1);
+  EXPECT_EQ(index.FindNearest({51.0, 50.0}, 0.0).id, -1);
+}
+
+TEST(GridIndexTest, RingBoundaryPointsAreNeverDropped) {
+  // Points sitting exactly on cell edges and corners (the 10-unit grid
+  // lines) must be found both as nearest neighbors and by disk queries
+  // whose radius lands exactly on the point — no strict-inequality slip
+  // at either the CellOf bucketing or the DistanceToCell lower bound.
+  GridIndex index(MakeGrid());
+  index.Insert(1, {10.0, 10.0});  // Four-cell corner.
+  index.Insert(2, {20.0, 15.0});  // Vertical edge.
+  index.Insert(3, {15.0, 30.0});  // Horizontal edge.
+  EXPECT_EQ(index.FindNearest({10.0, 10.0}, 0.0).id, 1);
+  EXPECT_EQ(index.FindNearest({9.999, 10.0}, 1.0).id, 1);
+  EXPECT_EQ(index.FindNearest({20.5, 15.0}, 1.0).id, 2);
+  std::vector<int64_t> found;
+  index.ForEachInDisk({10.0, 15.0}, 5.0,
+                      [&](const IndexedPoint& entry, double) {
+                        found.push_back(entry.id);
+                      });
+  std::sort(found.begin(), found.end());
+  EXPECT_EQ(found, (std::vector<int64_t>{1}));  // Distance exactly 5.0.
+}
+
+TEST(GridIndexTest, NearestCrossesCellBoundaryWhenNeighborIsCloser) {
+  // Origin sits near a cell edge: the same-cell candidate is farther than
+  // one just across the boundary. A walk that stopped after the origin
+  // cell (or applied the ring cutoff one ring too early) would return the
+  // wrong point.
+  GridIndex index(MakeGrid());
+  index.Insert(1, {11.0, 15.0});   // Same cell as origin, distance 8.
+  index.Insert(2, {20.5, 15.0});   // Next cell over, distance 1.5.
+  const IndexedPoint hit = index.FindNearest({19.0, 15.0}, 50.0);
+  EXPECT_EQ(hit.id, 2);
+}
+
+TEST(GridIndexTest, RingCutoffStopsExactlyAtTheProvableBound) {
+  // Pins FindNearest's `(ring - 1) * cell_min > best` early-exit: with a
+  // best candidate at distance d, every ring r with (r - 1) * cell_min <=
+  // d must still be scanned (a closer point may hide there). The ring-1
+  // candidate is found first at distance ~17.7; since (2 - 1) * 10 <=
+  // 17.7, ring 2 must still be walked, where the true nearest sits at
+  // distance 16.1 — a cutoff firing one ring early would return id 1.
+  GridIndex index(MakeGrid());
+  const Point origin{5.0, 36.0};              // Cell (0, 3).
+  index.Insert(1, {15.9, 49.9});              // Ring 1, distance ~17.7.
+  index.Insert(2, {5.0, 19.9});               // Ring 2, distance 16.1.
+  const IndexedPoint hit = index.FindNearest(origin, 50.0);
+  EXPECT_EQ(hit.id, 2);
+  EXPECT_NEAR(Distance(origin, hit.location), 16.1, 1e-9);
+}
+
 // Property: FindNearest agrees with brute force over random point sets.
 class GridIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 

@@ -44,6 +44,7 @@
 #include "gen/city_trace.h"
 #include "gen/synthetic.h"
 #include "model/io.h"
+#include "retrieval/mode.h"
 #include "serve/service_harness.h"
 #include "sim/runner.h"
 #include "sim/sharded_dispatcher.h"
@@ -121,6 +122,7 @@ int Usage() {
       "       [--strict] [--stream] [--dr=F] [--dw=F]\n"
       "       [--shards=K] [--shard-threads=N] [--router=%s]\n"
       "       [--handoff-batch=N] [--reconcile]\n"
+      "       [--retrieval=%s] [--approx-guide[=RATE]]\n"
       "       (NAME: %s)\n"
       "  ftoa serve [--city=beijing|hangzhou] [--scale=F] [--windows=N]\n"
       "       [--algorithm=NAME] [--shards=K] [--shard-threads=N]\n"
@@ -129,10 +131,13 @@ int Usage() {
       "       [--max-queue-depth=N] [--max-live-objects=N]\n"
       "       [--max-guide-age=N] [--faults=SPEC] [--fault-seed=N]\n"
       "       [--loop-days=N] [--no-evict] [--reconcile]\n"
+      "       [--retrieval=%s]\n"
       "  ftoa algos\n"
       "  ftoa inspect --instance=FILE\n",
       Join(AllShardRouterNames(), "|").c_str(),
-      Join(AllAlgorithmNames(), " | ").c_str());
+      Join(AllRetrievalModeNames(), "|").c_str(),
+      Join(AllAlgorithmNames(), " | ").c_str(),
+      Join(AllRetrievalModeNames(), "|").c_str());
   return 2;
 }
 
@@ -203,6 +208,16 @@ int CmdRun(int argc, char** argv) {
 
   // Guide-based algorithms need a prediction.
   AlgorithmDeps deps;
+  {
+    const auto retrieval = ParseRetrievalMode(args.Get("retrieval", "linear"));
+    if (!retrieval.ok()) {
+      // NotFound carries the valid-name set (AllRetrievalModeNames).
+      std::fprintf(stderr, "run: %s\n",
+                   retrieval.status().ToString().c_str());
+      return 2;
+    }
+    deps.retrieval = *retrieval;
+  }
   if (AlgorithmNeedsGuide(algorithm_name)) {
     PredictionMatrix prediction = PredictionMatrix::FromInstance(*instance);
     const std::string prediction_path = args.Get("prediction");
@@ -221,12 +236,30 @@ int CmdRun(int argc, char** argv) {
         args.GetDouble("dw", instance->MaxWorkerDuration());
     options.task_duration =
         args.GetDouble("dr", instance->MaxTaskDuration());
-    auto generated = GuideGenerator(instance->velocity(), options)
-                         .Generate(prediction);
+    if (args.Has("approx-guide")) {
+      // Bare --approx-guide takes the default half-rate sample; an
+      // explicit =RATE must be numeric (Generate validates the (0, 1]
+      // range and the engine restriction).
+      options.approx_sample_rate =
+          args.Get("approx-guide") == "true"
+              ? 0.5
+              : args.GetDouble("approx-guide", 0.5);
+    }
+    const GuideGenerator generator(instance->velocity(), options);
+    auto generated = generator.Generate(prediction);
     if (!generated.ok()) {
       std::fprintf(stderr, "guide generation failed: %s\n",
                    generated.status().ToString().c_str());
       return 1;
+    }
+    if (options.approx_sample_rate < 1.0) {
+      const ApproxGuideReport& report = generator.last_approx_report();
+      std::printf("approx guide   %lld of %lld type pairs kept "
+                  "(rate %.3f); matched-utility loss <= %lld\n",
+                  static_cast<long long>(report.sampled_pairs),
+                  static_cast<long long>(report.feasible_pairs),
+                  options.approx_sample_rate,
+                  static_cast<long long>(report.utility_loss_bound));
     }
     deps.guide = std::make_shared<const OfflineGuide>(
         std::move(generated).value());
@@ -316,7 +349,8 @@ int CmdServe(int argc, char** argv) {
       "shard-threads", "windows-per-segment", "refresh-period",
       "background-refresh", "slo-p99-ms", "max-queue-depth",
       "max-live-objects", "max-guide-age", "faults",
-      "fault-seed", "no-evict",       "reconcile"};
+      "fault-seed", "no-evict",       "reconcile",
+      "retrieval"};
   for (const std::string& key : args.Keys()) {
     if (std::find(kServeFlags.begin(), kServeFlags.end(), key) ==
         kServeFlags.end()) {
@@ -356,6 +390,15 @@ int CmdServe(int argc, char** argv) {
   options.fault_seed = static_cast<uint64_t>(args.GetInt("fault-seed", 1));
   options.evict_expired = !args.Has("no-evict");
   options.reconcile = args.Has("reconcile");
+  {
+    const auto retrieval = ParseRetrievalMode(args.Get("retrieval", "linear"));
+    if (!retrieval.ok()) {
+      std::fprintf(stderr, "serve: %s\n",
+                   retrieval.status().ToString().c_str());
+      return 2;
+    }
+    options.retrieval = *retrieval;
+  }
 
   auto harness = ServiceHarness::Create(profile, trace, options);
   if (!harness.ok()) {
@@ -372,13 +415,16 @@ int CmdServe(int argc, char** argv) {
     return 1;
   }
 
+  // rq/exam/c50/c99: retrieval-engine queries, candidates examined, and
+  // per-query cells-visited percentiles of the segment rotated at that
+  // window (all zero under --retrieval=linear and between rotations).
   std::printf(
       "window day  offered admitted shed drop match  p99 ms   live "
-      "evict epoch age flags\n");
+      "evict epoch age      rq    exam c50  c99 flags\n");
   for (const WindowMetrics& w : (*harness)->windows()) {
     std::printf(
         "%6lld %3lld  %7lld %8lld %4lld %4lld %5lld %7.3f %6lld %5lld "
-        "%5lld %3lld %s%s\n",
+        "%5lld %3lld %7lld %7lld %3lld %4lld %s%s\n",
         static_cast<long long>(w.window), static_cast<long long>(w.day),
         static_cast<long long>(w.offered),
         static_cast<long long>(w.admitted), static_cast<long long>(w.shed),
@@ -388,6 +434,10 @@ int CmdServe(int argc, char** argv) {
         static_cast<long long>(w.evicted),
         static_cast<long long>(w.guide_epoch),
         static_cast<long long>(w.guide_age_windows),
+        static_cast<long long>(w.retrieval_queries),
+        static_cast<long long>(w.candidates_examined),
+        static_cast<long long>(w.cells_visited_p50),
+        static_cast<long long>(w.cells_visited_p99),
         w.degraded_greedy ? "D" : "", w.overloaded ? "O" : "");
   }
   const ServiceTotals& totals = (*harness)->totals();

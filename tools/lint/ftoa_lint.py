@@ -27,10 +27,11 @@ Checks (see docs/static_analysis.md for the full catalog):
                            is released races the condition variable's
                            destruction (the exact TSan bug PR 6 fixed in
                            the shard drain path).
-  no-std-function-hot-path `std::function` in src/flow and src/spatial —
-                           per-candidate/per-edge callbacks there must be
-                           templated parameters (a type-erased call per
-                           inner-loop item is a measured regression).
+  no-std-function-hot-path `std::function` in src/flow, src/spatial,
+                           and src/retrieval — per-candidate/per-edge
+                           callbacks there must be templated parameters (a
+                           type-erased call per inner-loop item is a
+                           measured regression).
   include-hygiene          Headers must carry the canonical
                            `FTOA_<PATH>_H_` include guard; duplicate
                            includes; unused std includes (curated,
@@ -58,7 +59,7 @@ import sys
 # Check catalog and path scopes (relative, '/'-separated).
 
 DETERMINISM_PATHS = ("src/core/", "src/sim/", "src/serve/", "src/flow/")
-HOT_PATHS = ("src/flow/", "src/spatial/")
+HOT_PATHS = ("src/flow/", "src/spatial/", "src/retrieval/")
 RNG_SCOPE = ("src/", "tools/")
 RNG_EXEMPT = ("src/util/", "tools/lint/")
 

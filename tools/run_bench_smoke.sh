@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Perf-trajectory smoke: builds Release, runs the flow microbench, the
 # per-object online-algorithm microbench, the parallel/sharding
-# microbench, the streaming-session microbench, and the sharded-dispatcher
-# bench, and records their JSON next to the repo root (BENCH_flow.json,
-# BENCH_perobject.json, BENCH_parallel.json, BENCH_streaming.json,
-# BENCH_sharded.json) so future PRs can diff solver performance against
+# microbench, the streaming-session microbench, the sharded-dispatcher
+# bench, and the candidate-retrieval bench, and records their JSON next to
+# the repo root (BENCH_flow.json, BENCH_perobject.json,
+# BENCH_parallel.json, BENCH_streaming.json, BENCH_sharded.json,
+# BENCH_retrieval.json) so future PRs can diff solver performance against
 # this one.
 #
 # Usage: tools/run_bench_smoke.sh [build-dir]
@@ -17,7 +18,7 @@ cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DFTOA_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD" \
       --target bench_micro_flow bench_micro_perobject bench_parallel \
-               bench_streaming bench_sharded \
+               bench_streaming bench_sharded bench_retrieval \
       -j "$(nproc)"
 
 echo "== bench_micro_flow (Dijkstra+potentials vs SPFA, arenas, matcher)"
@@ -49,6 +50,12 @@ echo "== bench_sharded (sharded dispatcher vs single session)"
 "$BUILD/bench_sharded" \
     --benchmark_min_time=0.05 \
     --benchmark_out="$ROOT/BENCH_sharded.json" \
+    --benchmark_out_format=json
+
+echo "== bench_retrieval (engine vs linear candidate scan, approx guides)"
+"$BUILD/bench_retrieval" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="$ROOT/BENCH_retrieval.json" \
     --benchmark_out_format=json
 
 # Headline number: min-cost flow speedup on the dense 2048x2048 instance.
@@ -132,4 +139,41 @@ for router in ("Grid", "Hash", "Load"):
               f"{plain['matched']:.0f} -> {rec['matched']:.0f} reconciled "
               f"(+{rec['reconciled']:.0f} recovered, pass "
               f"{rec['real_time'] - plain['real_time']:.0f}ms)")
+EOF
+
+# Headline numbers: per-decision cost growth of the retrieval engine vs
+# the linear candidate scan across the density sweep (the sublinearity
+# claim), and the approx-guide time saving against its certified
+# matched-utility loss bound.
+python3 - "$ROOT/BENCH_retrieval.json" <<'EOF'
+import json, sys
+benches = json.load(open(sys.argv[1]))["benchmarks"]
+runs = {b["name"]: b for b in benches}
+sizes = (2000, 8000, 32000)
+for mode in ("Engine", "Linear"):
+    points = [runs.get(f"BM_Retrieval{mode}/simple_greedy/{n}")
+              for n in sizes]
+    if not all(points):
+        continue
+    # items_per_second counts decisions; invert for per-decision cost.
+    us = [1e6 / p["items_per_second"] for p in points]
+    growth = us[-1] / us[0]
+    cells = (f", cells p50 {points[-1]['cells_p50']:.0f} "
+             f"p99 {points[-1]['cells_p99']:.0f}"
+             if "cells_p50" in points[-1] else "")
+    print(f"retrieval {mode.lower():6s} simple-greedy: per-decision "
+          f"{us[0]:.1f}us -> {us[-1]:.1f}us over {sizes[0]}->{sizes[-1]} "
+          f"objects ({growth:.1f}x for {sizes[-1] // sizes[0]}x load)"
+          f"{cells}")
+exact = runs.get("BM_ApproxGuide/rate_100")
+for pct in (50, 25):
+    approx = runs.get(f"BM_ApproxGuide/rate_{pct}")
+    if exact and approx:
+        print(f"approx guide rate {pct / 100:.2f}: "
+              f"{approx['real_time']:.1f}ms vs exact "
+              f"{exact['real_time']:.1f}ms "
+              f"({exact['real_time'] / approx['real_time']:.1f}x faster), "
+              f"matched {approx['matched']:.0f} vs {exact['matched']:.0f} "
+              f"(gap {approx['utility_gap']:.0f} <= certified bound "
+              f"{approx['loss_bound']:.0f})")
 EOF
