@@ -5,6 +5,14 @@
 //    arenas) against the retained SPFA reference on dense random bipartite
 //    assignment networks. The acceptance bar for the overhaul was >= 3x at
 //    2048 x 2048; measured ~5x on that instance.
+//  * BM_MinCostFlowEngine/<shape>_<engine> — the FlowEngine shape sweep
+//    behind ChooseFlowEngine's crossover table (docs/flow_engines.md):
+//    each registered engine (ssp, blocking-ssp, cost-scaling, auto) on the
+//    three canonical instance shapes — `dense` (unit-capacity bipartite,
+//    distinct 1e6-range costs), `ties` (unit-capacity bipartite,
+//    small-integer travel costs, the guide generator's regime), and
+//    `heavy` (high-capacity compressed type-pair networks). The `auto`
+//    rows certify that kAuto lands on the measured winner per shape.
 //  * BM_MinCostFlowArenaReuse — same solve through a long-lived solver
 //    whose Reset() keeps the edge arena and scratch buffers, the usage
 //    pattern of guide generation in a live deployment.
@@ -92,6 +100,113 @@ BENCHMARK(BM_MinCostFlowSpfa)
     ->Args({1024, 32})
     ->Args({2048, 48})
     ->Unit(benchmark::kMillisecond);
+
+// The FlowEngine shape sweep. Three canonical shapes:
+//  * kDense — BuildAssignment above: unit capacities, all-distinct costs.
+//    Nearly every shortest-path cost class is unique, so one blocking
+//    phase admits few paths; the per-search engines fight it out here.
+//  * kTies  — same layout, costs in {1..4}: the guide generator's regime
+//    (quantized travel times collide constantly). Each cost class admits
+//    many vertex-disjoint paths, the blocking engine's territory.
+//  * kHeavy — compressed type-pair shape: few nodes, capacities in the
+//    hundreds. Per-unit augmentation pays per unit; cost-scaling's
+//    network-size-bound refine is the point of this shape.
+enum class BenchShape { kDense, kTies, kHeavy };
+
+void BuildShaped(MinCostFlowGraph& g, BenchShape shape, int32_t n,
+                 int32_t degree, uint64_t seed) {
+  if (shape != BenchShape::kHeavy) {
+    Rng rng(seed);
+    const int32_t source = 0;
+    const int32_t sink = 1 + 2 * n;
+    const uint64_t cost_range =
+        shape == BenchShape::kTies ? 4 : 1'000'000;
+    g.Reset(sink + 1);
+    g.ReserveEdges(static_cast<size_t>(n) *
+                   (static_cast<size_t>(degree) + 2));
+    for (int32_t w = 0; w < n; ++w) g.AddEdge(source, 1 + w, 1, 0);
+    for (int32_t r = 0; r < n; ++r) g.AddEdge(1 + n + r, sink, 1, 0);
+    for (int32_t w = 0; w < n; ++w) {
+      for (int32_t d = 0; d < degree; ++d) {
+        g.AddEdge(1 + w,
+                  1 + n + static_cast<int32_t>(
+                              rng.NextBounded(static_cast<uint64_t>(n))),
+                  1, 1 + static_cast<int64_t>(rng.NextBounded(cost_range)));
+      }
+    }
+    return;
+  }
+  Rng rng(seed);
+  const int32_t source = 0;
+  const int32_t sink = 1 + 2 * n;
+  g.Reset(sink + 1);
+  g.ReserveEdges(static_cast<size_t>(n) * (static_cast<size_t>(degree) + 2));
+  for (int32_t w = 0; w < n; ++w) {
+    g.AddEdge(source, 1 + w, 1 + static_cast<int64_t>(rng.NextBounded(256)),
+              0);
+  }
+  for (int32_t r = 0; r < n; ++r) {
+    g.AddEdge(1 + n + r, sink, 1 + static_cast<int64_t>(rng.NextBounded(256)),
+              0);
+  }
+  for (int32_t w = 0; w < n; ++w) {
+    for (int32_t d = 0; d < degree; ++d) {
+      g.AddEdge(1 + w,
+                1 + n + static_cast<int32_t>(
+                            rng.NextBounded(static_cast<uint64_t>(n))),
+                1 + static_cast<int64_t>(rng.NextBounded(256)),
+                1 + static_cast<int64_t>(rng.NextBounded(1'000'000)));
+    }
+  }
+}
+
+void BM_MinCostFlowEngine(benchmark::State& state, FlowEngine engine,
+                          BenchShape shape) {
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  const int32_t degree = static_cast<int32_t>(state.range(1));
+  MinCostFlowGraph g;
+  MinCostFlowGraph::Outcome outcome;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BuildShaped(g, shape, n, degree, 42);
+    state.ResumeTiming();
+    outcome = g.Solve(0, 1 + 2 * n, engine);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["flow"] = static_cast<double>(outcome.flow);
+  state.counters["cost"] = static_cast<double>(outcome.cost);
+  state.counters["path_searches"] = static_cast<double>(g.path_searches());
+  state.counters["blocking_phases"] =
+      static_cast<double>(g.blocking_phases());
+  state.counters["refine_rounds"] = static_cast<double>(g.refine_rounds());
+}
+
+#define FTOA_ENGINE_BENCH(shape_tag, shape, n, degree)                       \
+  BENCHMARK_CAPTURE(BM_MinCostFlowEngine, shape_tag##_ssp, FlowEngine::kSsp, \
+                    shape)                                                   \
+      ->Args({n, degree})                                                    \
+      ->Unit(benchmark::kMillisecond);                                       \
+  BENCHMARK_CAPTURE(BM_MinCostFlowEngine, shape_tag##_blocking,              \
+                    FlowEngine::kBlockingSsp, shape)                         \
+      ->Args({n, degree})                                                    \
+      ->Unit(benchmark::kMillisecond);                                       \
+  BENCHMARK_CAPTURE(BM_MinCostFlowEngine, shape_tag##_cost_scaling,          \
+                    FlowEngine::kCostScaling, shape)                         \
+      ->Args({n, degree})                                                    \
+      ->Unit(benchmark::kMillisecond);                                       \
+  BENCHMARK_CAPTURE(BM_MinCostFlowEngine, shape_tag##_auto,                  \
+                    FlowEngine::kAuto, shape)                                \
+      ->Args({n, degree})                                                    \
+      ->Unit(benchmark::kMillisecond)
+
+FTOA_ENGINE_BENCH(dense, BenchShape::kDense, 512, 16);
+FTOA_ENGINE_BENCH(dense, BenchShape::kDense, 2048, 48);
+FTOA_ENGINE_BENCH(ties, BenchShape::kTies, 512, 16);
+FTOA_ENGINE_BENCH(ties, BenchShape::kTies, 2048, 48);
+FTOA_ENGINE_BENCH(heavy, BenchShape::kHeavy, 128, 32);
+FTOA_ENGINE_BENCH(heavy, BenchShape::kHeavy, 256, 32);
+
+#undef FTOA_ENGINE_BENCH
 
 // Includes the rebuild: Reset() + edge insertion + solve through one
 // long-lived arena, i.e. the steady-state cost of one guide-generation

@@ -126,18 +126,18 @@ class TgoaIncrementalSession final : public TgoaSessionBase<Pool> {
   using Base::waiting_workers_;
 
  public:
-  TgoaIncrementalSession(const Instance& instance, const TgoaOptions& options)
-      : Base(instance, options),
-        worker_slot_(static_cast<size_t>(instance.num_workers()), -1),
-        task_slot_(static_cast<size_t>(instance.num_tasks()), -1) {
-    matcher_.ReserveNodes(static_cast<size_t>(instance.num_workers()),
-                          static_cast<size_t>(instance.num_tasks()));
+  TgoaIncrementalSession(const Instance& inst, const TgoaOptions& options)
+      : Base(inst, options),
+        worker_slot_(static_cast<size_t>(inst.num_workers()), -1),
+        task_slot_(static_cast<size_t>(inst.num_tasks()), -1) {
+    matcher_.ReserveNodes(static_cast<size_t>(inst.num_workers()),
+                          static_cast<size_t>(inst.num_tasks()));
     // Edge volume is data dependent; seed the arena with a few candidates
     // per object so steady-state growth is amortized away.
-    matcher_.ReserveEdges(4 * static_cast<size_t>(instance.num_workers() +
-                                                  instance.num_tasks()));
-    slot_worker_.reserve(static_cast<size_t>(instance.num_workers()));
-    slot_task_.reserve(static_cast<size_t>(instance.num_tasks()));
+    matcher_.ReserveEdges(4 * static_cast<size_t>(inst.num_workers() +
+                                                  inst.num_tasks()));
+    slot_worker_.reserve(static_cast<size_t>(inst.num_workers()));
+    slot_task_.reserve(static_cast<size_t>(inst.num_tasks()));
   }
 
   void OnWorker(WorkerId worker, double time) override {

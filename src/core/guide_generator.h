@@ -41,6 +41,7 @@
 #include "core/guide.h"
 #include "core/prediction_matrix.h"
 #include "flow/dinic.h"
+#include "flow/flow_engine.h"
 #include "flow/graph.h"
 #include "flow/min_cost_flow.h"
 #include "util/result.h"
@@ -59,6 +60,14 @@ struct GuideOptions {
   };
 
   Engine engine = Engine::kAuto;
+
+  /// Solver core for the kCompressedMinCost per-component networks (see
+  /// flow/flow_engine.h). kAuto picks per component from the component's
+  /// measured shape — deterministic for a fixed prediction, so the guide
+  /// stays reproducible. Engines may return different equally-cheap flow
+  /// patterns, so the guide is bit-identical across thread counts *per
+  /// engine* and (matched count, total cost)-equivalent across engines.
+  FlowEngine flow_engine = FlowEngine::kAuto;
 
   /// Representative worker waiting time Dw used in the type-level deadline
   /// test (the platform knows its configured worker patience).

@@ -1,0 +1,65 @@
+#include "flow/flow_engine.h"
+
+#include "util/string_util.h"
+
+namespace ftoa {
+
+const std::vector<std::string>& AllFlowEngineNames() {
+  static const std::vector<std::string> kNames = {
+      "ssp", "blocking-ssp", "cost-scaling", "auto"};
+  return kNames;
+}
+
+const char* FlowEngineName(FlowEngine engine) {
+  switch (engine) {
+    case FlowEngine::kSsp:
+      return "ssp";
+    case FlowEngine::kBlockingSsp:
+      return "blocking-ssp";
+    case FlowEngine::kCostScaling:
+      return "cost-scaling";
+    case FlowEngine::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+Result<FlowEngine> ParseFlowEngine(const std::string& name) {
+  if (name == "ssp") return FlowEngine::kSsp;
+  if (name == "blocking-ssp") return FlowEngine::kBlockingSsp;
+  if (name == "cost-scaling") return FlowEngine::kCostScaling;
+  if (name == "auto") return FlowEngine::kAuto;
+  return Status::NotFound("unknown flow engine \"" + name + "\" (valid: " +
+                          Join(AllFlowEngineNames(), ", ") + ")");
+}
+
+FlowEngine ChooseFlowEngine(const FlowInstanceShape& shape) {
+  // Thresholds from the BENCH_flow.json shape sweep (docs/flow_engines.md
+  // holds the measured table this encodes):
+  //  * Small remaining flow: the SSP core's early-exit Dijkstra amortizes
+  //    better than a full phase settle — each unit is one cheap search.
+  //  * Unit-capacity networks with heavy cost ties (the guide generator's
+  //    node-level networks, whose quantized travel times repeat across
+  //    every node pair of a type pair): blocking phases collapse O(F)
+  //    searches into one search per cost class — measured 25x over ssp on
+  //    tie-heavy 2048x2048 instances. The predictor is flow units per
+  //    cost class: with all-distinct costs each phase admits ~one path and
+  //    the full-cone settle is pure overhead (measured 3.6x *slower* than
+  //    ssp on the distinct-cost dense sweep), so blocking needs supply to
+  //    comfortably exceed the distinct-cost count.
+  //  * Everything else — high-capacity networks (compressed type-pair
+  //    networks, caps are predicted per-type counts) and distinct-cost
+  //    unit networks: cost-scaling; its refine cost depends on network
+  //    size, not flow value (measured 1.4-4.9x over ssp across the sweep,
+  //    and never the worst engine on any measured shape).
+  if (shape.num_edges <= 0 || shape.supply <= 0) return FlowEngine::kSsp;
+  if (shape.supply <= 256) return FlowEngine::kSsp;
+  const bool unit_dominated =
+      shape.unit_capacity_edges * 10 >= shape.num_edges * 9;
+  const bool tie_heavy = shape.cost_classes > 0 &&
+                         shape.supply >= 4 * shape.cost_classes;
+  if (unit_dominated && tie_heavy) return FlowEngine::kBlockingSsp;
+  return FlowEngine::kCostScaling;
+}
+
+}  // namespace ftoa

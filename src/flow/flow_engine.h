@@ -1,0 +1,81 @@
+// FlowEngine — the registry of min-cost max-flow solver cores behind
+// MinCostFlowGraph::Solve(s, t, engine), mirroring the algorithm and
+// shard-router registries (one source of truth for names, parsing, and the
+// CLI usage string).
+//
+// Engines (see docs/flow_engines.md for the catalog and measured
+// crossovers):
+//  * kSsp — successive shortest paths, one Dijkstra (over Johnson reduced
+//    costs) per augmentation. Lowest constant factor; the right core when
+//    the flow value is small.
+//  * kBlockingSsp — the same Dijkstra phase, but each phase settles the
+//    whole <= dist(t) cone and then pushes a *blocking flow* over the
+//    admissible (zero-reduced-cost) subgraph, augmenting many shortest
+//    paths per search. On the unit-capacity bipartite networks guide
+//    generation emits this needs O(sqrt(E)) phases instead of O(F)
+//    searches (the Hopcroft-Karp bound).
+//  * kCostScaling — push-relabel on eps-optimal pseudoflows (Goldberg-
+//    Tarjan refine): max flow first, then cost-scaling rounds that halve..
+//    eighth eps until eps < 1 certifies optimality of the scaled costs.
+//    Insensitive to the flow value; wins on high-capacity networks where
+//    augmenting-path cores pay per unit.
+//  * kAuto — picks one of the above from the instance shape via
+//    ChooseFlowEngine (measured crossover points, not guesses).
+//
+// Every engine computes an exact min-cost maximum flow; they may return
+// different (equally optimal) per-edge flow patterns, so callers that need
+// reproducibility fix the engine (kAuto is a pure function of the instance
+// shape, so a fixed instance always gets the same engine).
+
+#ifndef FTOA_FLOW_FLOW_ENGINE_H_
+#define FTOA_FLOW_FLOW_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ftoa {
+
+enum class FlowEngine {
+  kSsp,
+  kBlockingSsp,
+  kCostScaling,
+  kAuto,
+};
+
+/// Canonical names, in declaration order ("ssp", "blocking-ssp",
+/// "cost-scaling", "auto") — the CLI usage string and unknown-value errors
+/// both derive from this list.
+const std::vector<std::string>& AllFlowEngineNames();
+
+/// Canonical name of `engine`.
+const char* FlowEngineName(FlowEngine engine);
+
+/// Parses a canonical name; NotFound (listing the valid set) otherwise.
+Result<FlowEngine> ParseFlowEngine(const std::string& name);
+
+/// What kAuto looks at. Computed by MinCostFlowGraph::ComputeShape from the
+/// network itself, so selection needs no caller-side bookkeeping.
+struct FlowInstanceShape {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;        ///< Forward edges.
+  int64_t supply = 0;           ///< Residual capacity out of the source —
+                                ///  an upper bound on the remaining flow.
+  int64_t max_capacity = 0;     ///< Largest forward-edge capacity.
+  int64_t unit_capacity_edges = 0;  ///< Forward edges with capacity 1.
+  int64_t cost_classes = 0;     ///< Distinct forward-edge cost values — the
+                                ///  tie-density signal: blocking phases only
+                                ///  pay off when many shortest paths share a
+                                ///  cost class (see ChooseFlowEngine).
+};
+
+/// The kAuto selection rule: a pure function of the shape, with thresholds
+/// set from the measured crossover points in BENCH_flow.json (see
+/// docs/flow_engines.md; bench_micro_flow re-measures them per host).
+FlowEngine ChooseFlowEngine(const FlowInstanceShape& shape);
+
+}  // namespace ftoa
+
+#endif  // FTOA_FLOW_FLOW_ENGINE_H_

@@ -2,12 +2,20 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 namespace ftoa {
 
 namespace {
 constexpr int32_t kInf = std::numeric_limits<int32_t>::max();
+// The CSR offsets (adj_start_, and iter_'s write cursors) are int32, so the
+// edge count must stay below int32 range — at city scale a node-level
+// network can genuinely approach this, and a silent wrap here is the PR 7
+// stride-truncation bug class. Checked unconditionally in AddEdge.
+constexpr size_t kMaxEdges =
+    static_cast<size_t>(std::numeric_limits<int32_t>::max());
 }  // namespace
 
 HopcroftKarp::HopcroftKarp(int32_t num_left, int32_t num_right) {
@@ -15,6 +23,13 @@ HopcroftKarp::HopcroftKarp(int32_t num_left, int32_t num_right) {
 }
 
 void HopcroftKarp::Reset(int32_t num_left, int32_t num_right) {
+  if (num_left < 0 || num_right < 0) {
+    std::fprintf(stderr,
+                 "HopcroftKarp: negative side size (%d, %d) — a wider count "
+                 "narrowed into int32?\n",
+                 num_left, num_right);
+    std::abort();
+  }
   num_left_ = num_left;
   num_right_ = num_right;
   edge_from_.clear();
@@ -27,6 +42,22 @@ void HopcroftKarp::Reset(int32_t num_left, int32_t num_right) {
 }
 
 void HopcroftKarp::AddEdge(int32_t u, int32_t v) {
+  // Unconditional bounds checks: matcher callers size their graphs from
+  // int64 counts (MinCostFlowGraph and the node-level guide networks are
+  // int64 throughout), so an id or edge count that narrowed on the way in
+  // must die here, not index out of bounds or wrap a CSR offset later.
+  if (u < 0 || u >= num_left_ || v < 0 || v >= num_right_) {
+    std::fprintf(stderr,
+                 "HopcroftKarp: edge (%d, %d) out of range [0, %d) x [0, %d)\n",
+                 u, v, num_left_, num_right_);
+    std::abort();
+  }
+  if (edge_to_.size() >= kMaxEdges) {
+    std::fprintf(stderr,
+                 "HopcroftKarp: edge count would exceed int32 range (%zu)\n",
+                 edge_to_.size());
+    std::abort();
+  }
   edge_from_.push_back(u);
   edge_to_.push_back(v);
   adjacency_built_ = false;
@@ -38,6 +69,12 @@ void HopcroftKarp::ReserveEdges(size_t num_edges) {
 }
 
 void HopcroftKarp::SetMatch(int32_t u, int32_t v) {
+  if (u < 0 || u >= num_left_ || v < 0 || v >= num_right_) {
+    std::fprintf(stderr,
+                 "HopcroftKarp: match (%d, %d) out of range [0, %d) x [0, %d)\n",
+                 u, v, num_left_, num_right_);
+    std::abort();
+  }
   assert(match_left_[static_cast<size_t>(u)] < 0);
   assert(match_right_[static_cast<size_t>(v)] < 0);
   match_left_[static_cast<size_t>(u)] = v;

@@ -546,6 +546,135 @@ TEST(GuideGeneratorTest, ApproxGuideIsThreadCountInvariant) {
   }
 }
 
+// --- FlowEngine selection inside the min-cost guide ---
+
+double TotalGuideTravel(const OfflineGuide& guide) {
+  double cost = 0.0;
+  const SpacetimeSpec& st = guide.spacetime();
+  for (const GuideNode& node : guide.worker_nodes()) {
+    if (node.partner < 0) continue;
+    const GuideNode& partner =
+        guide.task_nodes()[static_cast<size_t>(node.partner)];
+    cost += TravelTime(st.RepresentativeLocation(node.type),
+                       st.RepresentativeLocation(partner.type),
+                       guide.velocity());
+  }
+  return cost;
+}
+
+// Property: the min-cost guide is engine-equivalent — every FlowEngine
+// (and kAuto's per-component choice) yields the same matched cardinality
+// and the same total representative travel. Per-edge flow patterns may
+// differ between equally cheap optima, so individual pairings may too;
+// the (count, cost) pair is the contract.
+class GuideFlowEngineTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GuideFlowEngineTest, MinCostGuideIsEngineEquivalent) {
+  SyntheticConfig config;
+  Rng rng(GetParam() * 131 + 7);
+  config.num_workers = 150 + static_cast<int>(rng.NextBounded(300));
+  config.num_tasks = 150 + static_cast<int>(rng.NextBounded(300));
+  config.grid_x = 6 + static_cast<int>(rng.NextBounded(6));
+  config.grid_y = 6 + static_cast<int>(rng.NextBounded(6));
+  config.num_slots = 4 + static_cast<int>(rng.NextBounded(8));
+  config.task_duration = 1.0 + rng.NextDouble() * 2.0;
+  config.worker_duration = 1.0 + rng.NextDouble() * 3.0;
+  config.seed = GetParam() * 313 + 29;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(*instance);
+
+  GuideOptions options;
+  options.engine = GuideOptions::Engine::kCompressedMinCost;
+  options.worker_duration = config.worker_duration;
+  options.task_duration = config.task_duration;
+
+  int64_t reference_pairs = -1;
+  double reference_travel = 0.0;
+  for (const FlowEngine flow_engine :
+       {FlowEngine::kSsp, FlowEngine::kBlockingSsp, FlowEngine::kCostScaling,
+        FlowEngine::kAuto}) {
+    options.flow_engine = flow_engine;
+    const GuideGenerator generator(config.velocity, options);
+    const auto guide = generator.Generate(prediction);
+    ASSERT_TRUE(guide.ok()) << FlowEngineName(flow_engine);
+    EXPECT_TRUE(guide->Validate().ok()) << FlowEngineName(flow_engine);
+    if (reference_pairs < 0) {
+      reference_pairs = guide->matched_pairs();
+      reference_travel = TotalGuideTravel(*guide);
+    } else {
+      EXPECT_EQ(guide->matched_pairs(), reference_pairs)
+          << FlowEngineName(flow_engine);
+      // Edge costs are travel quantized at 1e-6, so equal integer network
+      // cost pins the travel sums within matched * 1e-6.
+      EXPECT_NEAR(TotalGuideTravel(*guide), reference_travel,
+                  static_cast<double>(reference_pairs + 1) * 1e-6)
+          << FlowEngineName(flow_engine);
+    }
+  }
+  EXPECT_GE(reference_pairs, 0);
+}
+
+TEST_P(GuideFlowEngineTest, FixedEngineGuideIsThreadCountInvariant) {
+  // Per fixed engine the guide is bit-identical at any thread count: both
+  // the across-component sharding and the intra-component scans (the lent
+  // pool on the chunks <= 1 path) are order-insensitive.
+  SyntheticConfig config;
+  Rng rng(GetParam() * 677 + 11);
+  config.num_workers = 200 + static_cast<int>(rng.NextBounded(300));
+  config.num_tasks = 200 + static_cast<int>(rng.NextBounded(300));
+  config.grid_x = 8;
+  config.grid_y = 8;
+  config.num_slots = 6;
+  // Alternate between the many-component regime (across-component shards)
+  // and the one-giant-component regime (the lent-pool path).
+  config.velocity = rng.NextBool() ? 0.3 : 5.0;
+  config.task_duration = 0.5 + rng.NextDouble() * 2.0;
+  config.worker_duration = 0.5 + rng.NextDouble() * 3.0;
+  config.seed = GetParam() * 457 + 13;
+  const auto instance = GenerateSyntheticInstance(config);
+  ASSERT_TRUE(instance.ok());
+  const PredictionMatrix prediction =
+      PredictionMatrix::FromInstance(*instance);
+
+  for (const FlowEngine flow_engine :
+       {FlowEngine::kBlockingSsp, FlowEngine::kCostScaling}) {
+    GuideOptions options;
+    options.engine = GuideOptions::Engine::kCompressedMinCost;
+    options.flow_engine = flow_engine;
+    options.worker_duration = config.worker_duration;
+    options.task_duration = config.task_duration;
+
+    options.num_threads = 1;
+    const GuideGenerator serial(config.velocity, options);
+    const auto serial_guide = serial.Generate(prediction);
+    ASSERT_TRUE(serial_guide.ok()) << FlowEngineName(flow_engine);
+
+    for (const int threads : {2, 8}) {
+      options.num_threads = threads;
+      const GuideGenerator parallel(config.velocity, options);
+      const auto parallel_guide = parallel.Generate(prediction);
+      ASSERT_TRUE(parallel_guide.ok()) << FlowEngineName(flow_engine);
+      EXPECT_EQ(parallel_guide->matched_pairs(),
+                serial_guide->matched_pairs())
+          << FlowEngineName(flow_engine) << " threads " << threads;
+      ASSERT_EQ(parallel_guide->worker_nodes().size(),
+                serial_guide->worker_nodes().size());
+      for (size_t node = 0; node < serial_guide->worker_nodes().size();
+           ++node) {
+        ASSERT_EQ(parallel_guide->worker_nodes()[node].partner,
+                  serial_guide->worker_nodes()[node].partner)
+            << FlowEngineName(flow_engine) << " threads " << threads
+            << " node " << node;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuideFlowEngineTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
 TEST(GuideGeneratorTest, ApproxAutoEngineRoutesToCompressed) {
   const PredictionMatrix prediction = ApproxTestPrediction();
   GuideOptions options = ApproxTestOptions(0.5);

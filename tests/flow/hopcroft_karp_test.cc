@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "flow/dinic.h"
@@ -151,6 +152,56 @@ TEST(HopcroftKarpTest, SolveIsIncrementalAcrossEdgeInsertions) {
   EXPECT_EQ(hk.Solve(), 2);  // Prior matching kept, one augmentation.
   EXPECT_EQ(hk.MatchOfLeft(0), 0);
   EXPECT_EQ(hk.MatchOfLeft(1), 1);
+}
+
+// --- int32/int64 boundary hardening ---
+//
+// Matcher callers size their graphs from int64 counts, so an id that
+// narrowed on the way in must die loudly at the API boundary instead of
+// indexing out of bounds or wrapping a CSR offset (the PR 7
+// stride-truncation bug class).
+
+TEST(HopcroftKarpDeathTest, AddEdgeOutOfRangeAborts) {
+  HopcroftKarp hk(3, 4);
+  EXPECT_DEATH(hk.AddEdge(3, 0), "out of range");
+  EXPECT_DEATH(hk.AddEdge(-1, 0), "out of range");
+  EXPECT_DEATH(hk.AddEdge(0, 4), "out of range");
+  EXPECT_DEATH(hk.AddEdge(0, -1), "out of range");
+  // The canonical narrowing artifact: an int64 id truncated to a negative
+  // or huge int32 lands far outside either side.
+  EXPECT_DEATH(hk.AddEdge(std::numeric_limits<int32_t>::min(), 0),
+               "out of range");
+  EXPECT_DEATH(hk.AddEdge(0, std::numeric_limits<int32_t>::max()),
+               "out of range");
+}
+
+TEST(HopcroftKarpDeathTest, SetMatchOutOfRangeAborts) {
+  HopcroftKarp hk(3, 4);
+  hk.AddEdge(0, 0);
+  EXPECT_DEATH(hk.SetMatch(3, 0), "out of range");
+  EXPECT_DEATH(hk.SetMatch(0, 4), "out of range");
+  EXPECT_DEATH(hk.SetMatch(-1, -1), "out of range");
+}
+
+TEST(HopcroftKarpDeathTest, NegativeSideSizeAborts) {
+  EXPECT_DEATH(HopcroftKarp(-1, 2), "negative side size");
+  EXPECT_DEATH(HopcroftKarp(2, -1), "negative side size");
+  HopcroftKarp hk(2, 2);
+  EXPECT_DEATH(hk.Reset(-5, 1), "negative side size");
+}
+
+TEST(HopcroftKarpTest, BoundaryIdsAtSideLimitsStayValid) {
+  // Regression companion to the death tests: the largest valid ids on each
+  // side must keep working — the guard is off-by-one-free.
+  HopcroftKarp hk(3, 4);
+  hk.AddEdge(2, 3);
+  hk.AddEdge(0, 0);
+  EXPECT_EQ(hk.Solve(), 2);
+  EXPECT_EQ(hk.MatchOfLeft(2), 3);
+  hk.Reset(1, 1);
+  hk.AddEdge(0, 0);
+  hk.SetMatch(0, 0);
+  EXPECT_EQ(hk.Solve(), 1);
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 // routers: grid | hash | load), --handoff-batch=N (events staged per
 // batched queue handoff; 1 = per-event), and --reconcile (post-merge
 // boundary reconciliation recovering cross-shard matches).
+// --flow-engine=NAME fixes the min-cost-flow solver core used for guide
+// generation (flow/flow_engine.h registry; auto picks by instance shape).
 // `serve` runs the long-running serving harness (serve/service_harness)
 // over the looped city trace: rolling eviction, live guide refresh with
 // hot-swap and a degradation ladder, fault injection (--faults, the
@@ -41,6 +43,7 @@
 
 #include "core/algorithm_registry.h"
 #include "core/guide_generator.h"
+#include "flow/flow_engine.h"
 #include "gen/city_trace.h"
 #include "gen/synthetic.h"
 #include "model/io.h"
@@ -123,6 +126,7 @@ int Usage() {
       "       [--shards=K] [--shard-threads=N] [--router=%s]\n"
       "       [--handoff-batch=N] [--reconcile]\n"
       "       [--retrieval=%s] [--approx-guide[=RATE]]\n"
+      "       [--flow-engine=%s]\n"
       "       (NAME: %s)\n"
       "  ftoa serve [--city=beijing|hangzhou] [--scale=F] [--windows=N]\n"
       "       [--algorithm=NAME] [--shards=K] [--shard-threads=N]\n"
@@ -136,6 +140,7 @@ int Usage() {
       "  ftoa inspect --instance=FILE\n",
       Join(AllShardRouterNames(), "|").c_str(),
       Join(AllRetrievalModeNames(), "|").c_str(),
+      Join(AllFlowEngineNames(), "|").c_str(),
       Join(AllAlgorithmNames(), " | ").c_str(),
       Join(AllRetrievalModeNames(), "|").c_str());
   return 2;
@@ -236,6 +241,17 @@ int CmdRun(int argc, char** argv) {
         args.GetDouble("dw", instance->MaxWorkerDuration());
     options.task_duration =
         args.GetDouble("dr", instance->MaxTaskDuration());
+    {
+      const auto flow_engine =
+          ParseFlowEngine(args.Get("flow-engine", "auto"));
+      if (!flow_engine.ok()) {
+        // NotFound carries the valid-name set (AllFlowEngineNames).
+        std::fprintf(stderr, "run: %s\n",
+                     flow_engine.status().ToString().c_str());
+        return 2;
+      }
+      options.flow_engine = *flow_engine;
+    }
     if (args.Has("approx-guide")) {
       // Bare --approx-guide takes the default half-rate sample; an
       // explicit =RATE must be numeric (Generate validates the (0, 1]

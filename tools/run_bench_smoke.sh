@@ -70,6 +70,29 @@ if dij and spfa:
           f"spfa {spfa:.0f}ms, speedup {spfa / dij:.2f}x")
 EOF
 
+# The FlowEngine crossover table: per shape, each engine's time, the
+# winner, and whether kAuto landed on (or near) it — the measurements
+# ChooseFlowEngine's thresholds are calibrated from (docs/flow_engines.md).
+python3 - "$ROOT/BENCH_flow.json" <<'EOF'
+import json, sys
+runs = {b["name"]: b["real_time"]
+        for b in json.load(open(sys.argv[1]))["benchmarks"]}
+shapes = [("dense", "512/16"), ("dense", "2048/48"),
+          ("ties", "512/16"), ("ties", "2048/48"),
+          ("heavy", "128/32"), ("heavy", "256/32")]
+engines = ("ssp", "blocking", "cost_scaling")
+for shape, size in shapes:
+    times = {e: runs.get(f"BM_MinCostFlowEngine/{shape}_{e}/{size}")
+             for e in engines}
+    auto = runs.get(f"BM_MinCostFlowEngine/{shape}_auto/{size}")
+    if None in times.values() or auto is None:
+        continue
+    winner = min(times, key=times.get)
+    cells = ", ".join(f"{e} {times[e]:.1f}ms" for e in engines)
+    print(f"engine sweep {shape:5s} {size:7s}: {cells} | winner {winner}, "
+          f"auto {auto:.1f}ms ({auto / times[winner]:.2f}x of winner)")
+EOF
+
 # Headline numbers: serial vs parallel guide generation and trial
 # throughput (ratios near 1.0 are expected on single-core machines).
 python3 - "$ROOT/BENCH_parallel.json" <<'EOF'
