@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <future>
 #include <numeric>
 #include <utility>
@@ -12,8 +13,51 @@
 #include "flow/min_cost_flow.h"
 #include "model/feasibility.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace ftoa {
+
+const std::vector<std::string>& AllGuideRefreshModeNames() {
+  static const std::vector<std::string> kNames = {"cold", "warm"};
+  return kNames;
+}
+
+const char* GuideRefreshModeName(GuideRefreshMode mode) {
+  switch (mode) {
+    case GuideRefreshMode::kCold:
+      return "cold";
+    case GuideRefreshMode::kWarm:
+      return "warm";
+  }
+  return "unknown";
+}
+
+Result<GuideRefreshMode> ParseGuideRefreshMode(const std::string& name) {
+  if (name == "cold") return GuideRefreshMode::kCold;
+  if (name == "warm") return GuideRefreshMode::kWarm;
+  return Status::NotFound("unknown refresh mode \"" + name + "\" (valid: " +
+                          Join(AllGuideRefreshModeNames(), ", ") + ")");
+}
+
+namespace {
+
+/// FNV-1a over 64-bit words — the warm cache's content hash. Collisions are
+/// harmless (membership is confirmed by full sequence comparison); the hash
+/// only has to make lookups cheap.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t FnvStep(uint64_t h, uint64_t v) {
+  return (h ^ v) * kFnvPrime;
+}
+
+inline uint64_t DoubleBits(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
 
 GuideGenerator::GuideGenerator(double velocity, GuideOptions options)
     : velocity_(velocity), options_(options) {}
@@ -30,6 +74,10 @@ GuideGenerator::ShardArena& GuideGenerator::ShardAt(size_t index) const {
 ThreadPool& GuideGenerator::Pool() const {
   if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   return *pool_;
+}
+
+void GuideGenerator::InvalidateWarmCache() const {
+  warm_cache_ = WarmCache{};
 }
 
 void GuideGenerator::ForEachFeasibleTypePair(
@@ -167,6 +215,9 @@ InstantiatedNodes InstantiateNodes(const PredictionMatrix& prediction,
 
 Result<OfflineGuide> GuideGenerator::GenerateNodeLevel(
     const PredictionMatrix& prediction, bool use_dinic) const {
+  // The node-level network has no component decomposition to diff, so it
+  // always runs cold (docs/flow_engines.md documents the fallback).
+  last_refresh_stats_ = GuideRefreshStats{};
   const int64_t m = prediction.TotalWorkers();
   const int64_t n = prediction.TotalTasks();
   const int64_t node_edges = EstimateNodeLevelEdges(prediction);
@@ -391,15 +442,114 @@ Result<OfflineGuide> GuideGenerator::GenerateCompressed(
     }
   }
 
+  // ---- Warm cache lookup. A component's local network is fully determined
+  // by its pair sequence: local node ids are first-use ranks within the
+  // component's pairs, capacities come from the per-type predicted counts,
+  // and edge costs are a pure function of the type ids (representative
+  // locations) under a fixed geometry. So a component whose (worker type,
+  // task type, worker count, task count) sequence matches a cached
+  // component from the previous call — verified element-wise, the hash only
+  // routes the lookup — would rebuild the *identical* network, and its
+  // cached flows are exactly what a fresh solve would return. Those
+  // components take their flows from the cache and skip the solve below;
+  // only dirty components solve, from scratch on the persistent arenas
+  // (injecting warm flows into a dirty component is NOT done: it could
+  // steer the solver to a different equally-optimal flow pattern and break
+  // the warm == cold bit-identity contract).
+  const bool warm = options_.refresh_mode == GuideRefreshMode::kWarm;
+  GuideRefreshStats refresh_stats;
+  refresh_stats.components_total = num_components;
+  refresh_stats.pairs_total = static_cast<int64_t>(pairs.size());
+
+  uint64_t fingerprint = kFnvOffset;
+  {
+    const GridSpec& grid = st.grid();
+    fingerprint = FnvStep(fingerprint, static_cast<uint64_t>(num_types));
+    fingerprint =
+        FnvStep(fingerprint, static_cast<uint64_t>(st.num_slots()));
+    fingerprint = FnvStep(fingerprint, static_cast<uint64_t>(grid.cells_x()));
+    fingerprint = FnvStep(fingerprint, static_cast<uint64_t>(grid.cells_y()));
+    fingerprint = FnvStep(fingerprint, DoubleBits(grid.cell_width()));
+    fingerprint = FnvStep(fingerprint, DoubleBits(grid.cell_height()));
+    fingerprint = FnvStep(fingerprint, DoubleBits(velocity_));
+  }
+
+  // Per component: start of its cached flow slice, or -1 when dirty.
+  std::vector<int64_t> cached_begin;
+  std::vector<uint64_t> comp_hash;
+  if (warm) {
+    cached_begin.assign(static_cast<size_t>(num_components), -1);
+    comp_hash.assign(static_cast<size_t>(num_components), 0);
+    const bool cache_usable = warm_cache_.valid &&
+                              warm_cache_.minimize_cost == minimize_cost &&
+                              warm_cache_.fingerprint == fingerprint;
+    for (int32_t c = 0; c < num_components; ++c) {
+      const int32_t p_lo = comp_pair_begin[static_cast<size_t>(c)];
+      const int32_t p_hi = comp_pair_begin[static_cast<size_t>(c) + 1];
+      uint64_t h = kFnvOffset;
+      for (int32_t p = p_lo; p < p_hi; ++p) {
+        const TypePairEdge& pair =
+            pairs[static_cast<size_t>(comp_pairs[static_cast<size_t>(p)])];
+        h = FnvStep(h, static_cast<uint64_t>(pair.worker_type));
+        h = FnvStep(h, static_cast<uint64_t>(pair.task_type));
+        h = FnvStep(h, static_cast<uint64_t>(
+                           prediction.workers_at(pair.worker_type)));
+        h = FnvStep(h, static_cast<uint64_t>(
+                           prediction.tasks_at(pair.task_type)));
+      }
+      comp_hash[static_cast<size_t>(c)] = h;
+      if (!cache_usable) continue;
+      const auto it = warm_cache_.by_hash.find(h);
+      if (it == warm_cache_.by_hash.end()) continue;
+      for (const int32_t entry_index : it->second) {
+        const WarmCache::Entry& entry =
+            warm_cache_.entries[static_cast<size_t>(entry_index)];
+        if (entry.count != p_hi - p_lo) continue;
+        bool equal = true;
+        for (int32_t p = p_lo; p < p_hi && equal; ++p) {
+          const size_t at = static_cast<size_t>(entry.begin + (p - p_lo));
+          const TypePairEdge& pair =
+              pairs[static_cast<size_t>(comp_pairs[static_cast<size_t>(p)])];
+          equal = warm_cache_.pair_wt[at] == pair.worker_type &&
+                  warm_cache_.pair_tt[at] == pair.task_type &&
+                  warm_cache_.pair_wcap[at] ==
+                      prediction.workers_at(pair.worker_type) &&
+                  warm_cache_.pair_tcap[at] ==
+                      prediction.tasks_at(pair.task_type);
+        }
+        if (equal) {
+          cached_begin[static_cast<size_t>(c)] = entry.begin;
+          break;
+        }
+      }
+    }
+  }
+
   // ---- Solve every component on a shard arena; per-pair flows land in a
   // shared array indexed by the *original* pair index, so the merge below
   // is independent of which thread solved which component.
   std::vector<int64_t> pair_flow(pairs.size(), 0);
 
+  if (warm) {
+    for (int32_t c = 0; c < num_components; ++c) {
+      const int64_t begin = cached_begin[static_cast<size_t>(c)];
+      if (begin < 0) continue;
+      const int32_t p_lo = comp_pair_begin[static_cast<size_t>(c)];
+      const int32_t p_hi = comp_pair_begin[static_cast<size_t>(c) + 1];
+      for (int32_t p = p_lo; p < p_hi; ++p) {
+        pair_flow[static_cast<size_t>(comp_pairs[static_cast<size_t>(p)])] =
+            warm_cache_.pair_flow[static_cast<size_t>(begin + (p - p_lo))];
+      }
+      ++refresh_stats.components_reused;
+      refresh_stats.pairs_reused += p_hi - p_lo;
+    }
+  }
+
   auto solve_components = [&](int32_t comp_lo, int32_t comp_hi,
                               ShardArena* arena) {
     std::vector<int32_t> edge_ids;  // Pair-edge ids of the current network.
     for (int32_t c = comp_lo; c < comp_hi; ++c) {
+      if (warm && cached_begin[static_cast<size_t>(c)] >= 0) continue;
       const int32_t w_lo = comp_worker_begin[static_cast<size_t>(c)];
       const int32_t t_lo = comp_task_begin[static_cast<size_t>(c)];
       const int32_t cw =
@@ -532,6 +682,49 @@ Result<OfflineGuide> GuideGenerator::GenerateCompressed(
     }
     for (std::future<void>& f : done) f.get();
   }
+
+  // ---- Rebuild the cache from this call so the *next* call diffs against
+  // the network just solved. Done for every warm-mode call (including the
+  // first, all-dirty one — that is what seeds the cache).
+  if (warm) {
+    WarmCache& cache = warm_cache_;
+    cache.valid = true;
+    cache.minimize_cost = minimize_cost;
+    cache.fingerprint = fingerprint;
+    cache.entries.clear();
+    cache.entries.reserve(static_cast<size_t>(num_components));
+    cache.by_hash.clear();
+    cache.pair_wt.resize(pairs.size());
+    cache.pair_tt.resize(pairs.size());
+    cache.pair_wcap.resize(pairs.size());
+    cache.pair_tcap.resize(pairs.size());
+    cache.pair_flow.resize(pairs.size());
+    int64_t cursor = 0;
+    for (int32_t c = 0; c < num_components; ++c) {
+      const int32_t p_lo = comp_pair_begin[static_cast<size_t>(c)];
+      const int32_t p_hi = comp_pair_begin[static_cast<size_t>(c) + 1];
+      WarmCache::Entry entry;
+      entry.begin = cursor;
+      entry.count = p_hi - p_lo;
+      for (int32_t p = p_lo; p < p_hi; ++p) {
+        const size_t k =
+            static_cast<size_t>(comp_pairs[static_cast<size_t>(p)]);
+        const size_t at = static_cast<size_t>(cursor + (p - p_lo));
+        cache.pair_wt[at] = pairs[k].worker_type;
+        cache.pair_tt[at] = pairs[k].task_type;
+        cache.pair_wcap[at] = prediction.workers_at(pairs[k].worker_type);
+        cache.pair_tcap[at] = prediction.tasks_at(pairs[k].task_type);
+        cache.pair_flow[at] = pair_flow[k];
+      }
+      cache.by_hash[comp_hash[static_cast<size_t>(c)]].push_back(c);
+      cache.entries.push_back(entry);
+      cursor += entry.count;
+    }
+  }
+  refresh_stats.components_solved =
+      refresh_stats.components_total - refresh_stats.components_reused;
+  refresh_stats.warm = refresh_stats.components_reused > 0;
+  last_refresh_stats_ = refresh_stats;
 
   // ---- Deterministic merge: realize matches in the original pair order,
   // handing out nodes with per-type cursors exactly like the serial path.

@@ -34,8 +34,11 @@
 #ifndef FTOA_CORE_GUIDE_GENERATOR_H_
 #define FTOA_CORE_GUIDE_GENERATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/guide.h"
@@ -48,6 +51,29 @@
 #include "util/thread_pool.h"
 
 namespace ftoa {
+
+/// How consecutive Generate calls on one GuideGenerator relate.
+///  * kCold — every call solves the full network from scratch (arenas are
+///    still reused, so steady-state calls stay allocation-free).
+///  * kWarm — the generator remembers the previous call's per-component
+///    solves; a component whose pair list, capacities, and costs are
+///    unchanged reuses its flows verbatim and only *dirty* components are
+///    re-solved. Because each component's solve is a deterministic function
+///    of the component's network alone, the warm guide is bit-identical to
+///    the cold one (the equivalence suite pins this). The win scales with
+///    the sparsity of the day-to-day prediction delta — the serving
+///    refresher's steady state.
+enum class GuideRefreshMode { kCold, kWarm };
+
+/// Canonical names in declaration order ("cold", "warm") — CLI usage
+/// strings and unknown-value errors derive from this list.
+const std::vector<std::string>& AllGuideRefreshModeNames();
+
+/// Canonical name of `mode`.
+const char* GuideRefreshModeName(GuideRefreshMode mode);
+
+/// Parses a canonical name; NotFound (listing the valid set) otherwise.
+Result<GuideRefreshMode> ParseGuideRefreshMode(const std::string& name);
 
 /// Tuning knobs for guide generation.
 struct GuideOptions {
@@ -111,6 +137,12 @@ struct GuideOptions {
   /// Seed of the pair-sampling stream (only used when
   /// approx_sample_rate < 1).
   uint64_t approx_seed = 0x5eedULL;
+
+  /// Whether repeated Generate calls on this generator reuse unchanged
+  /// component solves (see GuideRefreshMode). Only the compressed engines
+  /// have components to reuse; the node-level engines always run cold and
+  /// report warm = false in last_refresh_stats().
+  GuideRefreshMode refresh_mode = GuideRefreshMode::kCold;
 };
 
 /// What approximate sampling did to the last generated guide. Each dropped
@@ -122,6 +154,19 @@ struct ApproxGuideReport {
   int64_t feasible_pairs = 0;      ///< Pairs the exact network would hold.
   int64_t sampled_pairs = 0;       ///< Pairs kept by the Bernoulli sample.
   int64_t utility_loss_bound = 0;  ///< Max matched pairs lost (measured).
+};
+
+/// What the warm cache did for the last Generate call. With refresh_mode ==
+/// kCold (or on the node-level engines, or on the first warm call) every
+/// component solves and warm is false; in the warm steady state
+/// components_reused tracks how sparse the day-to-day delta really was.
+struct GuideRefreshStats {
+  bool warm = false;                ///< True iff any component was reused.
+  int32_t components_total = 0;     ///< Components in this call's network.
+  int32_t components_reused = 0;    ///< Solved by cache hit (no flow solve).
+  int32_t components_solved = 0;    ///< Dirty — solved from scratch.
+  int64_t pairs_total = 0;          ///< Type pairs in this call's network.
+  int64_t pairs_reused = 0;         ///< Pairs whose flow came from the cache.
 };
 
 /// Builds OfflineGuide instances from prediction matrices.
@@ -164,6 +209,16 @@ class GuideGenerator {
     return last_approx_report_;
   }
 
+  /// Warm-cache outcome of the last Generate (see GuideRefreshStats).
+  const GuideRefreshStats& last_refresh_stats() const {
+    return last_refresh_stats_;
+  }
+
+  /// Drops the warm cache; the next Generate solves everything cold. Called
+  /// automatically when a call's network-defining inputs (engine choice,
+  /// minimize_cost path) differ from the cached call's.
+  void InvalidateWarmCache() const;
+
  private:
   /// One shard's reusable solver state. Each chunk of components is solved
   /// entirely on one arena, so arenas never cross threads within a call.
@@ -177,6 +232,41 @@ class GuideGenerator {
                                          bool use_dinic) const;
   Result<OfflineGuide> GenerateCompressed(const PredictionMatrix& prediction,
                                           bool minimize_cost) const;
+
+  /// The warm cache: the previous compressed call's per-component networks
+  /// and solved flows, keyed by a content hash of each component's pair
+  /// sequence (types + capacities in deterministic pair order). A new
+  /// call's component whose sequence verifies equal against a cached entry
+  /// reuses the cached flows verbatim — costs are a pure function of the
+  /// type ids, and each component solve is a deterministic function of the
+  /// component network alone, so reuse is bit-exact. `minimize_cost`
+  /// guards cross-path reuse (max-flow and min-cost flows differ).
+  struct WarmCache {
+    /// One cached component: its pair sequence and solved flows, stored as
+    /// parallel slices [begin, begin + count) of the flat arrays below.
+    struct Entry {
+      int64_t begin = 0;
+      int64_t count = 0;
+    };
+    bool valid = false;
+    bool minimize_cost = false;
+    /// Hash of everything network-defining that can vary across calls on
+    /// one generator (the spacetime geometry the costs derive from); a
+    /// mismatch drops the cache rather than risking stale flows.
+    uint64_t fingerprint = 0;
+    std::vector<Entry> entries;
+    /// Flat per-pair payload, concatenated in cached-component order:
+    /// worker type, task type, worker capacity, task capacity, solved flow.
+    std::vector<TypeId> pair_wt;
+    std::vector<TypeId> pair_tt;
+    std::vector<int64_t> pair_wcap;
+    std::vector<int64_t> pair_tcap;
+    std::vector<int64_t> pair_flow;
+    /// Content hash -> indices into `entries` (a vector to survive the
+    /// astronomically-unlikely hash collision; membership is always
+    /// confirmed by full sequence comparison).
+    std::unordered_map<uint64_t, std::vector<int32_t>> by_hash;
+  };
 
   /// Lazily grown per-shard arenas; index 0 also serves the serial paths.
   ShardArena& ShardAt(size_t index) const;
@@ -192,6 +282,8 @@ class GuideGenerator {
   mutable std::unique_ptr<ThreadPool> pool_;
   mutable int32_t last_num_components_ = 0;
   mutable ApproxGuideReport last_approx_report_;
+  mutable GuideRefreshStats last_refresh_stats_;
+  mutable WarmCache warm_cache_;
 };
 
 }  // namespace ftoa

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "util/stopwatch.h"
+
 namespace ftoa {
 
 GuideRefresher::GuideRefresher(double velocity, GuideOptions guide_options,
@@ -18,8 +20,8 @@ GuideRefresher::GuideRefresher(double velocity, GuideOptions guide_options,
 }
 
 GuideRefresher::~GuideRefresher() {
-  // The pool destructor drains the queue, so a late background solve runs
-  // to completion (its result is discarded with the future).
+  // The pool (or slice) destructor drains its queue, so a late background
+  // solve runs to completion (its result is discarded with the future).
 }
 
 Result<OfflineGuide> GuideRefresher::GenerateWithRetries(
@@ -57,6 +59,7 @@ Result<GuideSlot::Snapshot> GuideRefresher::RefreshNow(
   const bool injected_fail =
       faults_ != nullptr && faults_->GuideRefreshShouldFail(window);
   int64_t attempts = 0;
+  const Stopwatch stopwatch;
   Result<OfflineGuide> guide = GenerateWithRetries(
       prediction, injected_fail, &inline_generator_, nullptr, &attempts);
   stats_.attempts += attempts;
@@ -64,6 +67,9 @@ Result<GuideSlot::Snapshot> GuideRefresher::RefreshNow(
     ++stats_.failed_cycles;
     return guide.status();
   }
+  last_cycle_.solve_ms =
+      static_cast<double>(stopwatch.ElapsedNanos()) * 1e-6;
+  last_cycle_.refresh = inline_generator_.last_refresh_stats();
   ++stats_.publishes;
   return slot->Publish(
       std::make_shared<const OfflineGuide>(std::move(guide).value()), window);
@@ -72,25 +78,46 @@ Result<GuideSlot::Snapshot> GuideRefresher::RefreshNow(
 bool GuideRefresher::StartBackground(PredictionMatrix prediction,
                                      int64_t window, GuideSlot* slot) {
   if (inflight_.has_value()) return false;
-  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(1);
   // Fault decisions are taken here, on the caller's thread — the injector
   // is not thread-safe and the background lambda must not touch it.
   const bool injected_fail =
       faults_ != nullptr && faults_->GuideRefreshShouldFail(window);
   auto attempts = std::make_shared<std::atomic<int64_t>>(0);
-  auto task = pool_->SubmitWithDeadline(
-      [this, prediction = std::move(prediction), injected_fail,
-       attempts](const CancellationToken& token) -> Result<OfflineGuide> {
-        int64_t local = 0;
-        Result<OfflineGuide> guide = GenerateWithRetries(
-            prediction, injected_fail, &background_generator_, &token,
-            &local);
-        attempts->store(local, std::memory_order_relaxed);
-        return guide;
-      },
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::duration<double, std::milli>(options_.timeout_ms)));
-  inflight_ = InFlight{std::move(task), window, slot, std::move(attempts)};
+  auto report = std::make_shared<CycleReport>();
+  auto cycle = [this, prediction = std::move(prediction), injected_fail,
+                attempts,
+                report](const CancellationToken& token)
+      -> Result<OfflineGuide> {
+    const Stopwatch stopwatch;
+    int64_t local = 0;
+    Result<OfflineGuide> guide = GenerateWithRetries(
+        prediction, injected_fail, &background_generator_, &token, &local);
+    attempts->store(local, std::memory_order_relaxed);
+    if (guide.ok()) {
+      report->solve_ms =
+          static_cast<double>(stopwatch.ElapsedNanos()) * 1e-6;
+      report->refresh = background_generator_.last_refresh_stats();
+    }
+    return guide;
+  };
+  const auto deadline = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(options_.timeout_ms));
+  DeadlineTask<Result<OfflineGuide>> task;
+  if (options_.shared_pool != nullptr) {
+    // Analytical isolation: run on a bounded slice of the shared pool so
+    // the solve competes with shard actors for at most slice_tokens
+    // workers (see PoolSlice).
+    if (slice_ == nullptr) {
+      slice_ = std::make_unique<PoolSlice>(options_.shared_pool,
+                                           options_.slice_tokens);
+    }
+    task = slice_->SubmitWithDeadline(std::move(cycle), deadline);
+  } else {
+    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(1);
+    task = pool_->SubmitWithDeadline(std::move(cycle), deadline);
+  }
+  inflight_ = InFlight{std::move(task), window, slot, std::move(attempts),
+                       std::move(report)};
   return true;
 }
 
@@ -118,6 +145,9 @@ GuideRefresher::PollResult GuideRefresher::Poll() {
   const int64_t window = inflight.window;
   GuideSlot* slot = inflight.slot;
   stats_.attempts += inflight.attempts->load(std::memory_order_relaxed);
+  // Safe to read: the future was observed ready above, which
+  // synchronizes-with the lambda's writes to the report cell.
+  const CycleReport harvested = *inflight.report;
   inflight_.reset();
 
   if (!outcome.ok()) {
@@ -131,6 +161,7 @@ GuideRefresher::PollResult GuideRefresher::Poll() {
     return PollResult::kFailed;
   }
   ++stats_.publishes;
+  last_cycle_ = harvested;
   slot->Publish(
       std::make_shared<const OfflineGuide>(std::move(guide).value()), window);
   return PollResult::kPublished;

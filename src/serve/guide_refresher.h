@@ -87,6 +87,15 @@ class GuideRefresher {
     double backoff_ms = 0.0;
     /// Wall-clock deadline of one background solve (StartBackground).
     double timeout_ms = 5000.0;
+    /// Analytical pool isolation: when set, background solves run on a
+    /// PoolSlice of this *borrowed* pool (shared with the shard actors)
+    /// instead of the refresher's own dedicated thread — bounded to
+    /// `slice_tokens` concurrent tasks so a solve can never occupy every
+    /// worker. Null (the default) keeps the dedicated 1-thread pool. The
+    /// pool must outlive the refresher.
+    ThreadPool* shared_pool = nullptr;
+    /// Token-bucket size of the shared-pool slice (clamped to >= 1).
+    int slice_tokens = 1;
   };
 
   /// `faults` may be null (no injection) and is only ever consulted on the
@@ -134,6 +143,16 @@ class GuideRefresher {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Cost attribution of the most recent *published* cycle (RefreshNow or
+  /// a harvested background cycle): solve wall time plus the generator's
+  /// warm-cache outcome, so the serving harness can report warm-vs-cold
+  /// refresh cost per window. Failed/timed-out cycles leave it untouched.
+  struct CycleReport {
+    double solve_ms = 0.0;       ///< Wall time of the publishing cycle.
+    GuideRefreshStats refresh;   ///< Warm-cache outcome of that cycle.
+  };
+  const CycleReport& last_cycle() const { return last_cycle_; }
+
  private:
   struct InFlight {
     DeadlineTask<Result<OfflineGuide>> task;
@@ -143,6 +162,11 @@ class GuideRefresher {
     /// write races with a Poll that reports a timeout first — those
     /// attempts are then simply not merged into stats).
     std::shared_ptr<std::atomic<int64_t>> attempts;
+    /// Cycle attribution, written by the lambda before it returns. Plain
+    /// (non-atomic) by design: it is only read after the task's future is
+    /// observed ready, which synchronizes-with the lambda's return — the
+    /// timeout path never reads it.
+    std::shared_ptr<CycleReport> report;
   };
 
   Result<OfflineGuide> GenerateWithRetries(const PredictionMatrix& prediction,
@@ -162,9 +186,13 @@ class GuideRefresher {
   GuideGenerator inline_generator_;
   GuideGenerator background_generator_;
 
-  std::unique_ptr<ThreadPool> pool_;  ///< Lazily created, 1 thread.
+  std::unique_ptr<ThreadPool> pool_;  ///< Lazily created, 1 thread (only
+                                      ///< when no shared pool is lent).
+  std::unique_ptr<PoolSlice> slice_;  ///< Lazily created bounded slice of
+                                      ///< options_.shared_pool.
   std::optional<InFlight> inflight_;
   Stats stats_;
+  CycleReport last_cycle_;
 };
 
 }  // namespace ftoa

@@ -6,6 +6,7 @@
 
 #include "core/algorithm_registry.h"
 #include "prediction/dataset.h"
+#include "prediction/registry.h"
 #include "sim/sharded_dispatcher.h"
 #include "util/memory_tracker.h"
 #include "util/stopwatch.h"
@@ -34,6 +35,17 @@ ServiceHarness::ServiceHarness(LoopedTraceSource source,
       options_(std::move(options)),
       faults_(std::move(faults)) {
   spd_ = source_.generator().profile().slots_per_day;
+  if (options_.analytical_slice > 0) {
+    // Analytical isolation: one pool shared by the shard actors and the
+    // refresher's bounded slice. Sized like the dispatcher would size its
+    // own pool, so sharing changes who owns the workers, not how many
+    // serve the shards.
+    shared_pool_ = std::make_unique<ThreadPool>(
+        ShardedDispatcher::ResolveNumThreads(options_.shard_threads,
+                                             options_.num_shards));
+    options_.refresh.shared_pool = shared_pool_.get();
+    options_.refresh.slice_tokens = options_.analytical_slice;
+  }
   refresher_ = std::make_unique<GuideRefresher>(
       source_.generator().profile().velocity, options_.guide,
       options_.refresh, faults_.empty() ? nullptr : &faults_);
@@ -60,6 +72,12 @@ Result<std::unique_ptr<ServiceHarness>> ServiceHarness::Create(
   FTOA_ASSIGN_OR_RETURN(
       FaultInjector faults,
       FaultInjector::Parse(resolved.faults, resolved.fault_seed));
+  if (!resolved.refresh_predictor.empty()) {
+    // Validate the name eagerly (CreatePredictor's unknown-name error),
+    // so a typo fails Create instead of the first day boundary.
+    FTOA_RETURN_NOT_OK(CreatePredictor(resolved.refresh_predictor).status());
+  }
+  resolved.analytical_slice = std::max(0, resolved.analytical_slice);
 
   resolved.windows_per_segment =
       resolved.windows_per_segment <= 0
@@ -88,9 +106,85 @@ Status ServiceHarness::StartDay(int64_t day) {
     prev_workers_ = day_workers_;
     prev_tasks_ = day_tasks_;
     have_prev_day_ = true;
+    if (!options_.refresh_predictor.empty()) {
+      realized_workers_.push_back(day_workers_);
+      realized_tasks_.push_back(day_tasks_);
+    }
   }
   std::fill(day_workers_.begin(), day_workers_.end(), 0);
   std::fill(day_tasks_.begin(), day_tasks_.end(), 0);
+  if (!options_.refresh_predictor.empty()) {
+    FTOA_RETURN_NOT_OK(RefitPredictors(day));
+  }
+  return Status::OK();
+}
+
+Status ServiceHarness::RefitPredictors(int64_t day) {
+  // Rolling evaluation, exactly like a deployed platform: the dataset is
+  // the generator's offline history followed by every completed stream day
+  // (day_of_week continues the history's weekday sequence; weather repeats
+  // with the looped trace), and the predictors are refitted on all of it.
+  // The target day — the one PredictionFor asks about — is the dataset's
+  // last, left all-zero: Predictor::Predict may only read strictly earlier
+  // history anyway.
+  const CityTraceGenerator& generator = source_.generator();
+  const int history_days = generator.profile().history_days;
+  const int num_cells = source_.DaySpacetime().num_areas();
+  const int slots = static_cast<int>(spd_);
+  const int completed = static_cast<int>(realized_workers_.size());
+  const int target_day = history_days + static_cast<int>(day);
+
+  DemandDataset data(target_day + 1, slots, num_cells);
+  const DemandDataset base = generator.GenerateHistory();
+  for (int d = 0; d < history_days; ++d) {
+    data.set_day_of_week(d, base.day_of_week(d));
+    for (int slot = 0; slot < slots; ++slot) {
+      data.set_weather(d, slot, base.weather(d, slot));
+      for (int cell = 0; cell < num_cells; ++cell) {
+        data.set_workers(d, slot, cell, base.workers(d, slot, cell));
+        data.set_tasks(d, slot, cell, base.tasks(d, slot, cell));
+      }
+    }
+  }
+  for (int d = 0; d < static_cast<int>(day); ++d) {
+    const int at = history_days + d;
+    data.set_day_of_week(at, at % 7);
+    const int source_day = d % source_.loop_days();
+    for (int slot = 0; slot < slots; ++slot) {
+      data.set_weather(at, slot, generator.WeatherAt(source_day, slot));
+      for (int cell = 0; cell < num_cells; ++cell) {
+        // TypeId = slot * num_areas + cell — the realized per-type counts
+        // flatten exactly like the dataset's (slot, cell) axis.
+        const size_t type = static_cast<size_t>(slot) *
+                                static_cast<size_t>(num_cells) +
+                            static_cast<size_t>(cell);
+        if (d < completed) {
+          data.set_workers(
+              at, slot, cell,
+              realized_workers_[static_cast<size_t>(d)][type]);
+          data.set_tasks(at, slot, cell,
+                         realized_tasks_[static_cast<size_t>(d)][type]);
+        }
+      }
+    }
+  }
+  data.set_day_of_week(target_day, target_day % 7);
+  const int target_source_day = static_cast<int>(day) % source_.loop_days();
+  for (int slot = 0; slot < slots; ++slot) {
+    data.set_weather(target_day, slot,
+                     generator.WeatherAt(target_source_day, slot));
+  }
+
+  FTOA_ASSIGN_OR_RETURN(worker_predictor_,
+                        CreatePredictor(options_.refresh_predictor));
+  FTOA_ASSIGN_OR_RETURN(task_predictor_,
+                        CreatePredictor(options_.refresh_predictor));
+  FTOA_RETURN_NOT_OK(
+      worker_predictor_->Fit(data, target_day, DemandSide::kWorkers));
+  FTOA_RETURN_NOT_OK(
+      task_predictor_->Fit(data, target_day, DemandSide::kTasks));
+  predictor_data_ = std::make_unique<DemandDataset>(std::move(data));
+  predictor_target_day_ = target_day;
   return Status::OK();
 }
 
@@ -125,6 +219,28 @@ void ServiceHarness::ExpireUpTo(double time, WindowMetrics* metrics) {
 PredictionMatrix ServiceHarness::PredictionFor(int64_t window) const {
   const SpacetimeSpec spacetime = source_.DaySpacetime();
   PredictionMatrix prediction(spacetime);
+  if (worker_predictor_ != nullptr) {
+    // Learned predictor (satellite of ROADMAP serving item 3): per-slot
+    // per-cell forecasts for the dataset's target day, clamped to
+    // nonnegative integers (the guide network wants counts).
+    const int num_cells = spacetime.num_areas();
+    for (int slot = 0; slot < static_cast<int>(spd_); ++slot) {
+      const std::vector<double> workers = worker_predictor_->Predict(
+          *predictor_data_, predictor_target_day_, slot);
+      const std::vector<double> tasks = task_predictor_->Predict(
+          *predictor_data_, predictor_target_day_, slot);
+      for (int cell = 0; cell < num_cells; ++cell) {
+        const TypeId type = spacetime.TypeAt(slot, cell);
+        prediction.set_workers_at(
+            type, static_cast<int32_t>(std::max<int64_t>(
+                      0, std::llround(workers[static_cast<size_t>(cell)]))));
+        prediction.set_tasks_at(
+            type, static_cast<int32_t>(std::max<int64_t>(
+                      0, std::llround(tasks[static_cast<size_t>(cell)]))));
+      }
+    }
+    return prediction;
+  }
   if (have_prev_day_) {
     // Yesterday's realized admissions — the live platform's freshest
     // history.
@@ -153,8 +269,11 @@ Status ServiceHarness::HandleRefresh(int64_t window) {
   const bool due = (window % options_.refresh_period_windows) == 0;
   if (options_.background_refresh) {
     const GuideRefresher::PollResult poll = refresher_->Poll();
-    if (poll == GuideRefresher::PollResult::kPublished && segment_.open) {
-      segment_.swaps.emplace_back(window, slot_.Get().guide);
+    if (poll == GuideRefresher::PollResult::kPublished) {
+      pending_refresh_report_ = refresher_->last_cycle();
+      if (segment_.open) {
+        segment_.swaps.emplace_back(window, slot_.Get().guide);
+      }
     }
     if (due && !refresher_->busy()) {
       refresher_->StartBackground(PredictionFor(window), window, &slot_);
@@ -166,8 +285,11 @@ Status ServiceHarness::HandleRefresh(int64_t window) {
       refresher_->RefreshNow(PredictionFor(window), window, &slot_);
   // A failed cycle is the degradation ladder's input, not the harness's
   // failure: the stale slot (or greedy) carries the stream.
-  if (refreshed.ok() && segment_.open) {
-    segment_.swaps.emplace_back(window, refreshed.value().guide);
+  if (refreshed.ok()) {
+    pending_refresh_report_ = refresher_->last_cycle();
+    if (segment_.open) {
+      segment_.swaps.emplace_back(window, refreshed.value().guide);
+    }
   }
   return Status::OK();
 }
@@ -190,7 +312,14 @@ void ServiceHarness::StartSegment(int64_t window) {
           options_.max_guide_age_windows;
   segment_.degraded = needs_guide && (no_guide || too_stale);
 
-  // The carryover: every still-live unmatched object from earlier
+  if (options_.incremental_rotation) {
+    // Incremental mode: the carryover lives in the persistent spine;
+    // compact it in place instead of rescanning the store.
+    CompactSpine(window, segment_.day);
+    return;
+  }
+
+  // Rebuild reference: every still-live unmatched object from earlier
   // segments, re-offered in stream-id order (deterministic regardless of
   // the store's hash order or eviction mode).
   const double now = static_cast<double>(window);
@@ -201,6 +330,57 @@ void ServiceHarness::StartSegment(int64_t window) {
     }
   }
   std::sort(segment_.carryover.begin(), segment_.carryover.end());
+}
+
+void ServiceHarness::CompactSpine(int64_t window, int64_t day) {
+  // Equivalence with the rebuild reference (pinned by the rotation tests):
+  // the spine holds exactly the previous segment's universe members whose
+  // records survived unmatched (ReplaySegment's rebuild step), and every
+  // live unmatched record is in some previous segment's universe (admitted
+  // objects enter a segment; unmatched survivors chain through carryover).
+  // Dropping matched/freed/expired entries here therefore leaves the same
+  // object set the store scan + deadline filter would produce — in
+  // O(carryover), never O(store).
+  const double now = static_cast<double>(window);
+  const double day_start = static_cast<double>(day) * source_.day_horizon();
+  const bool retime = day != spine_day_;
+  size_t kept = 0;
+  for (const SpineEntry& entry : spine_) {
+    const auto it = store_.find(entry.stream_id);
+    if (it == store_.end() || it->second.matched ||
+        it->second.Deadline() <= now) {
+      continue;
+    }
+    SpineEntry survivor = entry;
+    if (retime) {
+      // Recomputed from the record's absolute times — idempotent, so
+      // surviving several day boundaries gives the same values the
+      // rebuild path derives fresh each segment.
+      double rel_start = it->second.abs_start - day_start;
+      double duration = it->second.duration;
+      if (rel_start < 0.0) {
+        duration = it->second.Deadline() - day_start;
+        rel_start = 0.0;
+      }
+      if (duration <= 0.0) continue;
+      survivor.rel_time = rel_start;
+      survivor.duration = duration;
+    }
+    spine_[kept++] = survivor;
+  }
+  spine_.resize(kept);
+  if (retime) {
+    // Re-timing can reorder (previous-day survivors all collapse to
+    // rel_time 0); restore the spine's sort invariant. O(c log c) on the
+    // carryover only.
+    std::sort(spine_.begin(), spine_.end(),
+              [](const SpineEntry& a, const SpineEntry& b) {
+                if (a.rel_time != b.rel_time) return a.rel_time < b.rel_time;
+                if (a.kind != b.kind) return a.kind == ObjectKind::kWorker;
+                return a.stream_id < b.stream_id;
+              });
+    spine_day_ = day;
+  }
 }
 
 void ServiceHarness::AdmitWindow(int64_t window) {
@@ -309,6 +489,18 @@ void ServiceHarness::AdmitWindow(int64_t window) {
       snapshot.guide == nullptr ? -1 : window - snapshot.published_window;
   metrics.refresh_failures = refresher_->stats().failed_cycles;
   metrics.degraded_greedy = segment_.degraded;
+  if (pending_refresh_report_.has_value()) {
+    const GuideRefresher::CycleReport& report = *pending_refresh_report_;
+    metrics.refresh_ms = report.solve_ms;
+    metrics.refresh_warm = report.refresh.warm;
+    metrics.refresh_components_total = report.refresh.components_total;
+    metrics.refresh_components_reused = report.refresh.components_reused;
+    (report.refresh.warm ? totals_.warm_refreshes : totals_.cold_refreshes)++;
+    totals_.refresh_components_reused += report.refresh.components_reused;
+    totals_.refresh_components_solved += report.refresh.components_solved;
+    totals_.refresh_ms += report.solve_ms;
+    pending_refresh_report_.reset();
+  }
 
   totals_.windows++;
   totals_.offered += metrics.offered;
@@ -326,57 +518,68 @@ Status ServiceHarness::ReplaySegment() {
   const double day_start =
       static_cast<double>(segment.day) * source_.day_horizon();
 
-  // The segment universe: carryover first, then this segment's admissions,
-  // all on the day-relative axis the guide's spacetime discretizes.
-  struct SegmentObject {
-    int64_t stream_id = 0;
-    ObjectKind kind = ObjectKind::kWorker;
-    double rel_time = 0.0;
-    double duration = 0.0;
-    Point location;
-    int64_t window = 0;  ///< Window its feed latency is attributed to.
+  // The segment universe: the carryover plus this segment's admissions,
+  // all on the day-relative axis the guide's spacetime discretizes, in
+  // session arrival order — nondecreasing time, workers before tasks at
+  // ties, lower ids first. Local ids are assigned in this order, so the id
+  // tie-break and the stream-id tie-break agree.
+  const auto arrival_order = [](const SpineEntry& a, const SpineEntry& b) {
+    if (a.rel_time != b.rel_time) return a.rel_time < b.rel_time;
+    if (a.kind != b.kind) return a.kind == ObjectKind::kWorker;
+    return a.stream_id < b.stream_id;
   };
-  std::vector<SegmentObject> objects;
-  for (const int64_t stream_id : segment.carryover) {
-    const ObjectRecord& record = store_.at(stream_id);
-    // A previous-day survivor re-enters at the day boundary with its
-    // remaining patience; same-day carryover keeps its true start.
-    double rel_start = record.abs_start - day_start;
-    double duration = record.duration;
-    if (rel_start < 0.0) {
-      duration = (record.Deadline() - day_start);
-      rel_start = 0.0;
-    }
-    if (duration <= 0.0) continue;
-    objects.push_back(SegmentObject{stream_id, record.kind, rel_start,
-                                    duration, record.location,
-                                    segment.begin});
-  }
+  // This segment's admissions are already in arrival order by
+  // construction: each window's batch is fed in (time, kind, source) order
+  // and stream ids are handed out along it, windows never interleave times.
+  std::vector<SpineEntry> fresh;
   for (size_t offset = 0; offset < segment.admitted.size(); ++offset) {
     for (const int64_t stream_id : segment.admitted[offset]) {
       const ObjectRecord& record = store_.at(stream_id);
-      objects.push_back(SegmentObject{
+      fresh.push_back(SpineEntry{
           stream_id, record.kind, record.abs_start - day_start,
           record.duration, record.location,
           segment.begin + static_cast<int64_t>(offset)});
     }
   }
-  // The session arrival contract (nondecreasing time, workers before tasks
-  // at ties, lower ids first). Local ids are assigned in this order, so
-  // the id tie-break and the stream-id tie-break agree.
-  std::sort(objects.begin(), objects.end(),
-            [](const SegmentObject& a, const SegmentObject& b) {
-              if (a.rel_time != b.rel_time) return a.rel_time < b.rel_time;
-              if (a.kind != b.kind) return a.kind == ObjectKind::kWorker;
-              return a.stream_id < b.stream_id;
-            });
+  std::vector<SpineEntry> objects;
+  if (options_.incremental_rotation) {
+    // Incremental rotation: the spine is the compacted, sorted carryover
+    // (CompactSpine ran at StartSegment); stamp its latency-attribution
+    // window and merge with the sorted admissions — O(carryover + new),
+    // replacing the rebuild's full re-sort.
+    for (SpineEntry& entry : spine_) entry.window = segment.begin;
+    objects.resize(spine_.size() + fresh.size());
+    std::merge(spine_.begin(), spine_.end(), fresh.begin(), fresh.end(),
+               objects.begin(), arrival_order);
+  } else {
+    // Rebuild reference: derive the carryover from the store records and
+    // sort the whole universe.
+    objects.reserve(segment.carryover.size() + fresh.size());
+    for (const int64_t stream_id : segment.carryover) {
+      const ObjectRecord& record = store_.at(stream_id);
+      // A previous-day survivor re-enters at the day boundary with its
+      // remaining patience; same-day carryover keeps its true start.
+      double rel_start = record.abs_start - day_start;
+      double duration = record.duration;
+      if (rel_start < 0.0) {
+        duration = (record.Deadline() - day_start);
+        rel_start = 0.0;
+      }
+      if (duration <= 0.0) continue;
+      objects.push_back(SpineEntry{stream_id, record.kind, rel_start,
+                                   duration, record.location,
+                                   segment.begin});
+    }
+    objects.insert(objects.end(), fresh.begin(), fresh.end());
+    std::sort(objects.begin(), objects.end(), arrival_order);
+  }
 
   std::vector<Worker> workers;
   std::vector<Task> tasks;
   std::vector<int64_t> worker_stream, task_stream;
   std::vector<int32_t> local_id(objects.size(), -1);
   for (size_t i = 0; i < objects.size(); ++i) {
-    const SegmentObject& object = objects[i];
+    const SpineEntry& object = objects[i];
     if (object.kind == ObjectKind::kWorker) {
       local_id[i] = static_cast<int32_t>(workers.size());
       workers.push_back(Worker{-1, object.location, object.rel_time,
@@ -406,6 +609,9 @@ Status ServiceHarness::ReplaySegment() {
   sharded.num_shards = options_.num_shards;
   sharded.num_threads = options_.shard_threads;
   sharded.reconcile = options_.reconcile;
+  // Analytical isolation: shard drains share the harness pool with the
+  // refresher's bounded slice instead of a dispatcher-owned pool.
+  sharded.external_pool = shared_pool_.get();
   ShardedDispatcher dispatcher(algorithm.get(), sharded);
   std::unique_ptr<ShardedSession> session = dispatcher.StartSession(instance);
   session->set_collect_dispatches(false);
@@ -423,10 +629,13 @@ Status ServiceHarness::ReplaySegment() {
     const size_t metrics_index = static_cast<size_t>(window - segment.begin);
     for (; cursor < objects.size() && objects[cursor].rel_time < rel_bound;
          ++cursor) {
-      const SegmentObject& object = objects[cursor];
-      const int lane =
-          static_cast<int>(object.stream_id %
-                           static_cast<int64_t>(options_.num_shards));
+      const SpineEntry& object = objects[cursor];
+      // The fault lane is the shard that would really receive the event —
+      // the session router's assignment over the session-local id — so an
+      // injected drop-batch fault hits one actual shard's handoff, not a
+      // synthetic stream-id stripe.
+      const int lane = session->router().Route(object.kind, local_id[cursor],
+                                               object.location);
       if (lane_dropped[static_cast<size_t>(lane)]) {
         ++windows_[static_cast<size_t>(window)].dropped_arrivals;
         ++totals_.dropped_arrivals;
@@ -515,6 +724,22 @@ Status ServiceHarness::ReplaySegment() {
     for (const int64_t stream_id : deferred_free_) store_.erase(stream_id);
   }
   deferred_free_.clear();
+
+  if (options_.incremental_rotation) {
+    // The next spine: this segment's universe members whose records
+    // survived unmatched, in the order they already hold (filtering a
+    // sorted list preserves its order). O(carryover + new) — the store is
+    // never scanned. Entries whose deadline has passed but whose record
+    // survives (evict off) ride along and are dropped by the next
+    // CompactSpine, exactly like the rebuild's deadline filter would.
+    spine_.clear();
+    for (const SpineEntry& object : objects) {
+      const auto it = store_.find(object.stream_id);
+      if (it == store_.end() || it->second.matched) continue;
+      spine_.push_back(object);
+    }
+    spine_day_ = segment.day;
+  }
   return Status::OK();
 }
 

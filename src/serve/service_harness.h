@@ -51,6 +51,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <string>
 #include <unordered_map>
@@ -60,10 +61,12 @@
 #include "core/guide_generator.h"
 #include "gen/config.h"
 #include "gen/looped_trace.h"
+#include "prediction/predictor.h"
 #include "retrieval/mode.h"
 #include "serve/fault_injector.h"
 #include "serve/guide_refresher.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace ftoa {
 
@@ -96,6 +99,31 @@ struct ServiceOptions {
   /// Refresh on the refresher's background thread (poll at every window
   /// boundary) instead of inline at the due window.
   bool background_refresh = false;
+
+  /// Learned predictor feeding the refresher (prediction/registry name,
+  /// e.g. "HA" or "LR") instead of raw last-day realized counts. The
+  /// predictor is fitted on the generator's history plus every completed
+  /// stream day (rolling refit at each day boundary) and predicts the
+  /// coming day per (slot, cell). Empty (the default) keeps the
+  /// realized-counts source. Unknown names fail Create.
+  std::string refresh_predictor;
+
+  /// Segment rotation strategy. True (the serving default) maintains a
+  /// persistent sorted arrival spine across segments: carryover survivors
+  /// are compacted/re-timed in place and newly admitted objects are
+  /// merge-inserted, so rotation costs O(carryover + new) instead of
+  /// O(store) + a full re-sort. False runs the PR 6 rebuild reference
+  /// (scan the store, sort everything); committed assignments are
+  /// bit-identical either way (pinned by the rotation equivalence tests).
+  bool incremental_rotation = true;
+
+  /// Analytical pool isolation: > 0 shares one thread pool between the
+  /// shard actors and the background refresher, with the refresher capped
+  /// to this many concurrent tasks via a PoolSlice (util/thread_pool.h) so
+  /// a background solve can never occupy every worker. 0 (the default)
+  /// keeps the PR 6 layout: dispatcher-owned shard pool, dedicated
+  /// refresher thread. Only meaningful with background_refresh.
+  int analytical_slice = 0;
 
   /// Backpressure SLO on the per-window p99 decision latency; <= 0
   /// disables the latency trigger (keeps replays deterministic in tests).
@@ -170,6 +198,14 @@ struct WindowMetrics {
   int64_t guide_age_windows = -1;  ///< -1 = no guide published yet.
   int64_t refresh_failures = 0;    ///< Cumulative failed refresh cycles.
 
+  /// Refresh cost attribution: the cycle whose publish landed at this
+  /// window (inline refresh, or the window whose poll harvested a
+  /// background cycle). All-zero/false when no publish landed here.
+  double refresh_ms = 0.0;          ///< Solve wall time of that cycle.
+  bool refresh_warm = false;        ///< Any component reused warm.
+  int64_t refresh_components_total = 0;
+  int64_t refresh_components_reused = 0;  ///< Dirty = total - reused.
+
   bool degraded_greedy = false;  ///< Segment ran the ladder's greedy rung.
   bool overloaded = false;       ///< Any shed trigger fired this window.
 };
@@ -191,6 +227,13 @@ struct ServiceTotals {
   int64_t evicted_live = 0;
   /// High-water mark of the object store (records held simultaneously).
   int64_t store_peak = 0;
+
+  /// Guide refresh cost attribution across all published cycles.
+  int64_t warm_refreshes = 0;  ///< Published cycles that reused components.
+  int64_t cold_refreshes = 0;  ///< Published cycles that solved everything.
+  int64_t refresh_components_reused = 0;
+  int64_t refresh_components_solved = 0;
+  double refresh_ms = 0.0;  ///< Total solve wall time of published cycles.
 };
 
 /// The long-running serving loop. Not thread-safe; drive from one thread.
@@ -257,6 +300,20 @@ class ServiceHarness {
         swaps;
   };
 
+  /// One object of a segment's replay universe, on the day-relative axis.
+  /// Also the element of the persistent rotation spine (incremental mode):
+  /// the spine holds the previous segments' still-live unmatched objects
+  /// sorted by (rel_time, kind, stream_id), rel_time relative to
+  /// spine_day_.
+  struct SpineEntry {
+    int64_t stream_id = 0;
+    ObjectKind kind = ObjectKind::kWorker;
+    double rel_time = 0.0;
+    double duration = 0.0;
+    Point location;
+    int64_t window = 0;  ///< Window its feed latency is attributed to.
+  };
+
   ServiceHarness(LoopedTraceSource source, ServiceOptions options,
                  FaultInjector faults);
 
@@ -264,7 +321,16 @@ class ServiceHarness {
   void ExpireUpTo(double time, WindowMetrics* metrics);
   Status HandleRefresh(int64_t window);
   PredictionMatrix PredictionFor(int64_t window) const;
+  /// Rolling refit of the learned refresh predictor at a day boundary
+  /// (refresh_predictor mode only): rebuilds the history-plus-realized
+  /// dataset and fits fresh predictor instances on it.
+  Status RefitPredictors(int64_t day);
   void StartSegment(int64_t window);
+  /// Incremental-rotation carryover maintenance: drops dead spine entries
+  /// (matched / freed / expired), re-times survivors when the segment's
+  /// day differs from spine_day_, and restores the spine's sort order.
+  /// O(carryover) (+ O(c log c) on a day change), never O(store).
+  void CompactSpine(int64_t window, int64_t day);
   void AdmitWindow(int64_t window);
   Status ReplaySegment();
 
@@ -272,6 +338,10 @@ class ServiceHarness {
   ServiceOptions options_;
   FaultInjector faults_;
   GuideSlot slot_;
+  /// Shared worker pool (analytical_slice > 0): shard drains and the
+  /// refresher's bounded slice both run on it. Declared before the
+  /// refresher so the refresher's slice drains first on destruction.
+  std::unique_ptr<ThreadPool> shared_pool_;
   std::unique_ptr<GuideRefresher> refresher_;
 
   int64_t spd_ = 1;  ///< Slots (== windows) per day.
@@ -287,6 +357,14 @@ class ServiceHarness {
   std::vector<int32_t> day_workers_, day_tasks_;
   std::vector<int32_t> prev_workers_, prev_tasks_;
   bool have_prev_day_ = false;
+
+  /// Learned-predictor refresh state (refresh_predictor mode only):
+  /// realized counts of every completed stream day (appended to the
+  /// generator history at each refit) and the current fitted predictors.
+  std::vector<std::vector<int32_t>> realized_workers_, realized_tasks_;
+  std::unique_ptr<Predictor> worker_predictor_, task_predictor_;
+  std::unique_ptr<DemandDataset> predictor_data_;
+  int predictor_target_day_ = 0;  ///< Dataset day PredictionFor predicts.
 
   std::unordered_map<int64_t, ObjectRecord> store_;
   /// (deadline, stream id) min-heap driving window-boundary expiry.
@@ -304,6 +382,15 @@ class ServiceHarness {
 
   Segment segment_;
   double last_known_p99_ms_ = 0.0;  ///< From the last replayed window.
+
+  /// Incremental rotation spine (see SpineEntry) and the day its rel_times
+  /// are relative to (-1 before the first rotation).
+  std::vector<SpineEntry> spine_;
+  int64_t spine_day_ = -1;
+
+  /// Refresh cost report awaiting attribution to the next emitted window
+  /// (HandleRefresh runs before the window's metrics row exists).
+  std::optional<GuideRefresher::CycleReport> pending_refresh_report_;
 
   std::vector<WindowMetrics> windows_;
   ServiceTotals totals_;

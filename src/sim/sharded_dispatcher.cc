@@ -307,7 +307,12 @@ ShardedDispatcher::ShardedDispatcher(OnlineAlgorithm* algorithm,
   options_.latency_sample_period =
       std::max(1, options_.latency_sample_period);
   if (options_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    if (options_.external_pool != nullptr) {
+      active_pool_ = options_.external_pool;
+    } else {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+      active_pool_ = pool_.get();
+    }
   }
 }
 
@@ -341,7 +346,7 @@ std::unique_ptr<ShardedSession> ShardedDispatcher::StartSession(
   return std::unique_ptr<ShardedSession>(new ShardedSession(
       instance, algorithm_,
       MakeShardRouter(options_.router, instance, options_.num_shards),
-      pool_.get(), options_));
+      active_pool_, options_));
 }
 
 Result<ShardedRunResult> ShardedDispatcher::Run(const Instance& instance,

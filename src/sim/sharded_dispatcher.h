@@ -98,6 +98,17 @@ struct ShardedOptions {
   /// two clock reads per ~100ns decision on the serving path. Clamped
   /// to >= 1.
   int latency_sample_period = 8;
+
+  /// Borrowed worker pool to run shard drains on instead of a dispatcher-
+  /// owned pool (threaded mode only; ignored when the resolved num_threads
+  /// is <= 1). Lets a host share one pool between shard actors and other
+  /// work — the serving harness pairs this with a bounded PoolSlice for
+  /// its background guide solves, so both sides draw from the same workers
+  /// but the analytical side is capped (see util/thread_pool.h). The pool
+  /// must outlive the dispatcher and every session it starts. Thread-count
+  /// independence of the merged output is unaffected (the determinism
+  /// contract above never depended on who owns the workers).
+  ThreadPool* external_pool = nullptr;
 };
 
 /// What a finished sharded run produced.
@@ -289,7 +300,9 @@ class ShardedDispatcher {
   ShardedOptions options_;
   std::unique_ptr<OnlineAlgorithm> owned_;  // Set on the Create path.
   OnlineAlgorithm* algorithm_ = nullptr;
-  std::unique_ptr<ThreadPool> pool_;  // Null when num_threads <= 1.
+  std::unique_ptr<ThreadPool> pool_;  // Owned pool; null when an external
+                                      // pool is lent or num_threads <= 1.
+  ThreadPool* active_pool_ = nullptr;  // Owned or external; null = inline.
 };
 
 }  // namespace ftoa

@@ -46,6 +46,64 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
   wake_.notify_one();
 }
 
+PoolSlice::PoolSlice(ThreadPool* pool, int max_concurrent)
+    : pool_(pool),
+      max_concurrent_(
+          std::max(1, std::min(max_concurrent, pool->num_threads()))) {}
+
+PoolSlice::~PoolSlice() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this]() { return in_flight_ == 0; });
+}
+
+int64_t PoolSlice::InFlight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_ + static_cast<int64_t>(pending_.size() - next_);
+}
+
+void PoolSlice::EnqueueBounded(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (in_flight_ >= max_concurrent_) {
+      if (next_ > 64 && next_ > pending_.size() / 2) {
+        pending_.erase(pending_.begin(),
+                       pending_.begin() + static_cast<ptrdiff_t>(next_));
+        next_ = 0;
+      }
+      pending_.push_back(std::move(fn));
+      return;
+    }
+    ++in_flight_;  // Token acquired; released in OnTaskDone.
+  }
+  Dispatch(std::move(fn));
+}
+
+void PoolSlice::Dispatch(std::function<void()> fn) {
+  // The wrapper runs on a pool worker; `this` stays valid because the
+  // destructor blocks until in_flight_ drains, and the token this task
+  // holds keeps in_flight_ > 0 until OnTaskDone returns it.
+  pool_->Enqueue([this, fn = std::move(fn)]() mutable {
+    fn();  // packaged_task wrapper — never throws.
+    OnTaskDone();
+  });
+}
+
+void PoolSlice::OnTaskDone() {
+  std::function<void()> follow_up;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (next_ < pending_.size()) {
+      // Hand the freed token straight to the next queued task (in_flight_
+      // is unchanged — the token transfers).
+      follow_up = std::move(pending_[next_++]);
+    } else {
+      --in_flight_;
+      if (in_flight_ == 0) drained_.notify_all();
+    }
+  }
+  if (follow_up) Dispatch(std::move(follow_up));
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

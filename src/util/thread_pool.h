@@ -196,6 +196,8 @@ class ThreadPool {
   }
 
  private:
+  friend class PoolSlice;
+
   void Enqueue(std::function<void()> fn);
   void WorkerLoop();
 
@@ -205,6 +207,96 @@ class ThreadPool {
   size_t next_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// A bounded slice of a shared ThreadPool — token-bucket lending. At most
+/// `max_concurrent` tasks submitted through the slice occupy pool workers
+/// at any moment; excess submissions queue inside the slice (FIFO) and are
+/// handed to the pool only as slots free up. The pool itself never learns
+/// about queued slice tasks, so tasks submitted directly to the pool (shard
+/// actors) compete with at most `max_concurrent` slice tasks for workers —
+/// this is how the serving harness stops a background analytical solve from
+/// starving its latency-critical shards (serve/guide_refresher).
+///
+/// Thread-safe: any thread may Submit. The slice borrows the pool and MUST
+/// be destroyed before it; destruction blocks until every task submitted
+/// through the slice (queued or running) has finished.
+///
+/// Deadlock note: a slice task that blocks waiting for *another* slice task
+/// to start can deadlock once the bucket is exhausted (the classic nested-
+/// fork-join hazard). Slice users submit independent leaf tasks only — the
+/// guide generator's chunk solves never wait on each other.
+class PoolSlice {
+ public:
+  /// `pool` is borrowed. `max_concurrent` is clamped to [1, pool size].
+  PoolSlice(ThreadPool* pool, int max_concurrent);
+
+  PoolSlice(const PoolSlice&) = delete;
+  PoolSlice& operator=(const PoolSlice&) = delete;
+
+  /// Blocks until all tasks submitted through the slice have finished.
+  ~PoolSlice();
+
+  int max_concurrent() const { return max_concurrent_; }
+
+  /// Tasks currently occupying pool workers plus tasks queued in the slice
+  /// (instrumentation for tests; racy by nature, exact under quiescence).
+  int64_t InFlight() const;
+
+  /// Mirrors ThreadPool::Submit, but bounded by the slice's token bucket.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    EnqueueBounded([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Mirrors ThreadPool::SubmitWithDeadline (same exception-to-Status
+  /// contract), bounded by the token bucket. The deadline is wall-clock
+  /// from *submission*, so time spent queued in the slice counts against
+  /// it — a starved slice surfaces as DeadlineExceeded, not as silence.
+  template <typename F>
+  auto SubmitWithDeadline(F&& fn, std::chrono::nanoseconds deadline)
+      -> DeadlineTask<
+          std::invoke_result_t<std::decay_t<F>, const CancellationToken&>> {
+    using R = std::invoke_result_t<std::decay_t<F>, const CancellationToken&>;
+    CancellationToken token;
+    auto task = std::make_shared<std::packaged_task<Result<R>()>>(
+        [fn = std::forward<F>(fn), token]() mutable -> Result<R> {
+          try {
+            return fn(token);
+          } catch (const std::exception& e) {
+            return Status::Internal(e.what());
+          } catch (...) {
+            return Status::Internal("unknown exception");
+          }
+        });
+    std::future<Result<R>> result = task->get_future();
+    EnqueueBounded([task]() { (*task)(); });
+    return DeadlineTask<R>(std::move(result), std::move(token),
+                           std::chrono::steady_clock::now() + deadline);
+  }
+
+ private:
+  /// Runs `fn` on the pool now if a token is free, else queues it.
+  void EnqueueBounded(std::function<void()> fn);
+  /// Hands `fn` to the pool wrapped so completion advances the queue.
+  void Dispatch(std::function<void()> fn);
+  /// Called on the worker after a slice task finishes: starts the next
+  /// queued task on the freed token, or returns the token.
+  void OnTaskDone();
+
+  ThreadPool* pool_;
+  int max_concurrent_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable drained_;  ///< Signaled when in_flight_ hits 0.
+  std::vector<std::function<void()>> pending_;  // FIFO via next_ cursor.
+  size_t next_ = 0;
+  int in_flight_ = 0;  ///< Tasks currently holding a token.
 };
 
 }  // namespace ftoa

@@ -47,6 +47,7 @@
 #include "gen/city_trace.h"
 #include "gen/synthetic.h"
 #include "model/io.h"
+#include "prediction/registry.h"
 #include "retrieval/mode.h"
 #include "serve/service_harness.h"
 #include "sim/runner.h"
@@ -135,14 +136,18 @@ int Usage() {
       "       [--max-queue-depth=N] [--max-live-objects=N]\n"
       "       [--max-guide-age=N] [--faults=SPEC] [--fault-seed=N]\n"
       "       [--loop-days=N] [--no-evict] [--reconcile]\n"
-      "       [--retrieval=%s]\n"
+      "       [--retrieval=%s (default: auto by workload)]\n"
+      "       [--refresh-mode=%s] [--refresh-predictor=%s]\n"
+      "       [--rotation=incremental|rebuild] [--analytical-slice=N]\n"
       "  ftoa algos\n"
       "  ftoa inspect --instance=FILE\n",
       Join(AllShardRouterNames(), "|").c_str(),
       Join(AllRetrievalModeNames(), "|").c_str(),
       Join(AllFlowEngineNames(), "|").c_str(),
       Join(AllAlgorithmNames(), " | ").c_str(),
-      Join(AllRetrievalModeNames(), "|").c_str());
+      Join(AllRetrievalModeNames(), "|").c_str(),
+      Join(AllGuideRefreshModeNames(), "|").c_str(),
+      Join(AllPredictorNames(), "|").c_str());
   return 2;
 }
 
@@ -366,7 +371,8 @@ int CmdServe(int argc, char** argv) {
       "background-refresh", "slo-p99-ms", "max-queue-depth",
       "max-live-objects", "max-guide-age", "faults",
       "fault-seed", "no-evict",       "reconcile",
-      "retrieval"};
+      "retrieval",  "refresh-mode",   "refresh-predictor",
+      "rotation",   "analytical-slice"};
   for (const std::string& key : args.Keys()) {
     if (std::find(kServeFlags.begin(), kServeFlags.end(), key) ==
         kServeFlags.end()) {
@@ -407,13 +413,72 @@ int CmdServe(int argc, char** argv) {
   options.evict_expired = !args.Has("no-evict");
   options.reconcile = args.Has("reconcile");
   {
-    const auto retrieval = ParseRetrievalMode(args.Get("retrieval", "linear"));
+    const auto mode =
+        ParseGuideRefreshMode(args.Get("refresh-mode", "cold"));
+    if (!mode.ok()) {
+      std::fprintf(stderr, "serve: %s\n", mode.status().ToString().c_str());
+      return 2;
+    }
+    options.guide.refresh_mode = *mode;
+  }
+  options.refresh_predictor = args.Get("refresh-predictor");
+  {
+    const std::string rotation = args.Get("rotation", "incremental");
+    if (rotation != "incremental" && rotation != "rebuild") {
+      std::fprintf(stderr,
+                   "serve: unknown --rotation=%s (valid: incremental, "
+                   "rebuild)\n",
+                   rotation.c_str());
+      return 2;
+    }
+    options.incremental_rotation = rotation == "incremental";
+  }
+  options.analytical_slice =
+      static_cast<int>(args.GetInt("analytical-slice", 0));
+  std::string retrieval_note;
+  if (args.Has("retrieval")) {
+    const auto retrieval = ParseRetrievalMode(args.Get("retrieval"));
     if (!retrieval.ok()) {
       std::fprintf(stderr, "serve: %s\n",
                    retrieval.status().ToString().c_str());
       return 2;
     }
     options.retrieval = *retrieval;
+  } else {
+    // No --retrieval: pick the backend from the measured workload. By
+    // Little's law the steady-state live population is sum(durations) /
+    // day_horizon over one source day; the engine's expanding-ring search
+    // beats the linear scans once the live set is dense enough per grid
+    // cell (crossover fitted from BENCH_retrieval.json: on its 30x30
+    // grid linear wins at 2000 live objects, the engine from ~4000, so
+    // ~4.5 live objects per cell).
+    constexpr double kEngineCrossoverPerCell = 4.5;
+    const LoopedTraceSource probe(profile, trace);
+    auto day0 = probe.ArrivalsForDay(0);
+    if (!day0.ok()) {
+      std::fprintf(stderr, "serve: %s\n", day0.status().ToString().c_str());
+      return 2;
+    }
+    double duration_sum = 0.0;
+    for (const StreamArrival& arrival : *day0) {
+      duration_sum += arrival.duration;
+    }
+    const SpacetimeSpec day_spec = probe.DaySpacetime();
+    const double cells = static_cast<double>(day_spec.grid().cells_x()) *
+                         static_cast<double>(day_spec.grid().cells_y());
+    const double live_per_cell =
+        duration_sum / std::max(1.0, probe.day_horizon()) /
+        std::max(1.0, cells);
+    options.retrieval = live_per_cell >= kEngineCrossoverPerCell
+                            ? RetrievalMode::kEngine
+                            : RetrievalMode::kLinear;
+    char note[160];
+    std::snprintf(note, sizeof(note),
+                  "auto: %s (est %.1f live objects/cell, engine crossover "
+                  "%.1f; see BENCH_retrieval.json)",
+                  RetrievalModeName(options.retrieval).c_str(),
+                  live_per_cell, kEngineCrossoverPerCell);
+    retrieval_note = note;
   }
 
   auto harness = ServiceHarness::Create(profile, trace, options);
@@ -422,6 +487,9 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "serve: %s\n",
                  harness.status().ToString().c_str());
     return 2;
+  }
+  if (!retrieval_note.empty()) {
+    std::printf("retrieval      %s\n", retrieval_note.c_str());
   }
   const int64_t windows =
       args.GetInt("windows", 3 * profile.slots_per_day);
@@ -434,13 +502,24 @@ int CmdServe(int argc, char** argv) {
   // rq/exam/c50/c99: retrieval-engine queries, candidates examined, and
   // per-query cells-visited percentiles of the segment rotated at that
   // window (all zero under --retrieval=linear and between rotations).
+  // rfr ms/WC/reuse: solve wall time of the refresh cycle whose publish
+  // landed at that window, warm (W) or cold (C), and reused/total
+  // components ("-" between publishes).
   std::printf(
       "window day  offered admitted shed drop match  p99 ms   live "
-      "evict epoch age      rq    exam c50  c99 flags\n");
+      "evict epoch age      rq    exam c50  c99   rfr ms WC   reuse "
+      "flags\n");
   for (const WindowMetrics& w : (*harness)->windows()) {
+    const bool published = w.refresh_ms > 0.0;
+    char reuse[24] = "      -";
+    if (published) {
+      std::snprintf(reuse, sizeof(reuse), "%3lld/%-3lld",
+                    static_cast<long long>(w.refresh_components_reused),
+                    static_cast<long long>(w.refresh_components_total));
+    }
     std::printf(
         "%6lld %3lld  %7lld %8lld %4lld %4lld %5lld %7.3f %6lld %5lld "
-        "%5lld %3lld %7lld %7lld %3lld %4lld %s%s\n",
+        "%5lld %3lld %7lld %7lld %3lld %4lld %8.2f %2s %7s %s%s\n",
         static_cast<long long>(w.window), static_cast<long long>(w.day),
         static_cast<long long>(w.offered),
         static_cast<long long>(w.admitted), static_cast<long long>(w.shed),
@@ -453,7 +532,8 @@ int CmdServe(int argc, char** argv) {
         static_cast<long long>(w.retrieval_queries),
         static_cast<long long>(w.candidates_examined),
         static_cast<long long>(w.cells_visited_p50),
-        static_cast<long long>(w.cells_visited_p99),
+        static_cast<long long>(w.cells_visited_p99), w.refresh_ms,
+        published ? (w.refresh_warm ? "W" : "C") : "-", reuse,
         w.degraded_greedy ? "D" : "", w.overloaded ? "O" : "");
   }
   const ServiceTotals& totals = (*harness)->totals();
@@ -481,6 +561,14 @@ int CmdServe(int argc, char** argv) {
               static_cast<long long>(refresher.publishes),
               static_cast<long long>(refresher.failed_cycles),
               static_cast<long long>(totals.guide_swaps));
+  std::printf("refresh        %lld warm / %lld cold publishes, %lld of "
+              "%lld components reused, %.2f ms total solve\n",
+              static_cast<long long>(totals.warm_refreshes),
+              static_cast<long long>(totals.cold_refreshes),
+              static_cast<long long>(totals.refresh_components_reused),
+              static_cast<long long>(totals.refresh_components_reused +
+                                     totals.refresh_components_solved),
+              totals.refresh_ms);
   return 0;
 }
 

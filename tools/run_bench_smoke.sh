@@ -2,11 +2,12 @@
 # Perf-trajectory smoke: builds Release, runs the flow microbench, the
 # per-object online-algorithm microbench, the parallel/sharding
 # microbench, the streaming-session microbench, the sharded-dispatcher
-# bench, and the candidate-retrieval bench, and records their JSON next to
-# the repo root (BENCH_flow.json, BENCH_perobject.json,
-# BENCH_parallel.json, BENCH_streaming.json, BENCH_sharded.json,
-# BENCH_retrieval.json) so future PRs can diff solver performance against
-# this one.
+# bench, the candidate-retrieval bench, and the steady-state refresh/
+# rotation bench, and records their JSON next to the repo root
+# (BENCH_flow.json, BENCH_perobject.json, BENCH_parallel.json,
+# BENCH_streaming.json, BENCH_sharded.json, BENCH_retrieval.json,
+# BENCH_refresh.json) so future PRs can diff solver performance against
+# this one (tools/check_bench_regression.py automates the diff).
 #
 # Usage: tools/run_bench_smoke.sh [build-dir]
 set -euo pipefail
@@ -18,7 +19,7 @@ cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DFTOA_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD" \
       --target bench_micro_flow bench_micro_perobject bench_parallel \
-               bench_streaming bench_sharded bench_retrieval \
+               bench_streaming bench_sharded bench_retrieval bench_refresh \
       -j "$(nproc)"
 
 echo "== bench_micro_flow (Dijkstra+potentials vs SPFA, arenas, matcher)"
@@ -56,6 +57,12 @@ echo "== bench_retrieval (engine vs linear candidate scan, approx guides)"
 "$BUILD/bench_retrieval" \
     --benchmark_min_time=0.05 \
     --benchmark_out="$ROOT/BENCH_retrieval.json" \
+    --benchmark_out_format=json
+
+echo "== bench_refresh (warm guide refresh, incremental rotation, slice)"
+"$BUILD/bench_refresh" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="$ROOT/BENCH_refresh.json" \
     --benchmark_out_format=json
 
 # Headline number: min-cost flow speedup on the dense 2048x2048 instance.
@@ -199,4 +206,40 @@ for pct in (50, 25):
               f"matched {approx['matched']:.0f} vs {exact['matched']:.0f} "
               f"(gap {approx['utility_gap']:.0f} <= certified bound "
               f"{approx['loss_bound']:.0f})")
+EOF
+
+# Headline numbers: the serving steady state — warm-refresh speedup on the
+# sparse-delta sequence (the >= 2x acceptance bar), per-window rotation
+# cost growth as the store grows (incremental must stay flat while the
+# rebuild reference degrades), and shard p99 under background refresh for
+# the dedicated vs shared-slice pool layouts.
+python3 - "$ROOT/BENCH_refresh.json" <<'EOF'
+import json, sys
+benches = json.load(open(sys.argv[1]))["benchmarks"]
+runs = {b["name"]: b for b in benches}
+for clusters in (16, 64):
+    cold = runs.get(f"BM_GuideRefresh/cold/{clusters}")
+    warm = runs.get(f"BM_GuideRefresh/warm/{clusters}")
+    if cold and warm:
+        print(f"warm refresh, {clusters} components, 1-2 dirty per step: "
+              f"cold {cold['real_time']:.2f}ms, warm "
+              f"{warm['real_time']:.2f}ms "
+              f"(speedup {cold['real_time'] / warm['real_time']:.2f}x, "
+              f"{warm['reused']:.0f}/{warm['components']:.0f} components "
+              f"reused)")
+for mode in ("rebuild", "incremental"):
+    points = [runs.get(f"BM_Rotation/{mode}/{w}") for w in (96, 864)]
+    if all(points):
+        wps = [p["items_per_second"] for p in points]
+        print(f"rotation {mode:11s}: {wps[0]:.0f} -> {wps[1]:.0f} windows/s "
+              f"as the store grows {points[0]['store']:.0f} -> "
+              f"{points[-1]['store']:.0f} objects "
+              f"({wps[0] / wps[1]:.2f}x slowdown)")
+for layout in ("dedicated", "shared_slice"):
+    run = runs.get(f"BM_Interference/{layout}/24")
+    if run:
+        print(f"interference {layout:12s}: {run['real_time']:.0f}ms for 24 "
+              f"windows, shard p99 {run['shard_p99_ms']:.3f}ms, "
+              f"{run['publishes']:.0f} background publishes "
+              f"({run['refresh_ms']:.0f}ms solve)")
 EOF

@@ -14,6 +14,12 @@
 # chained here because it rebuilds two more trees; run it separately for
 # concurrency-touching changes.
 #
+# Optional bench gate (FTOA_BENCH_GATE=1): reruns the bench smoke and
+# diffs the fresh BENCH_refresh.json against the committed baseline with
+# tools/check_bench_regression.py — fails on a >2x steady-state serving
+# regression or a warm-refresh speedup below the 2x bar. Off by default:
+# it rebuilds the Release tree and takes minutes.
+#
 # Usage: tools/run_gates.sh [gate-build-dir]
 set -euo pipefail
 
@@ -32,5 +38,15 @@ cmake --build "$BUILD" -j "$(nproc)"
 
 echo "==== gate 4/4: ctest"
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+if [[ "${FTOA_BENCH_GATE:-0}" != "0" ]]; then
+  echo "==== optional gate: bench smoke + steady-state regression diff"
+  baseline="$(mktemp)"
+  trap 'rm -f "$baseline"' EXIT
+  git -C "$ROOT" show HEAD:BENCH_refresh.json > "$baseline"
+  "$ROOT/tools/run_bench_smoke.sh"
+  python3 "$ROOT/tools/check_bench_regression.py" \
+      "$baseline" "$ROOT/BENCH_refresh.json"
+fi
 
 echo "all gates passed"
